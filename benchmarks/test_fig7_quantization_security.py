@@ -1,0 +1,140 @@
+"""Fig. 7: random-guessing and gesture-mimicking success vs N_b.
+
+Paper setup (SVI-C.2): sweep the quantization bin count N_b over
+[4, 15]; for each value calibrate the ECC rate eta at the 99th-percentile
+benign seed mismatch, then score (a) the Eq. 4 random-guess success and
+(b) the empirical gesture-mimicking success.  The paper selects N_b = 9
+as the joint optimum; our reproduction selects 8 or 9 (see the N_b
+deviation note in DESIGN.md) — the *shape* (guessing success falls with
+N_b while mimicking success rises once eta inflates) is the target.
+
+Also covers SV-B.1's analytic point: Eq. 4 evaluated at the calibrated
+operating point, cross-checked by Monte Carlo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.analysis import format_table
+from repro.attacks import GestureMimicryAttack, RandomGuessAttack
+from repro.core import KeySeedPipeline, sweep_quantization_bins
+from repro.core.hyperparams import select_optimal_bins
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.gesture import default_volunteers, mimic_trajectory, sample_gesture
+from repro.imu import MobileIMU, calibrate_imu_record, default_mobile_devices
+from repro.rfid import (
+    ChannelGeometry,
+    RFIDReader,
+    default_environments,
+    default_tags,
+    process_rfid_record,
+)
+from repro.utils.rng import child_rng
+
+
+def _benign_matrices(n_gestures, seed):
+    config = DatasetConfig(
+        volunteers=default_volunteers(),
+        devices=default_mobile_devices()[3:4],
+        gestures_per_device=max(1, n_gestures // 6),
+        windows_per_gesture=4,
+        gesture_active_s=5.0,
+    )
+    dataset = generate_dataset(config, rng=seed)
+    return dataset.a_matrices(), dataset.r_matrices()
+
+
+def _mimicry_matrices(n_instances, seed):
+    """Matched (attacker A matrix, victim R matrix) rows."""
+    volunteers = default_volunteers()
+    device = default_mobile_devices()[3]
+    environment = default_environments()[0]
+    tag = default_tags()[0]
+    geometry = ChannelGeometry()
+    mimic_a, victim_r = [], []
+    i = 0
+    while len(mimic_a) < n_instances:
+        rng = child_rng(seed, "inst", i)
+        i += 1
+        victim = volunteers[i % len(volunteers)]
+        imitator = volunteers[(i + 1) % len(volunteers)]
+        trajectory = sample_gesture(victim, child_rng(rng, "gesture"))
+        try:
+            channel = environment.build_channel(tag, geometry, rng=rng)
+            record = RFIDReader().record_gesture(
+                channel, trajectory, rng=child_rng(rng, "reader")
+            )
+            r = process_rfid_record(record)
+            mimic = mimic_trajectory(
+                trajectory, imitator, rng=child_rng(rng, "mimic")
+            )
+            imu_record = MobileIMU(device).record_gesture(
+                mimic, rng=child_rng(rng, "imu")
+            )
+            a = calibrate_imu_record(imu_record)
+        except Exception:
+            continue
+        mimic_a.append(a)
+        victim_r.append(r)
+    return np.stack(mimic_a), np.stack(victim_r)
+
+
+def test_fig7_bin_sweep(bundle, benchmark):
+    scale = bench_scale()
+    a, r = _benign_matrices(12 * scale, seed=4001)
+    mimic_a, victim_r = _mimicry_matrices(20 * scale, seed=4002)
+
+    points = sweep_quantization_bins(
+        bundle, a, r,
+        mimic_a_matrices=mimic_a,
+        victim_r_matrices=victim_r,
+        n_bins_values=tuple(range(4, 16)),
+    )
+    rows = [
+        [p.n_bins, p.seed_length, f"{p.eta:.3f}",
+         f"{p.guess_success:.2e}", f"{100 * p.mimicry_success:.1f}%",
+         f"{100 * p.benign_success:.1f}%"]
+        for p in points
+    ]
+    print()
+    print(format_table(
+        ["N_b", "l_s", "eta", "P_guess (Eq. 4)", "P_mimic", "benign"],
+        rows,
+        title="Fig. 7 reproduction (paper optimum N_b = 9)",
+    ))
+    best = select_optimal_bins(points)
+    print(f"selected N_b = {best.n_bins} "
+          f"(bundle ships N_b = {bundle.n_bins})")
+
+    # Shape assertions: random-guess success is small at every operating
+    # point (and falls as N_b grows); mimicry stays low at the selected
+    # optimum.  The benign column is bounded below by the substrate's
+    # noisier mismatch distribution (EXPERIMENTS.md).
+    assert all(p.guess_success < 2e-2 for p in points)
+    assert points[-1].guess_success < points[0].guess_success * 1.01
+    assert best.mimicry_success <= 0.15
+    assert best.benign_success >= 0.3
+
+    # Monte-Carlo cross-check of Eq. 4 at the shipped operating point
+    # (SV-B.1): zero hits expected at any practical trial count.
+    pipeline = KeySeedPipeline(bundle)
+    attack = RandomGuessAttack(eta=bundle.eta)
+    victim_seeds = [
+        pipeline.rfid_keyseed(r[i]) for i in range(min(10, len(r)))
+    ]
+    outcome = attack.run(victim_seeds, guesses_per_victim=200, rng=4003)
+    print(f"Monte-Carlo random guessing: {outcome.n_successes}/"
+          f"{outcome.n_trials} (analytic "
+          f"{attack.analytic_success(pipeline.seed_length):.2e})")
+    assert outcome.success_rate <= max(
+        10 * attack.analytic_success(pipeline.seed_length), 5e-3
+    )
+
+    # Timed unit: one full sweep point evaluation.
+    benchmark(
+        lambda: sweep_quantization_bins(
+            bundle, a[:20], r[:20], n_bins_values=(9,)
+        )
+    )

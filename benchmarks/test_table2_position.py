@@ -1,0 +1,104 @@
+"""Table II: success rate vs user distance and azimuth angle.
+
+Paper setup (SVI-F.2): distances {1, 3, 5, 7, 9} m at 0 degrees, then
+azimuths {-60, -30, 0, 30, 60} degrees at 5 m; 200 gestures per cell in
+each of static and dynamic conditions.  Paper shape: static flat at
+99.5-100% everywhere; dynamic degrades slightly with distance (99.5% at
+1 m down to 99% at 9 m) and is flat-ish across azimuth.
+
+Scaling: 10 gestures per cell per WAVEKEY_BENCH_SCALE unit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import bench_scale
+from repro.analysis import format_table, success_rate
+from repro.core import WaveKeySystem
+from repro.gesture import default_volunteers, sample_gesture
+from repro.rfid import ChannelGeometry, default_environments
+from repro.utils.rng import child_rng
+
+DISTANCES_M = (1.0, 3.0, 5.0, 7.0, 9.0)
+AZIMUTHS_DEG = (-60.0, -30.0, 0.0, 30.0, 60.0)
+
+
+def run_cell(bundle, agreement_config, geometry, dynamic, n, seed):
+    system = WaveKeySystem(
+        bundle,
+        environment=default_environments()[0],
+        geometry=geometry,
+        agreement_config=agreement_config,
+    )
+    volunteer = default_volunteers()[0]
+    outcomes = []
+    for i in range(n):
+        result = system.establish_key(
+            volunteer=volunteer, dynamic=dynamic,
+            rng=child_rng(seed, geometry.user_distance_m,
+                          geometry.user_azimuth_deg, dynamic, i),
+        )
+        outcomes.append(result.success)
+    return success_rate(outcomes)
+
+
+def test_table2_distance_and_azimuth(bundle, agreement_config, benchmark):
+    n = 10 * bench_scale()
+    dist_rows = []
+    static_by_distance = []
+    dynamic_by_distance = []
+    for distance in DISTANCES_M:
+        geometry = ChannelGeometry(user_distance_m=distance)
+        s = run_cell(bundle, agreement_config, geometry, False, n, 2001)
+        d = run_cell(bundle, agreement_config, geometry, True, n, 2002)
+        static_by_distance.append(s)
+        dynamic_by_distance.append(d)
+        dist_rows.append(
+            [f"{distance:.0f} m", f"{100 * s:.1f}%", f"{100 * d:.1f}%"]
+        )
+    print()
+    print(format_table(
+        ["distance", "static", "dynamic"], dist_rows,
+        title="Table II (distance) reproduction "
+              "(paper: static ~99.5-100%, dynamic 99-99.5% falling with "
+              "distance)",
+    ))
+
+    azim_rows = []
+    static_by_azimuth = []
+    dynamic_by_azimuth = []
+    for azimuth in AZIMUTHS_DEG:
+        geometry = ChannelGeometry(user_distance_m=5.0,
+                                   user_azimuth_deg=azimuth)
+        s = run_cell(bundle, agreement_config, geometry, False, n, 2003)
+        d = run_cell(bundle, agreement_config, geometry, True, n, 2004)
+        static_by_azimuth.append(s)
+        dynamic_by_azimuth.append(d)
+        azim_rows.append(
+            [f"{azimuth:+.0f} deg", f"{100 * s:.1f}%", f"{100 * d:.1f}%"]
+        )
+    print(format_table(
+        ["azimuth", "static", "dynamic"], azim_rows,
+        title="Table II (azimuth) reproduction (paper: flat-ish, "
+              ">= 98.5%)",
+    ))
+
+    # Shape assertions.  Success at/near the calibration geometry (3-5 m,
+    # 0 deg) is solid; our encoders generalize across position only to
+    # the extent the training data covered it (a recorded divergence —
+    # see EXPERIMENTS.md), so off-geometry cells are reported rather
+    # than asserted.
+    assert static_by_distance[1] >= 0.35  # 3 m
+    assert static_by_distance[2] >= 0.35  # 5 m
+    assert static_by_azimuth[2] >= 0.35  # 0 deg
+    # The paper's distance trend: close-range dynamic is at least as
+    # good as far-range dynamic.
+    assert np.mean(dynamic_by_distance[:3]) >= (
+        np.mean(dynamic_by_distance[-2:]) - 0.1
+    )
+
+    # Timed unit: acquisition + agreement at the default 5 m position.
+    system = WaveKeySystem(bundle, agreement_config=agreement_config)
+    trajectory = sample_gesture(default_volunteers()[0], rng=77)
+    benchmark(lambda: system.establish_key(trajectory=trajectory, rng=78))

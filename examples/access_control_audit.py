@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Context 2 from the paper: RFID location-based access control.
+
+A secured RFID card is chained next to a server-room console.  Staff
+prove physical presence by waving their phone with the card before the
+backend grants access.  This example is an *operations audit* of such a
+deployment: it measures benign success across staff positions in the
+room (near/far, off-angle, after-hours vs busy shift) and verifies the
+proximity property — an attacker replaying RFID signals from elsewhere
+cannot pass.
+
+Run:  python examples/access_control_audit.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.attacks import SignalSpoofingAttack
+from repro.core import KeySeedPipeline, WaveKeySystem
+from repro.protocol import KeyAgreementConfig
+from repro.rfid import ChannelGeometry, default_environments, default_tags
+from repro.imu import default_mobile_devices
+from repro.utils.rng import child_rng
+
+#: Staff positions inside the deployment's validated envelope (the
+#: pretrained encoders generalize across the geometries their training
+#: data covered — see EXPERIMENTS.md divergence 3).
+POSITIONS = [
+    ("console (3 m, head-on)", 3.0, 0.0),
+    ("console side (3 m, 10 deg)", 3.0, 10.0),
+    ("rack aisle (4 m, -10 deg)", 4.0, -10.0),
+    ("doorway (5 m, 5 deg)", 5.0, 5.0),
+]
+
+
+def main() -> int:
+    bundle = repro.load_default_bundle()
+    config = KeyAgreementConfig(key_length_bits=256, eta=bundle.eta)
+    room = default_environments()[2]
+    card = default_tags()[2]  # the chained Alien 9730 card
+    staff = repro.default_volunteers()[:3]
+    n_per_cell = 6
+
+    print("Server-room access-control audit")
+    print("=" * 68)
+    print(f"{'position':28s} {'quiet shift':>14s} {'busy shift':>14s}")
+
+    worst = 1.0
+    for label, distance, azimuth in POSITIONS:
+        geometry = ChannelGeometry(
+            user_distance_m=distance, user_azimuth_deg=azimuth
+        )
+        system = WaveKeySystem(
+            bundle, tag=card, environment=room, geometry=geometry,
+            agreement_config=config,
+        )
+        rates = []
+        for dynamic in (False, True):
+            ok = 0
+            for i in range(n_per_cell):
+                member = staff[i % len(staff)]
+                result = system.establish_key(
+                    volunteer=member, dynamic=dynamic,
+                    rng=child_rng(31337, label, dynamic, i),
+                )
+                ok += int(result.success)
+            rates.append(ok / n_per_cell)
+        # The audit gate is the quiet-shift baseline; busy-shift numbers
+        # are reported for operations planning (retries cover the dip).
+        worst = min(worst, rates[0])
+        print(f"{label:28s} {100 * rates[0]:>13.0f}% "
+              f"{100 * rates[1]:>13.0f}%")
+
+    print("-" * 68)
+    print("Proximity check: RFID signal spoofing from outside the room")
+    spoof = SignalSpoofingAttack(
+        pipeline=KeySeedPipeline(bundle),
+        agreement_config=config,
+        device=default_mobile_devices()[0],
+        tag=card,
+        environment=room,
+    )
+    outcome = spoof.run(
+        victim=staff[0],
+        attacker_style=repro.default_volunteers()[4],
+        n_instances=8,
+        rng=99,
+    )
+    print(f"  spoofed sessions: {outcome.n_successes}/{outcome.n_trials} "
+          f"granted access (expected: 0)")
+    print("=" * 68)
+
+    passed = worst >= 0.3 and outcome.n_successes == 0
+    print("AUDIT " + ("PASSED" if passed else "FLAGGED"))
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+PEP 660 editable installs fail; `python setup.py develop` (or
+`pip install -e . --no-build-isolation` once wheel is present) works."""
+from setuptools import setup
+
+setup()

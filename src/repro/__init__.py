@@ -1,0 +1,62 @@
+"""WaveKey reproduction library.
+
+A from-scratch reproduction of *WaveKey: Secure Mobile Ad Hoc Access to
+RFID-Protected Systems* (Han et al., ICDCS 2024): cross-modal deep
+learning over simulated IMU and UHF-RFID backscatter data, equiprobable
+quantization into key-seeds, and a bidirectional Oblivious-Transfer key
+agreement with ECC reconciliation.
+
+Quick start::
+
+    import repro
+
+    bundle = repro.load_default_bundle()     # pretrained IMU-En / RF-En
+    system = repro.WaveKeySystem(bundle)
+    result = system.establish_key(rng=7)
+    assert result.success
+    print(result.key.to_bytes().hex())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    KeyEstablishmentResult,
+    KeySeedPipeline,
+    WaveKeyModelBundle,
+    WaveKeySystem,
+    train_wavekey_models,
+)
+from repro.core.pretrained import load_default_bundle
+from repro.datasets import DatasetConfig, generate_dataset
+from repro.errors import (
+    KeyAgreementFailure,
+    ProtocolError,
+    WaveKeyError,
+)
+from repro.gesture import VolunteerProfile, default_volunteers, sample_gesture
+from repro.protocol import KeyAgreementConfig, run_key_agreement
+from repro.utils.bits import BitSequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WaveKeyModelBundle",
+    "WaveKeySystem",
+    "KeyEstablishmentResult",
+    "KeySeedPipeline",
+    "train_wavekey_models",
+    "load_default_bundle",
+    "DatasetConfig",
+    "generate_dataset",
+    "VolunteerProfile",
+    "default_volunteers",
+    "sample_gesture",
+    "KeyAgreementConfig",
+    "run_key_agreement",
+    "BitSequence",
+    "WaveKeyError",
+    "ProtocolError",
+    "KeyAgreementFailure",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Evaluation analytics: NIST randomness tests, metrics, table rendering."""
+
+from repro.analysis.nist import (
+    NISTTestResult,
+    block_frequency_test,
+    monobit_test,
+    runs_test,
+)
+from repro.analysis.metrics import (
+    mismatch_statistics,
+    shannon_entropy_bits,
+    success_rate,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "NISTTestResult",
+    "monobit_test",
+    "runs_test",
+    "mismatch_statistics",
+    "shannon_entropy_bits",
+    "success_rate",
+    "format_table",
+]

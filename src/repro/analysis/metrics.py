@@ -1,0 +1,53 @@
+"""Evaluation metrics shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import BitSequence, BitsLike
+
+
+def success_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of successful trials."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ConfigurationError("success_rate over zero trials")
+    return float(np.mean([bool(o) for o in outcomes]))
+
+
+def mismatch_statistics(rates: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics of a set of bit-mismatch rates."""
+    arr = np.asarray(list(rates), dtype=np.float64)
+    if arr.size == 0:
+        raise ConfigurationError("mismatch_statistics over zero samples")
+    return {
+        "mean": float(arr.mean()),
+        "median": float(np.median(arr)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }
+
+
+def shannon_entropy_bits(bits: BitsLike, block: int = 1) -> float:
+    """Empirical Shannon entropy per bit over ``block``-bit symbols.
+
+    1.0 means the sequence looks uniform at that block size; the key
+    randomness benchmark reports this alongside the NIST tests.
+    """
+    seq = BitSequence(bits)
+    if block < 1:
+        raise ConfigurationError("block must be >= 1")
+    n_blocks = len(seq) // block
+    if n_blocks < 2:
+        raise ConfigurationError("sequence too short for this block size")
+    arr = seq.array[: n_blocks * block].reshape(n_blocks, block)
+    weights = 1 << np.arange(block - 1, -1, -1)
+    symbols = arr @ weights
+    counts = np.bincount(symbols, minlength=1 << block)
+    probs = counts[counts > 0] / n_blocks
+    entropy = float(-(probs * np.log2(probs)).sum())
+    return entropy / block

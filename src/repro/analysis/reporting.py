@@ -1,0 +1,48 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print their results in the same row/column
+layout as the paper's tables so paper-vs-measured comparison (recorded
+in EXPERIMENTS.md) is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([_render(value) for value in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    for i, row_cells in enumerate(cells):
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row_cells, widths))
+        )
+        if i == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 1e-3:
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,46 @@
+"""Attack implementations (paper SV / SVI-E).
+
+Every adversary strategy the paper analyzes is implemented against the
+real protocol and pipelines:
+
+* :mod:`repro.attacks.eavesdrop` — passive transcript collection and a
+  best-effort key-recovery attempt (defeated by OT).
+* :mod:`repro.attacks.mitm` — message interception/substitution
+  (defeated by OT secrecy + HMAC confirmation).
+* :mod:`repro.attacks.spoofing` — RFID signal injection replacing the
+  server's observation (defeated by broken cross-modal correlation).
+* :mod:`repro.attacks.guessing` — device spoofing by random key-seed
+  guessing (bounded by Eq. 4).
+* :mod:`repro.attacks.mimicry` — device spoofing by imitating the
+  victim's gesture (SVI-E.1).
+* :mod:`repro.attacks.camera` — device spoofing by camera-based hand
+  tracking, remote (high-fidelity, high-latency) and in-situ
+  (low-latency, low-fidelity) strategies (SVI-E.2).
+"""
+
+from repro.attacks.base import AttackOutcome, AttackTrial
+from repro.attacks.eavesdrop import Eavesdropper
+from repro.attacks.mitm import MitmAttacker
+from repro.attacks.spoofing import SignalSpoofingAttack
+from repro.attacks.guessing import RandomGuessAttack
+from repro.attacks.mimicry import GestureMimicryAttack
+from repro.attacks.camera import (
+    CameraProfile,
+    CameraRecoveryAttack,
+    IN_SITU_PIXEL8,
+    REMOTE_ALPCAM,
+)
+
+__all__ = [
+    "AttackOutcome",
+    "AttackTrial",
+    "Eavesdropper",
+    "MitmAttacker",
+    "SignalSpoofingAttack",
+    "RandomGuessAttack",
+    "GestureMimicryAttack",
+    "CameraProfile",
+    "CameraRecoveryAttack",
+    "REMOTE_ALPCAM",
+    "IN_SITU_PIXEL8",
+]

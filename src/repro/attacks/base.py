@@ -1,0 +1,72 @@
+"""Shared attack-result types.
+
+All attack harnesses report :class:`AttackTrial` records; the benchmark
+layer aggregates them into success rates comparable with the paper's
+numbers.  The uniform success criterion for device-spoofing attacks is
+the paper's: an attack succeeds when the adversary's inferred key-seed
+falls within the ECC correction radius ``eta`` of the victim's seed
+(SV-B.1), i.e. the reconciliation step would converge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import BitSequence
+
+
+@dataclass(frozen=True)
+class AttackTrial:
+    """One attack attempt against one key-establishment instance."""
+
+    succeeded: bool
+    mismatch_rate: Optional[float] = None
+    detail: str = ""
+
+
+@dataclass
+class AttackOutcome:
+    """Aggregate over many attack trials."""
+
+    attack: str
+    trials: List[AttackTrial] = field(default_factory=list)
+
+    def add(self, trial: AttackTrial) -> None:
+        self.trials.append(trial)
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def n_successes(self) -> int:
+        return sum(1 for t in self.trials if t.succeeded)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.trials:
+            raise ConfigurationError(f"{self.attack}: no trials recorded")
+        return self.n_successes / self.n_trials
+
+    def mismatch_rates(self) -> List[float]:
+        return [
+            t.mismatch_rate
+            for t in self.trials
+            if t.mismatch_rate is not None
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackOutcome({self.attack}: {self.n_successes}/"
+            f"{self.n_trials} succeeded)"
+        )
+
+
+def seed_within_ecc_radius(
+    attacker_seed: BitSequence, victim_seed: BitSequence, eta: float
+) -> AttackTrial:
+    """Apply the uniform spoofing success criterion."""
+    rate = attacker_seed.mismatch_rate(victim_seed)
+    return AttackTrial(succeeded=rate <= eta, mismatch_rate=rate)

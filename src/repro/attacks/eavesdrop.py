@@ -1,0 +1,103 @@
+"""Eavesdropping attack (paper SV-A).
+
+A passive adversary records every wire message of a key establishment
+and then tries the strongest generic strategy available to it: guess
+the two key-seeds and attempt to decrypt the OT ciphertexts.  Without
+either party's ephemeral OT exponents the symmetric keys protecting the
+transferred sequences are unguessable (they are hashes of Diffie-Hellman
+values), so the recovered "key" is uncorrelated with the real one — the
+property the eavesdropping unit/benchmark tests assert quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.crypto.hashes import hash_group_element
+from repro.crypto.numbers import DHGroup
+from repro.crypto.symmetric import xor_cipher
+from repro.protocol.messages import (
+    ConfirmationResponse,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+)
+from repro.utils.bits import BitSequence
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Eavesdropper:
+    """Passive transcript collector + best-effort key-recovery attempt."""
+
+    group: DHGroup
+    transcript: List[Tuple[str, str, object]] = field(default_factory=list)
+
+    def tap(self, sender: str, receiver: str, message) -> None:
+        """Transport tap: record everything (install via
+        ``SimulatedTransport(taps=[eavesdropper.tap])``)."""
+        self.transcript.append((sender, receiver, message))
+
+    # -- analysis ----------------------------------------------------------------
+
+    def messages_of_type(self, message_type) -> List[object]:
+        return [
+            m for _, _, m in self.transcript if isinstance(m, message_type)
+        ]
+
+    @property
+    def observed_sketch(self) -> Optional[BitSequence]:
+        challenges = self.messages_of_type(ReconciliationChallenge)
+        return challenges[0].sketch if challenges else None
+
+    def attempt_key_recovery(
+        self, segment_bits: int, rng=None
+    ) -> Optional[BitSequence]:
+        """Best-effort recovery: decrypt every observed OT ciphertext
+        with keys derived from random exponents (the adversary's only
+        option — it never learned ``a_i`` or ``b_i``) and assemble a key
+        the way the parties do.
+
+        Returns the forged key, which callers compare against the real
+        one; with overwhelming probability every recovered segment is
+        garbage.
+        """
+        rng = ensure_rng(rng)
+        batches = self.messages_of_type(OTCiphertextBatch)
+        responses = {
+            m.sender: m for m in self.messages_of_type(OTResponse)
+        }
+        if not batches or not responses:
+            return None
+        parts: List[BitSequence] = []
+        for batch in batches:
+            # Pair each ciphertext batch with the response that drove it
+            # (sent by the opposite party).
+            peer_response = next(
+                (r for s, r in responses.items() if s != batch.sender), None
+            )
+            if peer_response is None:
+                return None
+            for pair, element in zip(
+                batch.pairs, peer_response.elements
+            ):
+                # The adversary knows M_b but not a; it can only guess an
+                # exponent and pray.
+                guess = self.group.random_exponent(rng)
+                key = hash_group_element(
+                    pow(element, guess, self.group.prime)
+                )
+                plain = xor_cipher(pair.e0, key, b"ot0")
+                parts.append(BitSequence.from_bytes(plain, segment_bits))
+        if not parts:
+            return None
+        return parts[0].concat(*parts[1:])
+
+    @property
+    def n_messages(self) -> int:
+        return len(self.transcript)
+
+    def observed_message_types(self) -> List[str]:
+        return [type(m).__name__ for _, _, m in self.transcript]

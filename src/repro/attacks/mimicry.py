@@ -1,0 +1,135 @@
+"""Device spoofing by gesture mimicking (paper SV-B.2, SVI-E.1).
+
+The adversary watches the victim's gesture and replays it with their own
+mobile device; the replicated motion passes through the *real* IMU
+acquisition + key-seed pipeline, so every imperfection of human imitation
+(modelled in :mod:`repro.gesture.mimicry`) propagates into seed mismatch.
+
+The paper's evaluation: six victims x 20 gestures each, mimicked by the
+other five volunteers — 600 instances, zero successes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.attacks.base import (
+    AttackOutcome,
+    AttackTrial,
+    seed_within_ecc_radius,
+)
+from repro.core.pipeline import KeySeedPipeline
+from repro.errors import SimulationError
+from repro.gesture import (
+    GestureTrajectory,
+    MimicryModel,
+    VolunteerProfile,
+    mimic_trajectory,
+    sample_gesture,
+)
+from repro.imu import MobileDeviceProfile, MobileIMU, calibrate_imu_record
+from repro.rfid import (
+    ChannelGeometry,
+    EnvironmentProfile,
+    RFIDReader,
+    TagProfile,
+    process_rfid_record,
+)
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass
+class GestureMimicryAttack:
+    """Mimicry harness bound to a deployment's hardware and models."""
+
+    pipeline: KeySeedPipeline
+    eta: float
+    device: MobileDeviceProfile
+    tag: TagProfile
+    environment: EnvironmentProfile
+    geometry: ChannelGeometry = None
+    mimicry_model: MimicryModel = MimicryModel()
+
+    def __post_init__(self):
+        if self.geometry is None:
+            self.geometry = ChannelGeometry()
+
+    def victim_server_seed(
+        self, victim_trajectory: GestureTrajectory, rng
+    ) -> BitSequence:
+        """The seed the RFID server derives from the victim's gesture."""
+        channel = self.environment.build_channel(
+            self.tag, self.geometry, dynamic=False,
+            rng=child_rng(rng, "walkers"),
+        )
+        record = RFIDReader().record_gesture(
+            channel, victim_trajectory, rng=child_rng(rng, "rfid")
+        )
+        return self.pipeline.rfid_keyseed(process_rfid_record(record))
+
+    def attacker_seed(
+        self,
+        victim_trajectory: GestureTrajectory,
+        imitator: VolunteerProfile,
+        rng,
+    ) -> BitSequence:
+        """The seed the adversary derives from their imitation."""
+        mimic = mimic_trajectory(
+            victim_trajectory,
+            imitator,
+            model=self.mimicry_model,
+            rng=child_rng(rng, "mimic"),
+        )
+        imu = MobileIMU(self.device)
+        record = imu.record_gesture(mimic, rng=child_rng(rng, "imu"))
+        return self.pipeline.imu_keyseed(calibrate_imu_record(record))
+
+    def run(
+        self,
+        victims: Sequence[VolunteerProfile],
+        imitators: Sequence[VolunteerProfile] = None,
+        gestures_per_victim: int = 20,
+        rng=None,
+    ) -> AttackOutcome:
+        """Reproduce the SVI-E.1 campaign.
+
+        Every victim performs ``gestures_per_victim`` gestures; each
+        gesture is mimicked by every listed imitator other than the
+        victim (the paper's five-mimic setup).
+        """
+        rng = ensure_rng(rng)
+        outcome = AttackOutcome(attack="gesture-mimicry")
+        for vi, victim in enumerate(victims):
+            others = [
+                p for p in (imitators or victims) if p.name != victim.name
+            ]
+            for gi in range(gestures_per_victim):
+                g_rng = child_rng(rng, "trial", vi, gi)
+                trajectory = sample_gesture(
+                    victim, child_rng(g_rng, "gesture")
+                )
+                try:
+                    victim_seed = self.victim_server_seed(trajectory, g_rng)
+                except SimulationError:
+                    continue
+                for mi, imitator in enumerate(others):
+                    try:
+                        seed = self.attacker_seed(
+                            trajectory, imitator, child_rng(g_rng, "imit", mi)
+                        )
+                    except SimulationError as exc:
+                        # The imitation was too feeble to even trigger
+                        # onset detection: a failed attempt.
+                        outcome.add(
+                            AttackTrial(
+                                succeeded=False,
+                                detail=f"acquisition failed: {exc}",
+                            )
+                        )
+                        continue
+                    outcome.add(
+                        seed_within_ecc_radius(seed, victim_seed, self.eta)
+                    )
+        return outcome

@@ -1,0 +1,107 @@
+"""Man-in-the-Middle attack (paper SV-C).
+
+The adversary relays (and may modify) every message between the two
+parties.  Because it knows neither side's OT exponents, any substitution
+desynchronizes the transferred sequences: the preliminary keys diverge
+beyond the ECC radius and the HMAC confirmation fails, which both kills
+the key establishment and exposes the attack.
+
+Three MitM strategies are provided:
+
+* ``passive`` — pure relay with added latency (tests the deadline);
+* ``substitute_ciphertexts`` — replace OT ciphertexts with encryptions
+  of adversary-chosen sequences under guessed keys;
+* ``substitute_announce`` — replace ``M_A`` with group elements whose
+  exponents the adversary knows (the classic DH-MitM move, which OT's
+  structure turns into garbage secrets rather than a shared key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.crypto.hashes import hash_group_element
+from repro.crypto.numbers import DHGroup
+from repro.crypto.ot import OTCiphertexts
+from repro.crypto.symmetric import xor_cipher
+from repro.protocol.messages import (
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+)
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class MitmAttacker:
+    """Interceptor factory for :class:`SimulatedTransport`."""
+
+    group: DHGroup
+    strategy: str = "substitute_ciphertexts"
+    relay_delay_s: float = 0.004
+    rng: object = None
+    modified_messages: int = field(default=0, init=False)
+    _exponents: dict = field(default_factory=dict, init=False)
+
+    def __post_init__(self):
+        valid = {
+            "passive",
+            "substitute_ciphertexts",
+            "substitute_announce",
+        }
+        if self.strategy not in valid:
+            raise ValueError(f"unknown MitM strategy {self.strategy!r}")
+        self.rng = ensure_rng(self.rng)
+
+    # The SimulatedTransport interceptor signature.
+    def intercept(
+        self, sender: str, receiver: str, message
+    ) -> Tuple[object, float]:
+        if self.strategy == "passive":
+            return message, self.relay_delay_s
+        if (
+            self.strategy == "substitute_announce"
+            and isinstance(message, OTAnnounce)
+        ):
+            return self._forge_announce(message), self.relay_delay_s
+        if (
+            self.strategy == "substitute_ciphertexts"
+            and isinstance(message, OTCiphertextBatch)
+        ):
+            return self._forge_ciphertexts(message), self.relay_delay_s
+        return message, self.relay_delay_s
+
+    def _forge_announce(self, message: OTAnnounce) -> OTAnnounce:
+        """Replace every announce element with one whose exponent the
+        adversary knows."""
+        forged = []
+        for i in range(len(message.elements)):
+            exponent = self.group.random_exponent(self.rng)
+            self._exponents[(message.sender, i)] = exponent
+            forged.append(self.group.power(exponent))
+        self.modified_messages += 1
+        return OTAnnounce(sender=message.sender, elements=tuple(forged))
+
+    def _forge_ciphertexts(
+        self, message: OTCiphertextBatch
+    ) -> OTCiphertextBatch:
+        """Replace the transferred sequences with adversary-chosen bits
+        encrypted under guessed keys."""
+        forged = []
+        for pair in message.pairs:
+            n = len(pair.e0)
+            chosen = bytes(
+                self.rng.integers(0, 256, size=n, dtype=np.uint8)
+            )
+            key = hash_group_element(self.group.random_exponent(self.rng))
+            forged.append(
+                OTCiphertexts(
+                    e0=xor_cipher(chosen, key, b"ot0"),
+                    e1=xor_cipher(chosen, key, b"ot1"),
+                )
+            )
+        self.modified_messages += 1
+        return OTCiphertextBatch(sender=message.sender, pairs=tuple(forged))

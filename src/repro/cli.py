@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro establish [--seed N] [--dynamic] [--distance M]
+    python -m repro inspect
+    python -m repro attack {guess,mimic,spoof} [--trials N]
+
+``establish`` runs one end-to-end key establishment against the
+pretrained bundle and prints the outcome; ``inspect`` summarizes the
+shipped bundle's operating point; ``attack`` runs a small campaign of
+the chosen attack and reports its success rate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.attacks import (
+    GestureMimicryAttack,
+    RandomGuessAttack,
+    SignalSpoofingAttack,
+)
+from repro.core import KeySeedPipeline, WaveKeySystem
+from repro.core.pretrained import load_default_bundle
+from repro.errors import WaveKeyError
+from repro.gesture import default_volunteers
+from repro.imu import default_mobile_devices
+from repro.protocol import KeyAgreementConfig
+from repro.rfid import ChannelGeometry, default_environments, default_tags
+from repro.utils.rng import child_rng
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WaveKey reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    establish = sub.add_parser(
+        "establish", help="run one end-to-end key establishment"
+    )
+    establish.add_argument("--seed", type=int, default=7)
+    establish.add_argument("--dynamic", action="store_true",
+                           help="people walking around the reader")
+    establish.add_argument("--distance", type=float, default=5.0,
+                           help="user-to-antenna distance in metres")
+    establish.add_argument("--azimuth", type=float, default=0.0,
+                           help="user azimuth in degrees")
+    establish.add_argument("--key-bits", type=int, default=256)
+
+    sub.add_parser("inspect", help="summarize the pretrained bundle")
+
+    attack = sub.add_parser("attack", help="run an attack campaign")
+    attack.add_argument("kind", choices=("guess", "mimic", "spoof"))
+    attack.add_argument("--trials", type=int, default=10)
+    attack.add_argument("--seed", type=int, default=1)
+    return parser
+
+
+def _cmd_establish(args, out) -> int:
+    bundle = load_default_bundle()
+    system = WaveKeySystem(
+        bundle,
+        geometry=ChannelGeometry(
+            user_distance_m=args.distance, user_azimuth_deg=args.azimuth
+        ),
+        agreement_config=KeyAgreementConfig(
+            key_length_bits=args.key_bits, eta=bundle.eta
+        ),
+    )
+    result = system.establish_key(rng=args.seed, dynamic=args.dynamic)
+    print(f"seed mismatch: {100 * result.seed_mismatch_rate:.1f}% "
+          f"(eta {100 * bundle.eta:.1f}%)", file=out)
+    print(f"elapsed: {result.elapsed_s:.2f} s", file=out)
+    if result.success:
+        print(f"key ({len(result.key)} bits): "
+              f"{result.key.to_bytes().hex()}", file=out)
+        return 0
+    print(f"FAILED: {result.failure_reason}", file=out)
+    return 1
+
+
+def _cmd_inspect(out) -> int:
+    bundle = load_default_bundle()
+    pipeline = KeySeedPipeline(bundle)
+    print("WaveKey pretrained bundle", file=out)
+    print(f"  latent width l_f : {bundle.latent_width}", file=out)
+    print(f"  bins N_b         : {bundle.n_bins}", file=out)
+    print(f"  seed length l_s  : {pipeline.seed_length} bits", file=out)
+    print(f"  ECC rate eta     : {bundle.eta:.4f}", file=out)
+    guess = RandomGuessAttack(bundle.eta).analytic_success(
+        pipeline.seed_length
+    )
+    print(f"  Eq. 4 guess prob : {guess:.3e}", file=out)
+    return 0
+
+
+def _cmd_attack(args, out) -> int:
+    bundle = load_default_bundle()
+    pipeline = KeySeedPipeline(bundle)
+    if args.kind == "guess":
+        rng = np.random.default_rng(args.seed)
+        from repro.utils.bits import BitSequence
+
+        victims = [
+            BitSequence.random(pipeline.seed_length, rng)
+            for _ in range(max(1, args.trials // 10))
+        ]
+        outcome = RandomGuessAttack(bundle.eta).run(
+            victims, guesses_per_victim=10, rng=args.seed
+        )
+    elif args.kind == "mimic":
+        attack = GestureMimicryAttack(
+            pipeline=pipeline,
+            eta=bundle.eta,
+            device=default_mobile_devices()[3],
+            tag=default_tags()[0],
+            environment=default_environments()[0],
+        )
+        outcome = attack.run(
+            victims=default_volunteers()[:2],
+            imitators=default_volunteers()[:3],
+            gestures_per_victim=max(1, args.trials // 4),
+            rng=args.seed,
+        )
+    else:
+        attack = SignalSpoofingAttack(
+            pipeline=pipeline,
+            agreement_config=KeyAgreementConfig(
+                key_length_bits=256, eta=bundle.eta
+            ),
+            device=default_mobile_devices()[3],
+            tag=default_tags()[0],
+            environment=default_environments()[0],
+        )
+        outcome = attack.run(
+            victim=default_volunteers()[0],
+            attacker_style=default_volunteers()[1],
+            n_instances=args.trials,
+            rng=args.seed,
+        )
+    print(f"{outcome.attack}: {outcome.n_successes}/{outcome.n_trials} "
+          f"succeeded ({100 * outcome.success_rate:.2f}%)", file=out)
+    return 0 if outcome.n_successes == 0 else 2
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "establish":
+            return _cmd_establish(args, out)
+        if args.command == "inspect":
+            return _cmd_inspect(out)
+        return _cmd_attack(args, out)
+    except WaveKeyError as exc:
+        print(f"error: {exc}", file=out)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""WaveKey core: the paper's primary contribution.
+
+* :mod:`repro.core.models` — the IMU-En / RF-En / De architectures of
+  Fig. 5 and the :class:`WaveKeyModelBundle` that ships them together
+  with the quantization configuration.
+* :mod:`repro.core.training` — joint training with the cross-modal loss
+  of Eq. 3.
+* :mod:`repro.core.pipeline` — sensor matrices -> latent features ->
+  key-seeds.
+* :mod:`repro.core.hyperparams` — the paper's three hyperparameter
+  experiments: l_f by variance pruning (SVI-C.1), N_b / eta selection
+  (SVI-C.2, Fig. 7), and the tau deadline (SVI-C.3).
+* :mod:`repro.core.system` — :class:`WaveKeySystem`, the end-to-end
+  facade tying gesture, sensors, models, and protocol together.
+"""
+
+from repro.core.models import (
+    WaveKeyModelBundle,
+    build_decoder,
+    build_imu_encoder,
+    build_rf_encoder,
+)
+from repro.core.training import (
+    JointTrainingConfig,
+    JointTrainingResult,
+    train_wavekey_models,
+)
+from repro.core.pipeline import KeySeedPipeline
+from repro.core.hyperparams import (
+    EtaCalibration,
+    calibrate_eta,
+    determine_tau,
+    prune_latent_width,
+    sweep_quantization_bins,
+)
+from repro.core.system import KeyEstablishmentResult, WaveKeySystem
+
+__all__ = [
+    "WaveKeyModelBundle",
+    "build_decoder",
+    "build_imu_encoder",
+    "build_rf_encoder",
+    "JointTrainingConfig",
+    "JointTrainingResult",
+    "train_wavekey_models",
+    "KeySeedPipeline",
+    "EtaCalibration",
+    "calibrate_eta",
+    "determine_tau",
+    "prune_latent_width",
+    "sweep_quantization_bins",
+    "KeyEstablishmentResult",
+    "WaveKeySystem",
+]

@@ -1,0 +1,186 @@
+"""The WaveKey neural architectures (paper Fig. 5).
+
+IMU-En and RF-En each stack two convolutional layers with ReLU units, a
+fully connected layer, and a final batch-norm layer; the decoder De
+stacks deconv / FC / deconv / FC with ReLU after the first three layers.
+The final encoder batch-norms are non-affine so the latent elements stay
+standard normal at inference — the property the equiprobable quantizer
+relies on (SIV-C).
+
+:class:`WaveKeyModelBundle` packages the three trained networks with the
+quantization configuration (``N_b``, ``eta``) so one artifact fully
+determines key-seed generation on both ends — the paper stresses the
+same trained pair serves *any* device/server combination.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nn import (
+    BatchNorm1d,
+    Conv1d,
+    ConvTranspose1d,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    load_model,
+    save_model,
+)
+from repro.nn.layers import Reshape
+from repro.quantize import KeySeedQuantizer
+from repro.utils.rng import child_rng
+
+#: Input geometry fixed by the acquisition pipelines (SIV-B).
+IMU_CHANNELS = 3
+IMU_LENGTH = 200
+RFID_CHANNELS = 2
+RFID_LENGTH = 400
+
+
+def build_imu_encoder(latent: int = 50, rng=None) -> Sequential:
+    """IMU-En: (N, 3, 200) -> (N, latent).
+
+    Two conv layers + ReLU, one fully connected layer, one batch-norm
+    layer, per Fig. 5.  Kernel widths are sized so the receptive fields
+    span a substantial fraction of a gesture period — the latent features
+    must tolerate the few-tens-of-ms window misalignment left over from
+    the pause-based synchronization.
+    """
+    if latent < 1:
+        raise ConfigurationError("latent width must be >= 1")
+    return Sequential(
+        Conv1d(IMU_CHANNELS, 16, 11, stride=2, padding=5,
+               rng=child_rng(rng, "c1"), name="imu.conv1"),
+        ReLU(name="imu.relu1"),
+        Conv1d(16, 32, 7, stride=2, padding=3,
+               rng=child_rng(rng, "c2"), name="imu.conv2"),
+        ReLU(name="imu.relu2"),
+        Flatten(name="imu.flatten"),
+        Dense(32 * 50, latent, rng=child_rng(rng, "fc"), name="imu.fc"),
+        BatchNorm1d(latent, affine=False, name="imu.bn"),
+        name="imu_encoder",
+    )
+
+
+def build_rf_encoder(latent: int = 50, rng=None) -> Sequential:
+    """RF-En: (N, 2, 400) -> (N, latent); same Fig. 5 shape as IMU-En
+    with the first stride covering the 2x higher RFID sample rate."""
+    if latent < 1:
+        raise ConfigurationError("latent width must be >= 1")
+    return Sequential(
+        Conv1d(RFID_CHANNELS, 16, 19, stride=4, padding=9,
+               rng=child_rng(rng, "c1"), name="rf.conv1"),
+        ReLU(name="rf.relu1"),
+        Conv1d(16, 32, 7, stride=2, padding=3,
+               rng=child_rng(rng, "c2"), name="rf.conv2"),
+        ReLU(name="rf.relu2"),
+        Flatten(name="rf.flatten"),
+        Dense(32 * 50, latent, rng=child_rng(rng, "fc"), name="rf.fc"),
+        BatchNorm1d(latent, affine=False, name="rf.bn"),
+        name="rf_encoder",
+    )
+
+
+def build_decoder(latent: int = 50, rng=None) -> Sequential:
+    """De: (N, latent) -> (N, 400) reconstructed magnitude vector.
+
+    Layer order follows Fig. 5: deconv, FC, deconv, FC with ReLU after
+    the first three layers.
+    """
+    if latent < 1:
+        raise ConfigurationError("latent width must be >= 1")
+    return Sequential(
+        Reshape((latent, 1), name="de.reshape_in"),
+        ConvTranspose1d(latent, 16, 25, rng=child_rng(rng, "d1"),
+                        name="de.deconv1"),
+        ReLU(name="de.relu1"),
+        Flatten(name="de.flatten1"),
+        Dense(16 * 25, 8 * 100, rng=child_rng(rng, "fc1"), name="de.fc1"),
+        ReLU(name="de.relu2"),
+        Reshape((8, 100), name="de.reshape_mid"),
+        ConvTranspose1d(8, 4, 4, stride=2, padding=1,
+                        rng=child_rng(rng, "d2"), name="de.deconv2"),
+        ReLU(name="de.relu3"),
+        Flatten(name="de.flatten2"),
+        Dense(4 * 200, RFID_LENGTH, rng=child_rng(rng, "fc2"),
+              name="de.fc2"),
+        name="decoder",
+    )
+
+
+@dataclass
+class WaveKeyModelBundle:
+    """A trained WaveKey deployment artifact.
+
+    Attributes
+    ----------
+    imu_encoder / rf_encoder / decoder:
+        The three jointly trained networks (the decoder only matters for
+        training/ablation, but it ships so training can resume).
+    n_bins:
+        Quantization bin count ``N_b``.  The paper selects 9; our default
+        is 8 because whole-bit gray coding of a non-power-of-two bin
+        count biases the seed bits (see DESIGN.md), and the Fig. 7 sweep
+        shows 8 and 9 equivalently secure on this substrate.
+    eta:
+        ECC error-correction rate calibrated on the training set
+        (SVI-C.2 derives it from the 99th-percentile seed mismatch).
+    """
+
+    imu_encoder: Sequential
+    rf_encoder: Sequential
+    decoder: Sequential
+    n_bins: int = 8
+    eta: float = 0.04
+
+    def __post_init__(self):
+        if self.latent_width != self.rf_encoder[-1].num_features:
+            raise ConfigurationError(
+                "IMU and RF encoders disagree on latent width"
+            )
+        if not (0.0 < self.eta < 0.5):
+            raise ConfigurationError(f"eta must be in (0, 0.5), got {self.eta}")
+
+    @property
+    def latent_width(self) -> int:
+        """The trained ``l_f``."""
+        return self.imu_encoder[-1].num_features
+
+    @property
+    def quantizer(self) -> KeySeedQuantizer:
+        return KeySeedQuantizer(self.n_bins)
+
+    @property
+    def seed_length(self) -> int:
+        """``l_s`` for this bundle (whole-bit Eq. 2)."""
+        return self.quantizer.seed_length(self.latent_width)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write the bundle (three models + metadata) to ``directory``."""
+        os.makedirs(directory, exist_ok=True)
+        save_model(self.imu_encoder, os.path.join(directory, "imu_en.npz"))
+        save_model(self.rf_encoder, os.path.join(directory, "rf_en.npz"))
+        save_model(self.decoder, os.path.join(directory, "de.npz"))
+        meta = {"n_bins": self.n_bins, "eta": self.eta}
+        with open(os.path.join(directory, "bundle.json"), "w") as fh:
+            json.dump(meta, fh, indent=2)
+
+    @classmethod
+    def load(cls, directory: str) -> "WaveKeyModelBundle":
+        """Load a bundle written by :meth:`save`."""
+        with open(os.path.join(directory, "bundle.json")) as fh:
+            meta = json.load(fh)
+        return cls(
+            imu_encoder=load_model(os.path.join(directory, "imu_en.npz")),
+            rf_encoder=load_model(os.path.join(directory, "rf_en.npz")),
+            decoder=load_model(os.path.join(directory, "de.npz")),
+            n_bins=int(meta["n_bins"]),
+            eta=float(meta["eta"]),
+        )

@@ -1,0 +1,79 @@
+"""Key-seed generation pipeline (paper SIV-C).
+
+:class:`KeySeedPipeline` is the deployable inference path: sensor matrix
+-> normalization -> encoder -> equiprobable quantization -> gray-coded
+key-seed.  The mobile device runs the IMU side, the RFID server runs the
+RF side, each producing an ``l_s``-bit :class:`BitSequence`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.models import WaveKeyModelBundle
+from repro.datasets.normalization import (
+    normalize_imu_matrix,
+    normalize_rfid_matrix,
+)
+from repro.utils.bits import BitSequence
+
+
+class KeySeedPipeline:
+    """Inference-time wrapper around a trained model bundle."""
+
+    def __init__(self, bundle: WaveKeyModelBundle):
+        self.bundle = bundle
+        self.quantizer = bundle.quantizer
+
+    @property
+    def seed_length(self) -> int:
+        """``l_s``: key-seed length in bits."""
+        return self.bundle.seed_length
+
+    # -- latent features -----------------------------------------------------
+
+    def imu_features(self, a_matrix: np.ndarray) -> np.ndarray:
+        """``f_M``: latent feature vector from an A matrix (200x3)."""
+        x = normalize_imu_matrix(a_matrix)[None]
+        return self.bundle.imu_encoder.forward(x)[0]
+
+    def rfid_features(self, r_matrix: np.ndarray) -> np.ndarray:
+        """``f_R``: latent feature vector from an R matrix (400x2)."""
+        x = normalize_rfid_matrix(r_matrix)[None]
+        return self.bundle.rf_encoder.forward(x)[0]
+
+    # -- key seeds -------------------------------------------------------------
+
+    def imu_keyseed(self, a_matrix: np.ndarray) -> BitSequence:
+        """``S_M``: the mobile device's key-seed."""
+        return self.quantizer.quantize(self.imu_features(a_matrix))
+
+    def rfid_keyseed(self, r_matrix: np.ndarray) -> BitSequence:
+        """``S_R``: the RFID server's key-seed."""
+        return self.quantizer.quantize(self.rfid_features(r_matrix))
+
+    # -- batch evaluation -----------------------------------------------------
+
+    def batch_seed_pairs(
+        self, a_matrices: np.ndarray, r_matrices: np.ndarray
+    ):
+        """Key-seed pairs for stacked matrices (hyperparameter studies).
+
+        ``a_matrices``: (N, 200, 3); ``r_matrices``: (N, 400, 2).
+        Returns a list of ``(S_M, S_R)`` tuples.
+        """
+        x_imu = np.stack([normalize_imu_matrix(a) for a in a_matrices])
+        x_rfid = np.stack([normalize_rfid_matrix(r) for r in r_matrices])
+        f_m = self.bundle.imu_encoder.forward(x_imu)
+        f_r = self.bundle.rf_encoder.forward(x_rfid)
+        return [
+            (self.quantizer.quantize(f_m[i]), self.quantizer.quantize(f_r[i]))
+            for i in range(f_m.shape[0])
+        ]
+
+    def seed_mismatch_rates(
+        self, a_matrices: np.ndarray, r_matrices: np.ndarray
+    ) -> np.ndarray:
+        """Per-sample bit-mismatch rate between ``S_M`` and ``S_R``."""
+        pairs = self.batch_seed_pairs(a_matrices, r_matrices)
+        return np.array([s_m.mismatch_rate(s_r) for s_m, s_r in pairs])

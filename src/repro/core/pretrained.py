@@ -1,0 +1,47 @@
+"""Access to the pretrained model bundle shipped with the package.
+
+The paper trains IMU-En / RF-En once, offline, and deploys the same pair
+everywhere (SIV-A).  We mirror that: ``scripts/train_default_bundle.py``
+runs the full dataset-generation + joint-training + eta-calibration
+pipeline and writes the artifact into ``src/repro/assets/default_bundle``,
+which installs with the package.  Examples, benchmarks, and integration
+tests all load this one artifact through :func:`load_default_bundle`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.models import WaveKeyModelBundle
+from repro.errors import ConfigurationError
+
+_ASSET_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "assets",
+    "default_bundle",
+)
+
+
+def default_bundle_dir() -> str:
+    """Filesystem location of the shipped bundle."""
+    return _ASSET_DIR
+
+
+def has_default_bundle() -> bool:
+    """Whether the pretrained artifact is present."""
+    return os.path.exists(os.path.join(_ASSET_DIR, "bundle.json"))
+
+
+def load_default_bundle() -> WaveKeyModelBundle:
+    """Load the shipped pretrained bundle.
+
+    Raises :class:`ConfigurationError` with reproduction instructions if
+    the artifact is missing (e.g. a source checkout before running the
+    training script).
+    """
+    if not has_default_bundle():
+        raise ConfigurationError(
+            "no pretrained bundle found at "
+            f"{_ASSET_DIR}; run scripts/train_default_bundle.py to build it"
+        )
+    return WaveKeyModelBundle.load(_ASSET_DIR)

@@ -1,0 +1,190 @@
+"""The end-to-end WaveKey system facade.
+
+:class:`WaveKeySystem` ties everything together: a trained model bundle,
+a hardware roster (mobile device, tag, reader), an environment, and the
+key-agreement protocol.  One call to :meth:`establish_key` performs the
+whole Fig. 2 workflow — gesture, dual acquisition, key-seed generation,
+bidirectional OT, reconciliation, confirmation — and reports a
+structured outcome.  Every evaluation harness in ``benchmarks/`` drives
+this facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.models import WaveKeyModelBundle
+from repro.core.pipeline import KeySeedPipeline
+from repro.datasets.generation import generate_sample
+from repro.errors import SimulationError
+from repro.gesture import (
+    GestureTrajectory,
+    VolunteerProfile,
+    default_volunteers,
+    sample_gesture,
+)
+from repro.imu import MobileDeviceProfile, default_mobile_devices
+from repro.protocol import (
+    KeyAgreementConfig,
+    KeyAgreementOutcome,
+    SimulatedTransport,
+    run_key_agreement,
+)
+from repro.rfid import (
+    ChannelGeometry,
+    EnvironmentProfile,
+    TagProfile,
+    default_environments,
+    default_tags,
+)
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass
+class KeyEstablishmentResult:
+    """Outcome of one end-to-end key establishment."""
+
+    success: bool
+    key: Optional[BitSequence]
+    elapsed_s: float
+    seed_mobile: Optional[BitSequence] = None
+    seed_server: Optional[BitSequence] = None
+    failure_reason: Optional[str] = None
+
+    @property
+    def seed_mismatch_rate(self) -> Optional[float]:
+        if self.seed_mobile is None or self.seed_server is None:
+            return None
+        return self.seed_mobile.mismatch_rate(self.seed_server)
+
+
+class WaveKeySystem:
+    """A deployed WaveKey installation.
+
+    Parameters default to the paper's default experiment settings
+    (SVI-B): Galaxy Watch + Alien 9640 tag, environment 1, user 5 m from
+    the antenna at 0 degrees azimuth.
+    """
+
+    def __init__(
+        self,
+        bundle: WaveKeyModelBundle,
+        device: MobileDeviceProfile = None,
+        tag: TagProfile = None,
+        environment: EnvironmentProfile = None,
+        geometry: ChannelGeometry = None,
+        agreement_config: KeyAgreementConfig = None,
+    ):
+        self.bundle = bundle
+        self.pipeline = KeySeedPipeline(bundle)
+        self.device = device or default_mobile_devices()[3]  # galaxy-watch
+        self.tag = tag or default_tags()[0]  # alien-9640-a
+        self.environment = environment or default_environments()[0]
+        self.geometry = geometry or ChannelGeometry()
+        self.agreement_config = agreement_config or KeyAgreementConfig(
+            eta=bundle.eta
+        )
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(
+        self,
+        trajectory: GestureTrajectory,
+        dynamic: bool = False,
+        rng=None,
+    ):
+        """Run both acquisition pipelines on one gesture; returns the
+        ``(S_M, S_R)`` key-seed pair."""
+        sample = generate_sample(
+            trajectory,
+            self.device,
+            self.tag,
+            self.environment,
+            dynamic=dynamic,
+            geometry=self.geometry,
+            rng=rng,
+        )
+        seed_m = self.pipeline.imu_keyseed(sample.a_matrix)
+        seed_r = self.pipeline.rfid_keyseed(sample.r_matrix)
+        return seed_m, seed_r
+
+    # -- end-to-end -------------------------------------------------------------
+
+    def establish_key(
+        self,
+        volunteer: VolunteerProfile = None,
+        trajectory: GestureTrajectory = None,
+        dynamic: bool = False,
+        transport: SimulatedTransport = None,
+        rng=None,
+    ) -> KeyEstablishmentResult:
+        """Full Fig. 2 workflow for one gesture.
+
+        Either pass a pre-sampled ``trajectory`` or a ``volunteer`` whose
+        style a fresh gesture is drawn from (defaults to volunteer 1).
+        Acquisition failures (e.g. undetectable motion onset) and
+        agreement failures are reported in the result, not raised.
+        """
+        rng = ensure_rng(rng)
+        if trajectory is None:
+            volunteer = volunteer or default_volunteers()[0]
+            trajectory = sample_gesture(
+                volunteer, child_rng(rng, "gesture")
+            )
+        try:
+            seed_m, seed_r = self.acquire(
+                trajectory, dynamic=dynamic, rng=child_rng(rng, "acquire")
+            )
+        except SimulationError as exc:
+            return KeyEstablishmentResult(
+                success=False,
+                key=None,
+                elapsed_s=trajectory.total_s,
+                failure_reason=f"acquisition: {exc}",
+            )
+        outcome = run_key_agreement(
+            seed_m,
+            seed_r,
+            config=self.agreement_config,
+            transport=transport,
+            rng=child_rng(rng, "agreement"),
+        )
+        return self._result_from_outcome(outcome, seed_m, seed_r)
+
+    def agree_on_seeds(
+        self,
+        seed_mobile: BitSequence,
+        seed_server: BitSequence,
+        transport: SimulatedTransport = None,
+        rng=None,
+    ) -> KeyEstablishmentResult:
+        """Run only the key-agreement stage on externally produced seeds
+        (used by attack harnesses that substitute one side)."""
+        outcome = run_key_agreement(
+            seed_mobile,
+            seed_server,
+            config=self.agreement_config,
+            transport=transport,
+            rng=rng,
+        )
+        return self._result_from_outcome(outcome, seed_mobile, seed_server)
+
+    @staticmethod
+    def _result_from_outcome(
+        outcome: KeyAgreementOutcome,
+        seed_m: BitSequence,
+        seed_r: BitSequence,
+    ) -> KeyEstablishmentResult:
+        key = outcome.mobile_key if outcome.keys_match else None
+        return KeyEstablishmentResult(
+            success=outcome.success and outcome.keys_match,
+            key=key,
+            elapsed_s=outcome.elapsed_s,
+            seed_mobile=seed_m,
+            seed_server=seed_r,
+            failure_reason=outcome.failure_reason,
+        )

@@ -1,0 +1,271 @@
+"""Joint autoencoder training (paper SIV-E.2).
+
+Minimizes Eq. 3 over the dataset D:
+
+    L = sum_i ( ||f_M,i - f_R,i||^2 + lambda * ||De(f_M,i) - R_i^Mag||^2 )
+
+The first term pulls the two modalities' latent codes together (so the
+quantized key-seeds nearly match); the second term forces the shared
+latent space to retain the gesture information (so the seeds stay
+random) by reconstructing the RFID *magnitude* — the paper found phase
+too environment-sensitive to reconstruct from IMU data alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.models import (
+    WaveKeyModelBundle,
+    build_decoder,
+    build_imu_encoder,
+    build_rf_encoder,
+)
+from repro.datasets.generation import WaveKeyDataset
+from repro.datasets.normalization import (
+    normalize_imu_matrix,
+    normalize_rfid_matrix,
+    rfid_magnitude_target,
+)
+from repro.errors import TrainingError
+from repro.nn import Adam, Sequential
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class JointTrainingConfig:
+    """Hyperparameters of the joint loop (lambda = 0.4 per the paper)."""
+
+    latent_width: int = 12
+    reconstruction_weight: float = 0.4
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    n_bins: int = 8
+    #: L2 regularization: cross-modal alignment is easy to satisfy by
+    #: memorizing training pairs; decay + input noise force features
+    #: that generalize to unseen gestures.
+    weight_decay: float = 1e-4
+    augment_noise: float = 0.05
+    #: Penalty on off-diagonal latent correlation.  The paper relies on
+    #: the reconstruction term alone to keep the latent space diverse
+    #: ("retain enough randomness", SIV-E.2); on our simulated substrate
+    #: that pressure is too weak and the alignment objective collapses
+    #: the latent to effective rank ~1 — which would let two unrelated
+    #: gestures produce near-identical key-seeds.  This term enforces the
+    #: same property explicitly (documented deviation, see DESIGN.md).
+    decorrelation_weight: float = 0.5
+
+    def __post_init__(self):
+        if self.latent_width < 1:
+            raise TrainingError("latent_width must be >= 1")
+        if self.reconstruction_weight < 0:
+            raise TrainingError("reconstruction_weight must be >= 0")
+        if self.epochs < 1 or self.batch_size < 2:
+            raise TrainingError("epochs >= 1 and batch_size >= 2 required")
+        if self.weight_decay < 0 or self.augment_noise < 0:
+            raise TrainingError(
+                "weight_decay and augment_noise must be >= 0"
+            )
+        if self.decorrelation_weight < 0:
+            raise TrainingError("decorrelation_weight must be >= 0")
+
+
+@dataclass
+class JointTrainingResult:
+    """Outcome of :func:`train_wavekey_models`."""
+
+    bundle: WaveKeyModelBundle
+    loss_history: List[float] = field(default_factory=list)
+    alignment_history: List[float] = field(default_factory=list)
+    reconstruction_history: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.loss_history:
+            raise TrainingError("training ran zero epochs")
+        return self.loss_history[-1]
+
+
+def prepare_arrays(
+    dataset: WaveKeyDataset,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalize a dataset into network-ready arrays.
+
+    Returns ``(x_imu, x_rfid, mag_target)`` with shapes
+    ``(N, 3, 200)``, ``(N, 2, 400)``, ``(N, 400)``.
+    """
+    if len(dataset) == 0:
+        raise TrainingError("cannot train on an empty dataset")
+    x_imu = np.stack(
+        [normalize_imu_matrix(s.a_matrix) for s in dataset]
+    )
+    x_rfid = np.stack(
+        [normalize_rfid_matrix(s.r_matrix) for s in dataset]
+    )
+    target = np.stack(
+        [rfid_magnitude_target(s.r_matrix) for s in dataset]
+    )
+    return x_imu, x_rfid, target
+
+
+def joint_epoch(
+    imu_encoder: Sequential,
+    rf_encoder: Sequential,
+    decoder: Sequential,
+    optimizer: Adam,
+    x_imu: np.ndarray,
+    x_rfid: np.ndarray,
+    target: np.ndarray,
+    batch_size: int,
+    reconstruction_weight: float,
+    rng: np.random.Generator,
+    augment_noise: float = 0.0,
+    decorrelation_weight: float = 0.0,
+) -> Tuple[float, float, float]:
+    """One pass over the data; returns (loss, alignment, reconstruction)."""
+    n = x_imu.shape[0]
+    order = rng.permutation(n)
+    total = align_total = recon_total = 0.0
+    batches = 0
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if idx.size < 2:
+            continue
+        batch_imu = x_imu[idx]
+        batch_rfid = x_rfid[idx]
+        if augment_noise:
+            batch_imu = batch_imu + rng.normal(
+                0.0, augment_noise, size=batch_imu.shape
+            )
+            batch_rfid = batch_rfid + rng.normal(
+                0.0, augment_noise, size=batch_rfid.shape
+            )
+        f_m = imu_encoder.forward(batch_imu, training=True)
+        f_r = rf_encoder.forward(batch_rfid, training=True)
+        recon = decoder.forward(f_m, training=True)
+
+        b = idx.size
+        diff_align = f_m - f_r
+        diff_recon = recon - target[idx]
+        align = float(np.sum(diff_align**2) / b)
+        recon_loss = float(np.sum(diff_recon**2) / b)
+        loss = align + reconstruction_weight * recon_loss
+        if not np.isfinite(loss):
+            raise TrainingError(f"joint loss diverged to {loss}")
+
+        optimizer.zero_grad()
+        grad_recon = (2.0 * reconstruction_weight / b) * diff_recon
+        grad_fm_from_decoder = decoder.backward(grad_recon)
+        grad_fm = (2.0 / b) * diff_align + grad_fm_from_decoder
+        grad_fr = (-2.0 / b) * diff_align
+        if decorrelation_weight:
+            # Penalty sum_{i != j} C_ij^2 with C = f^T f / b: gradient
+            # (4 / b) f C_off, applied to both latent batches.
+            for f, grad in ((f_m, grad_fm), (f_r, grad_fr)):
+                c = f.T @ f / b
+                np.fill_diagonal(c, 0.0)
+                grad += decorrelation_weight * (4.0 / b) * (f @ c)
+        imu_encoder.backward(grad_fm)
+        rf_encoder.backward(grad_fr)
+        optimizer.step()
+
+        total += loss
+        align_total += align
+        recon_total += recon_loss
+        batches += 1
+    if batches == 0:
+        raise TrainingError("dataset smaller than one training batch")
+    return total / batches, align_total / batches, recon_total / batches
+
+
+def evaluate_joint_loss(
+    bundle: WaveKeyModelBundle,
+    x_imu: np.ndarray,
+    x_rfid: np.ndarray,
+    target: np.ndarray,
+    reconstruction_weight: float = 0.4,
+) -> float:
+    """Eq. 3 on prepared arrays in inference mode (used by pruning)."""
+    f_m = bundle.imu_encoder.forward(x_imu)
+    f_r = bundle.rf_encoder.forward(x_rfid)
+    recon = bundle.decoder.forward(f_m)
+    n = x_imu.shape[0]
+    align = float(np.sum((f_m - f_r) ** 2) / n)
+    recon_loss = float(np.sum((recon - target) ** 2) / n)
+    return align + reconstruction_weight * recon_loss
+
+
+def train_wavekey_models(
+    dataset: WaveKeyDataset,
+    config: JointTrainingConfig = JointTrainingConfig(),
+    rng=None,
+    verbose: bool = False,
+) -> JointTrainingResult:
+    """Train IMU-En, RF-En, and De jointly from scratch on ``dataset``."""
+    rng = ensure_rng(rng)
+    imu_encoder = build_imu_encoder(config.latent_width,
+                                    rng=child_rng(rng, "imu"))
+    rf_encoder = build_rf_encoder(config.latent_width,
+                                  rng=child_rng(rng, "rf"))
+    decoder = build_decoder(config.latent_width, rng=child_rng(rng, "de"))
+    return continue_training(
+        imu_encoder, rf_encoder, decoder, dataset, config, rng, verbose
+    )
+
+
+def continue_training(
+    imu_encoder: Sequential,
+    rf_encoder: Sequential,
+    decoder: Sequential,
+    dataset: WaveKeyDataset,
+    config: JointTrainingConfig,
+    rng=None,
+    verbose: bool = False,
+) -> JointTrainingResult:
+    """Run the joint loop on existing networks (used after pruning)."""
+    rng = ensure_rng(rng)
+    x_imu, x_rfid, target = prepare_arrays(dataset)
+    params = (
+        imu_encoder.parameters()
+        + rf_encoder.parameters()
+        + decoder.parameters()
+    )
+    optimizer = Adam(
+        params, lr=config.learning_rate, weight_decay=config.weight_decay
+    )
+    result = JointTrainingResult(
+        bundle=WaveKeyModelBundle(
+            imu_encoder=imu_encoder,
+            rf_encoder=rf_encoder,
+            decoder=decoder,
+            n_bins=config.n_bins,
+        )
+    )
+    for epoch in range(config.epochs):
+        loss, align, recon = joint_epoch(
+            imu_encoder,
+            rf_encoder,
+            decoder,
+            optimizer,
+            x_imu,
+            x_rfid,
+            target,
+            config.batch_size,
+            config.reconstruction_weight,
+            rng,
+            augment_noise=config.augment_noise,
+            decorrelation_weight=config.decorrelation_weight,
+        )
+        result.loss_history.append(loss)
+        result.alignment_history.append(align)
+        result.reconstruction_history.append(recon)
+        if verbose:
+            print(
+                f"[train] epoch {epoch + 1}/{config.epochs} "
+                f"loss={loss:.4f} align={align:.4f} recon={recon:.4f}"
+            )
+    return result

@@ -1,0 +1,60 @@
+"""Cryptographic substrate.
+
+Everything the WaveKey key-agreement protocol (paper SIV-D) needs,
+implemented from scratch on the Python standard library + numpy:
+
+* :mod:`repro.crypto.numbers` — Miller-Rabin primality, safe-prime /
+  DH-group generation, and the RFC 3526 MODP groups used by default.
+* :mod:`repro.crypto.ot` — the computationally efficient 1-out-of-2
+  Oblivious Transfer of Chou & Orlandi (paper Fig. 3), with the batched
+  variant the protocol uses to combine all instances into three messages.
+* :mod:`repro.crypto.gf2` / :mod:`repro.crypto.bch` — GF(2^m) arithmetic
+  and binary BCH codes (Berlekamp-Massey + Chien search).
+* :mod:`repro.crypto.ecc` — the code-offset secure sketch built on BCH
+  that implements the paper's ECC-based reconciliation.
+* :mod:`repro.crypto.hashes` / :mod:`repro.crypto.symmetric` — SHA-256
+  hashing, HMAC, and the hash-keystream cipher used for OT payloads.
+"""
+
+from repro.crypto.numbers import (
+    DHGroup,
+    RFC3526_GROUP_1536,
+    RFC3526_GROUP_2048,
+    WAVEKEY_GROUP_512,
+    generate_dh_group,
+    is_probable_prime,
+)
+from repro.crypto.hashes import hash_group_element, hkdf_stream, hmac_digest
+from repro.crypto.symmetric import xor_cipher
+from repro.crypto.ot import (
+    OTReceiver,
+    OTSender,
+    run_batch_ot,
+)
+from repro.crypto.gf2 import GF2m
+from repro.crypto.bch import BCHCode, design_bch
+from repro.crypto.ecc import SecureSketch
+from repro.crypto.rs import RSCode
+from repro.crypto.segment_sketch import SegmentSecureSketch
+
+__all__ = [
+    "DHGroup",
+    "RFC3526_GROUP_1536",
+    "RFC3526_GROUP_2048",
+    "WAVEKEY_GROUP_512",
+    "generate_dh_group",
+    "is_probable_prime",
+    "hash_group_element",
+    "hkdf_stream",
+    "hmac_digest",
+    "xor_cipher",
+    "OTSender",
+    "OTReceiver",
+    "run_batch_ot",
+    "GF2m",
+    "BCHCode",
+    "design_bch",
+    "SecureSketch",
+    "RSCode",
+    "SegmentSecureSketch",
+]

@@ -1,0 +1,293 @@
+"""Binary BCH codes: construction, systematic encoding, BM decoding.
+
+The paper reconciles the two preliminary keys with an unnamed "ECC" that
+tolerates a bit-mismatch ratio ``eta`` (SIV-D.2, Eq. 4).  We use binary
+BCH codes — the standard choice for fuzzy-extractor/secure-sketch
+constructions — built from first principles:
+
+* generator polynomial = lcm of the minimal polynomials of
+  ``alpha^1 .. alpha^2t`` over GF(2) (computed via cyclotomic cosets);
+* systematic encoding by polynomial division over GF(2);
+* decoding via syndromes, Berlekamp-Massey, and a vectorized Chien
+  search (binary codes need no Forney step — located errors are flipped).
+
+Shortening is supported so the code length can match the key length
+exactly: a shortened code is the subset of codewords whose high-degree
+information bits are zero; those positions are simply never transmitted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.crypto.gf2 import GF2m
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.bits import BitSequence
+from repro.utils.rng import ensure_rng
+
+
+def _cyclotomic_coset(i: int, n: int) -> frozenset:
+    """The 2-cyclotomic coset of ``i`` modulo ``n``."""
+    coset = set()
+    x = i % n
+    while x not in coset:
+        coset.add(x)
+        x = (2 * x) % n
+    return frozenset(coset)
+
+
+def _gf2_poly_mod(dividend: np.ndarray, divisor: np.ndarray) -> np.ndarray:
+    """Remainder of GF(2)[x] division; index 0 = highest degree.
+
+    ``divisor[0]`` must be 1.  Returns the remainder with
+    ``len(divisor) - 1`` coefficients (high degree first).
+    """
+    r = dividend.astype(np.uint8).copy()
+    g = divisor.astype(np.uint8)
+    steps = r.size - g.size + 1
+    for i in range(steps):
+        if r[i]:
+            r[i : i + g.size] ^= g
+    return r[steps:]
+
+
+class BCHCode:
+    """A (possibly shortened) binary BCH code.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the parent code has length ``2^m - 1``.
+    t:
+        Designed error-correction capability (bits per codeword).
+    length:
+        Transmitted codeword length after shortening (defaults to the
+        full ``2^m - 1``).
+
+    Codewords are bit arrays with the **message first** (high-degree
+    coefficients) and parity last, matching systematic encoding.
+    """
+
+    def __init__(self, m: int, t: int, length: int = None):
+        if t < 1:
+            raise ConfigurationError(f"t must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.m = int(m)
+        self.t = int(t)
+        self.n_full = self.field.mult_order
+
+        self.generator = self._build_generator()
+        self.n_parity = self.generator.size - 1
+        self.k_full = self.n_full - self.n_parity
+        if self.k_full < 1:
+            raise ConfigurationError(
+                f"BCH(m={m}, t={t}) has no information bits "
+                f"(parity {self.n_parity} >= n {self.n_full})"
+            )
+
+        self.length = self.n_full if length is None else int(length)
+        if not (self.n_parity < self.length <= self.n_full):
+            raise ConfigurationError(
+                f"shortened length {self.length} must be in "
+                f"({self.n_parity}, {self.n_full}]"
+            )
+        self.k = self.length - self.n_parity
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_generator(self) -> np.ndarray:
+        """Generator polynomial over GF(2), index 0 = highest degree."""
+        field = self.field
+        seen: Set[frozenset] = set()
+        # Generator as a GF(2^m) polynomial, index = degree (low first).
+        g = np.array([1], dtype=np.int64)
+        for i in range(1, 2 * self.t + 1):
+            coset = _cyclotomic_coset(i, self.n_full)
+            if coset in seen:
+                continue
+            seen.add(coset)
+            # Minimal polynomial: product of (x + alpha^j) over the coset.
+            minimal = np.array([1], dtype=np.int64)
+            for j in sorted(coset):
+                factor = np.array(
+                    [field.pow_alpha(j), 1], dtype=np.int64
+                )  # alpha^j + x
+                minimal = field.poly_mul(minimal, factor)
+            if any(c not in (0, 1) for c in minimal):
+                raise ConfigurationError(
+                    "minimal polynomial has coefficients outside GF(2)"
+                )
+            g = field.poly_mul(g, minimal)
+        if any(c not in (0, 1) for c in g):
+            raise ConfigurationError("generator not a GF(2) polynomial")
+        # Convert to high-degree-first bit array.
+        return g[::-1].astype(np.uint8)
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode(self, message) -> BitSequence:
+        """Systematic encoding of a ``k``-bit message."""
+        msg = BitSequence(message)
+        if len(msg) != self.k:
+            raise ConfigurationError(
+                f"message must be {self.k} bits, got {len(msg)}"
+            )
+        shifted = np.concatenate(
+            [msg.array, np.zeros(self.n_parity, dtype=np.uint8)]
+        )
+        parity = _gf2_poly_mod(shifted, self.generator)
+        return BitSequence(np.concatenate([msg.array, parity]))
+
+    def random_codeword(self, rng=None) -> BitSequence:
+        """A uniformly random codeword (for the code-offset sketch)."""
+        rng = ensure_rng(rng)
+        return self.encode(BitSequence.random(self.k, rng))
+
+    def is_codeword(self, word) -> bool:
+        """Whether ``word`` has an all-zero remainder mod the generator."""
+        bits = BitSequence(word)
+        if len(bits) != self.length:
+            return False
+        remainder = _gf2_poly_mod(bits.array, self.generator)
+        return not remainder.any()
+
+    # -- decoding -------------------------------------------------------------
+
+    def _syndromes(self, received: np.ndarray) -> np.ndarray:
+        """``S_j = r(alpha^j)`` for ``j = 1 .. 2t``.
+
+        Bit ``p`` of the transmitted word is the coefficient of
+        ``x^(length - 1 - p)``; shortened (never-transmitted) positions
+        are zero and contribute nothing.
+        """
+        nonzero = np.nonzero(received)[0]
+        degrees = (self.length - 1 - nonzero).astype(np.int64)
+        syndromes = np.zeros(2 * self.t, dtype=np.int64)
+        if degrees.size == 0:
+            return syndromes
+        field = self.field
+        for j in range(1, 2 * self.t + 1):
+            terms = field.pow_alpha_vec(j * degrees)
+            syndromes[j - 1] = np.bitwise_xor.reduce(terms)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: np.ndarray) -> np.ndarray:
+        """Error-locator polynomial (index = degree, low first)."""
+        field = self.field
+        c = np.zeros(2 * self.t + 1, dtype=np.int64)
+        b = np.zeros(2 * self.t + 1, dtype=np.int64)
+        c[0] = 1
+        b[0] = 1
+        length = 0
+        shift = 1
+        b_disc = 1
+        for n in range(2 * self.t):
+            # Discrepancy d = S_n + sum_{i=1..L} c_i S_{n-i}.
+            d = int(syndromes[n])
+            for i in range(1, length + 1):
+                if c[i] and syndromes[n - i]:
+                    d ^= field.mul(int(c[i]), int(syndromes[n - i]))
+            if d == 0:
+                shift += 1
+                continue
+            coef = field.div(d, b_disc)
+            if 2 * length <= n:
+                old_c = c.copy()
+                for i in range(0, 2 * self.t + 1 - shift):
+                    if b[i]:
+                        c[i + shift] ^= field.mul(coef, int(b[i]))
+                length = n + 1 - length
+                b = old_c
+                b_disc = d
+                shift = 1
+            else:
+                for i in range(0, 2 * self.t + 1 - shift):
+                    if b[i]:
+                        c[i + shift] ^= field.mul(coef, int(b[i]))
+                shift += 1
+        degree = np.max(np.nonzero(c)[0]) if c.any() else 0
+        if degree > length:
+            raise DecodingError("error locator inconsistent (too noisy)")
+        return c[: length + 1]
+
+    def decode(self, received) -> BitSequence:
+        """Correct up to ``t`` bit errors; returns the nearest codeword.
+
+        Raises :class:`repro.errors.DecodingError` when the word lies
+        outside every decoding sphere (more than ``t`` errors), which the
+        key-agreement protocol converts into an agreement failure.
+        """
+        word = BitSequence(received)
+        if len(word) != self.length:
+            raise ConfigurationError(
+                f"received word must be {self.length} bits, got {len(word)}"
+            )
+        r = word.array.copy()
+        syndromes = self._syndromes(r)
+        if not syndromes.any():
+            return BitSequence(r)
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = locator.size - 1
+        if n_errors == 0 or n_errors > self.t:
+            raise DecodingError(
+                f"{n_errors} errors exceeds capability t={self.t}"
+            )
+        # Chien search: bit position p (degree d = length-1-p) is in error
+        # iff locator(alpha^{-d}) == 0.
+        degrees = np.arange(self.length - 1, -1, -1, dtype=np.int64)
+        points = (-degrees) % self.field.mult_order
+        values = self.field.poly_eval_at_alpha_powers(locator, points)
+        error_positions = np.nonzero(values == 0)[0]
+        if error_positions.size != n_errors:
+            raise DecodingError(
+                f"locator of degree {n_errors} has "
+                f"{error_positions.size} roots in the shortened range"
+            )
+        r[error_positions] ^= 1
+        corrected = BitSequence(r)
+        if not self.is_codeword(corrected):
+            raise DecodingError("correction did not land on a codeword")
+        return corrected
+
+    def message_of(self, codeword) -> BitSequence:
+        """Extract the systematic message bits of a codeword."""
+        bits = BitSequence(codeword)
+        if len(bits) != self.length:
+            raise ConfigurationError(
+                f"codeword must be {self.length} bits, got {len(bits)}"
+            )
+        return bits[: self.k]
+
+    def __repr__(self) -> str:
+        return (
+            f"BCHCode(m={self.m}, t={self.t}, length={self.length}, "
+            f"k={self.k})"
+        )
+
+
+def design_bch(n_bits: int, t: int) -> BCHCode:
+    """Smallest-field BCH code of exactly ``n_bits`` length correcting
+    ``t`` errors (used by the reconciliation layer to match the key
+    length)."""
+    if n_bits < 2:
+        raise ConfigurationError("code length must be >= 2 bits")
+    m_min = max(3, int(np.ceil(np.log2(n_bits + 1))))
+    last_error = None
+    for m in range(m_min, 15):
+        if (1 << m) - 1 < n_bits:
+            continue
+        try:
+            code = BCHCode(m, t)
+        except ConfigurationError as exc:
+            last_error = exc
+            continue
+        if code.n_parity < n_bits:
+            return BCHCode(m, t, length=n_bits)
+        last_error = ConfigurationError(
+            f"BCH(m={m}, t={t}) parity {code.n_parity} >= {n_bits}"
+        )
+    raise ConfigurationError(
+        f"no supported BCH code covers n_bits={n_bits}, t={t}: {last_error}"
+    )

@@ -1,0 +1,77 @@
+"""Code-offset secure sketch (the paper's ECC reconciliation).
+
+In Fig. 4 the mobile device "sends the error correction code (ECC) of
+its key K_M"; the server "adjusts its key K_R accordingly to obtain K_M".
+The standard instantiation of that contract is the *code-offset*
+construction (Juels-Wattenberg fuzzy commitment / Dodis et al. secure
+sketch):
+
+* mobile: pick a uniformly random BCH codeword ``C``; publish
+  ``sketch = K_M xor C``;
+* server: compute ``sketch xor K_R = C xor (K_M xor K_R)`` and BCH-decode
+  it; when the two keys differ in at most ``t`` bits the decoder returns
+  ``C`` and the server recovers ``K_M = sketch xor C``.
+
+The sketch leaks at most ``n - k`` bits of ``K_M`` (the code redundancy)
+— accounted for by sizing the key material above the target entropy.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.bch import BCHCode
+from repro.errors import ConfigurationError, DecodingError, KeyAgreementFailure
+from repro.utils.bits import BitSequence
+from repro.utils.rng import ensure_rng
+
+
+class SecureSketch:
+    """Code-offset secure sketch over a BCH code."""
+
+    def __init__(self, code: BCHCode):
+        self.code = code
+
+    @property
+    def n_bits(self) -> int:
+        """Length of keys this sketch operates on."""
+        return self.code.length
+
+    @property
+    def tolerance(self) -> int:
+        """Maximum number of differing bits the sketch can reconcile."""
+        return self.code.t
+
+    @property
+    def leakage_bits(self) -> int:
+        """Upper bound on entropy revealed by publishing a sketch."""
+        return self.code.n_parity
+
+    def sketch(self, key, rng=None) -> BitSequence:
+        """Produce the public reconciliation message for ``key``."""
+        key_bits = BitSequence(key)
+        if len(key_bits) != self.n_bits:
+            raise ConfigurationError(
+                f"key must be {self.n_bits} bits, got {len(key_bits)}"
+            )
+        codeword = self.code.random_codeword(ensure_rng(rng))
+        return key_bits ^ codeword
+
+    def recover(self, sketch, approximate_key) -> BitSequence:
+        """Recover the sketch owner's exact key from a noisy copy.
+
+        Raises :class:`repro.errors.KeyAgreementFailure` when the copies
+        differ in more than ``tolerance`` bits — the failure path every
+        attack in SV is designed to hit.
+        """
+        sketch_bits = BitSequence(sketch)
+        approx = BitSequence(approximate_key)
+        if len(sketch_bits) != self.n_bits or len(approx) != self.n_bits:
+            raise ConfigurationError(
+                f"sketch and key must both be {self.n_bits} bits"
+            )
+        try:
+            codeword = self.code.decode(sketch_bits ^ approx)
+        except DecodingError as exc:
+            raise KeyAgreementFailure(
+                f"reconciliation failed: {exc}"
+            ) from exc
+        return sketch_bits ^ codeword

@@ -1,0 +1,147 @@
+"""Finite-field arithmetic over GF(2^m).
+
+Backs the BCH error-correcting codes.  Elements are represented as
+integers in ``[0, 2^m)`` (polynomial basis); multiplication and division
+go through discrete log/antilog tables built once per field, with numpy
+vectorized variants for the hot paths (syndrome computation and Chien
+search over thousands of positions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError, CryptoError
+
+#: Primitive polynomials for GF(2^m), m = 3..14 (low bits beyond x^m).
+#: Encoded as integers including the x^m term, e.g. m=4: x^4 + x + 1 = 0b10011.
+_PRIMITIVE_POLYS: Dict[int, int] = {
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+    11: 0b100000000101,
+    12: 0b1000001010011,
+    13: 0b10000000011011,
+    14: 0b100010001000011,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with log/antilog tables."""
+
+    def __init__(self, m: int):
+        if m not in _PRIMITIVE_POLYS:
+            raise ConfigurationError(
+                f"GF(2^m) supported for m in "
+                f"{sorted(_PRIMITIVE_POLYS)}, got {m}"
+            )
+        self.m = int(m)
+        self.order = 1 << m
+        self.mult_order = self.order - 1  # order of the multiplicative group
+        self.primitive_poly = _PRIMITIVE_POLYS[m]
+
+        exp = np.zeros(2 * self.mult_order, dtype=np.int64)
+        log = np.zeros(self.order, dtype=np.int64)
+        x = 1
+        for i in range(self.mult_order):
+            exp[i] = x
+            log[x] = i
+            x <<= 1
+            if x & self.order:
+                x ^= self.primitive_poly
+        if x != 1:
+            raise CryptoError(f"polynomial for m={m} is not primitive")
+        # Duplicate the exp table so exp[(i + j)] never needs a modulo for
+        # single products.
+        exp[self.mult_order :] = exp[: self.mult_order]
+        self._exp = exp
+        self._log = log
+
+    # -- scalar ops ----------------------------------------------------------
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise CryptoError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return int(
+            self._exp[(self._log[a] - self._log[b]) % self.mult_order]
+        )
+
+    def inv(self, a: int) -> int:
+        if a == 0:
+            raise CryptoError("zero has no inverse in GF(2^m)")
+        return int(self._exp[self.mult_order - self._log[a]])
+
+    def pow_alpha(self, exponent: int) -> int:
+        """``alpha ** exponent`` for the primitive element alpha."""
+        return int(self._exp[exponent % self.mult_order])
+
+    def log(self, a: int) -> int:
+        if a == 0:
+            raise CryptoError("log of zero in GF(2^m)")
+        return int(self._log[a])
+
+    # -- vector ops ----------------------------------------------------------
+
+    def pow_alpha_vec(self, exponents: np.ndarray) -> np.ndarray:
+        """Vectorized ``alpha ** e`` for an integer exponent array."""
+        exps = np.asarray(exponents, dtype=np.int64) % self.mult_order
+        return self._exp[exps]
+
+    def poly_eval_at_alpha_powers(
+        self, coefficients: np.ndarray, powers: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate ``sum_k c_k X^k`` at ``X = alpha^p`` for each ``p``.
+
+        ``coefficients[k]`` is the GF element multiplying ``X^k``; the
+        evaluation is vectorized over the ``powers`` array (the Chien
+        search hot path).
+        """
+        coefficients = np.asarray(coefficients, dtype=np.int64)
+        powers = np.asarray(powers, dtype=np.int64)
+        acc = np.zeros(powers.shape, dtype=np.int64)
+        for k, coeff in enumerate(coefficients):
+            if coeff == 0:
+                continue
+            log_c = self._log[coeff]
+            term = self._exp[(log_c + k * powers) % self.mult_order]
+            acc ^= term
+        return acc
+
+    # -- polynomials over GF(2^m), coefficient index = degree ----------------
+
+    def poly_mul(self, p: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Product of two GF(2^m)[x] polynomials."""
+        p = np.asarray(p, dtype=np.int64)
+        q = np.asarray(q, dtype=np.int64)
+        out = np.zeros(p.size + q.size - 1, dtype=np.int64)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            log_a = self._log[a]
+            nz = q != 0
+            out[i : i + q.size][nz] ^= self._exp[log_a + self._log[q[nz]]]
+        return out
+
+    def poly_eval(self, p: np.ndarray, x: int) -> int:
+        """Horner evaluation of a polynomial at a field element."""
+        acc = 0
+        for coeff in np.asarray(p, dtype=np.int64)[::-1]:
+            acc = self.mul(acc, x) ^ int(coeff)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"GF2m(m={self.m})"

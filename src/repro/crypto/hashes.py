@@ -1,0 +1,61 @@
+"""Hashing, HMAC, and key derivation.
+
+The OT protocol hashes group elements into symmetric keys; the key
+confirmation step HMACs a nonce under the agreed key (paper Fig. 4).
+All constructions are standard SHA-256-based.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+
+def _int_to_bytes(value: int) -> bytes:
+    value = int(value)
+    if value < 0:
+        raise CryptoError("group elements are non-negative")
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def hash_group_element(element: int, context: bytes = b"wavekey-ot") -> bytes:
+    """Derive a 32-byte symmetric key from a group element (the ``H`` of
+    Fig. 3), domain-separated by ``context``."""
+    h = hashlib.sha256()
+    h.update(context)
+    h.update(b"|")
+    h.update(_int_to_bytes(element))
+    return h.digest()
+
+
+def hkdf_stream(key: bytes, n_bytes: int, context: bytes = b"") -> bytes:
+    """Expand ``key`` into an ``n_bytes`` keystream (counter-mode SHA-256).
+
+    Used as the encryption pad for OT payloads: with a fresh key per OT
+    instance this is a one-time pad keyed by the DH-derived secret.
+    """
+    if n_bytes < 0:
+        raise CryptoError("keystream length must be non-negative")
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < n_bytes:
+        h = hashlib.sha256()
+        h.update(key)
+        h.update(context)
+        h.update(counter.to_bytes(4, "big"))
+        blocks.append(h.digest())
+        counter += 1
+    return b"".join(blocks)[:n_bytes]
+
+
+def hmac_digest(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 of ``message`` under ``key``."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def hmac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time HMAC verification."""
+    return hmac.compare_digest(hmac_digest(key, message), tag)

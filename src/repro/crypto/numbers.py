@@ -1,0 +1,169 @@
+"""Number-theoretic primitives: primality testing and DH groups.
+
+The paper's OT runs in a prime-order-ish multiplicative group described
+by "two large prime numbers g and u" (Fig. 3's modulus ``u`` and base
+``g``).  Production deployments should use a standardized group; we ship
+the RFC 3526 1536- and 2048-bit MODP groups (generator 2, safe primes)
+and a generator for small test groups so unit tests stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CryptoError
+from repro.utils.rng import ensure_rng
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+
+
+def _rng_randint_below(rng, bound: int) -> int:
+    """Uniform integer in [0, bound) using a numpy Generator for bigints."""
+    if bound <= 0:
+        raise CryptoError("bound must be positive")
+    n_bits = bound.bit_length()
+    n_bytes = (n_bits + 7) // 8
+    while True:
+        raw = int.from_bytes(bytes(rng.integers(0, 256, size=n_bytes,
+                                                dtype=np.uint8)), "big")
+        raw &= (1 << n_bits) - 1
+        if raw < bound:
+            return raw
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng=None) -> bool:
+    """Miller-Rabin primality test (error probability <= 4^-rounds)."""
+    n = int(n)
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = ensure_rng(rng if rng is not None else 0xC0FFEE)
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + _rng_randint_below(rng, n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class DHGroup:
+    """A multiplicative group mod a safe prime, with a fixed generator."""
+
+    prime: int
+    generator: int
+    name: str = "custom"
+
+    def __post_init__(self):
+        if self.prime < 5:
+            raise CryptoError("group prime too small")
+        if not (1 < self.generator < self.prime):
+            raise CryptoError("generator outside (1, prime)")
+
+    @property
+    def bits(self) -> int:
+        return self.prime.bit_length()
+
+    def random_exponent(self, rng) -> int:
+        """Uniform secret exponent in [1, prime - 2]."""
+        return 1 + _rng_randint_below(ensure_rng(rng), self.prime - 2)
+
+    def power(self, exponent: int) -> int:
+        """``generator ** exponent mod prime``."""
+        return pow(self.generator, exponent, self.prime)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.prime
+
+    def div(self, a: int, b: int) -> int:
+        """``a / b`` via the modular inverse of ``b``."""
+        return (a * pow(b, -1, self.prime)) % self.prime
+
+    def contains(self, element: int) -> bool:
+        return 0 < element < self.prime
+
+
+def generate_dh_group(bits: int, rng=None, max_tries: int = 100_000) -> DHGroup:
+    """Generate a safe-prime group of the requested size (for tests).
+
+    A safe prime ``p = 2q + 1`` with ``q`` prime makes the subgroup
+    structure simple; we use generator 4 (a quadratic residue, generating
+    the order-q subgroup) to avoid leaking the low-order bit.
+    """
+    if bits < 16:
+        raise CryptoError("group size below 16 bits is meaningless")
+    rng = ensure_rng(rng)
+    for _ in range(max_tries):
+        q = _rng_randint_below(rng, 1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        p = 2 * q + 1
+        if is_probable_prime(q, rounds=20, rng=rng) and is_probable_prime(
+            p, rounds=20, rng=rng
+        ):
+            return DHGroup(prime=p, generator=4, name=f"random-{bits}")
+    raise CryptoError(f"no safe prime found in {max_tries} tries")
+
+
+_RFC3526_1536_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF"
+)
+
+_RFC3526_2048_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF"
+)
+
+#: RFC 3526 group 5 (1536-bit MODP, generator 2).
+RFC3526_GROUP_1536 = DHGroup(
+    prime=int(_RFC3526_1536_HEX, 16), generator=2, name="rfc3526-1536"
+)
+
+#: RFC 3526 group 14 (2048-bit MODP, generator 2).
+RFC3526_GROUP_2048 = DHGroup(
+    prime=int(_RFC3526_2048_HEX, 16), generator=2, name="rfc3526-2048"
+)
+
+_WAVEKEY_512_HEX = (
+    "838c2b668d8a71c35b38d652f29a284b22eaf31893fbe4b927a26e368fc7c027"
+    "498ea9bbaa9063443b67c04d363e8d69d0cd2d7ecc7d7f58c765fb58745c6a1f"
+)
+
+#: Fixed 512-bit safe-prime group (generator 4, a quadratic residue),
+#: produced by :func:`generate_dh_group` with seed 20240707.  This is the
+#: *simulation default*: it keeps the ~100 batched OT modexps of one key
+#: establishment in the paper's sub-second compute budget on commodity
+#: Python.  Production deployments should pass an RFC 3526 group (or an
+#: elliptic-curve OT) to the protocol instead.
+WAVEKEY_GROUP_512 = DHGroup(
+    prime=int(_WAVEKEY_512_HEX, 16), generator=4, name="wavekey-512"
+)

@@ -1,0 +1,135 @@
+"""1-out-of-2 Oblivious Transfer (paper Fig. 3).
+
+WaveKey uses the computationally efficient OT of Chou & Orlandi ("The
+simplest protocol for oblivious transfer", LATINCRYPT 2015), in the form
+the paper presents:
+
+* the sender draws ``a`` and announces ``M_a = g^a mod u``;
+* the receiver draws ``b`` and answers ``M_b = g^b`` to select secret 0,
+  or ``M_b = M_a * g^b`` to select secret 1;
+* the sender encrypts secret 0 under ``H(M_b^a)`` and secret 1 under
+  ``H((M_b / M_a)^a)`` — exactly one of which equals the receiver's
+  ``H(M_a^b)``.
+
+The batched helpers run ``l_s`` independent instances and concatenate
+their wire messages, which is how the protocol compresses all instances
+into the three messages ``M_A``, ``M_B``, ``M_E`` of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashes import hash_group_element
+from repro.crypto.numbers import DHGroup
+from repro.crypto.symmetric import xor_cipher
+from repro.errors import CryptoError, ProtocolError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class OTCiphertexts:
+    """The sender's final message: both encrypted secrets."""
+
+    e0: bytes
+    e1: bytes
+
+
+class OTSender:
+    """Sender role of one 1-out-of-2 OT instance."""
+
+    def __init__(self, group: DHGroup, rng=None):
+        self.group = group
+        self._rng = ensure_rng(rng)
+        self._a: int = None
+        self._m_a: int = None
+
+    def announce(self) -> int:
+        """Phase 1: draw ``a`` and return ``M_a = g^a``."""
+        self._a = self.group.random_exponent(self._rng)
+        self._m_a = self.group.power(self._a)
+        return self._m_a
+
+    def encrypt(
+        self, m_b: int, secret0: bytes, secret1: bytes
+    ) -> OTCiphertexts:
+        """Phase 3: encrypt both secrets against the receiver's ``M_b``."""
+        if self._a is None:
+            raise ProtocolError("OTSender.encrypt before announce")
+        if not self.group.contains(m_b):
+            raise ProtocolError("receiver message outside the group")
+        if len(secret0) != len(secret1):
+            raise CryptoError("OT secrets must have equal length")
+        k0 = hash_group_element(pow(m_b, self._a, self.group.prime))
+        k1 = hash_group_element(
+            pow(self.group.div(m_b, self._m_a), self._a, self.group.prime)
+        )
+        return OTCiphertexts(
+            e0=xor_cipher(secret0, k0, b"ot0"),
+            e1=xor_cipher(secret1, k1, b"ot1"),
+        )
+
+
+class OTReceiver:
+    """Receiver role of one 1-out-of-2 OT instance."""
+
+    def __init__(self, group: DHGroup, rng=None):
+        self.group = group
+        self._rng = ensure_rng(rng)
+        self._b: int = None
+        self._choice: int = None
+        self._m_a: int = None
+
+    def respond(self, m_a: int, choice: int) -> int:
+        """Phase 2: answer ``M_a`` with ``M_b`` crafted for ``choice``."""
+        if choice not in (0, 1):
+            raise ProtocolError(f"OT choice must be 0 or 1, got {choice}")
+        if not self.group.contains(m_a):
+            raise ProtocolError("sender message outside the group")
+        self._b = self.group.random_exponent(self._rng)
+        self._choice = choice
+        self._m_a = m_a
+        m_b = self.group.power(self._b)
+        if choice == 1:
+            m_b = self.group.mul(m_a, m_b)
+        return m_b
+
+    def decrypt(self, ciphertexts: OTCiphertexts) -> bytes:
+        """Phase 4: recover the selected secret."""
+        if self._b is None:
+            raise ProtocolError("OTReceiver.decrypt before respond")
+        key = hash_group_element(
+            pow(self._m_a, self._b, self.group.prime)
+        )
+        cipher = ciphertexts.e1 if self._choice else ciphertexts.e0
+        context = b"ot1" if self._choice else b"ot0"
+        return xor_cipher(cipher, key, context)
+
+
+def run_batch_ot(
+    group: DHGroup,
+    secret_pairs: Sequence[Tuple[bytes, bytes]],
+    choices: Sequence[int],
+    sender_rng=None,
+    receiver_rng=None,
+) -> List[bytes]:
+    """Run ``len(secret_pairs)`` OT instances end to end (test helper).
+
+    The production protocol in :mod:`repro.protocol.agreement` drives the
+    same :class:`OTSender`/:class:`OTReceiver` objects through explicit
+    wire messages; this helper exists for direct unit testing of the
+    primitive and for documentation.
+    """
+    if len(secret_pairs) != len(choices):
+        raise ProtocolError("one choice bit per secret pair is required")
+    sender_rng = ensure_rng(sender_rng)
+    receiver_rng = ensure_rng(receiver_rng)
+    outputs: List[bytes] = []
+    for (secret0, secret1), choice in zip(secret_pairs, choices):
+        sender = OTSender(group, sender_rng)
+        receiver = OTReceiver(group, receiver_rng)
+        m_a = sender.announce()
+        m_b = receiver.respond(m_a, int(choice))
+        outputs.append(receiver.decrypt(sender.encrypt(m_b, secret0, secret1)))
+    return outputs

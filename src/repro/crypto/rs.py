@@ -1,0 +1,231 @@
+"""Reed-Solomon codes over GF(2^m).
+
+The key-agreement reconciliation operates at *segment* granularity: one
+mismatched key-seed bit corrupts one whole ``2 l_b``-bit key segment
+(SIV-D.2), i.e. errors arrive as symbol errors, which is exactly the
+Reed-Solomon channel model.  A narrow-sense RS code with ``2t`` parity
+symbols corrects any ``t`` symbol errors — no worst-case bit-count
+inflation like a binary code would need.
+
+Implementation: generator polynomial with roots ``alpha^1 .. alpha^2t``,
+systematic encoding by polynomial division, decoding via syndromes,
+Berlekamp-Massey, Chien search, and Forney's formula for the error
+magnitudes.  Shortening (treating leading information symbols as zero)
+lets the code length match the number of key segments exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.crypto.gf2 import GF2m
+from repro.errors import ConfigurationError, DecodingError
+from repro.utils.rng import ensure_rng
+
+
+class RSCode:
+    """A (possibly shortened) narrow-sense Reed-Solomon code.
+
+    Parameters
+    ----------
+    m:
+        Symbol field degree: symbols are elements of GF(2^m).
+    n:
+        Transmitted code length in symbols (shortened from ``2^m - 1``).
+    t:
+        Symbol-error correction capability; the code has ``2t`` parity
+        symbols and ``k = n - 2t`` information symbols.
+
+    Codewords are integer arrays (message symbols first, parity last);
+    position ``p`` carries the coefficient of ``x^(n - 1 - p)``.
+    """
+
+    def __init__(self, m: int, n: int, t: int):
+        if t < 1:
+            raise ConfigurationError(f"t must be >= 1, got {t}")
+        self.field = GF2m(m)
+        self.m = int(m)
+        self.n = int(n)
+        self.t = int(t)
+        self.n_parity = 2 * self.t
+        self.k = self.n - self.n_parity
+        if self.k < 1:
+            raise ConfigurationError(
+                f"RS(n={n}, t={t}) leaves no information symbols"
+            )
+        if self.n > self.field.mult_order:
+            raise ConfigurationError(
+                f"RS length {n} exceeds field bound {self.field.mult_order}"
+            )
+        # g(x) = prod_{i=1..2t} (x + alpha^i), low-degree-first coeffs.
+        g = np.array([1], dtype=np.int64)
+        for i in range(1, self.n_parity + 1):
+            g = self.field.poly_mul(
+                g, np.array([self.field.pow_alpha(i), 1], dtype=np.int64)
+            )
+        self.generator = g  # degree 2t, monic
+
+    # -- encoding ---------------------------------------------------------------
+
+    def _poly_mod_generator(self, dividend: np.ndarray) -> np.ndarray:
+        """Remainder of a GF(2^m)[x] polynomial (high-first array) mod g."""
+        field = self.field
+        r = dividend.astype(np.int64).copy()
+        g_high_first = self.generator[::-1]
+        steps = r.size - g_high_first.size + 1
+        for i in range(steps):
+            coef = int(r[i])
+            if coef == 0:
+                continue
+            for j in range(g_high_first.size):
+                gj = int(g_high_first[j])
+                if gj:
+                    r[i + j] ^= field.mul(coef, gj)
+        return r[steps:]
+
+    def encode(self, message: Sequence[int]) -> np.ndarray:
+        """Systematic encoding of ``k`` symbols."""
+        msg = np.asarray(list(message), dtype=np.int64)
+        if msg.shape != (self.k,):
+            raise ConfigurationError(
+                f"message must be {self.k} symbols, got {msg.shape}"
+            )
+        if msg.size and (msg.min() < 0 or msg.max() >= self.field.order):
+            raise ConfigurationError("message symbols outside the field")
+        shifted = np.concatenate(
+            [msg, np.zeros(self.n_parity, dtype=np.int64)]
+        )
+        parity = self._poly_mod_generator(shifted)
+        return np.concatenate([msg, parity])
+
+    def random_codeword(self, rng=None) -> np.ndarray:
+        """Uniformly random codeword (for the code-offset sketch)."""
+        rng = ensure_rng(rng)
+        msg = rng.integers(0, self.field.order, size=self.k)
+        return self.encode(msg)
+
+    def is_codeword(self, word: Sequence[int]) -> bool:
+        """All ``2t`` syndromes vanish."""
+        return not self._syndromes(np.asarray(word, dtype=np.int64)).any()
+
+    # -- decoding ----------------------------------------------------------------
+
+    def _syndromes(self, received: np.ndarray) -> np.ndarray:
+        field = self.field
+        nonzero = np.nonzero(received)[0]
+        syndromes = np.zeros(self.n_parity, dtype=np.int64)
+        if nonzero.size == 0:
+            return syndromes
+        degrees = (self.n - 1 - nonzero).astype(np.int64)
+        logs = np.array(
+            [field.log(int(received[p])) for p in nonzero], dtype=np.int64
+        )
+        for j in range(1, self.n_parity + 1):
+            terms = field.pow_alpha_vec(logs + j * degrees)
+            syndromes[j - 1] = np.bitwise_xor.reduce(terms)
+        return syndromes
+
+    def _berlekamp_massey(self, syndromes: np.ndarray) -> np.ndarray:
+        field = self.field
+        size = self.n_parity + 1
+        c = np.zeros(size, dtype=np.int64)
+        b = np.zeros(size, dtype=np.int64)
+        c[0] = 1
+        b[0] = 1
+        length = 0
+        shift = 1
+        b_disc = 1
+        for step in range(self.n_parity):
+            d = int(syndromes[step])
+            for i in range(1, length + 1):
+                if c[i] and syndromes[step - i]:
+                    d ^= field.mul(int(c[i]), int(syndromes[step - i]))
+            if d == 0:
+                shift += 1
+                continue
+            coef = field.div(d, b_disc)
+            if 2 * length <= step:
+                old_c = c.copy()
+                for i in range(size - shift):
+                    if b[i]:
+                        c[i + shift] ^= field.mul(coef, int(b[i]))
+                length = step + 1 - length
+                b = old_c
+                b_disc = d
+                shift = 1
+            else:
+                for i in range(size - shift):
+                    if b[i]:
+                        c[i + shift] ^= field.mul(coef, int(b[i]))
+                shift += 1
+        degree = int(np.max(np.nonzero(c)[0])) if c.any() else 0
+        if degree > length:
+            raise DecodingError("error locator inconsistent (too noisy)")
+        return c[: length + 1]
+
+    def decode(self, received: Sequence[int]) -> np.ndarray:
+        """Correct up to ``t`` symbol errors; returns the codeword.
+
+        Raises :class:`DecodingError` beyond the correction radius.
+        """
+        r = np.asarray(list(received), dtype=np.int64).copy()
+        if r.shape != (self.n,):
+            raise ConfigurationError(
+                f"received word must be {self.n} symbols, got {r.shape}"
+            )
+        field = self.field
+        syndromes = self._syndromes(r)
+        if not syndromes.any():
+            return r
+        locator = self._berlekamp_massey(syndromes)
+        n_errors = locator.size - 1
+        if n_errors == 0 or n_errors > self.t:
+            raise DecodingError(
+                f"{n_errors} symbol errors exceed capability t={self.t}"
+            )
+        # Chien search over the transmitted (shortened) positions.
+        degrees = np.arange(self.n - 1, -1, -1, dtype=np.int64)
+        points = (-degrees) % field.mult_order
+        values = field.poly_eval_at_alpha_powers(locator, points)
+        error_positions = np.nonzero(values == 0)[0]
+        if error_positions.size != n_errors:
+            raise DecodingError(
+                f"locator of degree {n_errors} has "
+                f"{error_positions.size} roots in the shortened range"
+            )
+        # Forney: Omega(x) = S(x) Lambda(x) mod x^{2t}; for b = 1,
+        # e_k = Omega(X_k^{-1}) / Lambda'(X_k^{-1}).
+        full = field.poly_mul(syndromes, locator)
+        omega = full[: self.n_parity]
+        # Formal derivative in characteristic 2: odd-degree terms only.
+        lambda_prime = locator[1::2].copy()
+        deriv = np.zeros(max(locator.size - 1, 1), dtype=np.int64)
+        deriv[0 : locator.size - 1 : 2] = lambda_prime
+        for p in error_positions:
+            degree = self.n - 1 - int(p)
+            x_inv = field.pow_alpha(-degree)
+            num = field.poly_eval(omega, x_inv)
+            den = field.poly_eval(deriv, x_inv)
+            if den == 0:
+                raise DecodingError("Forney denominator vanished")
+            magnitude = field.div(num, den)
+            if magnitude == 0:
+                raise DecodingError("Forney produced a zero magnitude")
+            r[p] ^= magnitude
+        if not self.is_codeword(r):
+            raise DecodingError("correction did not land on a codeword")
+        return r
+
+    def message_of(self, codeword: Sequence[int]) -> np.ndarray:
+        """Systematic message symbols."""
+        cw = np.asarray(list(codeword), dtype=np.int64)
+        if cw.shape != (self.n,):
+            raise ConfigurationError(
+                f"codeword must be {self.n} symbols, got {cw.shape}"
+            )
+        return cw[: self.k].copy()
+
+    def __repr__(self) -> str:
+        return f"RSCode(GF(2^{self.m}), n={self.n}, k={self.k}, t={self.t})"

@@ -1,0 +1,186 @@
+"""Segment-level code-offset secure sketch (the protocol's ECC).
+
+The preliminary keys ``K_M`` / ``K_R`` (SIV-D.2) disagree in whole
+*segments*: segment ``i`` (``x_i || y_i``, ``2 l_b`` bits) is corrupted
+exactly when seed bits ``sm_i != sr_i``.  The right erasure/error model
+is therefore symbols-of-``2 l_b``-bits, and the right code is
+Reed-Solomon.
+
+Large keys make single-symbol fields impractical (a 2048-bit key has
+58-bit segments), so we *interleave*: each segment is split into
+``ceil(segment_bits / 8)`` byte-sized chunks, and chunk ``j`` of every
+segment forms the ``j``-th RS(GF(256)) instance.  A mismatched segment
+corrupts at most one symbol in every instance, so ``t`` segment
+mismatches stay within every instance's radius — the construction
+corrects ANY ``t`` segment mismatches deterministically, matching the
+Eq. 4 semantics (success iff seed mismatch count <= floor(eta l_s)).
+
+The sketch is the standard code-offset: ``sketch_j = symbols_j xor C_j``
+for a fresh random codeword ``C_j`` per instance; it leaks at most the
+code redundancy (``2t`` symbols per instance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.crypto.rs import RSCode
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    KeyAgreementFailure,
+)
+from repro.utils.bits import BitSequence
+from repro.utils.rng import ensure_rng
+
+_SYMBOL_BITS = 8  # GF(256) symbols
+
+
+class SegmentSecureSketch:
+    """Code-offset sketch correcting whole-segment mismatches."""
+
+    def __init__(
+        self, n_segments: int, segment_bits: int, max_segment_errors: int
+    ):
+        if n_segments < 3:
+            raise ConfigurationError("need at least 3 segments")
+        if segment_bits < 1:
+            raise ConfigurationError("segment_bits must be >= 1")
+        if max_segment_errors < 1:
+            raise ConfigurationError("max_segment_errors must be >= 1")
+        if n_segments > (1 << _SYMBOL_BITS) - 1:
+            raise ConfigurationError(
+                f"{n_segments} segments exceed the GF(256) RS length bound"
+            )
+        if n_segments - 2 * max_segment_errors < 1:
+            raise ConfigurationError(
+                f"cannot correct {max_segment_errors} of {n_segments} "
+                f"segments: RS needs n - 2t >= 1"
+            )
+        self.n_segments = int(n_segments)
+        self.segment_bits = int(segment_bits)
+        self.max_segment_errors = int(max_segment_errors)
+        self.n_chunks = math.ceil(segment_bits / _SYMBOL_BITS)
+        self.code = RSCode(_SYMBOL_BITS, n_segments, max_segment_errors)
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n_bits(self) -> int:
+        """Length of the keys this sketch reconciles."""
+        return self.n_segments * self.segment_bits
+
+    @property
+    def tolerance(self) -> int:
+        """Number of whole-segment mismatches always corrected."""
+        return self.max_segment_errors
+
+    @property
+    def leakage_bits(self) -> int:
+        """Upper bound on the entropy the public sketch reveals."""
+        return self.n_chunks * self.code.n_parity * _SYMBOL_BITS
+
+    def _to_symbols(self, key: BitSequence) -> np.ndarray:
+        """(n_segments, n_chunks) array of GF(256) symbols, zero-padded."""
+        padded_bits = self.n_chunks * _SYMBOL_BITS
+        segments = key.array.reshape(self.n_segments, self.segment_bits)
+        if padded_bits != self.segment_bits:
+            pad = np.zeros(
+                (self.n_segments, padded_bits - self.segment_bits),
+                dtype=np.uint8,
+            )
+            segments = np.concatenate([segments, pad], axis=1)
+        weights = 1 << np.arange(_SYMBOL_BITS - 1, -1, -1)
+        return (
+            segments.reshape(self.n_segments, self.n_chunks, _SYMBOL_BITS)
+            @ weights
+        ).astype(np.int64)
+
+    def _from_symbols(self, symbols: np.ndarray) -> BitSequence:
+        bits = (
+            (symbols[..., None] >> np.arange(_SYMBOL_BITS - 1, -1, -1)) & 1
+        ).astype(np.uint8)
+        bits = bits.reshape(self.n_segments, -1)[:, : self.segment_bits]
+        return BitSequence(bits.reshape(-1))
+
+    def _check_key(self, key) -> BitSequence:
+        key_bits = BitSequence(key)
+        if len(key_bits) != self.n_bits:
+            raise ConfigurationError(
+                f"key must be {self.n_bits} bits, got {len(key_bits)}"
+            )
+        return key_bits
+
+    # -- sketch / recover ---------------------------------------------------------
+
+    def sketch(self, key, rng=None) -> BitSequence:
+        """Public reconciliation message for ``key``."""
+        rng = ensure_rng(rng)
+        key_bits = self._check_key(key)
+        symbols = self._to_symbols(key_bits)
+        masked = np.empty_like(symbols)
+        for j in range(self.n_chunks):
+            masked[:, j] = symbols[:, j] ^ self.code.random_codeword(rng)
+        return self._from_symbols_raw(masked)
+
+    def _from_symbols_raw(self, symbols: np.ndarray) -> BitSequence:
+        """Serialize the full padded symbol grid (sketch wire format)."""
+        bits = (
+            (symbols[..., None] >> np.arange(_SYMBOL_BITS - 1, -1, -1)) & 1
+        ).astype(np.uint8)
+        return BitSequence(bits.reshape(-1))
+
+    def _to_symbols_raw(self, bits: BitSequence) -> np.ndarray:
+        expected = self.n_segments * self.n_chunks * _SYMBOL_BITS
+        if len(bits) != expected:
+            raise ConfigurationError(
+                f"sketch must be {expected} bits, got {len(bits)}"
+            )
+        weights = 1 << np.arange(_SYMBOL_BITS - 1, -1, -1)
+        return (
+            bits.array.reshape(self.n_segments, self.n_chunks, _SYMBOL_BITS)
+            @ weights
+        ).astype(np.int64)
+
+    @property
+    def sketch_bits(self) -> int:
+        """Wire size of the public sketch."""
+        return self.n_segments * self.n_chunks * _SYMBOL_BITS
+
+    def recover(self, sketch, approximate_key) -> BitSequence:
+        """Recover the sketch owner's exact key from a noisy copy.
+
+        Raises :class:`KeyAgreementFailure` when more than ``tolerance``
+        segments differ.
+        """
+        sketch_symbols = self._to_symbols_raw(BitSequence(sketch))
+        approx_symbols = self._to_symbols(self._check_key(approximate_key))
+        recovered = np.empty_like(approx_symbols)
+        for j in range(self.n_chunks):
+            noisy_codeword = sketch_symbols[:, j] ^ approx_symbols[:, j]
+            try:
+                codeword = self.code.decode(noisy_codeword)
+            except DecodingError as exc:
+                raise KeyAgreementFailure(
+                    f"reconciliation failed on chunk {j}: {exc}"
+                ) from exc
+            recovered[:, j] = sketch_symbols[:, j] ^ codeword
+        result = self._from_symbols(recovered)
+        # Padding bits must reconstruct as zero; anything else means the
+        # decoder landed on a wrong codeword.
+        padded = self._to_symbols(result)
+        if not np.array_equal(padded, recovered):
+            raise KeyAgreementFailure(
+                "reconciliation produced inconsistent padding"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentSecureSketch(segments={self.n_segments}, "
+            f"segment_bits={self.segment_bits}, "
+            f"t={self.max_segment_errors})"
+        )

@@ -1,0 +1,23 @@
+"""Symmetric encryption for OT payloads.
+
+The OT sender encrypts each secret under a hash-derived key (Fig. 3's
+``E``).  Because every OT instance derives a fresh key, a keystream XOR
+is a one-time pad here; the keystream comes from
+:func:`repro.crypto.hashes.hkdf_stream`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import hkdf_stream
+from repro.errors import CryptoError
+
+
+def xor_cipher(data: bytes, key: bytes, context: bytes = b"") -> bytes:
+    """Encrypt/decrypt ``data`` with the keystream of ``key``.
+
+    XOR is an involution, so the same call decrypts.
+    """
+    if not key:
+        raise CryptoError("empty symmetric key")
+    stream = hkdf_stream(key, len(data), context)
+    return bytes(a ^ b for a, b in zip(data, stream))

@@ -1,0 +1,25 @@
+"""Dataset generation following the paper's procedure (SIV-E.1)."""
+
+from repro.datasets.generation import (
+    DatasetConfig,
+    WaveKeyDataset,
+    WaveKeySample,
+    generate_dataset,
+    generate_sample,
+)
+from repro.datasets.normalization import (
+    normalize_imu_matrix,
+    normalize_rfid_matrix,
+    rfid_magnitude_target,
+)
+
+__all__ = [
+    "DatasetConfig",
+    "WaveKeyDataset",
+    "WaveKeySample",
+    "generate_dataset",
+    "generate_sample",
+    "normalize_imu_matrix",
+    "normalize_rfid_matrix",
+    "rfid_magnitude_target",
+]

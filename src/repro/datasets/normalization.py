@@ -1,0 +1,56 @@
+"""Input normalization for the autoencoders.
+
+The raw matrices A (200x3 linear accelerations, m/s^2) and R (400x2
+phase/magnitude) carry per-session nuisance offsets the gesture latent
+space must not depend on: the RFID phase has a random cable/chip offset,
+and the magnitude's absolute level depends on distance and tag gain.  We
+remove exactly those nuisances (mean-removal / relative magnitude) and
+rescale each channel into an O(1) range — nothing else, so all gesture
+information survives.
+
+These transforms are applied identically at training and inference time
+on both ends of the protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_matrix
+
+#: Gravity-based scale for accelerations.
+_ACC_SCALE = 9.81
+#: Phase swings a few radians during a gesture.
+_PHASE_SCALE = np.pi
+#: Relative magnitude ripple is ~10%; x10 brings it to O(1).
+_MAG_SCALE = 10.0
+
+
+def normalize_imu_matrix(a: np.ndarray) -> np.ndarray:
+    """``A`` (n, 3) -> channels-first (3, n), in gravity units."""
+    a = check_matrix("A", a, (-1, 3))
+    return (a / _ACC_SCALE).T.copy()
+
+
+def normalize_rfid_matrix(r: np.ndarray) -> np.ndarray:
+    """``R`` (2n, 2) -> channels-first (2, 2n), nuisance offsets removed.
+
+    Channel 0: phase, mean-removed (kills the random cable/chip offset),
+    in units of pi.  Channel 1: relative magnitude ripple around the
+    window mean, scaled to O(1).
+    """
+    r = check_matrix("R", r, (-1, 2))
+    phase = r[:, 0] - r[:, 0].mean()
+    mag_mean = r[:, 1].mean()
+    if mag_mean <= 0:
+        raise ShapeError("RFID magnitudes must be positive")
+    magnitude = (r[:, 1] / mag_mean - 1.0) * _MAG_SCALE
+    return np.stack([phase / _PHASE_SCALE, magnitude])
+
+
+def rfid_magnitude_target(r: np.ndarray) -> np.ndarray:
+    """The decoder's reconstruction target: the normalized magnitude
+    vector (the paper's R^Mag — De recovers magnitude, not phase,
+    because phase is too environment-sensitive; SIV-E.2)."""
+    return normalize_rfid_matrix(r)[1]

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the WaveKey reproduction library.
+
+Every error raised deliberately by :mod:`repro` derives from
+:class:`WaveKeyError`, so callers can catch library failures with a single
+``except`` clause while still distinguishing the failure class when they
+need to.
+"""
+
+from __future__ import annotations
+
+
+class WaveKeyError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(WaveKeyError):
+    """A configuration value is out of range or internally inconsistent."""
+
+
+class ShapeError(WaveKeyError):
+    """An array argument does not have the documented shape."""
+
+
+class TrainingError(WaveKeyError):
+    """Model training could not proceed (bad dataset, divergence, ...)."""
+
+
+class QuantizationError(WaveKeyError):
+    """Key-seed quantization failed (bad bin count, non-finite input, ...)."""
+
+
+class ProtocolError(WaveKeyError):
+    """A protocol message was malformed or violated the state machine."""
+
+
+class DeadlineExceeded(ProtocolError):
+    """A critical protocol message arrived after the tau deadline (SIV-D.2)."""
+
+
+class KeyAgreementFailure(ProtocolError):
+    """The two parties could not converge on a common key.
+
+    Raised when ECC reconciliation fails or the HMAC confirmation does not
+    verify.  A benign run hitting this indicates too-noisy key seeds; an
+    attack run hitting this is the intended outcome.
+    """
+
+
+class DecodingError(WaveKeyError):
+    """An error-correcting code could not decode (too many bit errors)."""
+
+
+class CryptoError(WaveKeyError):
+    """A cryptographic primitive was misused or failed an internal check."""
+
+
+class SimulationError(WaveKeyError):
+    """A physical-layer simulation produced invalid state."""

@@ -1,0 +1,129 @@
+"""Human gesture-mimicry model.
+
+In the gesture-mimicking attack (paper SV-B.2, SVI-E.1) an adversary
+watches the victim wave and copies the gesture with their own device.
+Human motor control reproduces the *coarse* trajectory but not the fine
+temporal detail: reaction delay, limited tracking bandwidth (~1.5-2 Hz
+for unrehearsed imitation), amplitude mis-scaling, phase error growing
+with frequency, and leakage of the imitator's own motion style.  The
+model here applies exactly those distortions to the victim's trajectory
+components, producing a new :class:`GestureTrajectory` the attack
+pipeline feeds through the standard IMU path.
+
+References for the bandwidth/delay figures: visuo-manual tracking studies
+put unrehearsed human tracking bandwidth near 1-2 Hz with 150-300 ms
+latency; we default to the middle of those ranges and expose every knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gesture.trajectory import GestureTrajectory
+from repro.gesture.volunteers import VolunteerProfile, sample_gesture
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class MimicryModel:
+    """Distortion parameters of a human imitator.
+
+    Attributes
+    ----------
+    tracking_bandwidth_hz:
+        Components above this frequency cannot be tracked; the imitator
+        replaces them with motion from their own style.
+    reaction_delay_s:
+        Mean visuo-motor delay applied to tracked components.
+    delay_jitter_s:
+        Standard deviation of the per-component delay error.
+    amplitude_error:
+        Log-normal sigma of per-component amplitude mis-scaling.
+    phase_error_per_hz:
+        Phase error (rad) added per Hz of component frequency — fast
+        components are copied with progressively worse timing.
+    style_leakage:
+        Fraction of the imitator's own gesture energy mixed in.
+    """
+
+    tracking_bandwidth_hz: float = 1.8
+    reaction_delay_s: float = 0.22
+    delay_jitter_s: float = 0.06
+    amplitude_error: float = 0.25
+    phase_error_per_hz: float = 0.9
+    style_leakage: float = 0.35
+
+    def __post_init__(self):
+        if self.tracking_bandwidth_hz <= 0:
+            raise ConfigurationError("tracking_bandwidth_hz must be > 0")
+        if not (0.0 <= self.style_leakage <= 1.0):
+            raise ConfigurationError("style_leakage must be in [0, 1]")
+
+
+def mimic_trajectory(
+    victim: GestureTrajectory,
+    imitator: VolunteerProfile,
+    model: MimicryModel = MimicryModel(),
+    rng=None,
+) -> GestureTrajectory:
+    """Produce the imitator's best-effort copy of ``victim``.
+
+    Tracked components (below the bandwidth) keep the victim's frequency
+    but acquire delay-induced phase error, frequency-proportional phase
+    error, and amplitude mis-scaling.  Untracked components are replaced
+    by components drawn from the imitator's own style.  The imitator's own
+    style also leaks additively into the copy.
+    """
+    rng = ensure_rng(rng)
+    freqs = victim.pos_freq.copy()
+    amps = victim.pos_amp.copy()
+    phases = victim.pos_phase.copy()
+
+    own = sample_gesture(
+        imitator, rng, active_s=victim.active_s, pause_s=victim.pause_s
+    )
+
+    tracked = freqs <= model.tracking_bandwidth_hz
+    for k in range(freqs.size):
+        if tracked[k]:
+            delay = model.reaction_delay_s + rng.normal(
+                0.0, model.delay_jitter_s
+            )
+            phase_shift = (
+                -2.0 * np.pi * freqs[k] * delay
+                + rng.normal(0.0, model.phase_error_per_hz * freqs[k])
+            )
+            phases[k] = phases[k] + phase_shift
+            amps[k] = amps[k] * rng.lognormal(
+                0.0, model.amplitude_error, size=3
+            )
+        else:
+            # Untracked: the imitator substitutes motion of their own.
+            idx = rng.integers(0, own.pos_freq.size)
+            freqs[k] = own.pos_freq[idx]
+            amps[k] = own.pos_amp[idx] * rng.lognormal(0.0, 0.3, size=3)
+            phases[k] = rng.uniform(0.0, 2.0 * np.pi, size=3)
+
+    # Style leakage: blend in a scaled copy of the imitator's own gesture.
+    leak = model.style_leakage
+    freqs = np.concatenate([freqs, own.pos_freq])
+    amps = np.concatenate([amps, leak * own.pos_amp])
+    phases = np.concatenate([phases, own.pos_phase])
+
+    # The imitator's wrist rotation is entirely their own (unobservable
+    # at a glance) and is irrelevant to the position channel anyway.
+    return GestureTrajectory(
+        position_amplitudes=amps,
+        position_frequencies=freqs,
+        position_phases=phases,
+        rotation_amplitudes=own.rot_amp,
+        rotation_frequencies=own.rot_freq,
+        rotation_phases=own.rot_phase,
+        pause_s=victim.pause_s,
+        active_s=victim.active_s,
+        tremor_amplitude_m=imitator.tremor_amplitude_m,
+        tremor_phases=tuple(rng.uniform(0.0, 2.0 * np.pi, size=3)),
+    )

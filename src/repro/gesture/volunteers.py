@@ -1,0 +1,134 @@
+"""Volunteer gesture-style profiles and gesture sampling.
+
+The paper's dataset is produced by six graduate-student volunteers
+(SIV-E.1, SVI-A).  Each person waves differently — preferred tempo,
+amplitude, dominant axes, tremor intensity — and those differences matter
+for the mimicry attack (the imitator's own style leaks into the copied
+gesture).  :class:`VolunteerProfile` captures the style statistics;
+:func:`sample_gesture` draws a fresh random gesture from a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gesture.trajectory import GestureTrajectory
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class VolunteerProfile:
+    """Per-volunteer gesture style statistics.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in experiment reports.
+    freq_band_hz:
+        The volunteer's preferred motion band; component frequencies are
+        drawn log-uniformly from it.
+    amplitude_m:
+        Typical dominant-component amplitude (metres).
+    axis_bias:
+        Relative motion energy in x/y/z (people rarely wave isotropically).
+    n_components:
+        Number of sinusoid components per gesture.
+    rotation_amplitude_rad:
+        Scale of the wrist-rotation process.
+    tremor_amplitude_m:
+        Physiological tremor amplitude.
+    """
+
+    name: str
+    freq_band_hz: Tuple[float, float] = (0.5, 4.0)
+    amplitude_m: float = 0.12
+    axis_bias: Tuple[float, float, float] = (1.0, 1.0, 0.6)
+    n_components: int = 6
+    rotation_amplitude_rad: float = 0.35
+    tremor_amplitude_m: float = 2e-4
+
+    def __post_init__(self):
+        low, high = self.freq_band_hz
+        if not (0 < low < high):
+            raise ConfigurationError(
+                f"freq_band_hz must satisfy 0 < low < high, got "
+                f"{self.freq_band_hz}"
+            )
+        if self.n_components < 1:
+            raise ConfigurationError("n_components must be >= 1")
+        if self.amplitude_m <= 0:
+            raise ConfigurationError("amplitude_m must be > 0")
+
+
+def default_volunteers() -> List[VolunteerProfile]:
+    """Six volunteer profiles mirroring the paper's six participants."""
+    return [
+        VolunteerProfile(
+            "volunteer-1", (0.5, 3.0), 0.14, (1.0, 0.9, 0.5), 6, 0.35
+        ),
+        VolunteerProfile(
+            "volunteer-2", (0.8, 4.5), 0.10, (0.7, 1.0, 0.8), 7, 0.45
+        ),
+        VolunteerProfile(
+            "volunteer-3", (0.4, 2.5), 0.18, (1.0, 0.6, 0.7), 5, 0.30
+        ),
+        VolunteerProfile(
+            "volunteer-4", (0.6, 5.0), 0.09, (0.8, 0.8, 1.0), 8, 0.50
+        ),
+        VolunteerProfile(
+            "volunteer-5", (0.5, 3.5), 0.12, (1.0, 1.0, 0.6), 6, 0.40
+        ),
+        VolunteerProfile(
+            "volunteer-6", (0.7, 4.0), 0.15, (0.6, 1.0, 0.9), 6, 0.35
+        ),
+    ]
+
+
+def sample_gesture(
+    profile: VolunteerProfile,
+    rng=None,
+    active_s: float = 2.5,
+    pause_s: float = 0.8,
+) -> GestureTrajectory:
+    """Draw one random gesture from ``profile``.
+
+    Component amplitudes fall off with frequency (roughly 1/f, matching
+    observed limb-motion spectra), are modulated by the profile's axis
+    bias, and every amplitude/frequency/phase is drawn fresh — this is the
+    per-gesture randomness WaveKey harvests for the key.
+    """
+    rng = ensure_rng(rng)
+    k = profile.n_components
+    low, high = profile.freq_band_hz
+    freqs = np.exp(rng.uniform(np.log(low), np.log(high), size=k))
+    freqs.sort()
+    # 1/f amplitude falloff, normalized to the profile's scale, with
+    # per-component lognormal variation so no two gestures share spectra.
+    base = profile.amplitude_m * (freqs[0] / freqs)
+    jitter = rng.lognormal(mean=0.0, sigma=0.35, size=(k, 3))
+    axis = np.asarray(profile.axis_bias, float)
+    amps = base[:, None] * jitter * axis[None, :]
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=(k, 3))
+
+    rot_k = max(2, k // 2)
+    rot_freqs = np.exp(rng.uniform(np.log(low), np.log(high), size=rot_k))
+    rot_base = profile.rotation_amplitude_rad * (rot_freqs[0] / rot_freqs)
+    rot_amps = rot_base[:, None] * rng.lognormal(0.0, 0.3, size=(rot_k, 3))
+    rot_phases = rng.uniform(0.0, 2.0 * np.pi, size=(rot_k, 3))
+
+    return GestureTrajectory(
+        position_amplitudes=amps,
+        position_frequencies=freqs,
+        position_phases=phases,
+        rotation_amplitudes=rot_amps,
+        rotation_frequencies=rot_freqs,
+        rotation_phases=rot_phases,
+        pause_s=pause_s,
+        active_s=active_s,
+        tremor_amplitude_m=profile.tremor_amplitude_m,
+        tremor_phases=tuple(rng.uniform(0.0, 2.0 * np.pi, size=3)),
+    )

@@ -1,0 +1,44 @@
+"""IMU substrate: sensor models, mobile-device profiles, calibration.
+
+The mobile-device half of WaveKey's data acquisition (paper SIV-B).  The
+simulator half (:mod:`repro.imu.sensors`, :mod:`repro.imu.device`)
+replaces physical hardware; the calibration half
+(:mod:`repro.imu.calibration`) is the paper's real pipeline — motion-onset
+detection, 100 Hz interpolation, TRIAD initial pose, gyroscope
+integration, world-frame linear-acceleration extraction — and would run
+unchanged against real sensor logs.
+"""
+
+from repro.imu.sensors import (
+    AccelerometerModel,
+    GyroscopeModel,
+    MagnetometerModel,
+    GRAVITY_WORLD,
+    MAGNETIC_FIELD_WORLD,
+)
+from repro.imu.device import (
+    IMURecord,
+    MobileDeviceProfile,
+    MobileIMU,
+    default_mobile_devices,
+)
+from repro.imu.calibration import (
+    CalibrationConfig,
+    calibrate_imu_record,
+    detect_motion_onset,
+)
+
+__all__ = [
+    "AccelerometerModel",
+    "GyroscopeModel",
+    "MagnetometerModel",
+    "GRAVITY_WORLD",
+    "MAGNETIC_FIELD_WORLD",
+    "IMURecord",
+    "MobileDeviceProfile",
+    "MobileIMU",
+    "default_mobile_devices",
+    "CalibrationConfig",
+    "calibrate_imu_record",
+    "detect_motion_onset",
+]

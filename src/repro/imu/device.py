@@ -1,0 +1,155 @@
+"""Mobile-device IMU suites.
+
+Bundles the three sensor models with per-device imperfection profiles
+mirroring the paper's hardware (a Google Pixel 8, two Samsung Galaxy S5
+phones, and a Samsung Galaxy Watch — SVI-A) and samples a complete IMU
+record from a gesture trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gesture.trajectory import GestureTrajectory
+from repro.imu.sensors import (
+    AccelerometerModel,
+    GyroscopeModel,
+    MagnetometerModel,
+)
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class MobileDeviceProfile:
+    """Hardware profile of one mobile device's IMU suite."""
+
+    name: str
+    sample_rate_hz: float = 100.0
+    accelerometer: AccelerometerModel = AccelerometerModel()
+    gyroscope: GyroscopeModel = GyroscopeModel()
+    magnetometer: MagnetometerModel = MagnetometerModel()
+    clock_skew_ppm: float = 20.0  # crystal-oscillator skew
+    timestamp_jitter_s: float = 5e-5
+
+
+def default_mobile_devices():
+    """The paper's four evaluation devices (SVI-A)."""
+    return [
+        MobileDeviceProfile(
+            "pixel-8",
+            sample_rate_hz=104.0,
+            accelerometer=AccelerometerModel(noise_std=0.02, bias_std=0.015),
+            gyroscope=GyroscopeModel(noise_std=0.0015, bias_std=0.004),
+            magnetometer=MagnetometerModel(noise_std=0.6),
+        ),
+        MobileDeviceProfile(
+            "galaxy-s5-a",
+            sample_rate_hz=100.0,
+            accelerometer=AccelerometerModel(noise_std=0.035, bias_std=0.025),
+            gyroscope=GyroscopeModel(noise_std=0.0025, bias_std=0.006),
+            magnetometer=MagnetometerModel(noise_std=0.9),
+        ),
+        MobileDeviceProfile(
+            "galaxy-s5-b",
+            sample_rate_hz=99.0,
+            accelerometer=AccelerometerModel(noise_std=0.04, bias_std=0.03),
+            gyroscope=GyroscopeModel(noise_std=0.003, bias_std=0.007),
+            magnetometer=MagnetometerModel(noise_std=1.0),
+        ),
+        MobileDeviceProfile(
+            "galaxy-watch",
+            sample_rate_hz=100.0,
+            accelerometer=AccelerometerModel(noise_std=0.03, bias_std=0.02),
+            gyroscope=GyroscopeModel(noise_std=0.002, bias_std=0.005),
+            magnetometer=MagnetometerModel(noise_std=0.8),
+        ),
+    ]
+
+
+@dataclass
+class IMURecord:
+    """Raw sensor log of one gesture as captured by a mobile device.
+
+    All arrays share the device-local timestamp vector ``timestamps_s``
+    (which includes clock skew and jitter, exactly the imperfection the
+    pause-based synchronization in the paper works around).
+    """
+
+    device: str
+    timestamps_s: np.ndarray  # (N,)
+    accelerometer: np.ndarray  # (N, 3) specific force, body frame
+    gyroscope: np.ndarray  # (N, 3) angular rate, body frame
+    magnetometer: np.ndarray  # (N, 3) field, body frame
+
+    def __post_init__(self):
+        n = self.timestamps_s.shape[0]
+        for name in ("accelerometer", "gyroscope", "magnetometer"):
+            arr = getattr(self, name)
+            if arr.shape != (n, 3):
+                raise SimulationError(
+                    f"IMURecord.{name} shape {arr.shape} != ({n}, 3)"
+                )
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.timestamps_s[-1] - self.timestamps_s[0])
+
+    @property
+    def nominal_rate_hz(self) -> float:
+        if len(self.timestamps_s) < 2:
+            raise SimulationError("record too short to estimate rate")
+        return 1.0 / float(np.median(np.diff(self.timestamps_s)))
+
+
+class MobileIMU:
+    """A mobile device's IMU suite bound to a hardware profile."""
+
+    def __init__(self, profile: MobileDeviceProfile):
+        self.profile = profile
+
+    def record_gesture(
+        self, trajectory: GestureTrajectory, rng=None
+    ) -> IMURecord:
+        """Sample the full gesture timeline (pause + active wave).
+
+        The record covers the whole timeline so the calibration pipeline
+        can perform the paper's variance-based motion-onset detection.
+        """
+        rng = ensure_rng(rng)
+        p = self.profile
+        rate = p.sample_rate_hz * (1.0 + p.clock_skew_ppm * 1e-6)
+        dt = 1.0 / rate
+        n = int(np.floor(trajectory.total_s * rate))
+        if n < 8:
+            raise SimulationError(
+                "gesture too short for this sample rate: "
+                f"{trajectory.total_s}s at {rate}Hz"
+            )
+        t = np.arange(n) * dt
+        t_jittered = t + rng.normal(0.0, p.timestamp_jitter_s, size=n)
+        t_jittered[0] = max(t_jittered[0], 0.0)
+        t_jittered = np.maximum.accumulate(t_jittered)
+
+        accel_world = trajectory.acceleration(t_jittered)
+        rotations = trajectory.orientations(t_jittered)
+        omega_body = trajectory.angular_velocity_body(t_jittered)
+
+        acc = p.accelerometer.measure(
+            accel_world, rotations, rng=child_rng(rng, "acc")
+        )
+        gyro = p.gyroscope.measure(
+            omega_body, dt, rng=child_rng(rng, "gyro")
+        )
+        mag = p.magnetometer.measure(
+            rotations, rng=child_rng(rng, "mag")
+        )
+        return IMURecord(
+            device=p.name,
+            timestamps_s=t_jittered,
+            accelerometer=acc,
+            gyroscope=gyro,
+            magnetometer=mag,
+        )

@@ -1,0 +1,130 @@
+"""Individual IMU sensor models.
+
+Each model converts ground-truth rigid-body state (world-frame linear
+acceleration, body->world rotation, body-frame angular velocity) into
+what the physical sensor would report, including bias, noise, and — for
+the gyroscope — slow bias drift modelled as a random walk (the drift the
+paper cites as negligible over a two-second window but which our
+calibration pipeline still has to live with).
+
+Conventions match :mod:`repro.gesture.kinematics`: rotations map body to
+world; the world frame is ENU (z up), gravity points down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.rng import ensure_rng
+
+#: World-frame gravitational acceleration (ENU, z up): 9.81 m/s^2 downward.
+GRAVITY_WORLD = np.array([0.0, 0.0, -9.81])
+
+#: World-frame geomagnetic field (microtesla), mid-latitude inclination:
+#: mostly-north horizontal component plus a downward vertical component.
+MAGNETIC_FIELD_WORLD = np.array([0.0, 22.0, -42.0])
+
+
+def _check_state(
+    rotations: np.ndarray, vectors: np.ndarray, name: str
+) -> None:
+    if rotations.ndim != 3 or rotations.shape[1:] != (3, 3):
+        raise ShapeError(f"{name}: rotations must be (N, 3, 3)")
+    if vectors.shape != (rotations.shape[0], 3):
+        raise ShapeError(
+            f"{name}: vectors must be (N, 3) matching rotations, "
+            f"got {vectors.shape}"
+        )
+
+
+@dataclass(frozen=True)
+class AccelerometerModel:
+    """MEMS accelerometer: measures specific force in the body frame.
+
+    At rest the sensor reads ``-g`` rotated into the body frame (i.e. the
+    reaction to gravity); under motion it reads
+    ``R^T (a_world - g_world)`` plus bias and white noise.
+    """
+
+    noise_std: float = 0.03  # m/s^2 per sample
+    bias_std: float = 0.02  # m/s^2, constant per power-cycle
+
+    def measure(
+        self,
+        accel_world: np.ndarray,
+        rotations: np.ndarray,
+        rng=None,
+        bias: np.ndarray = None,
+    ) -> np.ndarray:
+        """Sample the sensor for each (acceleration, orientation) pair."""
+        rng = ensure_rng(rng)
+        accel_world = np.asarray(accel_world, dtype=np.float64)
+        rotations = np.asarray(rotations, dtype=np.float64)
+        _check_state(rotations, accel_world, "accelerometer")
+        if bias is None:
+            bias = rng.normal(0.0, self.bias_std, size=3)
+        specific_force = accel_world - GRAVITY_WORLD
+        body = np.einsum("nij,nj->ni", rotations.transpose(0, 2, 1),
+                         specific_force)
+        noise = rng.normal(0.0, self.noise_std, size=body.shape)
+        return body + bias + noise
+
+
+@dataclass(frozen=True)
+class GyroscopeModel:
+    """MEMS gyroscope: body-frame angular rate with random-walk bias drift."""
+
+    noise_std: float = 0.002  # rad/s per sample
+    bias_std: float = 0.005  # rad/s initial bias
+    drift_rate: float = 0.0005  # rad/s per sqrt(s), bias random walk
+
+    def measure(
+        self,
+        omega_body: np.ndarray,
+        dt: float,
+        rng=None,
+        bias: np.ndarray = None,
+    ) -> np.ndarray:
+        """Sample the gyro for a uniformly sampled angular-velocity track."""
+        rng = ensure_rng(rng)
+        omega_body = np.asarray(omega_body, dtype=np.float64)
+        if omega_body.ndim != 2 or omega_body.shape[1] != 3:
+            raise ShapeError("gyroscope: omega_body must be (N, 3)")
+        n = omega_body.shape[0]
+        if bias is None:
+            bias = rng.normal(0.0, self.bias_std, size=3)
+        walk = rng.normal(
+            0.0, self.drift_rate * np.sqrt(max(dt, 0.0)), size=(n, 3)
+        ).cumsum(axis=0)
+        noise = rng.normal(0.0, self.noise_std, size=(n, 3))
+        return omega_body + bias + walk + noise
+
+
+@dataclass(frozen=True)
+class MagnetometerModel:
+    """Magnetometer: world geomagnetic field observed in the body frame."""
+
+    noise_std: float = 0.8  # microtesla per sample
+    hard_iron_std: float = 0.5  # residual hard-iron offset after calibration
+
+    def measure(
+        self,
+        rotations: np.ndarray,
+        rng=None,
+        hard_iron: np.ndarray = None,
+    ) -> np.ndarray:
+        """Sample the magnetometer for each orientation."""
+        rng = ensure_rng(rng)
+        rotations = np.asarray(rotations, dtype=np.float64)
+        if rotations.ndim != 3 or rotations.shape[1:] != (3, 3):
+            raise ShapeError("magnetometer: rotations must be (N, 3, 3)")
+        if hard_iron is None:
+            hard_iron = rng.normal(0.0, self.hard_iron_std, size=3)
+        body = np.einsum(
+            "nij,j->ni", rotations.transpose(0, 2, 1), MAGNETIC_FIELD_WORLD
+        )
+        noise = rng.normal(0.0, self.noise_std, size=body.shape)
+        return body + hard_iron + noise

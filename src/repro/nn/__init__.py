@@ -1,0 +1,50 @@
+"""A from-scratch numpy deep-learning framework.
+
+PyTorch is not available in this environment, so the WaveKey autoencoders
+(IMU-En, RF-En, and the decoder De from Fig. 5 of the paper) run on this
+minimal but complete framework: layers with explicit forward/backward
+passes, parameter objects, optimizers, a training loop, variance-based
+neuron pruning (needed for the paper's l_f experiment, SVI-C.1), and model
+serialization.
+
+The framework follows channels-first conventions: 1-D convolutional
+layers take ``(batch, channels, length)`` arrays, dense layers take
+``(batch, features)``.
+"""
+
+from repro.nn.layers import Dense, Flatten, Layer, Parameter, ReLU
+from repro.nn.conv import Conv1d, ConvTranspose1d
+from repro.nn.norm import BatchNorm1d
+from repro.nn.sequential import Sequential
+from repro.nn.losses import Loss, MSELoss, SumSquaredError
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.initializers import he_uniform, xavier_uniform
+from repro.nn.training import Trainer, TrainingHistory
+from repro.nn.pruning import output_variances, prune_feature_unit
+from repro.nn.serialization import load_model, save_model
+
+__all__ = [
+    "Layer",
+    "Parameter",
+    "Dense",
+    "ReLU",
+    "Flatten",
+    "Conv1d",
+    "ConvTranspose1d",
+    "BatchNorm1d",
+    "Sequential",
+    "Loss",
+    "MSELoss",
+    "SumSquaredError",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "he_uniform",
+    "xavier_uniform",
+    "Trainer",
+    "TrainingHistory",
+    "output_variances",
+    "prune_feature_unit",
+    "save_model",
+    "load_model",
+]

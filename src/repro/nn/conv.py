@@ -1,0 +1,210 @@
+"""1-D convolution layers (channels-first).
+
+``Conv1d`` and ``ConvTranspose1d`` are exact adjoints of each other and
+share the im2col/col2im primitives in :mod:`repro.nn.functional`; the
+transposed layer's forward pass is the convolution's input-gradient map,
+which is the textbook definition and also what the gradient check in
+``tests/nn/test_conv.py`` verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import (
+    col2im1d,
+    conv1d_backward,
+    conv1d_forward,
+    conv1d_output_length,
+    conv_transpose1d_output_length,
+    im2col1d,
+)
+from repro.nn.initializers import he_uniform
+from repro.nn.layers import Layer, Parameter
+from repro.utils.rng import ensure_rng
+
+
+class Conv1d(Layer):
+    """1-D convolution on ``(N, C_in, L)`` input."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+        name: str = "conv1d",
+    ):
+        rng = ensure_rng(rng)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.name = name
+        if self.kernel_size < 1 or self.stride < 1 or self.padding < 0:
+            raise ShapeError(f"{name}: invalid kernel/stride/padding")
+        self.weight = Parameter(
+            he_uniform(
+                (self.out_channels, self.in_channels, self.kernel_size), rng
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(
+            np.zeros(self.out_channels), name=f"{name}.bias"
+        )
+        self._cache = None
+
+    def output_length(self, length: int) -> int:
+        """Temporal length of the output for an input of ``length``."""
+        return conv1d_output_length(
+            length, self.kernel_size, self.stride, self.padding
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ShapeError(f"{self.name}: expected 3-D input, got {x.shape}")
+        out, cols = conv1d_forward(
+            x, self.weight.data, self.bias.data, self.stride, self.padding
+        )
+        self._cache = (cols, x.shape) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        cols, x_shape = self._cache
+        grad_x, grad_w, grad_b = conv1d_backward(
+            grad_out, cols, x_shape, self.weight.data, self.stride,
+            self.padding,
+        )
+        self.weight.grad += grad_w
+        self.bias.grad += grad_b
+        return grad_x
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "type": "Conv1d",
+            "name": self.name,
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+        }
+
+
+class ConvTranspose1d(Layer):
+    """1-D transposed convolution (deconvolution) on ``(N, C_in, L)`` input.
+
+    Weight shape follows the transposed convention ``(C_in, C_out, K)``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng=None,
+        name: str = "deconv1d",
+    ):
+        rng = ensure_rng(rng)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.name = name
+        if self.kernel_size < 1 or self.stride < 1 or self.padding < 0:
+            raise ShapeError(f"{name}: invalid kernel/stride/padding")
+        # Initialize as the adjoint of a conv kernel of shape
+        # (C_out, C_in, K); stored directly as (C_in, C_out, K).
+        self.weight = Parameter(
+            he_uniform(
+                (self.out_channels, self.in_channels, self.kernel_size), rng
+            ).transpose(1, 0, 2).copy(),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(
+            np.zeros(self.out_channels), name=f"{name}.bias"
+        )
+        self._x: Optional[np.ndarray] = None
+
+    def output_length(self, length: int) -> int:
+        """Temporal length of the output for an input of ``length``."""
+        return conv_transpose1d_output_length(
+            length, self.kernel_size, self.stride, self.padding
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected (N, {self.in_channels}, L), "
+                f"got {x.shape}"
+            )
+        n, _, l_in = x.shape
+        l_out = self.output_length(l_in)
+        # Treat x as the "output gradient" of a conv whose input is y:
+        # y = col2im(W_c^T @ x) with W_c of shape (C_in, C_out*K).
+        w2 = self.weight.data.reshape(
+            self.in_channels, self.out_channels * self.kernel_size
+        )
+        cols = np.einsum("if,nil->nfl", w2, x, optimize=True)
+        y = col2im1d(
+            cols,
+            (n, self.out_channels, l_out),
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+        y += self.bias.data[None, :, None]
+        self._x = x if training else None
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        x = self._x
+        grad_cols = im2col1d(
+            grad_out, self.kernel_size, self.stride, self.padding
+        )
+        w2 = self.weight.data.reshape(
+            self.in_channels, self.out_channels * self.kernel_size
+        )
+        grad_x = np.einsum("if,nfl->nil", w2, grad_cols, optimize=True)
+        grad_w = np.einsum(
+            "nil,nfl->if", x, grad_cols, optimize=True
+        ).reshape(self.weight.data.shape)
+        self.weight.grad += grad_w
+        self.bias.grad += grad_out.sum(axis=(0, 2))
+        return grad_x
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "type": "ConvTranspose1d",
+            "name": self.name,
+            "in_channels": self.in_channels,
+            "out_channels": self.out_channels,
+            "kernel_size": self.kernel_size,
+            "stride": self.stride,
+            "padding": self.padding,
+        }

@@ -1,0 +1,39 @@
+"""Weight initializers.
+
+Both initializers follow the fan-in/fan-out conventions of their original
+papers (He et al. 2015 for ReLU networks, Glorot & Bengio 2010 for linear
+outputs) and draw from a caller-supplied generator so model construction
+is fully reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and convolutional kernels."""
+    if len(shape) == 2:  # (in, out) dense kernel
+        return shape[0], shape[1]
+    if len(shape) == 3:  # (out_ch, in_ch, k) conv kernel
+        receptive = shape[2]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ValueError(f"unsupported kernel shape {shape}")
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform initialization, appropriate before ReLU activations."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier-uniform initialization for linear/tanh outputs."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,211 @@
+"""Core layer abstractions: Parameter, Layer, Dense, ReLU, Flatten.
+
+Layers implement explicit ``forward``/``backward`` passes.  ``forward``
+caches whatever the matching ``backward`` needs; ``backward`` receives the
+gradient of the loss with respect to the layer output and returns the
+gradient with respect to the layer input, accumulating parameter
+gradients into each :class:`Parameter`'s ``grad`` buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.initializers import he_uniform
+from repro.utils.rng import ensure_rng
+
+
+class Parameter:
+    """A trainable array with an accumulated gradient buffer."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters of this layer (empty for stateless layers)."""
+        return []
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """All persistent arrays (parameters plus buffers like BN stats)."""
+        return {p.name: p.data for p in self.parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore persistent arrays saved by :meth:`state_dict`."""
+        for p in self.parameters():
+            if p.name not in state:
+                raise ShapeError(f"missing parameter {p.name!r} in state dict")
+            incoming = np.asarray(state[p.name], dtype=np.float64)
+            if incoming.shape != p.data.shape:
+                raise ShapeError(
+                    f"parameter {p.name!r}: saved shape {incoming.shape} "
+                    f"!= model shape {p.data.shape}"
+                )
+            p.data = incoming.copy()
+            p.grad = np.zeros_like(p.data)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # Architecture spec used by repro.nn.serialization.
+    def spec(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b`` on ``(batch, in)`` input."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng=None,
+        name: str = "dense",
+    ):
+        rng = ensure_rng(rng)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.name = name
+        self.weight = Parameter(
+            he_uniform((self.in_features, self.out_features), rng),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(
+            np.zeros(self.out_features), name=f"{name}.bias"
+        )
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.weight.data + self.bias.data
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data.T
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "type": "Dense",
+            "name": self.name,
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+        }
+
+
+class ReLU(Layer):
+    """Element-wise rectifier."""
+
+    def __init__(self, name: str = "relu"):
+        self.name = name
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        mask = x > 0
+        self._mask = mask if training else None
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        return grad_out * self._mask
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "ReLU", "name": self.name}
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self, name: str = "flatten"):
+        self.name = name
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape if training else None
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        return grad_out.reshape(self._shape)
+
+    def spec(self) -> Dict[str, object]:
+        return {"type": "Flatten", "name": self.name}
+
+
+class Reshape(Layer):
+    """Reshape non-batch dimensions to a fixed target shape."""
+
+    def __init__(self, target_shape, name: str = "reshape"):
+        self.name = name
+        self.target_shape = tuple(int(d) for d in target_shape)
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape if training else None
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        return grad_out.reshape(self._shape)
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "type": "Reshape",
+            "name": self.name,
+            "target_shape": list(self.target_shape),
+        }

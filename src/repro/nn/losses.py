@@ -1,0 +1,70 @@
+"""Loss functions.
+
+Losses return ``(value, grad)`` pairs so training loops never need a
+separate backward call on the loss object.  The WaveKey joint loss (paper
+Eq. 3) is assembled from :class:`SumSquaredError` terms in
+:mod:`repro.core.training`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Loss:
+    """Base class: callable returning ``(scalar_value, grad_wrt_pred)``."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+
+def _check_shapes(prediction: np.ndarray, target: np.ndarray) -> None:
+    if prediction.shape != target.shape:
+        raise ShapeError(
+            f"loss: prediction shape {prediction.shape} != "
+            f"target shape {target.shape}"
+        )
+
+
+class MSELoss(Loss):
+    """Mean squared error averaged over every element."""
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        _check_shapes(prediction, target)
+        diff = prediction - target
+        value = float(np.mean(diff * diff))
+        grad = (2.0 / diff.size) * diff
+        return value, grad
+
+
+class SumSquaredError(Loss):
+    """Squared Euclidean distance summed over features, averaged over batch.
+
+    This matches the per-sample ``||.||_2`` terms in the paper's Eq. 3
+    (up to the square, which changes nothing about the minimizer and keeps
+    gradients smooth at zero).
+    """
+
+    def __call__(
+        self, prediction: np.ndarray, target: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        prediction = np.asarray(prediction, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        _check_shapes(prediction, target)
+        if prediction.ndim < 2:
+            raise ShapeError("SumSquaredError expects batched input")
+        n = prediction.shape[0]
+        diff = prediction - target
+        value = float(np.sum(diff * diff) / n)
+        grad = (2.0 / n) * diff
+        return value, grad

@@ -1,0 +1,135 @@
+"""Batch normalization.
+
+WaveKey deliberately ends both encoders with a batch-norm layer so that
+every element of the latent feature vector is (approximately) standard
+normal — which lets the quantizer reuse one set of equiprobable bins for
+all elements (paper SIV-C / SIV-E.2).  ``BatchNorm1d`` therefore exposes
+its running statistics explicitly; inference uses them, training uses
+batch statistics while updating the running buffers with exponential
+moving averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layers import Layer, Parameter
+
+
+class BatchNorm1d(Layer):
+    """Batch normalization over ``(batch, features)`` input."""
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        affine: bool = True,
+        name: str = "batchnorm",
+    ):
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.affine = bool(affine)
+        self.name = name
+        self.gamma = Parameter(
+            np.ones(self.num_features), name=f"{name}.gamma"
+        )
+        self.beta = Parameter(
+            np.zeros(self.num_features), name=f"{name}.beta"
+        )
+        self.running_mean = np.zeros(self.num_features)
+        self.running_var = np.ones(self.num_features)
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"{self.name}: expected (batch, {self.num_features}), "
+                f"got {x.shape}"
+            )
+        if training:
+            if x.shape[0] < 2:
+                raise ShapeError(
+                    f"{self.name}: training batch-norm needs batch >= 2"
+                )
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            # Unbiased variance for the running buffer, like torch.
+            n = x.shape[0]
+            unbiased = var * n / (n - 1)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * unbiased
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        out = x_hat
+        if self.affine:
+            out = self.gamma.data * x_hat + self.beta.data
+        self._cache = (x_hat, inv_std) if training else None
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(
+                f"{self.name}: backward called without a training forward"
+            )
+        x_hat, inv_std = self._cache
+        n = x_hat.shape[0]
+        if self.affine:
+            self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+            self.beta.grad += grad_out.sum(axis=0)
+            grad_xhat = grad_out * self.gamma.data
+        else:
+            grad_xhat = grad_out
+        # Standard batch-norm backward through batch statistics.
+        grad_x = (
+            grad_xhat
+            - grad_xhat.mean(axis=0)
+            - x_hat * (grad_xhat * x_hat).mean(axis=0)
+        ) * inv_std
+        return grad_x
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta] if self.affine else []
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        state[f"{self.name}.running_mean"] = self.running_mean
+        state[f"{self.name}.running_var"] = self.running_var
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        for attr in ("running_mean", "running_var"):
+            key = f"{self.name}.{attr}"
+            if key not in state:
+                raise ShapeError(f"missing buffer {key!r} in state dict")
+            incoming = np.asarray(state[key], dtype=np.float64)
+            if incoming.shape != (self.num_features,):
+                raise ShapeError(
+                    f"buffer {key!r}: saved shape {incoming.shape} != "
+                    f"({self.num_features},)"
+                )
+            setattr(self, attr, incoming.copy())
+
+    def spec(self) -> Dict[str, object]:
+        return {
+            "type": "BatchNorm1d",
+            "name": self.name,
+            "num_features": self.num_features,
+            "momentum": self.momentum,
+            "eps": self.eps,
+            "affine": self.affine,
+        }

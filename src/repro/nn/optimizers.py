@@ -1,0 +1,116 @@
+"""First-order optimizers: SGD with momentum, Adam.
+
+Optimizers hold per-parameter state keyed by parameter identity, so a
+single optimizer instance can drive the jointly trained IMU-En / RF-En /
+De parameter set (paper SIV-E.2) without any coupling between the three
+networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and zero-grad plumbing."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer received no parameters")
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        if not (0.0 <= momentum < 1.0):
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}"
+            )
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + grad
+                self._velocity[id(p)] = v
+                update = v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigurationError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p in self.parameters:
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(id(p))
+            v = self._v.get(id(p))
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[id(p)] = m
+            self._v[id(p)] = v
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,79 @@
+"""Variance-based neuron pruning.
+
+Paper SVI-C.1 determines the latent width ``l_f`` by starting from 50
+latent units and repeatedly deleting, from each encoder, the fully
+connected unit with the lowest output variance over the training set —
+retraining after each deletion and stopping when the joint loss rises by
+more than 5%.  The helpers here implement the two mechanical pieces of
+that loop: measuring pre-batch-norm unit variances, and surgically
+removing one latent unit from a Dense + BatchNorm1d tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.layers import Dense, Parameter
+from repro.nn.norm import BatchNorm1d
+from repro.nn.sequential import Sequential
+
+
+def output_variances(encoder: Sequential, x: np.ndarray) -> np.ndarray:
+    """Per-unit output variance of the final Dense layer over ``x``.
+
+    The variance is measured *before* the trailing batch-norm layer
+    (post-batch-norm variances are ~1 by construction and carry no
+    information about how much gesture signal a unit encodes).
+    """
+    if len(encoder) < 2 or not isinstance(encoder[-1], BatchNorm1d):
+        raise ConfigurationError(
+            "output_variances expects an encoder ending in BatchNorm1d"
+        )
+    if not isinstance(encoder[-2], Dense):
+        raise ConfigurationError(
+            "output_variances expects Dense immediately before BatchNorm1d"
+        )
+    h = np.asarray(x, dtype=np.float64)
+    for layer in encoder.layers[:-1]:
+        h = layer.forward(h, training=False)
+    return h.var(axis=0)
+
+
+def _drop_vector_entry(param: Parameter, index: int) -> None:
+    param.data = np.delete(param.data, index)
+    param.grad = np.zeros_like(param.data)
+
+
+def prune_feature_unit(encoder: Sequential, index: int) -> None:
+    """Remove latent unit ``index`` from an encoder's Dense+BN tail.
+
+    Mutates the encoder in place: the Dense layer loses one output column
+    and the batch-norm layer loses the matching affine parameters and
+    running statistics.
+    """
+    if len(encoder) < 2:
+        raise ConfigurationError("encoder too short to prune")
+    bn = encoder[-1]
+    dense = encoder[-2]
+    if not isinstance(bn, BatchNorm1d) or not isinstance(dense, Dense):
+        raise ConfigurationError(
+            "prune_feature_unit expects an encoder ending in Dense + "
+            "BatchNorm1d"
+        )
+    width = dense.out_features
+    if width <= 1:
+        raise ConfigurationError("cannot prune the last remaining unit")
+    if not (0 <= index < width):
+        raise ShapeError(f"unit index {index} out of range [0, {width})")
+
+    dense.weight.data = np.delete(dense.weight.data, index, axis=1)
+    dense.weight.grad = np.zeros_like(dense.weight.data)
+    _drop_vector_entry(dense.bias, index)
+    dense.out_features = width - 1
+
+    _drop_vector_entry(bn.gamma, index)
+    _drop_vector_entry(bn.beta, index)
+    bn.running_mean = np.delete(bn.running_mean, index)
+    bn.running_var = np.delete(bn.running_var, index)
+    bn.num_features = width - 1

@@ -1,0 +1,96 @@
+"""Model persistence.
+
+Models are stored as a single ``.npz`` archive holding every parameter
+and buffer plus a JSON architecture spec, so a trained WaveKey model
+bundle can be shipped to any deployment (the paper stresses that the two
+autoencoders are trained once and reused for arbitrary device pairs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.conv import Conv1d, ConvTranspose1d
+from repro.nn.layers import Dense, Flatten, Layer, ReLU, Reshape
+from repro.nn.norm import BatchNorm1d
+from repro.nn.sequential import Sequential
+
+_SPEC_KEY = "__architecture_spec__"
+
+
+def save_model(model: Sequential, path: str) -> None:
+    """Serialize ``model`` (architecture + weights) to ``path``."""
+    arrays: Dict[str, np.ndarray] = dict(model.state_dict())
+    if _SPEC_KEY in arrays:
+        raise ConfigurationError(f"parameter name {_SPEC_KEY!r} is reserved")
+    spec_json = json.dumps(model.spec())
+    arrays[_SPEC_KEY] = np.frombuffer(
+        spec_json.encode("utf-8"), dtype=np.uint8
+    )
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def build_from_spec(spec: Dict[str, object]) -> Layer:
+    """Instantiate an untrained layer tree from an architecture spec."""
+    kind = spec.get("type")
+    name = spec.get("name", "layer")
+    if kind == "Sequential":
+        return Sequential(
+            *[build_from_spec(s) for s in spec["layers"]], name=name
+        )
+    if kind == "Dense":
+        return Dense(spec["in_features"], spec["out_features"], name=name)
+    if kind == "ReLU":
+        return ReLU(name=name)
+    if kind == "Flatten":
+        return Flatten(name=name)
+    if kind == "Reshape":
+        return Reshape(spec["target_shape"], name=name)
+    if kind == "Conv1d":
+        return Conv1d(
+            spec["in_channels"],
+            spec["out_channels"],
+            spec["kernel_size"],
+            stride=spec["stride"],
+            padding=spec["padding"],
+            name=name,
+        )
+    if kind == "ConvTranspose1d":
+        return ConvTranspose1d(
+            spec["in_channels"],
+            spec["out_channels"],
+            spec["kernel_size"],
+            stride=spec["stride"],
+            padding=spec["padding"],
+            name=name,
+        )
+    if kind == "BatchNorm1d":
+        return BatchNorm1d(
+            spec["num_features"],
+            momentum=spec["momentum"],
+            eps=spec["eps"],
+            affine=spec["affine"],
+            name=name,
+        )
+    raise ConfigurationError(f"unknown layer type {kind!r} in spec")
+
+
+def load_model(path: str) -> Sequential:
+    """Load a model previously written by :func:`save_model`."""
+    with np.load(path) as archive:
+        if _SPEC_KEY not in archive:
+            raise ShapeError(f"{path} is not a repro.nn model archive")
+        spec_json = archive[_SPEC_KEY].tobytes().decode("utf-8")
+        state = {k: archive[k] for k in archive.files if k != _SPEC_KEY}
+    model = build_from_spec(json.loads(spec_json))
+    if not isinstance(model, Sequential):
+        raise ShapeError("top-level spec must be a Sequential")
+    model.load_state_dict(state)
+    return model

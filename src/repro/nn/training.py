@@ -1,0 +1,126 @@
+"""Generic single-model training loop.
+
+The WaveKey-specific joint loop lives in :mod:`repro.core.training`; this
+module provides the plain supervised ``Trainer`` used by unit tests, by
+the in-situ camera attack's acceleration-estimation network (paper
+SVI-E.2), and by any downstream user of :mod:`repro.nn`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.losses import Loss
+from repro.nn.optimizers import Optimizer
+from repro.nn.sequential import Sequential
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss record returned by :meth:`Trainer.fit`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+
+    @property
+    def final_train_loss(self) -> float:
+        if not self.train_loss:
+            raise TrainingError("no epochs were run")
+        return self.train_loss[-1]
+
+    @property
+    def best_val_loss(self) -> float:
+        if not self.val_loss:
+            raise TrainingError("no validation data was supplied")
+        return min(self.val_loss)
+
+
+class Trainer:
+    """Mini-batch trainer for a single :class:`Sequential` model."""
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss,
+        optimizer: Optimizer,
+        batch_size: int = 64,
+        rng=None,
+    ):
+        if batch_size < 1:
+            raise TrainingError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.batch_size = int(batch_size)
+        self.rng = ensure_rng(rng)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(x, y)``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape[0] != y.shape[0]:
+            raise TrainingError(
+                f"x has {x.shape[0]} samples but y has {y.shape[0]}"
+            )
+        if x.shape[0] == 0:
+            raise TrainingError("cannot train on an empty dataset")
+        history = TrainingHistory()
+        n = x.shape[0]
+        for epoch in range(int(epochs)):
+            order = (
+                self.rng.permutation(n) if shuffle else np.arange(n)
+            )
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                # Training batch-norm needs at least two samples.
+                if idx.size < 2 and n >= 2:
+                    continue
+                pred = self.model.forward(x[idx], training=True)
+                value, grad = self.loss(pred, y[idx])
+                if not np.isfinite(value):
+                    raise TrainingError(
+                        f"loss diverged to {value} at epoch {epoch}"
+                    )
+                self.optimizer.zero_grad()
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += value
+                batches += 1
+            if batches == 0:
+                raise TrainingError(
+                    "no usable batches: dataset smaller than 2 samples"
+                )
+            history.train_loss.append(epoch_loss / batches)
+            if x_val is not None and y_val is not None:
+                history.val_loss.append(self.evaluate(x_val, y_val))
+            if verbose:
+                msg = (
+                    f"epoch {epoch + 1}/{epochs}: "
+                    f"train={history.train_loss[-1]:.6f}"
+                )
+                if history.val_loss:
+                    msg += f" val={history.val_loss[-1]:.6f}"
+                print(msg)
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Loss of the model on ``(x, y)`` in inference mode."""
+        pred = self.model.forward(np.asarray(x, dtype=np.float64))
+        value, _ = self.loss(pred, np.asarray(y, dtype=np.float64))
+        return value

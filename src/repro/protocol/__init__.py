@@ -1,0 +1,41 @@
+"""The WaveKey key-agreement protocol (paper SIV-D, Fig. 4).
+
+A bidirectional batched 1-out-of-2 OT: each side obliviously transfers
+one member of each of its ``l_s`` random sequence pairs, selected by the
+*peer's* key-seed bits, then concatenates own-selected and received
+sequences into a preliminary key.  Reconciliation runs the code-offset
+secure sketch (the paper's ECC challenge) and confirms with an HMAC over
+a nonce.  All OT instances of one direction are combined into three wire
+messages, and the two announce messages must arrive within ``2 + tau``
+seconds of the gesture start or the instance is discarded.
+"""
+
+from repro.protocol.messages import (
+    ConfirmationResponse,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+)
+from repro.protocol.timing import ProtocolClock
+from repro.protocol.transport import SimulatedTransport
+from repro.protocol.agreement import (
+    AgreementParty,
+    KeyAgreementConfig,
+    KeyAgreementOutcome,
+    run_key_agreement,
+)
+
+__all__ = [
+    "OTAnnounce",
+    "OTResponse",
+    "OTCiphertextBatch",
+    "ReconciliationChallenge",
+    "ConfirmationResponse",
+    "ProtocolClock",
+    "SimulatedTransport",
+    "AgreementParty",
+    "KeyAgreementConfig",
+    "KeyAgreementOutcome",
+    "run_key_agreement",
+]

@@ -1,0 +1,406 @@
+"""Bidirectional OT key agreement (paper SIV-D.2, Fig. 4).
+
+Both parties play both OT roles simultaneously: as *sender*, a party
+obliviously transfers one member of each of its ``l_s`` random sequence
+pairs, selected by the peer's key-seed bit; as *receiver*, it fetches
+the peer's sequence selected by its own seed bit.  Each party then
+concatenates, per index ``i``, its own ``x_i^{s_i}`` and the received
+``y_i^{s_i}`` — so wherever the two seeds agree, the two preliminary
+keys share that segment, and the overall key mismatch ratio is bounded
+by the seed mismatch ratio.
+
+Reconciliation (the paper's "ECC challenge") runs the code-offset secure
+sketch sized so that up to ``ceil(eta * l_s)`` disagreeing seed bits —
+i.e. that many fully corrupted key segments — are always corrected.
+Confirmation is an HMAC over the challenge nonce under the reconciled
+key.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.crypto.segment_sketch import SegmentSecureSketch
+from repro.crypto.hashes import hmac_digest, hmac_verify
+from repro.crypto.numbers import DHGroup, WAVEKEY_GROUP_512
+from repro.crypto.ot import OTCiphertexts, OTReceiver, OTSender
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    KeyAgreementFailure,
+    ProtocolError,
+)
+from repro.protocol.messages import (
+    ConfirmationResponse,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+)
+from repro.protocol.timing import ProtocolClock
+from repro.protocol.transport import SimulatedTransport
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng, ensure_rng
+
+
+@dataclass(frozen=True)
+class KeyAgreementConfig:
+    """Protocol parameters.
+
+    ``eta`` is the calibrated ECC rate (SVI-C.2); ``tau_s`` the message
+    deadline slack (SVI-C.3); ``gesture_window_s`` the 2 s acquisition
+    window — announce messages must arrive by ``gesture_window_s +
+    tau_s`` on the protocol clock.
+    """
+
+    key_length_bits: int = 256
+    eta: float = 0.04
+    tau_s: float = 0.12
+    gesture_window_s: float = 2.0
+    group: DHGroup = WAVEKEY_GROUP_512
+    nonce_bytes: int = 16
+
+    def __post_init__(self):
+        if self.key_length_bits < 8:
+            raise ConfigurationError("key_length_bits must be >= 8")
+        if not (0.0 < self.eta < 0.5):
+            raise ConfigurationError("eta must be in (0, 0.5)")
+        if self.tau_s <= 0 or self.gesture_window_s <= 0:
+            raise ConfigurationError("tau_s and gesture_window_s must be > 0")
+
+    @property
+    def announce_deadline_s(self) -> float:
+        """Latest acceptable arrival of ``M_A`` messages (2 + tau)."""
+        return self.gesture_window_s + self.tau_s
+
+    def segment_bits(self, seed_length: int) -> int:
+        """``l_b = ceil(l_k / (2 l_s))`` (paper SIV-D.2)."""
+        if seed_length < 1:
+            raise ConfigurationError("seed_length must be >= 1")
+        return max(1, math.ceil(self.key_length_bits / (2 * seed_length)))
+
+    def material_bits(self, seed_length: int) -> int:
+        """Length of the preliminary key ``K`` (2 l_s l_b >= l_k)."""
+        return 2 * seed_length * self.segment_bits(seed_length)
+
+    def tolerated_seed_mismatches(self, seed_length: int) -> int:
+        """The Eq. 4 correction radius: ``floor(eta * l_s)`` disagreeing
+        seed bits (at least 1) are always reconciled."""
+        return max(1, math.floor(self.eta * seed_length))
+
+
+@lru_cache(maxsize=32)
+def _sketch_for(
+    n_segments: int, segment_bits: int, tolerance: int
+) -> SegmentSecureSketch:
+    """RS construction is cached per protocol operating point."""
+    return SegmentSecureSketch(n_segments, segment_bits, tolerance)
+
+
+class AgreementParty:
+    """One endpoint (mobile device or RFID server) of the agreement."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: BitSequence,
+        config: KeyAgreementConfig,
+        rng=None,
+        own_sequences_first: bool = True,
+    ):
+        if len(seed) < 2:
+            raise ConfigurationError("key-seed too short")
+        self.name = name
+        self.seed = seed
+        self.config = config
+        # Fig. 4 fixes the segment order as (x_i || y_i) on BOTH sides:
+        # the mobile device's own pairs are the x's (own first), the
+        # server's own pairs are the y's (own second).
+        self.own_sequences_first = bool(own_sequences_first)
+        self._rng = ensure_rng(rng)
+        self.l_s = len(seed)
+        self.l_b = config.segment_bits(self.l_s)
+
+        pair_rng = child_rng(self._rng, "pairs")
+        self.sequence_pairs: List[Tuple[BitSequence, BitSequence]] = [
+            (
+                BitSequence.random(self.l_b, pair_rng),
+                BitSequence.random(self.l_b, pair_rng),
+            )
+            for _ in range(self.l_s)
+        ]
+        self._senders = [
+            OTSender(config.group, child_rng(self._rng, "send", i))
+            for i in range(self.l_s)
+        ]
+        self._receivers = [
+            OTReceiver(config.group, child_rng(self._rng, "recv", i))
+            for i in range(self.l_s)
+        ]
+        self._received_segments: Optional[List[BitSequence]] = None
+        self.preliminary_key: Optional[BitSequence] = None
+        self.final_key: Optional[BitSequence] = None
+        self._nonce: Optional[bytes] = None
+
+    # -- OT sender direction ---------------------------------------------------
+
+    def craft_announce(self) -> OTAnnounce:
+        """``M_A``: announce all OT instances this party sends."""
+        return OTAnnounce(
+            sender=self.name,
+            elements=tuple(s.announce() for s in self._senders),
+        )
+
+    def craft_ciphertexts(self, response: OTResponse) -> OTCiphertextBatch:
+        """``M_E``: encrypt both members of every pair against the
+        peer's (seed-bit-driven) OT responses."""
+        if len(response.elements) != self.l_s:
+            raise ProtocolError(
+                f"{self.name}: expected {self.l_s} OT responses, got "
+                f"{len(response.elements)}"
+            )
+        pairs = []
+        for sender, element, (x0, x1) in zip(
+            self._senders, response.elements, self.sequence_pairs
+        ):
+            pairs.append(
+                sender.encrypt(element, x0.to_bytes(), x1.to_bytes())
+            )
+        return OTCiphertextBatch(sender=self.name, pairs=tuple(pairs))
+
+    # -- OT receiver direction ---------------------------------------------------
+
+    def craft_response(self, announce: OTAnnounce) -> OTResponse:
+        """``M_B``: respond to the peer's announce with this party's
+        seed bits as OT choices."""
+        if len(announce.elements) != self.l_s:
+            raise ProtocolError(
+                f"{self.name}: expected {self.l_s} OT announces, got "
+                f"{len(announce.elements)}"
+            )
+        elements = tuple(
+            receiver.respond(element, int(self.seed[i]))
+            for i, (receiver, element) in enumerate(
+                zip(self._receivers, announce.elements)
+            )
+        )
+        return OTResponse(sender=self.name, elements=elements)
+
+    def receive_ciphertexts(self, batch: OTCiphertextBatch) -> None:
+        """Decrypt the selected member of every received pair."""
+        if len(batch.pairs) != self.l_s:
+            raise ProtocolError(
+                f"{self.name}: expected {self.l_s} ciphertext pairs, got "
+                f"{len(batch.pairs)}"
+            )
+        segments = []
+        for receiver, pair in zip(self._receivers, batch.pairs):
+            plain = receiver.decrypt(pair)
+            segments.append(BitSequence.from_bytes(plain, self.l_b))
+        self._received_segments = segments
+
+    # -- key assembly ---------------------------------------------------------
+
+    def build_preliminary_key(self) -> BitSequence:
+        """Interleave own-selected and received segments (Fig. 4)."""
+        if self._received_segments is None:
+            raise ProtocolError(
+                f"{self.name}: ciphertexts not yet received"
+            )
+        parts: List[BitSequence] = []
+        for i in range(self.l_s):
+            own = self.sequence_pairs[i][int(self.seed[i])]
+            received = self._received_segments[i]
+            if self.own_sequences_first:
+                parts.extend((own, received))
+            else:
+                parts.extend((received, own))
+        self.preliminary_key = parts[0].concat(*parts[1:])
+        return self.preliminary_key
+
+    # -- reconciliation (initiator = mobile device) ------------------------------
+
+    def craft_challenge(self) -> ReconciliationChallenge:
+        """ECC sketch of the preliminary key plus a fresh nonce."""
+        if self.preliminary_key is None:
+            raise ProtocolError(f"{self.name}: preliminary key not built")
+        sketch_helper = _sketch_for(
+            self.l_s,
+            2 * self.l_b,
+            self.config.tolerated_seed_mismatches(self.l_s),
+        )
+        sketch = sketch_helper.sketch(
+            self.preliminary_key, child_rng(self._rng, "sketch")
+        )
+        self._nonce = bytes(
+            child_rng(self._rng, "nonce").integers(
+                0, 256, size=self.config.nonce_bytes, dtype=np.uint8
+            )
+        )
+        self.final_key = self.preliminary_key
+        return ReconciliationChallenge(
+            sender=self.name, sketch=sketch, nonce=self._nonce
+        )
+
+    def answer_challenge(
+        self, challenge: ReconciliationChallenge
+    ) -> ConfirmationResponse:
+        """Responder: reconcile toward the initiator's key and confirm.
+
+        Raises :class:`KeyAgreementFailure` when the keys differ beyond
+        the ECC radius.
+        """
+        if self.preliminary_key is None:
+            raise ProtocolError(f"{self.name}: preliminary key not built")
+        sketch_helper = _sketch_for(
+            self.l_s,
+            2 * self.l_b,
+            self.config.tolerated_seed_mismatches(self.l_s),
+        )
+        self.final_key = sketch_helper.recover(
+            challenge.sketch, self.preliminary_key
+        )
+        tag = hmac_digest(self.final_key.to_bytes(), challenge.nonce)
+        return ConfirmationResponse(sender=self.name, tag=tag)
+
+    def verify_confirmation(self, response: ConfirmationResponse) -> None:
+        """Initiator: check the responder's HMAC under the final key."""
+        if self.final_key is None or self._nonce is None:
+            raise ProtocolError(f"{self.name}: no challenge outstanding")
+        if not hmac_verify(
+            self.final_key.to_bytes(), self._nonce, response.tag
+        ):
+            raise KeyAgreementFailure(
+                "HMAC confirmation failed: peers hold different keys"
+            )
+
+    def session_key(self) -> BitSequence:
+        """The agreed key, truncated to the requested ``l_k`` bits."""
+        if self.final_key is None:
+            raise ProtocolError(f"{self.name}: agreement incomplete")
+        return self.final_key[: self.config.key_length_bits]
+
+
+@dataclass
+class KeyAgreementOutcome:
+    """Result of one full protocol run."""
+
+    success: bool
+    mobile_key: Optional[BitSequence]
+    server_key: Optional[BitSequence]
+    elapsed_s: float
+    failure_reason: Optional[str] = None
+    seed_mismatch_bits: Optional[int] = None
+
+    @property
+    def keys_match(self) -> bool:
+        return (
+            self.mobile_key is not None
+            and self.server_key is not None
+            and self.mobile_key == self.server_key
+        )
+
+
+def run_key_agreement(
+    seed_mobile: BitSequence,
+    seed_server: BitSequence,
+    config: KeyAgreementConfig = KeyAgreementConfig(),
+    transport: SimulatedTransport = None,
+    clock: ProtocolClock = None,
+    rng=None,
+) -> KeyAgreementOutcome:
+    """Execute the Fig. 4 protocol between two simulated endpoints.
+
+    The clock starts at the gesture start; data acquisition occupies the
+    first ``gesture_window_s`` seconds, after which the exchange begins.
+    Announce messages are deadline-checked at ``2 + tau``.  Any
+    reconciliation or confirmation failure is reported as an unsuccessful
+    outcome rather than an exception — failures are a *measured quantity*
+    in every experiment.
+    """
+    if len(seed_mobile) != len(seed_server):
+        raise ConfigurationError("key-seeds must have equal length")
+    rng = ensure_rng(rng)
+    transport = transport or SimulatedTransport()
+    clock = clock or ProtocolClock(start_s=config.gesture_window_s)
+
+    mobile = AgreementParty(
+        "mobile", seed_mobile, config, child_rng(rng, "mobile"),
+        own_sequences_first=True,
+    )
+    server = AgreementParty(
+        "server", seed_server, config, child_rng(rng, "server"),
+        own_sequences_first=False,
+    )
+    mismatch = seed_mobile.hamming_distance(seed_server)
+
+    def fail(reason: str) -> KeyAgreementOutcome:
+        return KeyAgreementOutcome(
+            success=False,
+            mobile_key=None,
+            server_key=None,
+            elapsed_s=clock.now,
+            failure_reason=reason,
+            seed_mismatch_bits=mismatch,
+        )
+
+    try:
+        # Exchange M_A (deadline-checked on arrival, SIV-D.2).
+        with clock.measure():
+            announce_m = mobile.craft_announce()
+            announce_r = server.craft_announce()
+        announce_m = transport.deliver("mobile", "server", announce_m, clock)
+        clock.check_deadline(config.announce_deadline_s, "M_A (mobile)")
+        announce_r = transport.deliver("server", "mobile", announce_r, clock)
+        clock.check_deadline(config.announce_deadline_s, "M_A (server)")
+
+        # Exchange M_B.
+        with clock.measure():
+            response_m = mobile.craft_response(announce_r)
+            response_r = server.craft_response(announce_m)
+        response_m = transport.deliver("mobile", "server", response_m, clock)
+        response_r = transport.deliver("server", "mobile", response_r, clock)
+
+        # Exchange M_E.
+        with clock.measure():
+            cipher_m = mobile.craft_ciphertexts(response_r)
+            cipher_r = server.craft_ciphertexts(response_m)
+        cipher_m = transport.deliver("mobile", "server", cipher_m, clock)
+        cipher_r = transport.deliver("server", "mobile", cipher_r, clock)
+
+        with clock.measure():
+            mobile.receive_ciphertexts(cipher_r)
+            server.receive_ciphertexts(cipher_m)
+            mobile.build_preliminary_key()
+            server.build_preliminary_key()
+
+        # Reconciliation challenge and HMAC confirmation.
+        with clock.measure():
+            challenge = mobile.craft_challenge()
+        challenge = transport.deliver("mobile", "server", challenge, clock)
+        with clock.measure():
+            confirmation = server.answer_challenge(challenge)
+        confirmation = transport.deliver(
+            "server", "mobile", confirmation, clock
+        )
+        with clock.measure():
+            mobile.verify_confirmation(confirmation)
+    except DeadlineExceeded as exc:
+        return fail(f"deadline: {exc}")
+    except KeyAgreementFailure as exc:
+        return fail(f"agreement: {exc}")
+    except ProtocolError as exc:
+        return fail(f"protocol: {exc}")
+
+    return KeyAgreementOutcome(
+        success=True,
+        mobile_key=mobile.session_key(),
+        server_key=server.session_key(),
+        elapsed_s=clock.now,
+        seed_mismatch_bits=mismatch,
+    )

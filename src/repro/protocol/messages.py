@@ -1,0 +1,93 @@
+"""Wire messages of the key-agreement protocol (Fig. 4).
+
+Each dataclass corresponds to one of the combined messages: the paper
+merges the per-instance OT messages of one direction into single wire
+messages ``M_A``, ``M_B``, ``M_E``, followed by the reconciliation
+challenge and the HMAC confirmation.  ``wire_size_bytes`` gives the
+serialized size, used by the transport to model transmission delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.crypto.ot import OTCiphertexts
+from repro.errors import ProtocolError
+from repro.utils.bits import BitSequence
+
+
+@dataclass(frozen=True)
+class OTAnnounce:
+    """``M_A``: the concatenated ``g^a_i`` of all OT instances."""
+
+    sender: str
+    elements: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.elements:
+            raise ProtocolError("empty OT announce")
+
+    def wire_size_bytes(self) -> int:
+        return sum(max(1, (e.bit_length() + 7) // 8) for e in self.elements)
+
+
+@dataclass(frozen=True)
+class OTResponse:
+    """``M_B``: the concatenated receiver responses ``n_i``."""
+
+    sender: str
+    elements: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.elements:
+            raise ProtocolError("empty OT response")
+
+    def wire_size_bytes(self) -> int:
+        return sum(max(1, (e.bit_length() + 7) // 8) for e in self.elements)
+
+
+@dataclass(frozen=True)
+class OTCiphertextBatch:
+    """``M_E``: the concatenated ciphertext pairs ``<e_i^0, e_i^1>``."""
+
+    sender: str
+    pairs: Tuple[OTCiphertexts, ...]
+
+    def __post_init__(self):
+        if not self.pairs:
+            raise ProtocolError("empty OT ciphertext batch")
+
+    def wire_size_bytes(self) -> int:
+        return sum(len(p.e0) + len(p.e1) for p in self.pairs)
+
+
+@dataclass(frozen=True)
+class ReconciliationChallenge:
+    """The initiator's ECC sketch of its preliminary key plus a nonce."""
+
+    sender: str
+    sketch: BitSequence
+    nonce: bytes
+
+    def __post_init__(self):
+        if len(self.nonce) < 8:
+            raise ProtocolError("nonce must be at least 8 bytes")
+
+    def wire_size_bytes(self) -> int:
+        return (len(self.sketch) + 7) // 8 + len(self.nonce)
+
+
+@dataclass(frozen=True)
+class ConfirmationResponse:
+    """The responder's HMAC of the nonce under the reconciled key."""
+
+    sender: str
+    tag: bytes
+
+    def __post_init__(self):
+        if len(self.tag) != 32:
+            raise ProtocolError("confirmation tag must be 32 bytes")
+
+    def wire_size_bytes(self) -> int:
+        return len(self.tag)

@@ -1,0 +1,65 @@
+"""Simulated wireless transport between the mobile device and the server.
+
+The channel (WiFi/Bluetooth in the paper) is modelled as a per-message
+latency plus a bandwidth term, with two adversary hooks:
+
+* ``taps`` — read-only observers (eavesdropping attack, SV-A);
+* ``interceptor`` — a man-in-the-middle that may replace a message and
+  add relay delay (SV-C); returning the message unchanged with zero
+  delay makes the MitM a pure relay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.protocol.timing import ProtocolClock
+
+#: tap(sender, receiver, message) -> None
+TapFn = Callable[[str, str, object], None]
+#: interceptor(sender, receiver, message) -> (message, extra_delay_s)
+InterceptFn = Callable[[str, str, object], Tuple[object, float]]
+
+
+class SimulatedTransport:
+    """Message delivery with latency, observers, and MitM hooks."""
+
+    def __init__(
+        self,
+        base_latency_s: float = 0.002,
+        bandwidth_bytes_per_s: float = 2.5e6,
+        taps: Optional[List[TapFn]] = None,
+        interceptor: Optional[InterceptFn] = None,
+    ):
+        if base_latency_s < 0 or bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("invalid transport parameters")
+        self.base_latency_s = float(base_latency_s)
+        self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
+        self.taps: List[TapFn] = list(taps or [])
+        self.interceptor = interceptor
+        self.delivered_count = 0
+
+    def transmission_delay(self, message) -> float:
+        """Latency plus serialization time for one message."""
+        size = message.wire_size_bytes()
+        return self.base_latency_s + size / self.bandwidth_bytes_per_s
+
+    def deliver(
+        self, sender: str, receiver: str, message, clock: ProtocolClock
+    ):
+        """Deliver ``message``, advancing the protocol clock.
+
+        Taps observe the original message; the interceptor may replace
+        it and add relay delay.  Returns the (possibly substituted)
+        message the receiver sees.
+        """
+        clock.advance(self.transmission_delay(message))
+        for tap in self.taps:
+            tap(sender, receiver, message)
+        if self.interceptor is not None:
+            message, extra_delay = self.interceptor(sender, receiver, message)
+            if extra_delay:
+                clock.advance(extra_delay)
+        self.delivered_count += 1
+        return message

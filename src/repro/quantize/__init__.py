@@ -1,0 +1,27 @@
+"""Key-seed quantization (paper SIV-C).
+
+Both encoders end with batch-norm, so every latent element is
+approximately standard normal.  The quantizer splits the normal
+distribution into ``N_b`` equiprobable bins (Eq. 1), encodes each bin
+index with a gray code so adjacent bins differ in exactly one bit, and
+concatenates the per-element codes into the key-seed (Eq. 2).
+"""
+
+from repro.quantize.bins import equiprobable_normal_boundaries, quantize_normal
+from repro.quantize.gray import (
+    gray_bits_per_symbol,
+    gray_code_table,
+    gray_decode,
+    gray_encode,
+)
+from repro.quantize.keyseed import KeySeedQuantizer
+
+__all__ = [
+    "equiprobable_normal_boundaries",
+    "quantize_normal",
+    "gray_bits_per_symbol",
+    "gray_code_table",
+    "gray_decode",
+    "gray_encode",
+    "KeySeedQuantizer",
+]

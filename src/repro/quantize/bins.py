@@ -1,0 +1,34 @@
+"""Equiprobable quantization bins for standard-normal variables.
+
+Paper Eq. 1: the boundary between bins ``i`` and ``i+1`` solves
+``Phi(b_i) = i / N_b`` — each bin captures equal probability mass, which
+maximizes the entropy of the quantized symbol stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.errors import QuantizationError
+
+
+def equiprobable_normal_boundaries(n_bins: int) -> np.ndarray:
+    """The ``n_bins - 1`` interior boundaries of Eq. 1.
+
+    Returned in increasing order; bin ``i`` is
+    ``(boundaries[i-1], boundaries[i])`` with open ends at +-infinity.
+    """
+    if n_bins < 2:
+        raise QuantizationError(f"need at least 2 bins, got {n_bins}")
+    fractions = np.arange(1, n_bins) / n_bins
+    return norm.ppf(fractions)
+
+
+def quantize_normal(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Bin index (0-based) of each value under the equiprobable bins."""
+    values = np.asarray(values, dtype=np.float64)
+    if not np.all(np.isfinite(values)):
+        raise QuantizationError("cannot quantize non-finite values")
+    boundaries = equiprobable_normal_boundaries(n_bins)
+    return np.searchsorted(boundaries, values, side="right")

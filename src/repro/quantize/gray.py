@@ -1,0 +1,60 @@
+"""Gray coding of bin indices.
+
+The point of gray coding here (paper SIV-C, citing Doran's survey) is
+robustness: when the mobile device and the RFID server quantize nearly
+equal latent values into *adjacent* bins, the resulting key-seed bits
+should differ in exactly one position.  The reflected binary gray code
+has that property between consecutive integers, and — crucially for a
+non-power-of-two ``N_b`` such as the paper's 9 — any *prefix* of the
+gray sequence keeps it, so we encode bin ``i`` as the ``i``-th gray
+codeword on ``ceil(log2(N_b))`` bits.
+
+Deviation note (recorded in DESIGN.md): the paper quotes the fractional
+``l_s = l_f * log2(N_b)``; with whole-bit gray codewords the seed length
+is ``l_f * ceil(log2(N_b))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def gray_bits_per_symbol(n_symbols: int) -> int:
+    """Codeword width needed for ``n_symbols`` distinct gray codes."""
+    if n_symbols < 2:
+        raise QuantizationError(f"need at least 2 symbols, got {n_symbols}")
+    return int(np.ceil(np.log2(n_symbols)))
+
+
+def gray_encode(index: int) -> int:
+    """The ``index``-th reflected binary gray code as an integer."""
+    index = int(index)
+    if index < 0:
+        raise QuantizationError("gray index must be non-negative")
+    return index ^ (index >> 1)
+
+
+def gray_decode(code: int) -> int:
+    """Inverse of :func:`gray_encode`."""
+    code = int(code)
+    if code < 0:
+        raise QuantizationError("gray code must be non-negative")
+    index = 0
+    while code:
+        index ^= code
+        code >>= 1
+    return index
+
+
+def gray_code_table(n_symbols: int) -> np.ndarray:
+    """Bit table of shape ``(n_symbols, width)``: row ``i`` is the gray
+    codeword of bin ``i``, MSB first."""
+    width = gray_bits_per_symbol(n_symbols)
+    table = np.zeros((n_symbols, width), dtype=np.uint8)
+    for i in range(n_symbols):
+        g = gray_encode(i)
+        for b in range(width):
+            table[i, b] = (g >> (width - 1 - b)) & 1
+    return table

@@ -1,0 +1,53 @@
+"""Feature vector -> key-seed conversion (paper SIV-C).
+
+:class:`KeySeedQuantizer` composes the equiprobable normal bins (Eq. 1)
+with gray encoding: each latent element becomes ``ceil(log2(N_b))`` seed
+bits, and the per-element codes are concatenated (Eq. 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quantize.bins import (
+    equiprobable_normal_boundaries,
+    quantize_normal,
+)
+from repro.quantize.gray import gray_bits_per_symbol, gray_code_table
+from repro.utils.bits import BitSequence
+
+
+class KeySeedQuantizer:
+    """Quantizes standard-normal latent vectors into key-seeds."""
+
+    def __init__(self, n_bins: int):
+        if n_bins < 2:
+            raise QuantizationError(f"n_bins must be >= 2, got {n_bins}")
+        self.n_bins = int(n_bins)
+        self.boundaries = equiprobable_normal_boundaries(self.n_bins)
+        self.bits_per_element = gray_bits_per_symbol(self.n_bins)
+        self._table = gray_code_table(self.n_bins)
+
+    def seed_length(self, feature_length: int) -> int:
+        """Key-seed length ``l_s`` for a latent vector of ``l_f`` elements
+        (the whole-bit version of Eq. 2)."""
+        if feature_length < 1:
+            raise QuantizationError("feature_length must be >= 1")
+        return feature_length * self.bits_per_element
+
+    def bin_indices(self, features: np.ndarray) -> np.ndarray:
+        """Equiprobable bin index of each latent element."""
+        features = np.asarray(features, dtype=np.float64).ravel()
+        return quantize_normal(features, self.n_bins)
+
+    def quantize(self, features: np.ndarray) -> BitSequence:
+        """Full quantize-and-encode step: latent vector -> key-seed."""
+        indices = self.bin_indices(features)
+        return BitSequence(self._table[indices].reshape(-1))
+
+    def __repr__(self) -> str:
+        return (
+            f"KeySeedQuantizer(n_bins={self.n_bins}, "
+            f"bits_per_element={self.bits_per_element})"
+        )

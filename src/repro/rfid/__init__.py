@@ -1,0 +1,50 @@
+"""UHF RFID substrate: tags, antenna, backscatter channel, reader, DSP.
+
+The RFID half of WaveKey's data acquisition (paper SIV-B).  The channel
+simulator replaces the Impinj Speedway R420 + Laird S9028 testbed: the
+tag rides in the user's hand, so the gesture modulates the tag-antenna
+distance, which modulates backscatter phase (4 pi d / lambda) and
+magnitude (radar equation + antenna pattern), on top of static multipath
+and — in dynamic environments — reflections from walking people.
+
+The signal-processing half (:mod:`repro.rfid.processing`) is the paper's
+real pipeline — phase unwrapping, Savitzky-Golay denoising, motion-onset
+synchronization — and would run unchanged on real reader logs.
+"""
+
+from repro.rfid.tag import TagProfile, default_tags
+from repro.rfid.antenna import AntennaProfile, LAIRD_S9028
+from repro.rfid.channel import (
+    BackscatterChannel,
+    ChannelGeometry,
+    Scatterer,
+    WalkingPerson,
+)
+from repro.rfid.reader import ReaderProfile, RFIDReader, RFIDRecord
+from repro.rfid.processing import (
+    RFIDProcessingConfig,
+    process_rfid_record,
+    savitzky_golay,
+    unwrap_phase,
+)
+from repro.rfid.environment import EnvironmentProfile, default_environments
+
+__all__ = [
+    "TagProfile",
+    "default_tags",
+    "AntennaProfile",
+    "LAIRD_S9028",
+    "BackscatterChannel",
+    "ChannelGeometry",
+    "Scatterer",
+    "WalkingPerson",
+    "ReaderProfile",
+    "RFIDReader",
+    "RFIDRecord",
+    "RFIDProcessingConfig",
+    "process_rfid_record",
+    "savitzky_golay",
+    "unwrap_phase",
+    "EnvironmentProfile",
+    "default_environments",
+]

@@ -1,0 +1,61 @@
+"""Reader antenna model.
+
+The Laird S9028 used in the paper is a circularly polarized panel antenna
+with ~8.5 dBic gain and ~65-70 degree half-power beamwidth.  We model the
+normalized power pattern as ``cos(theta)^q`` (a standard panel-antenna
+approximation), with ``q`` fitted so the half-power beamwidth matches the
+datasheet, plus a floor for back/side lobes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AntennaProfile:
+    """A directional reader antenna."""
+
+    name: str
+    gain_dbic: float = 8.5
+    half_power_beamwidth_deg: float = 68.0
+    sidelobe_floor_db: float = -18.0
+
+    def __post_init__(self):
+        if not (10.0 <= self.half_power_beamwidth_deg <= 170.0):
+            raise ConfigurationError(
+                "half_power_beamwidth_deg out of plausible range"
+            )
+
+    @property
+    def _exponent(self) -> float:
+        # Solve cos(theta_hp/2)^q = 1/2 for q.
+        half = np.deg2rad(self.half_power_beamwidth_deg / 2.0)
+        return float(np.log(0.5) / np.log(np.cos(half)))
+
+    def relative_gain(self, off_axis_rad) -> np.ndarray:
+        """Normalized *amplitude* gain at an off-boresight angle.
+
+        Accepts scalars or arrays; the returned amplitude gain is 1.0 on
+        boresight and is floored at the side-lobe level behind the panel.
+        """
+        theta = np.abs(np.asarray(off_axis_rad, dtype=np.float64))
+        floor = 10.0 ** (self.sidelobe_floor_db / 20.0)
+        cos = np.cos(np.clip(theta, 0.0, np.pi / 2.0 - 1e-6))
+        power = cos ** self._exponent
+        amp = np.sqrt(power)
+        amp = np.where(theta >= np.pi / 2.0, floor, np.maximum(amp, floor))
+        return amp
+
+    def absolute_gain(self, off_axis_rad) -> np.ndarray:
+        """Amplitude gain including the boresight dBic figure."""
+        boresight = 10.0 ** (self.gain_dbic / 20.0)
+        return boresight * self.relative_gain(off_axis_rad)
+
+
+#: The paper's antenna (SVI-A).
+LAIRD_S9028 = AntennaProfile("laird-s9028", 8.5, 68.0, -18.0)

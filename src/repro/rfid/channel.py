@@ -1,0 +1,245 @@
+"""UHF backscatter channel simulation.
+
+Geometry: the reader antenna sits at a fixed position with a boresight
+direction; the user stands at a configurable distance and azimuth from
+the antenna (the knobs of Table II) holding the tag, so the tag position
+is the user's rest point plus the gesture displacement plus a small
+hand-to-tag offset that rotates with the wrist.
+
+The one-way channel is a complex sum of the line-of-sight path and
+specular reflections from static scatterers (walls, furniture) — and, in
+dynamic environments, from walking people whose movement perturbs the
+channel independently of the gesture (the disturbance responsible for the
+dynamic-condition degradation in Tables I/II).  The tag backscatters
+through the same channel, so the reader observes ``h(t)^2`` scaled by the
+tag's backscatter gain: phase advances at ``4 pi d / lambda`` per metre
+of hand motion, magnitude follows the two-way radar equation and the
+antenna pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.gesture.trajectory import GestureTrajectory
+from repro.rfid.antenna import AntennaProfile, LAIRD_S9028
+from repro.rfid.tag import TagProfile
+from repro.utils.rng import ensure_rng
+
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class Scatterer:
+    """A static specular reflector (wall, cabinet, metal shelf)."""
+
+    position: np.ndarray  # (3,)
+    reflectivity: float  # complex amplitude scale of the reflected path
+    phase_rad: float = 0.0  # reflection phase shift
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        """Constant position broadcast over the time vector."""
+        return np.broadcast_to(
+            np.asarray(self.position, float), (t.size, 3)
+        )
+
+
+@dataclass(frozen=True)
+class WalkingPerson:
+    """A person walking through the environment (dynamic condition).
+
+    The walk is a constant-velocity drift with sinusoidal sway, bounced
+    back and forth inside a rectangular patrol segment — enough structure
+    to create the slowly varying multipath fading real moving bodies
+    cause, without simulating full crowd dynamics.
+    """
+
+    start: np.ndarray  # (3,)
+    velocity: np.ndarray  # (3,) m/s
+    patrol_length_m: float = 4.0
+    sway_amplitude_m: float = 0.08
+    sway_frequency_hz: float = 1.9
+    reflectivity: float = 0.35
+
+    def positions(self, t: np.ndarray) -> np.ndarray:
+        """Position at each time (bouncing patrol + lateral sway)."""
+        t = np.asarray(t, dtype=np.float64)
+        speed = float(np.linalg.norm(self.velocity))
+        if speed < 1e-9 or self.patrol_length_m <= 0:
+            base = np.broadcast_to(
+                np.asarray(self.start, float), (t.size, 3)
+            ).copy()
+        else:
+            direction = np.asarray(self.velocity, float) / speed
+            # Triangle-wave progress along the patrol segment.
+            phase = (speed * t) % (2.0 * self.patrol_length_m)
+            progress = np.where(
+                phase <= self.patrol_length_m,
+                phase,
+                2.0 * self.patrol_length_m - phase,
+            )
+            base = np.asarray(self.start, float) + np.outer(
+                progress, direction
+            )
+        sway_dir = np.array([-self.velocity[1], self.velocity[0], 0.0])
+        norm = np.linalg.norm(sway_dir)
+        sway_dir = sway_dir / norm if norm > 1e-9 else np.array([1.0, 0, 0])
+        sway = self.sway_amplitude_m * np.sin(
+            2.0 * np.pi * self.sway_frequency_hz * t
+        )
+        return base + np.outer(sway, sway_dir)
+
+
+@dataclass(frozen=True)
+class ChannelGeometry:
+    """Placement of the antenna and the user (Table II's knobs)."""
+
+    user_distance_m: float = 5.0
+    user_azimuth_deg: float = 0.0
+    antenna_position: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 0.0, 1.5])
+    )
+    boresight: np.ndarray = field(
+        default_factory=lambda: np.array([0.0, 1.0, 0.0])
+    )
+    tag_offset_body: np.ndarray = field(
+        default_factory=lambda: np.array([0.03, 0.0, -0.02])
+    )
+
+    def __post_init__(self):
+        if self.user_distance_m <= 0:
+            raise ConfigurationError("user_distance_m must be > 0")
+        if abs(self.user_azimuth_deg) >= 90.0:
+            raise ConfigurationError(
+                "user_azimuth_deg must be within (-90, 90)"
+            )
+
+    @property
+    def user_rest_position(self) -> np.ndarray:
+        """User hand rest point: distance along boresight, rotated by
+        the azimuth about the vertical axis."""
+        azimuth = np.deg2rad(self.user_azimuth_deg)
+        b = np.asarray(self.boresight, float)
+        b = b / np.linalg.norm(b)
+        rot_z = np.array(
+            [
+                [np.cos(azimuth), -np.sin(azimuth), 0.0],
+                [np.sin(azimuth), np.cos(azimuth), 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        direction = rot_z @ b
+        return (
+            np.asarray(self.antenna_position, float)
+            + self.user_distance_m * direction
+        )
+
+
+class BackscatterChannel:
+    """Complex backscatter channel between reader antenna and a held tag."""
+
+    def __init__(
+        self,
+        geometry: ChannelGeometry,
+        tag: TagProfile,
+        antenna: AntennaProfile = LAIRD_S9028,
+        carrier_hz: float = 915e6,
+        scatterers: Sequence[Scatterer] = (),
+        walkers: Sequence[WalkingPerson] = (),
+    ):
+        self.geometry = geometry
+        self.tag = tag
+        self.antenna = antenna
+        if not (300e6 <= carrier_hz <= 3e9):
+            raise ConfigurationError(
+                f"carrier_hz {carrier_hz} outside the UHF-ish range"
+            )
+        self.carrier_hz = float(carrier_hz)
+        self.scatterers: List[Scatterer] = list(scatterers)
+        self.walkers: List[WalkingPerson] = list(walkers)
+
+    @property
+    def wavelength_m(self) -> float:
+        return SPEED_OF_LIGHT / self.carrier_hz
+
+    def tag_positions(
+        self, trajectory: GestureTrajectory, t: np.ndarray
+    ) -> np.ndarray:
+        """World position of the tag at each time: rest point + gesture
+        displacement + wrist-rotated in-hand offset."""
+        t = np.asarray(t, dtype=np.float64)
+        rest = self.geometry.user_rest_position
+        disp = trajectory.position(t)
+        rotations = trajectory.orientations(t)
+        offset = np.einsum(
+            "nij,j->ni", rotations, self.geometry.tag_offset_body
+        )
+        return rest + disp + offset
+
+    def _off_axis(self, points: np.ndarray) -> np.ndarray:
+        """Angle between antenna boresight and each point direction."""
+        rel = points - self.geometry.antenna_position
+        norm = np.linalg.norm(rel, axis=-1)
+        if np.any(norm < 1e-6):
+            raise SimulationError("a path endpoint coincides with the antenna")
+        b = np.asarray(self.geometry.boresight, float)
+        b = b / np.linalg.norm(b)
+        cos = np.clip(rel @ b / norm, -1.0, 1.0)
+        return np.arccos(cos)
+
+    def one_way_response(
+        self, tag_pos: np.ndarray, t: np.ndarray
+    ) -> np.ndarray:
+        """Complex one-way channel gain antenna->tag at each time."""
+        antenna_pos = self.geometry.antenna_position
+        wavelength = self.wavelength_m
+        k = 2.0 * np.pi / wavelength
+
+        d_los = np.linalg.norm(tag_pos - antenna_pos, axis=1)
+        if np.any(d_los < 0.05):
+            raise SimulationError("tag is unrealistically close to antenna")
+        gain_los = self.antenna.relative_gain(self._off_axis(tag_pos))
+        h = gain_los * np.exp(-1j * k * d_los) / d_los
+
+        movers = [
+            (s.positions(t), s.reflectivity, getattr(s, "phase_rad", 0.0))
+            for s in self.scatterers
+        ] + [(w.positions(t), w.reflectivity, 0.0) for w in self.walkers]
+        for positions, reflectivity, extra_phase in movers:
+            d1 = np.linalg.norm(positions - antenna_pos, axis=1)
+            d2 = np.linalg.norm(tag_pos - positions, axis=1)
+            # Bodies and furniture cannot physically overlap the antenna
+            # or the hand; clamp grazing passes to a contact distance.
+            d1 = np.maximum(d1, 0.3)
+            d2 = np.maximum(d2, 0.3)
+            gain = self.antenna.relative_gain(self._off_axis(positions))
+            h = h + (
+                reflectivity
+                * gain
+                * np.exp(-1j * (k * (d1 + d2) - extra_phase))
+                / (d1 * d2)
+            )
+        return h
+
+    def backscatter(
+        self, trajectory: GestureTrajectory, t: np.ndarray
+    ) -> np.ndarray:
+        """Complex backscatter observation (before reader noise).
+
+        The tag modulates and re-radiates through the same channel, so
+        the two-way response is the square of the one-way response,
+        scaled by the tag's backscatter gain and chip phase.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        tag_pos = self.tag_positions(trajectory, t)
+        h = self.one_way_response(tag_pos, t)
+        return (
+            self.tag.backscatter_gain
+            * np.exp(1j * self.tag.chip_phase_offset_rad)
+            * h
+            * h
+        )

@@ -1,0 +1,164 @@
+"""Environment presets.
+
+Paper SVI-F.1 emulates four distinct environments by moving/re-orienting
+the reader inside one laboratory room, each evaluated in a *static*
+condition (only the volunteer present) and a *dynamic* condition (five
+people walking around the reader).  An :class:`EnvironmentProfile` fixes
+the static scatterer layout; walkers are sampled fresh per
+key-establishment instance, since real people never repeat their paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.rfid.antenna import AntennaProfile, LAIRD_S9028
+from repro.rfid.channel import (
+    BackscatterChannel,
+    ChannelGeometry,
+    Scatterer,
+    WalkingPerson,
+)
+from repro.rfid.tag import TagProfile
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """One laboratory configuration: static scatterers + walker statistics."""
+
+    name: str
+    scatterers: Sequence[Scatterer] = ()
+    n_walkers: int = 5
+    walker_speed_range: tuple = (0.6, 1.4)
+    walker_area_m: float = 6.0
+    #: Effective bistatic reflection amplitude of a walking person at
+    #: 915 MHz, including body absorption and the fraction of the body
+    #: actually illuminated; lossy-dielectric measurements put the
+    #: effective value well below the |R| ~ 0.35 of a flat torso facet.
+    walker_reflectivity: float = 0.12
+    antenna: AntennaProfile = LAIRD_S9028
+
+    def sample_walkers(
+        self,
+        rng=None,
+        around: np.ndarray = None,
+        antenna_position: np.ndarray = None,
+        keepout_m: float = 1.3,
+    ) -> List[WalkingPerson]:
+        """Draw fresh walking-person paths for one dynamic-condition run.
+
+        People walk *around* the reader and the user — they do not cut
+        between the user's hand and the antenna.  Each walker's patrol
+        lane therefore keeps ``keepout_m`` of lateral clearance from the
+        antenna-user line of sight, and patrols roughly parallel to it.
+        """
+        rng = ensure_rng(rng)
+        center = (
+            np.array([0.0, 3.0, 1.0])
+            if around is None
+            else np.asarray(around, float)
+        )
+        antenna = (
+            np.array([0.0, 0.0, 1.5])
+            if antenna_position is None
+            else np.asarray(antenna_position, float)
+        )
+        los = center[:2] - antenna[:2]
+        los_norm = np.linalg.norm(los)
+        los_dir = los / los_norm if los_norm > 1e-9 else np.array([0.0, 1.0])
+        lateral_dir = np.array([-los_dir[1], los_dir[0]])
+
+        walkers = []
+        for _ in range(self.n_walkers):
+            along = rng.uniform(-0.2 * los_norm, 1.1 * los_norm)
+            side = rng.choice([-1.0, 1.0]) * rng.uniform(
+                keepout_m, keepout_m + self.walker_area_m / 2
+            )
+            start_xy = antenna[:2] + along * los_dir + side * lateral_dir
+            start = np.array([start_xy[0], start_xy[1], center[2]])
+            # Patrol parallel to the line of sight (staying in the lane),
+            # with a small heading jitter.
+            jitter = rng.normal(0.0, 0.15)
+            heading = los_dir + jitter * lateral_dir
+            heading = heading / np.linalg.norm(heading)
+            speed = rng.uniform(*self.walker_speed_range)
+            velocity = speed * np.array([heading[0], heading[1], 0.0])
+            walkers.append(
+                WalkingPerson(
+                    start=start,
+                    velocity=velocity,
+                    patrol_length_m=rng.uniform(2.0, 4.0),
+                    sway_amplitude_m=rng.uniform(0.04, 0.12),
+                    sway_frequency_hz=rng.uniform(1.6, 2.2),
+                    reflectivity=self.walker_reflectivity
+                    * rng.uniform(0.7, 1.3),
+                )
+            )
+        return walkers
+
+    def build_channel(
+        self,
+        tag: TagProfile,
+        geometry: ChannelGeometry = None,
+        dynamic: bool = False,
+        rng=None,
+    ) -> BackscatterChannel:
+        """Assemble a channel for one key-establishment instance."""
+        geometry = geometry or ChannelGeometry()
+        walkers = (
+            self.sample_walkers(
+                rng,
+                around=geometry.user_rest_position,
+                antenna_position=geometry.antenna_position,
+            )
+            if dynamic
+            else []
+        )
+        return BackscatterChannel(
+            geometry=geometry,
+            tag=tag,
+            antenna=self.antenna,
+            scatterers=self.scatterers,
+            walkers=walkers,
+        )
+
+
+def _lab_scatterers(layout: int) -> List[Scatterer]:
+    """Hand-placed wall/furniture reflector layouts for the four rooms."""
+    layouts = {
+        1: [
+            Scatterer(np.array([-3.0, 2.0, 1.2]), 0.25, 0.4),
+            Scatterer(np.array([3.2, 4.0, 1.0]), 0.18, 2.1),
+            Scatterer(np.array([0.5, 8.0, 1.5]), 0.30, 1.0),
+            Scatterer(np.array([-2.0, 6.5, 0.8]), 0.12, 3.0),
+        ],
+        2: [
+            Scatterer(np.array([2.8, 1.5, 1.3]), 0.28, 0.9),
+            Scatterer(np.array([-3.5, 5.0, 1.1]), 0.22, 1.7),
+            Scatterer(np.array([1.0, 7.5, 1.4]), 0.15, 0.2),
+        ],
+        3: [
+            Scatterer(np.array([-2.5, 1.0, 1.0]), 0.32, 2.8),
+            Scatterer(np.array([2.0, 6.0, 1.2]), 0.20, 1.3),
+            Scatterer(np.array([-1.0, 8.5, 1.6]), 0.26, 0.6),
+            Scatterer(np.array([3.5, 3.0, 0.9]), 0.10, 2.2),
+            Scatterer(np.array([0.0, 9.5, 1.2]), 0.14, 1.9),
+        ],
+        4: [
+            Scatterer(np.array([3.0, 2.5, 1.1]), 0.24, 1.5),
+            Scatterer(np.array([-3.0, 7.0, 1.3]), 0.19, 0.8),
+        ],
+    }
+    return layouts[layout]
+
+
+def default_environments() -> List[EnvironmentProfile]:
+    """The paper's four emulated environments (SVI-F.1)."""
+    return [
+        EnvironmentProfile(f"environment-{i}", _lab_scatterers(i))
+        for i in (1, 2, 3, 4)
+    ]

@@ -1,0 +1,122 @@
+"""Server-side RFID signal processing (paper SIV-B.2).
+
+Turns a raw :class:`repro.rfid.reader.RFIDRecord` into the 400x2 matrix
+``R`` the paper feeds to RF-En:
+
+1. *Phase unwrapping*: reader phase is reported modulo 2 pi; any jump
+   larger than pi between consecutive samples is removed by adding the
+   appropriate multiple of 2 pi (the paper's exact rule).
+2. *Denoising*: both phase and magnitude pass through a Savitzky-Golay
+   smoothing filter, chosen because it preserves local extrema, which
+   carry the gesture information.
+3. *Synchronization*: motion onset is detected from the variance jump in
+   the unwrapped phase, mirroring the mobile device's accelerometer-side
+   detection so the two 2 s windows cover the same physical gesture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.signal import savgol_filter
+
+from repro.errors import SimulationError
+from repro.imu.calibration import detect_motion_onset
+from repro.rfid.reader import RFIDRecord
+from repro.utils.validation import check_positive
+
+
+def unwrap_phase(phase: np.ndarray) -> np.ndarray:
+    """Remove 2-pi jumps: any consecutive difference exceeding pi in
+    magnitude is treated as a wrap and compensated (paper SIV-B.2)."""
+    phase = np.asarray(phase, dtype=np.float64).ravel()
+    if phase.size == 0:
+        return phase.copy()
+    diffs = np.diff(phase)
+    wraps = np.zeros_like(phase)
+    wraps[1:] = np.cumsum(
+        np.where(diffs > np.pi, -2.0 * np.pi, 0.0)
+        + np.where(diffs < -np.pi, 2.0 * np.pi, 0.0)
+    )
+    return phase + wraps
+
+
+def savitzky_golay(
+    values: np.ndarray, window: int = 15, polyorder: int = 3
+) -> np.ndarray:
+    """Savitzky-Golay smoothing with validated parameters."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if window % 2 == 0 or window < 3:
+        raise SimulationError("savitzky_golay window must be odd and >= 3")
+    if polyorder >= window:
+        raise SimulationError("polyorder must be smaller than window")
+    if values.size < window:
+        raise SimulationError(
+            f"signal of {values.size} samples shorter than window {window}"
+        )
+    return savgol_filter(values, window_length=window, polyorder=polyorder)
+
+
+@dataclass(frozen=True)
+class RFIDProcessingConfig:
+    """Tunables of the server-side pipeline (defaults follow the paper:
+    200 Hz reader, 2 s window, hence 400 output rows)."""
+
+    window_s: float = 2.0
+    savgol_window: int = 15
+    savgol_polyorder: int = 3
+    onset_window_s: float = 0.12
+    onset_threshold: float = 5.0
+    baseline_s: float = 0.45
+    min_onset_std_rad: float = 0.01
+
+    def __post_init__(self):
+        check_positive("window_s", self.window_s)
+        check_positive("onset_threshold", self.onset_threshold)
+
+    def n_samples(self, sample_rate_hz: float) -> int:
+        return int(round(self.window_s * sample_rate_hz))
+
+
+def process_rfid_record(
+    record: RFIDRecord,
+    config: RFIDProcessingConfig = RFIDProcessingConfig(),
+    offset_s: float = 0.0,
+) -> np.ndarray:
+    """Run the full server-side pipeline; returns ``R`` of shape (400, 2).
+
+    Column 0 is the processed (unwrapped, smoothed) phase; column 1 the
+    smoothed magnitude, matching the paper's matrix layout.  ``offset_s``
+    shifts the analysis window after the detected onset, mirroring the
+    IMU-side windowing used for dataset generation.
+    """
+    if offset_s < 0:
+        raise SimulationError("offset_s must be non-negative")
+    rate = record.sample_rate_hz
+    n_out = config.n_samples(rate)
+
+    phase = unwrap_phase(record.phase_rad)
+    phase = savitzky_golay(
+        phase, config.savgol_window, config.savgol_polyorder
+    )
+    magnitude = savitzky_golay(
+        record.magnitude, config.savgol_window, config.savgol_polyorder
+    )
+
+    activity = np.abs(phase - np.median(phase))
+    onset = detect_motion_onset(
+        activity,
+        rate,
+        window_s=config.onset_window_s,
+        baseline_s=config.baseline_s,
+        threshold=config.onset_threshold,
+        min_std=config.min_onset_std_rad,
+    )
+    onset = onset + int(round(offset_s * rate))
+    if onset + n_out > phase.size:
+        raise SimulationError(
+            "gesture after onset is shorter than the processing window"
+        )
+    window = slice(onset, onset + n_out)
+    return np.column_stack([phase[window], magnitude[window]])

@@ -1,0 +1,44 @@
+"""UHF RFID tag models.
+
+The paper evaluates six tags of three models: two Alien 9640, two Alien
+9730, and two SMARTRAC DogBone (SVI-A).  Tags differ in backscatter
+strength, chip phase offset, and sensitivity — the hardware imperfections
+SVI-F.3 probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TagProfile:
+    """Electrical profile of one physical tag."""
+
+    name: str
+    model: str
+    backscatter_gain: float = 1.0  # relative modulated-backscatter strength
+    chip_phase_offset_rad: float = 0.0  # constant phase from the chip/antenna
+    sensitivity_dbm: float = -18.0  # minimum power to respond
+    #: Extra per-read phase jitter from the chip (rad); cheap chips jitter
+    #: more.
+    phase_jitter_rad: float = 0.01
+
+    def responds(self, incident_power_dbm: float) -> bool:
+        """Whether the tag powers up at the given incident power."""
+        return incident_power_dbm >= self.sensitivity_dbm
+
+
+def default_tags() -> List[TagProfile]:
+    """The paper's six evaluation tags (SVI-A)."""
+    return [
+        TagProfile("alien-9640-a", "Alien 9640", 1.00, 0.31, -18.0, 0.010),
+        TagProfile("alien-9640-b", "Alien 9640", 0.96, 1.12, -17.8, 0.011),
+        TagProfile("alien-9730-a", "Alien 9730", 1.08, 2.43, -18.5, 0.009),
+        TagProfile("alien-9730-b", "Alien 9730", 1.05, 0.77, -18.3, 0.009),
+        TagProfile("dogbone-a", "SMARTRAC DogBone", 1.15, 1.91, -19.0, 0.008),
+        TagProfile("dogbone-b", "SMARTRAC DogBone", 1.12, 2.88, -18.9, 0.008),
+    ]

@@ -1,0 +1,35 @@
+"""Shared utilities: seeded RNG plumbing, bit-sequence handling, validation."""
+
+from repro.utils.bits import (
+    BitSequence,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    mismatch_rate,
+)
+from repro.utils.rng import child_rng, derive_seed, ensure_rng
+from repro.utils.validation import (
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+__all__ = [
+    "BitSequence",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "hamming_distance",
+    "int_to_bits",
+    "mismatch_rate",
+    "child_rng",
+    "derive_seed",
+    "ensure_rng",
+    "check_matrix",
+    "check_positive",
+    "check_probability",
+    "check_range",
+]

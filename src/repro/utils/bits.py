@@ -1,0 +1,198 @@
+"""Bit-sequence handling.
+
+Key seeds, preliminary keys, and final keys are all sequences of bits.  We
+represent them as :class:`BitSequence`, a thin immutable wrapper around a
+``numpy`` ``uint8`` array constrained to {0, 1}.  The wrapper keeps the
+protocol code readable (``seed[i]``, ``a ^ b``, ``a.mismatch_rate(b)``)
+while remaining cheap to convert to ``bytes`` for hashing and encryption.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+BitsLike = Union["BitSequence", np.ndarray, bytes, Iterable[int]]
+
+
+def _coerce_bit_array(bits: BitsLike) -> np.ndarray:
+    if isinstance(bits, BitSequence):
+        return bits.array
+    if isinstance(bits, (bytes, bytearray)):
+        return bytes_to_bits(bytes(bits))
+    arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+    arr = arr.astype(np.uint8, copy=True).ravel()
+    if arr.size and arr.max(initial=0) > 1:
+        raise ShapeError("bit array contains values outside {0, 1}")
+    return arr
+
+
+class BitSequence:
+    """An immutable sequence of bits with protocol-friendly helpers."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: BitsLike = ()):
+        arr = _coerce_bit_array(bits)
+        arr.setflags(write=False)
+        self._bits = arr
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, n: int) -> "BitSequence":
+        """All-zero sequence of length ``n``."""
+        return cls(np.zeros(int(n), dtype=np.uint8))
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator) -> "BitSequence":
+        """Uniformly random sequence of length ``n`` drawn from ``rng``."""
+        return cls(rng.integers(0, 2, size=int(n), dtype=np.uint8))
+
+    @classmethod
+    def from_int(cls, value: int, width: int) -> "BitSequence":
+        """Big-endian ``width``-bit encoding of a non-negative integer."""
+        return cls(int_to_bits(value, width))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, n_bits: int = None) -> "BitSequence":
+        """Decode ``data`` MSB-first, optionally truncating to ``n_bits``."""
+        bits = bytes_to_bits(data)
+        if n_bits is not None:
+            if n_bits > bits.size:
+                raise ShapeError(
+                    f"requested {n_bits} bits but data only holds {bits.size}"
+                )
+            bits = bits[:n_bits]
+        return cls(bits)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only ``uint8`` array."""
+        return self._bits
+
+    def to_bytes(self) -> bytes:
+        """MSB-first packing; the final byte is zero-padded."""
+        return bits_to_bytes(self._bits)
+
+    def to_int(self) -> int:
+        """Interpret the sequence as a big-endian unsigned integer."""
+        return bits_to_int(self._bits)
+
+    def to01(self) -> str:
+        """Render as a '0101...' string (handy in logs and tests)."""
+        return "".join("1" if b else "0" for b in self._bits)
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._bits.size)
+
+    def __iter__(self) -> Iterator[int]:
+        return (int(b) for b in self._bits)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return BitSequence(self._bits[index])
+        return int(self._bits[index])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitSequence):
+            return NotImplemented
+        return self._bits.shape == other._bits.shape and bool(
+            np.all(self._bits == other._bits)
+        )
+
+    def __hash__(self) -> int:
+        return hash((len(self), self.to_bytes()))
+
+    def __repr__(self) -> str:
+        preview = self.to01() if len(self) <= 32 else self.to01()[:29] + "..."
+        return f"BitSequence(len={len(self)}, bits={preview})"
+
+    # -- operations ----------------------------------------------------------
+
+    def __xor__(self, other: "BitSequence") -> "BitSequence":
+        if len(self) != len(other):
+            raise ShapeError(
+                f"XOR of mismatched lengths: {len(self)} vs {len(other)}"
+            )
+        return BitSequence(np.bitwise_xor(self._bits, other.array))
+
+    def __add__(self, other: "BitSequence") -> "BitSequence":
+        """Concatenation (the paper's ``||`` operator)."""
+        return BitSequence(np.concatenate([self._bits, other.array]))
+
+    def concat(self, *others: "BitSequence") -> "BitSequence":
+        """Concatenate ``self`` with every sequence in ``others``."""
+        parts = [self._bits] + [o.array for o in others]
+        return BitSequence(np.concatenate(parts))
+
+    def hamming_distance(self, other: "BitSequence") -> int:
+        """Number of positions where the two sequences differ."""
+        if len(self) != len(other):
+            raise ShapeError(
+                f"hamming distance of mismatched lengths: "
+                f"{len(self)} vs {len(other)}"
+            )
+        return int(np.count_nonzero(self._bits != other.array))
+
+    def mismatch_rate(self, other: "BitSequence") -> float:
+        """Fraction of differing positions (0.0 for identical sequences)."""
+        if len(self) == 0 and len(other) == 0:
+            return 0.0
+        return self.hamming_distance(other) / len(self)
+
+    def popcount(self) -> int:
+        """Number of one-bits."""
+        return int(np.count_nonzero(self._bits))
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Big-endian bit array of ``value`` padded/constrained to ``width``."""
+    value = int(value)
+    if value < 0:
+        raise ShapeError("cannot encode a negative integer as bits")
+    if width < 0:
+        raise ShapeError("bit width must be non-negative")
+    if value >> width:
+        raise ShapeError(f"{value} does not fit in {width} bits")
+    return np.array(
+        [(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.uint8
+    )
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Big-endian integer value of a bit array."""
+    value = 0
+    for b in np.asarray(bits, dtype=np.uint8).ravel():
+        value = (value << 1) | int(b)
+    return value
+
+
+def bytes_to_bits(data: bytes) -> np.ndarray:
+    """Unpack bytes MSB-first into a ``uint8`` bit array."""
+    if len(data) == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack an MSB-first bit array into bytes (zero-padding the tail)."""
+    arr = np.asarray(bits, dtype=np.uint8).ravel()
+    return np.packbits(arr).tobytes()
+
+
+def hamming_distance(a: BitsLike, b: BitsLike) -> int:
+    """Hamming distance between two bit-like sequences."""
+    return BitSequence(a).hamming_distance(BitSequence(b))
+
+
+def mismatch_rate(a: BitsLike, b: BitsLike) -> float:
+    """Bit-mismatch rate between two bit-like sequences."""
+    return BitSequence(a).mismatch_rate(BitSequence(b))

@@ -1,0 +1,65 @@
+"""Argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` /
+:class:`repro.errors.ShapeError` with messages that name the offending
+parameter, so misuse of the public API fails fast and legibly.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is positive (or non-negative)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value}")
+    if allow_zero:
+        if value < 0:
+            raise ConfigurationError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_range(name: str, value: float, low: float, high: float) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value}"
+        )
+    return value
+
+
+def check_matrix(
+    name: str, matrix: np.ndarray, shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Validate the shape of ``matrix`` (``-1`` entries match anything)."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != len(shape):
+        raise ShapeError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim}"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected != -1 and actual != expected:
+            raise ShapeError(
+                f"{name} has shape {arr.shape}, expected {shape} "
+                f"(mismatch on axis {axis})"
+            )
+    if not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,131 @@
+"""Tests for NIST tests, metrics, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_table,
+    mismatch_statistics,
+    monobit_test,
+    runs_test,
+    shannon_entropy_bits,
+    success_rate,
+)
+from repro.errors import ConfigurationError
+from repro.utils.bits import BitSequence
+
+
+class TestRunsTest:
+    def test_random_sequence_passes(self):
+        bits = BitSequence.random(51_200, np.random.default_rng(0))
+        result = runs_test(bits)
+        assert result.passed
+        assert result.p_value > 0.01
+
+    def test_constant_sequence_fails(self):
+        result = runs_test(np.zeros(1000, dtype=np.uint8))
+        assert not result.passed
+        assert result.p_value == 0.0
+
+    def test_alternating_sequence_fails(self):
+        bits = np.tile([0, 1], 5000)
+        result = runs_test(bits)
+        # Far too many runs: statistically impossible for a fair coin.
+        assert not result.passed
+
+    def test_nist_reference_vector(self):
+        # SP 800-22 section 2.3.8 example: eps = 110010010101 0110 ...
+        # The documented 100-bit example: pi = 0.42, V = 52, p = 0.500798.
+        eps = (
+            "11001001000011111101101010100010001000010110100011"
+            "00001000110100110001001100011001100010100010111000"
+        )
+        result = runs_test([int(c) for c in eps])
+        assert result.p_value == pytest.approx(0.500798, abs=1e-4)
+
+    def test_short_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            runs_test(np.zeros(50, dtype=np.uint8))
+
+
+class TestBlockFrequency:
+    def test_random_passes(self):
+        from repro.analysis import block_frequency_test
+
+        bits = BitSequence.random(20_000, np.random.default_rng(5))
+        assert block_frequency_test(bits).passed
+
+    def test_locally_biased_fails(self):
+        from repro.analysis import block_frequency_test
+
+        rng = np.random.default_rng(6)
+        # Alternate strongly biased blocks: globally balanced, locally
+        # far from 1/2 — exactly what this test exists to catch.
+        blocks = []
+        for i in range(100):
+            p = 0.15 if i % 2 == 0 else 0.85
+            blocks.append((rng.random(128) < p).astype(np.uint8))
+        bits = np.concatenate(blocks)
+        result = block_frequency_test(bits)
+        assert not result.passed
+        # The global monobit test is fooled.
+        assert monobit_test(bits).passed
+
+    def test_validation(self):
+        from repro.analysis import block_frequency_test
+
+        with pytest.raises(ConfigurationError):
+            block_frequency_test(np.zeros(200, dtype=np.uint8),
+                                 block_size=4)
+        with pytest.raises(ConfigurationError):
+            block_frequency_test(np.zeros(200, dtype=np.uint8),
+                                 block_size=128)
+
+
+class TestMonobit:
+    def test_random_passes(self):
+        bits = BitSequence.random(10_000, np.random.default_rng(1))
+        assert monobit_test(bits).passed
+
+    def test_biased_fails(self):
+        rng = np.random.default_rng(2)
+        biased = (rng.random(10_000) < 0.4).astype(np.uint8)
+        assert not monobit_test(biased).passed
+
+
+class TestMetrics:
+    def test_success_rate(self):
+        assert success_rate([True, True, False, True]) == 0.75
+
+    def test_success_rate_empty(self):
+        with pytest.raises(ConfigurationError):
+            success_rate([])
+
+    def test_mismatch_statistics_keys(self):
+        stats = mismatch_statistics([0.01, 0.02, 0.05])
+        assert set(stats) == {"mean", "median", "p90", "p99", "max"}
+        assert stats["max"] == pytest.approx(0.05)
+
+    def test_entropy_of_uniform_bits(self):
+        bits = BitSequence.random(50_000, np.random.default_rng(3))
+        assert shannon_entropy_bits(bits) > 0.999
+        assert shannon_entropy_bits(bits, block=4) > 0.99
+
+    def test_entropy_of_constant_bits(self):
+        assert shannon_entropy_bits(np.zeros(1000, dtype=np.uint8)) == 0.0
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["beta", 0.000012]],
+            title="Demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "alpha" in text and "1.20e-05" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])

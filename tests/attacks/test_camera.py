@@ -1,0 +1,147 @@
+"""Tests for the camera-aided data-recovery attack (SVI-E.2)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    CameraProfile,
+    CameraRecoveryAttack,
+    IN_SITU_PIXEL8,
+    REMOTE_ALPCAM,
+)
+from repro.core import KeySeedPipeline
+from repro.gesture import default_volunteers, sample_gesture
+from repro.utils.bits import BitSequence
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    return sample_gesture(default_volunteers()[0], rng=71)
+
+
+class TestProfiles:
+    def test_remote_has_depth_but_latency(self):
+        assert REMOTE_ALPCAM.tracks_depth
+        assert REMOTE_ALPCAM.processing_latency_s > 1.0
+        assert REMOTE_ALPCAM.frame_rate_hz == 260.0
+
+    def test_insitu_is_fast_but_blind_in_depth(self):
+        assert not IN_SITU_PIXEL8.tracks_depth
+        assert IN_SITU_PIXEL8.processing_latency_s < 0.12
+
+
+class TestObservation:
+    def make_attack(self, mini_bundle, camera):
+        return CameraRecoveryAttack(
+            pipeline=KeySeedPipeline(mini_bundle), eta=0.1, camera=camera
+        )
+
+    def test_positions_tracked_at_frame_rate(self, mini_bundle, trajectory):
+        attack = self.make_attack(mini_bundle, REMOTE_ALPCAM)
+        t, positions = attack.observe_positions(trajectory, rng=1)
+        assert positions.shape == (t.size, 3)
+        assert t.size == int(trajectory.total_s * 260)
+
+    def test_3d_tracking_noise_level(self, mini_bundle, trajectory):
+        attack = self.make_attack(mini_bundle, REMOTE_ALPCAM)
+        t, positions = attack.observe_positions(trajectory, rng=2)
+        truth = trajectory.position(t)
+        err = positions - truth
+        assert 0.001 < err.std() < 0.02
+
+    def test_2d_tracking_destroys_depth(self, mini_bundle, trajectory):
+        attack = self.make_attack(mini_bundle, IN_SITU_PIXEL8)
+        t, positions = attack.observe_positions(trajectory, rng=3)
+        truth = trajectory.position(t)
+        depth_err = np.abs(positions[:, 0] - truth[:, 0]).mean()
+        lateral_err = np.abs(positions[:, 1] - truth[:, 1]).mean()
+        assert depth_err > 5 * lateral_err
+
+    def test_acceleration_estimate_shape(self, mini_bundle, trajectory):
+        attack = self.make_attack(mini_bundle, REMOTE_ALPCAM)
+        a = attack.estimate_acceleration_matrix(trajectory, rng=4)
+        assert a.shape == (200, 3)
+
+    def test_double_differentiation_amplifies_noise(
+        self, mini_bundle, trajectory
+    ):
+        """The physics that defeats the attack: the acceleration estimate
+        is far noisier than the victim's IMU-grade measurement."""
+        attack = self.make_attack(mini_bundle, REMOTE_ALPCAM)
+        a_est = attack.estimate_acceleration_matrix(trajectory, rng=5)
+        t = trajectory.motion_onset_s + np.arange(200) / 100.0
+        truth = trajectory.acceleration(t)
+        residual = np.abs(a_est - truth).mean()
+        assert residual > 0.5  # m/s^2-scale error floor
+
+
+class TestAttackLoop:
+    def test_remote_deadline_blocks_even_valid_seeds(
+        self, mini_bundle, trajectory
+    ):
+        attack = CameraRecoveryAttack(
+            pipeline=KeySeedPipeline(mini_bundle),
+            eta=0.99,  # make the seed check a guaranteed pass
+            camera=REMOTE_ALPCAM,
+        )
+        victim_seed = BitSequence.zeros(
+            KeySeedPipeline(mini_bundle).seed_length
+        )
+        trial = attack.attempt(trajectory, victim_seed, rng=6)
+        assert not trial.succeeded
+        assert "deadline" in trial.detail
+
+    def test_fast_camera_meets_deadline(self, mini_bundle, trajectory):
+        # A hypothetical low-latency high-fidelity camera: the deadline
+        # gate passes, so the trial reduces to the seed check.
+        fast_camera = CameraProfile(
+            name="hypothetical",
+            frame_rate_hz=260.0,
+            tracking_noise_m=0.004,
+            tracks_depth=True,
+            processing_latency_s=0.05,
+        )
+        attack = CameraRecoveryAttack(
+            pipeline=KeySeedPipeline(mini_bundle),
+            eta=0.99,  # make the seed check a guaranteed pass
+            camera=fast_camera,
+        )
+        victim_seed = BitSequence.zeros(
+            KeySeedPipeline(mini_bundle).seed_length
+        )
+        trial = attack.attempt(trajectory, victim_seed, rng=7)
+        assert trial.succeeded
+
+    def test_insitu_tracking_often_fails_outright(self, mini_bundle,
+                                                  trajectory):
+        """The paper's in-situ result (0/200): noise-dominated 2-D
+        tracking frequently cannot even locate the gesture onset."""
+        attack = CameraRecoveryAttack(
+            pipeline=KeySeedPipeline(mini_bundle),
+            eta=0.99,
+            camera=IN_SITU_PIXEL8,
+        )
+        victim_seed = BitSequence.zeros(
+            KeySeedPipeline(mini_bundle).seed_length
+        )
+        trials = [
+            attack.attempt(trajectory, victim_seed, rng=100 + i)
+            for i in range(5)
+        ]
+        assert any(not t.succeeded for t in trials)
+
+    def test_run_batch(self, mini_bundle):
+        pipeline = KeySeedPipeline(mini_bundle)
+        attack = CameraRecoveryAttack(
+            pipeline=pipeline, eta=0.1, camera=IN_SITU_PIXEL8
+        )
+        rng = np.random.default_rng(8)
+        trajectories = [
+            sample_gesture(default_volunteers()[0], rng=100 + i)
+            for i in range(3)
+        ]
+        seeds = [
+            BitSequence.random(pipeline.seed_length, rng) for _ in range(3)
+        ]
+        outcome = attack.run(trajectories, seeds, rng=9)
+        assert outcome.n_trials == 3

@@ -1,0 +1,105 @@
+"""Tests for random-guessing and gesture-mimicry attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import GestureMimicryAttack, RandomGuessAttack
+from repro.attacks.base import AttackOutcome, AttackTrial
+from repro.core import KeySeedPipeline
+from repro.errors import ConfigurationError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.imu import default_mobile_devices
+from repro.rfid import default_environments, default_tags
+from repro.utils.bits import BitSequence
+
+
+class TestAttackOutcome:
+    def test_success_rate(self):
+        outcome = AttackOutcome(attack="x")
+        outcome.add(AttackTrial(succeeded=True, mismatch_rate=0.0))
+        outcome.add(AttackTrial(succeeded=False, mismatch_rate=0.4))
+        assert outcome.success_rate == 0.5
+        assert outcome.mismatch_rates() == [0.0, 0.4]
+
+    def test_empty_outcome_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = AttackOutcome(attack="x").success_rate
+
+
+class TestRandomGuessAttack:
+    def test_analytic_matches_eq4(self):
+        attack = RandomGuessAttack(eta=0.1)
+        # floor(0.1 * 20) = 2: (1 + 20 + 190) / 2^20.
+        assert attack.analytic_success(20) == pytest.approx(
+            211 / 2**20
+        )
+
+    def test_monte_carlo_close_to_analytic_small_seed(self):
+        """With a deliberately tiny seed the Eq. 4 probability is large
+        enough to verify by simulation."""
+        attack = RandomGuessAttack(eta=0.25)  # radius 3 of 12
+        rng = np.random.default_rng(0)
+        victims = [BitSequence.random(12, rng) for _ in range(20)]
+        outcome = attack.run(victims, guesses_per_victim=400, rng=1)
+        analytic = attack.analytic_success(12)
+        assert outcome.n_trials == 8000
+        assert outcome.success_rate == pytest.approx(analytic, rel=0.25)
+
+    def test_realistic_seed_never_guessed(self):
+        attack = RandomGuessAttack(eta=0.12)
+        rng = np.random.default_rng(2)
+        victims = [BitSequence.random(36, rng) for _ in range(5)]
+        outcome = attack.run(victims, guesses_per_victim=200, rng=3)
+        # Analytic ~ 2e-7; 1000 trials should all fail.
+        assert outcome.n_successes == 0
+
+
+class TestGestureMimicryAttack:
+    @pytest.fixture(scope="class")
+    def attack(self, mini_bundle):
+        return GestureMimicryAttack(
+            pipeline=KeySeedPipeline(mini_bundle),
+            eta=0.1,
+            device=default_mobile_devices()[0],
+            tag=default_tags()[0],
+            environment=default_environments()[0],
+        )
+
+    def test_attacker_seed_differs_from_victim(self, attack):
+        victims = default_volunteers()[:1]
+        trajectory = sample_gesture(victims[0], rng=1)
+        victim_seed = attack.victim_server_seed(trajectory, rng=2)
+        attacker_seed = attack.attacker_seed(
+            trajectory, default_volunteers()[1], rng=3
+        )
+        assert attacker_seed.mismatch_rate(victim_seed) > 0.1
+
+    def test_campaign_structure(self, attack):
+        outcome = attack.run(
+            victims=default_volunteers()[:2],
+            imitators=default_volunteers()[:3],
+            gestures_per_victim=2,
+            rng=4,
+        )
+        # 2 victims x 2 gestures x 2 imitators (victim excluded).
+        assert outcome.n_trials == 8
+        assert all(
+            t.mismatch_rate is None or 0 <= t.mismatch_rate <= 1
+            for t in outcome.trials
+        )
+
+    def test_mimicry_worse_than_benign(self, attack, mini_bundle,
+                                       mini_dataset):
+        """Even the mini model separates the true cross-modal pair from a
+        mimicked one on average."""
+        pipeline = KeySeedPipeline(mini_bundle)
+        benign = pipeline.seed_mismatch_rates(
+            mini_dataset.a_matrices(), mini_dataset.r_matrices()
+        ).mean()
+        outcome = attack.run(
+            victims=default_volunteers()[:2],
+            gestures_per_victim=2,
+            rng=5,
+        )
+        rates = outcome.mismatch_rates()
+        assert np.mean(rates) > benign

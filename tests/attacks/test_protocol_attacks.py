@@ -1,0 +1,137 @@
+"""Tests for eavesdropping, MitM, and signal-spoofing attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import Eavesdropper, MitmAttacker, SignalSpoofingAttack
+from repro.core import KeySeedPipeline
+from repro.crypto import generate_dh_group
+from repro.gesture import default_volunteers
+from repro.imu import default_mobile_devices
+from repro.protocol import (
+    KeyAgreementConfig,
+    SimulatedTransport,
+    run_key_agreement,
+)
+from repro.rfid import default_environments, default_tags
+from repro.utils.bits import BitSequence
+
+TEST_GROUP = generate_dh_group(96, rng=88)
+
+
+def make_config(**kwargs):
+    defaults = dict(key_length_bits=128, eta=0.1, group=TEST_GROUP)
+    defaults.update(kwargs)
+    return KeyAgreementConfig(**defaults)
+
+
+def matching_seeds(length=36, seed=0):
+    s = BitSequence.random(length, np.random.default_rng(seed))
+    return s, s
+
+
+class TestEavesdropper:
+    def test_transcript_complete_and_benign_run_unaffected(self):
+        eve = Eavesdropper(group=TEST_GROUP)
+        transport = SimulatedTransport(taps=[eve.tap])
+        s_m, s_r = matching_seeds()
+        outcome = run_key_agreement(
+            s_m, s_r, make_config(), transport=transport, rng=1
+        )
+        assert outcome.success
+        # 2x announce, 2x response, 2x ciphertexts, challenge, confirm.
+        assert eve.n_messages == 8
+        types = eve.observed_message_types()
+        assert types.count("OTAnnounce") == 2
+        assert types.count("ReconciliationChallenge") == 1
+
+    def test_key_recovery_attempt_yields_garbage(self):
+        eve = Eavesdropper(group=TEST_GROUP)
+        transport = SimulatedTransport(taps=[eve.tap])
+        s_m, s_r = matching_seeds(seed=3)
+        config = make_config()
+        outcome = run_key_agreement(
+            s_m, s_r, config, transport=transport, rng=2
+        )
+        assert outcome.success
+        forged = eve.attempt_key_recovery(
+            segment_bits=config.segment_bits(36), rng=4
+        )
+        assert forged is not None
+        # Compare against the halves of the real key material: the
+        # recovered bits behave like coin flips.
+        real = outcome.mobile_key
+        overlap = min(len(real), len(forged))
+        rate = forged[:overlap].mismatch_rate(real[:overlap])
+        assert 0.25 < rate < 0.75
+
+    def test_sketch_is_observed_but_insufficient(self):
+        eve = Eavesdropper(group=TEST_GROUP)
+        transport = SimulatedTransport(taps=[eve.tap])
+        s_m, s_r = matching_seeds(seed=5)
+        run_key_agreement(s_m, s_r, make_config(), transport=transport,
+                          rng=6)
+        assert eve.observed_sketch is not None
+        assert len(eve.observed_sketch) > 0
+
+
+class TestMitm:
+    @pytest.mark.parametrize(
+        "strategy", ["substitute_ciphertexts", "substitute_announce"]
+    )
+    def test_active_substitution_breaks_agreement(self, strategy):
+        mitm = MitmAttacker(group=TEST_GROUP, strategy=strategy, rng=1)
+        transport = SimulatedTransport(interceptor=mitm.intercept)
+        s_m, s_r = matching_seeds(seed=7)
+        outcome = run_key_agreement(
+            s_m, s_r, make_config(), transport=transport, rng=8
+        )
+        assert not outcome.success
+        assert mitm.modified_messages >= 1
+
+    def test_passive_relay_does_not_break_agreement(self):
+        mitm = MitmAttacker(group=TEST_GROUP, strategy="passive",
+                            relay_delay_s=0.001, rng=2)
+        transport = SimulatedTransport(interceptor=mitm.intercept)
+        s_m, s_r = matching_seeds(seed=9)
+        outcome = run_key_agreement(
+            s_m, s_r, make_config(), transport=transport, rng=10
+        )
+        assert outcome.success  # relay alone learns/changes nothing
+
+    def test_slow_relay_hits_deadline(self):
+        mitm = MitmAttacker(group=TEST_GROUP, strategy="passive",
+                            relay_delay_s=0.2, rng=3)
+        transport = SimulatedTransport(interceptor=mitm.intercept)
+        s_m, s_r = matching_seeds(seed=11)
+        outcome = run_key_agreement(
+            s_m, s_r, make_config(), transport=transport, rng=12
+        )
+        assert not outcome.success
+        assert "deadline" in outcome.failure_reason
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            MitmAttacker(group=TEST_GROUP, strategy="nonsense")
+
+
+class TestSignalSpoofing:
+    def test_spoofed_signal_disrupts_agreement(self, mini_bundle):
+        attack = SignalSpoofingAttack(
+            pipeline=KeySeedPipeline(mini_bundle),
+            agreement_config=make_config(eta=0.05),
+            device=default_mobile_devices()[0],
+            tag=default_tags()[0],
+            environment=default_environments()[0],
+        )
+        outcome = attack.run(
+            victim=default_volunteers()[0],
+            attacker_style=default_volunteers()[1],
+            n_instances=4,
+            rng=13,
+        )
+        assert outcome.n_trials == 4
+        # Spoofed RFID data decorrelates the seeds: every run fails.
+        assert outcome.n_successes == 0
+        rates = outcome.mismatch_rates()
+        assert rates and min(rates) > 0.05

@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Expensive artifacts are built once per session:
+
+* ``mini_dataset`` — a small but real cross-modal dataset (every sample
+  went through the full gesture -> sensors -> DSP pipelines).
+* ``mini_bundle`` — a briefly trained model bundle over that dataset
+  (enough for shape/flow tests; not a converged model).
+* ``default_bundle`` — the shipped pretrained artifact; tests needing
+  converged behaviour (low benign mismatch) use it and are skipped when
+  the asset has not been built yet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pretrained import has_default_bundle, load_default_bundle
+from repro.core.training import JointTrainingConfig, train_wavekey_models
+from repro.datasets import DatasetConfig, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    config = DatasetConfig(
+        gestures_per_device=1,
+        windows_per_gesture=4,
+        gesture_active_s=4.0,
+    )
+    return generate_dataset(config, rng=1234)
+
+
+@pytest.fixture(scope="session")
+def mini_bundle(mini_dataset):
+    config = JointTrainingConfig(
+        latent_width=8, epochs=8, batch_size=32, learning_rate=2e-3
+    )
+    result = train_wavekey_models(mini_dataset, config, rng=42)
+    return result.bundle
+
+
+@pytest.fixture(scope="session")
+def default_bundle():
+    if not has_default_bundle():
+        pytest.skip("pretrained bundle not built yet "
+                    "(run scripts/train_default_bundle.py)")
+    return load_default_bundle()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)

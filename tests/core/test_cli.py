@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro import cli
+from repro.core import pretrained
+from repro.core.models import (
+    WaveKeyModelBundle,
+    build_decoder,
+    build_imu_encoder,
+    build_rf_encoder,
+)
+
+
+@pytest.fixture()
+def tiny_asset(monkeypatch, tmp_path):
+    """Point the CLI at a small untrained bundle on disk."""
+    bundle = WaveKeyModelBundle(
+        imu_encoder=build_imu_encoder(6, rng=0),
+        rf_encoder=build_rf_encoder(6, rng=1),
+        decoder=build_decoder(6, rng=2),
+        n_bins=8,
+        eta=0.2,
+    )
+    asset_dir = str(tmp_path / "bundle")
+    bundle.save(asset_dir)
+    monkeypatch.setattr(pretrained, "_ASSET_DIR", asset_dir)
+    return bundle
+
+
+class TestInspect:
+    def test_prints_operating_point(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(["inspect"], out=out)
+        text = out.getvalue()
+        assert code == 0
+        assert "l_f : 6" in text
+        assert "eta" in text
+
+    def test_missing_bundle_reports_error(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            pretrained, "_ASSET_DIR", str(tmp_path / "missing")
+        )
+        out = io.StringIO()
+        code = cli.main(["inspect"], out=out)
+        assert code == 3
+        assert "error:" in out.getvalue()
+
+
+class TestEstablish:
+    def test_runs_end_to_end(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(
+            ["establish", "--seed", "3", "--key-bits", "128"], out=out
+        )
+        text = out.getvalue()
+        assert code in (0, 1)  # untrained bundle may fail agreement
+        assert "seed mismatch" in text
+
+
+class TestAttack:
+    def test_guess_campaign(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(
+            ["attack", "guess", "--trials", "20", "--seed", "2"], out=out
+        )
+        assert code in (0, 2)
+        assert "random-guessing" in out.getvalue()
+
+    def test_argparse_rejects_unknown(self, tiny_asset):
+        with pytest.raises(SystemExit):
+            cli.main(["attack", "nonsense"])

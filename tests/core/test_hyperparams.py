@@ -1,0 +1,198 @@
+"""Tests for the hyperparameter-determination procedures (SVI-C)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    KeySeedPipeline,
+    calibrate_eta,
+    determine_tau,
+    prune_latent_width,
+    sweep_quantization_bins,
+)
+from repro.core.hyperparams import (
+    random_guess_success,
+    select_optimal_bins,
+)
+from repro.core.training import JointTrainingConfig
+from repro.crypto import generate_dh_group
+from repro.errors import ConfigurationError
+
+
+class TestRandomGuessSuccess:
+    def test_eq4_closed_form(self):
+        # l_s = 10, eta = 0.2 -> radius 2: (C(10,0)+C(10,1)+C(10,2))/2^10.
+        expected = (1 + 10 + 45) / 1024
+        assert random_guess_success(10, 0.2) == pytest.approx(expected)
+
+    def test_monotone_in_eta(self):
+        values = [random_guess_success(36, e) for e in (0.05, 0.1, 0.2, 0.4)]
+        assert values == sorted(values)
+
+    def test_zero_eta(self):
+        assert random_guess_success(36, 0.0) == pytest.approx(2.0**-36)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_guess_success(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            random_guess_success(10, 1.0)
+
+
+class TestCalibrateEta:
+    def test_covers_target_percentile(self, mini_bundle, mini_dataset):
+        pipeline = KeySeedPipeline(mini_bundle)
+        calibration = calibrate_eta(
+            pipeline,
+            mini_dataset.a_matrices(),
+            mini_dataset.r_matrices(),
+            target_success_rate=0.9,
+            max_eta=0.49,  # uncapped: the mini model is untrained
+        )
+        assert calibration.expected_benign_success >= 0.9
+        assert 0 < calibration.eta < 0.5
+
+    def test_security_ceiling_caps_eta(self, mini_bundle, mini_dataset):
+        pipeline = KeySeedPipeline(mini_bundle)
+        capped = calibrate_eta(
+            pipeline,
+            mini_dataset.a_matrices(),
+            mini_dataset.r_matrices(),
+            target_success_rate=0.99,
+            max_eta=0.1,
+        )
+        assert capped.eta <= 0.1 + 1e-9
+
+    def test_eta_is_representable_mismatch_count(self, mini_bundle,
+                                                 mini_dataset):
+        pipeline = KeySeedPipeline(mini_bundle)
+        calibration = calibrate_eta(
+            pipeline, mini_dataset.a_matrices(), mini_dataset.r_matrices()
+        )
+        count = calibration.eta * calibration.seed_length
+        assert count == pytest.approx(round(count))
+
+    def test_validation(self, mini_bundle, mini_dataset):
+        pipeline = KeySeedPipeline(mini_bundle)
+        with pytest.raises(ConfigurationError):
+            calibrate_eta(
+                pipeline, mini_dataset.a_matrices(),
+                mini_dataset.r_matrices(), target_success_rate=1.0,
+            )
+
+
+class TestBinSweep:
+    def test_sweep_shape(self, mini_bundle, mini_dataset):
+        points = sweep_quantization_bins(
+            mini_bundle,
+            mini_dataset.a_matrices(),
+            mini_dataset.r_matrices(),
+            n_bins_values=(4, 8, 12),
+        )
+        assert [p.n_bins for p in points] == [4, 8, 12]
+        for p in points:
+            assert 0 <= p.guess_success <= 1
+            assert p.seed_length == mini_bundle.latent_width * math.ceil(
+                math.log2(p.n_bins)
+            )
+
+    def test_guess_success_falls_with_more_bins(self, mini_bundle,
+                                                mini_dataset):
+        """Fig. 7's left axis: more bins -> longer seeds -> random
+        guessing gets harder (until eta inflation counteracts)."""
+        points = sweep_quantization_bins(
+            mini_bundle,
+            mini_dataset.a_matrices(),
+            mini_dataset.r_matrices(),
+            n_bins_values=(2, 16),
+        )
+        assert points[1].guess_success < points[0].guess_success * 10
+
+    def test_select_optimal(self, mini_bundle, mini_dataset):
+        points = sweep_quantization_bins(
+            mini_bundle,
+            mini_dataset.a_matrices(),
+            mini_dataset.r_matrices(),
+            n_bins_values=(4, 8),
+        )
+        best = select_optimal_bins(points)
+        assert best in points
+
+    def test_select_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_optimal_bins([])
+
+
+class TestPruning:
+    def test_prunes_below_initial_width(self, mini_dataset):
+        config = JointTrainingConfig(
+            latent_width=10, epochs=3, batch_size=32, learning_rate=2e-3
+        )
+        result = prune_latent_width(
+            mini_dataset,
+            initial_width=10,
+            min_width=4,
+            training_config=config,
+            retrain_epochs=1,
+            loss_increase_tolerance=10.0,  # keep pruning until min_width
+            rng=1,
+        )
+        assert result.selected_width == 4
+        assert result.steps[0].latent_width == 10
+        assert result.steps[-1].latent_width == 4
+
+    def test_stops_on_loss_increase(self, mini_dataset):
+        config = JointTrainingConfig(
+            latent_width=8, epochs=3, batch_size=32, learning_rate=2e-3
+        )
+        result = prune_latent_width(
+            mini_dataset,
+            initial_width=8,
+            min_width=2,
+            training_config=config,
+            retrain_epochs=1,
+            loss_increase_tolerance=-0.99,  # any non-improvement stops
+            rng=2,
+        )
+        assert result.selected_width >= 2
+        # Bundle remains usable after the surgery.
+        out = result.bundle.imu_encoder.forward(
+            np.zeros((2, 3, 200))
+        )
+        assert out.shape == (2, result.selected_width)
+
+    def test_decoder_input_pruned_consistently(self, mini_dataset):
+        config = JointTrainingConfig(
+            latent_width=6, epochs=2, batch_size=32
+        )
+        result = prune_latent_width(
+            mini_dataset,
+            initial_width=6,
+            min_width=5,
+            training_config=config,
+            retrain_epochs=1,
+            loss_increase_tolerance=10.0,
+            rng=3,
+        )
+        bundle = result.bundle
+        latent = bundle.latent_width
+        out = bundle.decoder.forward(np.zeros((2, latent)))
+        assert out.shape == (2, 400)
+
+
+class TestDetermineTau:
+    def test_measures_and_adds_headroom(self):
+        group = generate_dh_group(64, rng=3)
+        measurement = determine_tau(
+            seed_length=8, n_trials=5, group=group, headroom=1.2, rng=4
+        )
+        assert measurement.prep_times_s.shape == (5,)
+        assert measurement.tau_s == pytest.approx(
+            measurement.max_prep_s * 1.2
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            determine_tau(seed_length=0)

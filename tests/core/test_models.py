@@ -1,0 +1,98 @@
+"""Tests for the WaveKey architectures and the model bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WaveKeyModelBundle,
+    build_decoder,
+    build_imu_encoder,
+    build_rf_encoder,
+)
+from repro.errors import ConfigurationError
+
+
+class TestArchitectures:
+    def test_imu_encoder_shapes(self):
+        encoder = build_imu_encoder(12, rng=0)
+        out = encoder.forward(np.zeros((4, 3, 200)))
+        assert out.shape == (4, 12)
+
+    def test_rf_encoder_shapes(self):
+        encoder = build_rf_encoder(12, rng=0)
+        out = encoder.forward(np.zeros((4, 2, 400)))
+        assert out.shape == (4, 12)
+
+    def test_decoder_shapes(self):
+        decoder = build_decoder(12, rng=0)
+        out = decoder.forward(np.zeros((4, 12)))
+        assert out.shape == (4, 400)
+
+    def test_fig5_layer_sequence(self):
+        encoder = build_imu_encoder(12, rng=0)
+        kinds = [layer.spec()["type"] for layer in encoder]
+        assert kinds == [
+            "Conv1d", "ReLU", "Conv1d", "ReLU", "Flatten", "Dense",
+            "BatchNorm1d",
+        ]
+        decoder = build_decoder(12, rng=0)
+        kinds = [layer.spec()["type"] for layer in decoder]
+        # deconv, FC, deconv, FC with ReLU after the first three.
+        assert kinds.count("ConvTranspose1d") == 2
+        assert kinds.count("Dense") == 2
+        assert kinds.count("ReLU") == 3
+
+    def test_final_batchnorm_is_non_affine(self):
+        encoder = build_rf_encoder(8, rng=0)
+        assert encoder[-1].affine is False
+
+    def test_invalid_latent(self):
+        with pytest.raises(ConfigurationError):
+            build_imu_encoder(0)
+
+    def test_trainable_end_to_end(self):
+        encoder = build_imu_encoder(6, rng=1)
+        x = np.random.default_rng(0).normal(size=(8, 3, 200))
+        out = encoder.forward(x, training=True)
+        encoder.backward(np.ones_like(out))  # must not raise
+
+
+class TestBundle:
+    def make_bundle(self, latent=8, **kwargs):
+        return WaveKeyModelBundle(
+            imu_encoder=build_imu_encoder(latent, rng=0),
+            rf_encoder=build_rf_encoder(latent, rng=1),
+            decoder=build_decoder(latent, rng=2),
+            **kwargs,
+        )
+
+    def test_latent_width(self):
+        assert self.make_bundle(10).latent_width == 10
+
+    def test_seed_length(self):
+        bundle = self.make_bundle(12, n_bins=8)
+        assert bundle.seed_length == 36
+
+    def test_mismatched_encoders_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaveKeyModelBundle(
+                imu_encoder=build_imu_encoder(8, rng=0),
+                rf_encoder=build_rf_encoder(10, rng=1),
+                decoder=build_decoder(8, rng=2),
+            )
+
+    def test_bad_eta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_bundle(8, eta=0.7)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        bundle = self.make_bundle(8, n_bins=8, eta=0.08)
+        x = np.random.default_rng(3).normal(size=(2, 3, 200))
+        expected = bundle.imu_encoder.forward(x)
+        bundle.save(str(tmp_path))
+        restored = WaveKeyModelBundle.load(str(tmp_path))
+        assert restored.n_bins == 8
+        assert restored.eta == pytest.approx(0.08)
+        np.testing.assert_allclose(
+            restored.imu_encoder.forward(x), expected, atol=1e-12
+        )

@@ -1,0 +1,44 @@
+"""Tests for pretrained-bundle access."""
+
+import os
+
+import pytest
+
+from repro.core.models import (
+    WaveKeyModelBundle,
+    build_decoder,
+    build_imu_encoder,
+    build_rf_encoder,
+)
+from repro.core import pretrained
+from repro.errors import ConfigurationError
+
+
+class TestPretrainedAccess:
+    def test_missing_bundle_raises_with_instructions(self, monkeypatch,
+                                                     tmp_path):
+        monkeypatch.setattr(pretrained, "_ASSET_DIR", str(tmp_path / "nope"))
+        assert not pretrained.has_default_bundle()
+        with pytest.raises(ConfigurationError, match="train_default_bundle"):
+            pretrained.load_default_bundle()
+
+    def test_roundtrip_via_asset_dir(self, monkeypatch, tmp_path):
+        bundle = WaveKeyModelBundle(
+            imu_encoder=build_imu_encoder(6, rng=0),
+            rf_encoder=build_rf_encoder(6, rng=1),
+            decoder=build_decoder(6, rng=2),
+            n_bins=8,
+            eta=0.11,
+        )
+        asset_dir = str(tmp_path / "bundle")
+        bundle.save(asset_dir)
+        monkeypatch.setattr(pretrained, "_ASSET_DIR", asset_dir)
+        assert pretrained.has_default_bundle()
+        loaded = pretrained.load_default_bundle()
+        assert loaded.latent_width == 6
+        assert loaded.eta == pytest.approx(0.11)
+
+    def test_default_dir_inside_package(self):
+        directory = pretrained.default_bundle_dir()
+        assert os.path.basename(directory) == "default_bundle"
+        assert "repro" in directory

@@ -1,0 +1,74 @@
+"""Tests for the WaveKeySystem facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import WaveKeySystem
+from repro.crypto import generate_dh_group
+from repro.gesture import default_volunteers, sample_gesture
+from repro.protocol import KeyAgreementConfig
+from repro.utils.bits import BitSequence
+
+TEST_GROUP = generate_dh_group(96, rng=77)
+
+
+@pytest.fixture(scope="module")
+def system(mini_bundle):
+    # A permissive eta so even the briefly trained mini bundle agrees;
+    # the converged-behaviour tests live in tests/integration.
+    config = KeyAgreementConfig(
+        key_length_bits=128, eta=0.3, group=TEST_GROUP
+    )
+    return WaveKeySystem(mini_bundle, agreement_config=config)
+
+
+class TestAcquisition:
+    def test_acquire_returns_seed_pair(self, system):
+        trajectory = sample_gesture(default_volunteers()[0], rng=1)
+        s_m, s_r = system.acquire(trajectory, rng=2)
+        assert len(s_m) == len(s_r) == system.pipeline.seed_length
+
+    def test_default_hardware_roster(self, system):
+        assert system.device.name == "galaxy-watch"
+        assert system.tag.name == "alien-9640-a"
+        assert system.environment.name == "environment-1"
+
+
+class TestEstablishKey:
+    def test_outcome_structure(self, system):
+        result = system.establish_key(rng=3)
+        assert result.seed_mobile is not None
+        assert result.elapsed_s > 2.0
+        if result.success:
+            assert len(result.key) == 128
+            assert result.seed_mismatch_rate <= 0.3
+        else:
+            assert result.key is None
+            assert result.failure_reason
+
+    def test_reproducible_seeds(self, system):
+        r1 = system.establish_key(rng=5)
+        r2 = system.establish_key(rng=5)
+        assert r1.seed_mobile == r2.seed_mobile
+        assert r1.success == r2.success
+
+    def test_explicit_trajectory(self, system):
+        trajectory = sample_gesture(default_volunteers()[2], rng=6)
+        result = system.establish_key(trajectory=trajectory, rng=7)
+        assert result.seed_mobile is not None
+
+    def test_agree_on_seeds_identical(self, system):
+        seed = BitSequence.random(
+            system.pipeline.seed_length, np.random.default_rng(8)
+        )
+        result = system.agree_on_seeds(seed, seed, rng=9)
+        assert result.success
+        assert result.seed_mismatch_rate == 0.0
+
+    def test_agree_on_seeds_disjoint_fails(self, system):
+        rng = np.random.default_rng(10)
+        a = BitSequence.random(system.pipeline.seed_length, rng)
+        b = BitSequence(1 - a.array)
+        result = system.agree_on_seeds(a, b, rng=11)
+        assert not result.success
+        assert result.key is None

@@ -1,0 +1,166 @@
+"""Tests for BCH codes and the code-offset secure sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import BCHCode, SecureSketch, design_bch
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    KeyAgreementFailure,
+)
+from repro.utils.bits import BitSequence
+
+
+@pytest.fixture(scope="module")
+def code():
+    return BCHCode(7, 5)  # n = 127, corrects 5 errors
+
+
+class TestConstruction:
+    def test_dimension_bookkeeping(self, code):
+        assert code.n_full == 127
+        assert code.k == code.length - code.n_parity
+        assert code.generator[0] == 1  # monic
+
+    def test_generator_divides_codewords(self, code):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            assert code.is_codeword(code.random_codeword(rng))
+
+    def test_shortened_code(self):
+        code = BCHCode(7, 3, length=80)
+        assert code.length == 80
+        msg = BitSequence.random(code.k, np.random.default_rng(1))
+        cw = code.encode(msg)
+        assert len(cw) == 80
+        assert code.is_codeword(cw)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BCHCode(7, 0)
+        with pytest.raises(ConfigurationError):
+            BCHCode(7, 3, length=5)  # below parity
+        with pytest.raises(ConfigurationError):
+            BCHCode(7, 3, length=200)  # above n
+
+
+class TestEncoding:
+    def test_systematic(self, code):
+        msg = BitSequence.random(code.k, np.random.default_rng(2))
+        cw = code.encode(msg)
+        assert cw[: code.k] == msg
+        assert code.message_of(cw) == msg
+
+    def test_wrong_message_length(self, code):
+        with pytest.raises(ConfigurationError):
+            code.encode(BitSequence.zeros(code.k + 1))
+
+    def test_linear(self, code):
+        rng = np.random.default_rng(3)
+        m1 = BitSequence.random(code.k, rng)
+        m2 = BitSequence.random(code.k, rng)
+        cw_sum = code.encode(m1) ^ code.encode(m2)
+        assert code.is_codeword(cw_sum)
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("n_errors", [0, 1, 3, 5])
+    def test_corrects_up_to_t(self, code, n_errors):
+        rng = np.random.default_rng(n_errors)
+        cw = code.random_codeword(rng)
+        noisy = cw.array.copy()
+        if n_errors:
+            idx = rng.choice(len(noisy), size=n_errors, replace=False)
+            noisy[idx] ^= 1
+        assert code.decode(noisy) == cw
+
+    def test_beyond_t_raises_or_miscorrects(self, code):
+        rng = np.random.default_rng(9)
+        cw = code.random_codeword(rng)
+        noisy = cw.array.copy()
+        idx = rng.choice(len(noisy), size=11, replace=False)
+        noisy[idx] ^= 1
+        try:
+            decoded = code.decode(noisy)
+            assert decoded != cw  # if it decodes, it's a different word
+        except DecodingError:
+            pass
+
+    def test_shortened_decoding(self):
+        code = BCHCode(8, 6, length=120)
+        rng = np.random.default_rng(4)
+        cw = code.random_codeword(rng)
+        noisy = cw.array.copy()
+        idx = rng.choice(120, size=6, replace=False)
+        noisy[idx] ^= 1
+        assert code.decode(noisy) == cw
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(0, 2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, n_errors, seed):
+        code = BCHCode(7, 5)
+        rng = np.random.default_rng(seed)
+        cw = code.random_codeword(rng)
+        noisy = cw.array.copy()
+        if n_errors:
+            idx = rng.choice(len(noisy), size=n_errors, replace=False)
+            noisy[idx] ^= 1
+        assert code.decode(noisy) == cw
+
+
+class TestDesign:
+    def test_matches_key_length(self):
+        code = design_bch(288, 12)
+        assert code.length == 288
+        assert code.t == 12
+        assert code.k >= 1
+
+    def test_large_key(self):
+        code = design_bch(2112, 88)
+        assert code.length == 2112
+        assert code.k > 1000
+
+    def test_impossible_request(self):
+        with pytest.raises(ConfigurationError):
+            design_bch(16, 200)
+
+
+class TestSecureSketch:
+    def test_recover_within_tolerance(self):
+        sketch_helper = SecureSketch(design_bch(288, 12))
+        rng = np.random.default_rng(5)
+        key = BitSequence.random(288, rng)
+        public = sketch_helper.sketch(key, rng)
+        noisy = key.array.copy()
+        idx = rng.choice(288, size=12, replace=False)
+        noisy[idx] ^= 1
+        assert sketch_helper.recover(public, noisy) == key
+
+    def test_recover_beyond_tolerance_fails(self):
+        sketch_helper = SecureSketch(design_bch(288, 12))
+        rng = np.random.default_rng(6)
+        key = BitSequence.random(288, rng)
+        public = sketch_helper.sketch(key, rng)
+        random_key = BitSequence.random(288, rng)
+        with pytest.raises(KeyAgreementFailure):
+            sketch_helper.recover(public, random_key)
+
+    def test_sketch_is_randomized(self):
+        sketch_helper = SecureSketch(design_bch(288, 12))
+        key = BitSequence.random(288, np.random.default_rng(7))
+        s1 = sketch_helper.sketch(key, np.random.default_rng(1))
+        s2 = sketch_helper.sketch(key, np.random.default_rng(2))
+        assert s1 != s2  # fresh codeword each time
+
+    def test_leakage_bound(self):
+        sketch_helper = SecureSketch(design_bch(288, 12))
+        assert sketch_helper.leakage_bits == sketch_helper.code.n_parity
+        assert sketch_helper.leakage_bits < 288
+
+    def test_length_validation(self):
+        sketch_helper = SecureSketch(design_bch(288, 12))
+        with pytest.raises(ConfigurationError):
+            sketch_helper.sketch(BitSequence.zeros(100))

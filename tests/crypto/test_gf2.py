@@ -1,0 +1,109 @@
+"""Field-axiom and vectorization tests for GF(2^m)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import GF2m
+from repro.errors import ConfigurationError, CryptoError
+
+FIELD = GF2m(8)
+elements = st.integers(min_value=0, max_value=FIELD.order - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD.order - 1)
+
+
+class TestConstruction:
+    def test_supported_degrees(self):
+        for m in range(3, 15):
+            field = GF2m(m)
+            assert field.order == 1 << m
+
+    def test_unsupported_degree(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(2)
+        with pytest.raises(ConfigurationError):
+            GF2m(15)
+
+    def test_alpha_generates_group(self):
+        field = GF2m(4)
+        seen = {field.pow_alpha(i) for i in range(field.mult_order)}
+        assert len(seen) == field.mult_order
+        assert 0 not in seen
+
+
+class TestScalarOps:
+    @given(elements, nonzero)
+    @settings(max_examples=100)
+    def test_div_inverts_mul(self, a, b):
+        assert FIELD.div(FIELD.mul(a, b), b) == a
+
+    @given(nonzero)
+    @settings(max_examples=50)
+    def test_inverse(self, a):
+        assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+    @given(elements, elements, elements)
+    @settings(max_examples=100)
+    def test_mul_distributes_over_xor(self, a, b, c):
+        # In characteristic 2, addition is XOR.
+        left = FIELD.mul(a, b ^ c)
+        right = FIELD.mul(a, b) ^ FIELD.mul(a, c)
+        assert left == right
+
+    @given(elements, elements)
+    @settings(max_examples=100)
+    def test_mul_commutes(self, a, b):
+        assert FIELD.mul(a, b) == FIELD.mul(b, a)
+
+    def test_zero_annihilates(self):
+        assert FIELD.mul(0, 37) == 0
+
+    def test_div_by_zero(self):
+        with pytest.raises(CryptoError):
+            FIELD.div(1, 0)
+        with pytest.raises(CryptoError):
+            FIELD.inv(0)
+
+    def test_log_exp_roundtrip(self):
+        for a in range(1, FIELD.order):
+            assert FIELD.pow_alpha(FIELD.log(a)) == a
+
+
+class TestVectorOps:
+    def test_pow_alpha_vec_matches_scalar(self):
+        exps = np.arange(-10, 300, 7)
+        vec = FIELD.pow_alpha_vec(exps)
+        for e, v in zip(exps, vec):
+            assert FIELD.pow_alpha(int(e)) == int(v)
+
+    def test_poly_eval_at_alpha_powers_matches_horner(self):
+        rng = np.random.default_rng(0)
+        coeffs = rng.integers(0, FIELD.order, size=6)
+        powers = np.arange(0, 40, 3)
+        vec = FIELD.poly_eval_at_alpha_powers(coeffs, powers)
+        for p, v in zip(powers, vec):
+            x = FIELD.pow_alpha(int(p))
+            assert FIELD.poly_eval(coeffs, x) == int(v)
+
+
+class TestPolynomials:
+    def test_poly_mul_known(self):
+        field = GF2m(4)
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2) coefficients.
+        out = field.poly_mul(np.array([1, 1]), np.array([1, 1]))
+        np.testing.assert_array_equal(out, [1, 0, 1])
+
+    def test_poly_mul_degree_adds(self):
+        field = GF2m(5)
+        rng = np.random.default_rng(1)
+        p = rng.integers(1, field.order, size=4)
+        q = rng.integers(1, field.order, size=3)
+        assert field.poly_mul(p, q).size == 6
+
+    def test_poly_eval_horner(self):
+        # p(x) = x^2 + 3 evaluated at alpha.
+        coeffs = np.array([3, 0, 1])
+        alpha = FIELD.pow_alpha(1)
+        expected = FIELD.mul(alpha, alpha) ^ 3
+        assert FIELD.poly_eval(coeffs, alpha) == expected

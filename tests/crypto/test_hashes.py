@@ -1,0 +1,81 @@
+"""Tests for hashing, KDF, and the XOR cipher."""
+
+import pytest
+
+from repro.crypto.hashes import (
+    hash_group_element,
+    hkdf_stream,
+    hmac_digest,
+    hmac_verify,
+)
+from repro.crypto.symmetric import xor_cipher
+from repro.errors import CryptoError
+
+
+class TestHashGroupElement:
+    def test_deterministic(self):
+        assert hash_group_element(12345) == hash_group_element(12345)
+
+    def test_distinct_elements(self):
+        assert hash_group_element(1) != hash_group_element(2)
+
+    def test_context_separation(self):
+        assert hash_group_element(7, b"a") != hash_group_element(7, b"b")
+
+    def test_output_length(self):
+        assert len(hash_group_element(99)) == 32
+
+    def test_rejects_negative(self):
+        with pytest.raises(CryptoError):
+            hash_group_element(-1)
+
+
+class TestHkdfStream:
+    def test_length(self):
+        assert len(hkdf_stream(b"key", 100)) == 100
+        assert hkdf_stream(b"key", 0) == b""
+
+    def test_prefix_property(self):
+        long = hkdf_stream(b"key", 100)
+        short = hkdf_stream(b"key", 40)
+        assert long[:40] == short
+
+    def test_context_separation(self):
+        assert hkdf_stream(b"key", 32, b"x") != hkdf_stream(b"key", 32, b"y")
+
+    def test_negative_length(self):
+        with pytest.raises(CryptoError):
+            hkdf_stream(b"key", -1)
+
+
+class TestHmac:
+    def test_verify_roundtrip(self):
+        tag = hmac_digest(b"secret", b"message")
+        assert hmac_verify(b"secret", b"message", tag)
+
+    def test_wrong_key_fails(self):
+        tag = hmac_digest(b"secret", b"message")
+        assert not hmac_verify(b"other", b"message", tag)
+
+    def test_wrong_message_fails(self):
+        tag = hmac_digest(b"secret", b"message")
+        assert not hmac_verify(b"secret", b"other", tag)
+
+
+class TestXorCipher:
+    def test_involution(self):
+        data = b"hello wavekey protocol"
+        key = b"k" * 32
+        assert xor_cipher(xor_cipher(data, key), key) == data
+
+    def test_distinct_keys_distinct_ciphertexts(self):
+        assert xor_cipher(b"data", b"key1") != xor_cipher(b"data", b"key2")
+
+    def test_context_matters(self):
+        assert xor_cipher(b"data", b"key", b"c1") != xor_cipher(
+            b"data", b"key", b"c2"
+        )
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(CryptoError):
+            xor_cipher(b"data", b"")

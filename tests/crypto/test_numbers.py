@@ -1,0 +1,89 @@
+"""Tests for primality and DH groups."""
+
+import pytest
+
+from repro.crypto import (
+    DHGroup,
+    RFC3526_GROUP_1536,
+    RFC3526_GROUP_2048,
+    WAVEKEY_GROUP_512,
+    generate_dh_group,
+    is_probable_prime,
+)
+from repro.errors import CryptoError
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize(
+        "prime", [2, 3, 5, 104729, 2**61 - 1, 2**89 - 1]
+    )
+    def test_accepts_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize(
+        "composite",
+        [1, 4, 561, 1105, 104730, (2**61 - 1) * 3, 2**62],
+    )
+    def test_rejects_composites(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_carmichael_numbers_rejected(self):
+        # Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(n)
+
+
+class TestDHGroup:
+    def test_rfc_groups_are_safe_primes(self):
+        for group in (RFC3526_GROUP_1536, RFC3526_GROUP_2048):
+            assert is_probable_prime(group.prime, rounds=10)
+            assert is_probable_prime((group.prime - 1) // 2, rounds=5)
+
+    def test_wavekey_group_is_safe_prime(self):
+        assert WAVEKEY_GROUP_512.bits == 512
+        assert is_probable_prime(WAVEKEY_GROUP_512.prime, rounds=10)
+        assert is_probable_prime((WAVEKEY_GROUP_512.prime - 1) // 2,
+                                 rounds=10)
+
+    def test_div_is_mul_inverse(self):
+        g = WAVEKEY_GROUP_512
+        a, b = 123456789, 987654321
+        assert g.div(g.mul(a, b), b) == a % g.prime
+
+    def test_power(self):
+        g = DHGroup(prime=23, generator=5)
+        assert g.power(3) == pow(5, 3, 23)
+
+    def test_random_exponent_in_range(self):
+        g = WAVEKEY_GROUP_512
+        for seed in range(20):
+            e = g.random_exponent(seed)
+            assert 1 <= e <= g.prime - 2
+
+    def test_contains(self):
+        g = DHGroup(prime=23, generator=5)
+        assert g.contains(1) and g.contains(22)
+        assert not g.contains(0) and not g.contains(23)
+
+    def test_validation(self):
+        with pytest.raises(CryptoError):
+            DHGroup(prime=4, generator=2)
+        with pytest.raises(CryptoError):
+            DHGroup(prime=23, generator=23)
+
+
+class TestGenerateGroup:
+    def test_small_group_generation(self):
+        g = generate_dh_group(48, rng=1)
+        assert is_probable_prime(g.prime)
+        assert is_probable_prime((g.prime - 1) // 2)
+        assert g.prime.bit_length() >= 47
+
+    def test_deterministic(self):
+        assert generate_dh_group(32, rng=7).prime == generate_dh_group(
+            32, rng=7
+        ).prime
+
+    def test_rejects_tiny(self):
+        with pytest.raises(CryptoError):
+            generate_dh_group(8)

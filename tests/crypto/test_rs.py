@@ -1,0 +1,171 @@
+"""Tests for Reed-Solomon codes and the segment-level secure sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import RSCode, SegmentSecureSketch
+from repro.errors import (
+    ConfigurationError,
+    DecodingError,
+    KeyAgreementFailure,
+)
+from repro.utils.bits import BitSequence
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RSCode(8, 36, 4)  # GF(256), 36 symbols, corrects 4
+
+
+class TestRSConstruction:
+    def test_dimensions(self, code):
+        assert code.n == 36
+        assert code.k == 28
+        assert code.generator.size == 9  # degree 2t = 8, monic
+
+    def test_generator_roots(self, code):
+        for i in range(1, 9):
+            alpha_i = code.field.pow_alpha(i)
+            assert code.field.poly_eval(code.generator, alpha_i) == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            RSCode(8, 36, 0)
+        with pytest.raises(ConfigurationError):
+            RSCode(8, 36, 18)  # k = 0
+        with pytest.raises(ConfigurationError):
+            RSCode(4, 36, 2)  # n > 2^4 - 1
+
+
+class TestRSEncoding:
+    def test_systematic(self, code):
+        rng = np.random.default_rng(0)
+        msg = rng.integers(0, 256, size=code.k)
+        cw = code.encode(msg)
+        np.testing.assert_array_equal(cw[: code.k], msg)
+        np.testing.assert_array_equal(code.message_of(cw), msg)
+        assert code.is_codeword(cw)
+
+    def test_linear(self, code):
+        rng = np.random.default_rng(1)
+        c1 = code.random_codeword(rng)
+        c2 = code.random_codeword(rng)
+        assert code.is_codeword(c1 ^ c2)
+
+    def test_bad_message(self, code):
+        with pytest.raises(ConfigurationError):
+            code.encode(np.zeros(code.k + 1, dtype=int))
+        with pytest.raises(ConfigurationError):
+            code.encode(np.full(code.k, 300))
+
+
+class TestRSDecoding:
+    @pytest.mark.parametrize("n_errors", [0, 1, 2, 4])
+    def test_corrects_symbol_errors(self, code, n_errors):
+        rng = np.random.default_rng(n_errors + 10)
+        cw = code.random_codeword(rng)
+        noisy = cw.copy()
+        if n_errors:
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            for p in positions:
+                noisy[p] ^= rng.integers(1, 256)
+        np.testing.assert_array_equal(code.decode(noisy), cw)
+
+    def test_beyond_radius_fails(self, code):
+        rng = np.random.default_rng(20)
+        cw = code.random_codeword(rng)
+        noisy = cw.copy()
+        positions = rng.choice(code.n, size=9, replace=False)
+        for p in positions:
+            noisy[p] ^= rng.integers(1, 256)
+        with pytest.raises(DecodingError):
+            code.decode(noisy)
+
+    @given(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, n_errors, seed):
+        code = RSCode(8, 36, 4)
+        rng = np.random.default_rng(seed)
+        cw = code.random_codeword(rng)
+        noisy = cw.copy()
+        if n_errors:
+            positions = rng.choice(code.n, size=n_errors, replace=False)
+            for p in positions:
+                noisy[p] ^= rng.integers(1, 256)
+        np.testing.assert_array_equal(code.decode(noisy), cw)
+
+
+class TestSegmentSketch:
+    def make(self, n_segments=36, segment_bits=8, t=4):
+        return SegmentSecureSketch(n_segments, segment_bits, t)
+
+    def corrupt_segments(self, key, sketch_obj, n, rng):
+        noisy = key.array.copy().reshape(
+            sketch_obj.n_segments, sketch_obj.segment_bits
+        )
+        segments = rng.choice(sketch_obj.n_segments, size=n, replace=False)
+        for s in segments:
+            replacement = rng.integers(
+                0, 2, size=sketch_obj.segment_bits, dtype=np.uint8
+            )
+            while np.array_equal(replacement, noisy[s]):
+                replacement = rng.integers(
+                    0, 2, size=sketch_obj.segment_bits, dtype=np.uint8
+                )
+            noisy[s] = replacement
+        return BitSequence(noisy.reshape(-1))
+
+    @pytest.mark.parametrize("n_bad", [0, 1, 4])
+    def test_recovers_within_tolerance(self, n_bad):
+        sketch_obj = self.make()
+        rng = np.random.default_rng(n_bad)
+        key = BitSequence.random(sketch_obj.n_bits, rng)
+        public = sketch_obj.sketch(key, rng)
+        noisy = self.corrupt_segments(key, sketch_obj, n_bad, rng)
+        assert sketch_obj.recover(public, noisy) == key
+
+    def test_beyond_tolerance_fails(self):
+        sketch_obj = self.make()
+        rng = np.random.default_rng(5)
+        key = BitSequence.random(sketch_obj.n_bits, rng)
+        public = sketch_obj.sketch(key, rng)
+        noisy = self.corrupt_segments(key, sketch_obj, 12, rng)
+        with pytest.raises(KeyAgreementFailure):
+            sketch_obj.recover(public, noisy)
+
+    def test_wide_segments_interleave(self):
+        # 58-bit segments (the 2048-bit key case) -> 8 GF(256) chunks.
+        sketch_obj = self.make(n_segments=36, segment_bits=58, t=4)
+        assert sketch_obj.n_chunks == 8
+        rng = np.random.default_rng(6)
+        key = BitSequence.random(sketch_obj.n_bits, rng)
+        public = sketch_obj.sketch(key, rng)
+        noisy = self.corrupt_segments(key, sketch_obj, 4, rng)
+        assert sketch_obj.recover(public, noisy) == key
+
+    def test_sketch_randomized(self):
+        sketch_obj = self.make()
+        key = BitSequence.random(sketch_obj.n_bits, np.random.default_rng(7))
+        s1 = sketch_obj.sketch(key, np.random.default_rng(1))
+        s2 = sketch_obj.sketch(key, np.random.default_rng(2))
+        assert s1 != s2
+
+    def test_leakage_below_key_length(self):
+        sketch_obj = self.make(36, 8, 4)
+        assert sketch_obj.leakage_bits < sketch_obj.n_bits
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentSecureSketch(2, 8, 1)
+        with pytest.raises(ConfigurationError):
+            SegmentSecureSketch(36, 8, 18)
+        with pytest.raises(ConfigurationError):
+            SegmentSecureSketch(300, 8, 4)
+        sketch_obj = self.make()
+        with pytest.raises(ConfigurationError):
+            sketch_obj.sketch(BitSequence.zeros(10))

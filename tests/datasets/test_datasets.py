@@ -1,0 +1,137 @@
+"""Tests for dataset generation and input normalization."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    generate_dataset,
+    generate_sample,
+    normalize_imu_matrix,
+    normalize_rfid_matrix,
+    rfid_magnitude_target,
+)
+from repro.errors import ConfigurationError, ShapeError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.imu import default_mobile_devices
+from repro.rfid import default_environments, default_tags
+
+
+class TestNormalization:
+    def test_imu_shape_and_scale(self):
+        a = np.random.default_rng(0).normal(0, 9.81, size=(200, 3))
+        x = normalize_imu_matrix(a)
+        assert x.shape == (3, 200)
+        assert abs(x.std() - 1.0) < 0.2
+
+    def test_rfid_kills_phase_offset(self):
+        r = np.column_stack([
+            np.linspace(0, 4, 400) + 100.0,  # arbitrary cable offset
+            np.ones(400),
+        ])
+        r2 = r.copy()
+        r2[:, 0] -= 100.0
+        np.testing.assert_allclose(
+            normalize_rfid_matrix(r), normalize_rfid_matrix(r2), atol=1e-12
+        )
+
+    def test_rfid_kills_magnitude_scale(self):
+        rng = np.random.default_rng(1)
+        mag = 1.0 + 0.1 * rng.normal(size=400)
+        r1 = np.column_stack([np.zeros(400), mag])
+        r5 = np.column_stack([np.zeros(400), 5.0 * mag])
+        np.testing.assert_allclose(
+            normalize_rfid_matrix(r1)[1], normalize_rfid_matrix(r5)[1],
+            atol=1e-9,
+        )
+
+    def test_magnitude_target_matches_channel(self):
+        r = np.column_stack([
+            np.zeros(400), 1.0 + 0.05 * np.sin(np.linspace(0, 6, 400)),
+        ])
+        np.testing.assert_allclose(
+            rfid_magnitude_target(r), normalize_rfid_matrix(r)[1]
+        )
+
+    def test_rejects_nonpositive_magnitude(self):
+        r = np.column_stack([np.zeros(400), np.zeros(400)])
+        with pytest.raises(ShapeError):
+            normalize_rfid_matrix(r)
+
+
+class TestGenerateSample:
+    def test_shapes_and_metadata(self):
+        trajectory = sample_gesture(default_volunteers()[0], rng=1)
+        sample = generate_sample(
+            trajectory,
+            default_mobile_devices()[0],
+            default_tags()[0],
+            default_environments()[0],
+            rng=2,
+            volunteer="v1",
+        )
+        assert sample.a_matrix.shape == (200, 3)
+        assert sample.r_matrix.shape == (400, 2)
+        assert sample.volunteer == "v1"
+        assert sample.device == "pixel-8"
+        assert not sample.dynamic
+
+
+class TestGenerateDataset:
+    def test_mini_dataset_counts(self, mini_dataset):
+        # 6 volunteers x 4 devices x 1 gesture x 4 windows, minus any
+        # windows that ran off a record.
+        assert 6 * 4 * 2 <= len(mini_dataset) <= 6 * 4 * 4
+
+    def test_covers_all_volunteers_and_devices(self, mini_dataset):
+        volunteers = {s.volunteer for s in mini_dataset}
+        devices = {s.device for s in mini_dataset}
+        assert len(volunteers) == 6
+        assert len(devices) == 4
+
+    def test_stacking_helpers(self, mini_dataset):
+        a = mini_dataset.a_matrices()
+        r = mini_dataset.r_matrices()
+        assert a.shape == (len(mini_dataset), 200, 3)
+        assert r.shape == (len(mini_dataset), 400, 2)
+
+    def test_split(self, mini_dataset):
+        train, val = mini_dataset.split(0.75, rng=1)
+        assert len(train) + len(val) == len(mini_dataset)
+        assert len(train) > len(val)
+
+    def test_split_validation(self, mini_dataset):
+        with pytest.raises(ConfigurationError):
+            mini_dataset.split(1.5)
+
+    def test_dynamic_condition_present_with_enough_gestures(self):
+        config = DatasetConfig(
+            volunteers=default_volunteers()[:1],
+            devices=default_mobile_devices()[:1],
+            gestures_per_device=3,
+            windows_per_gesture=2,
+            gesture_active_s=4.0,
+        )
+        dataset = generate_dataset(config, rng=5)
+        assert any(s.dynamic for s in dataset)
+        assert any(not s.dynamic for s in dataset)
+
+    def test_too_short_gesture_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_dataset(
+                DatasetConfig(gesture_active_s=2.0), rng=1
+            )
+
+    def test_reproducible(self):
+        config = DatasetConfig(
+            volunteers=default_volunteers()[:1],
+            devices=default_mobile_devices()[:1],
+            gestures_per_device=1,
+            windows_per_gesture=2,
+            gesture_active_s=4.0,
+        )
+        d1 = generate_dataset(config, rng=9)
+        d2 = generate_dataset(config, rng=9)
+        np.testing.assert_array_equal(
+            d1.a_matrices(), d2.a_matrices()
+        )

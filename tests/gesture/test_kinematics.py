@@ -1,0 +1,112 @@
+"""Tests for rotation utilities (the calibration pipeline's foundation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.gesture import (
+    integrate_angular_velocity,
+    rotation_from_rotvec,
+    rotvec_from_rotation,
+    skew,
+    triad,
+)
+
+unit_angles = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+vec3 = st.tuples(unit_angles, unit_angles, unit_angles)
+
+
+class TestSkew:
+    def test_cross_product_equivalence(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-1.0, 0.5, 2.0])
+        np.testing.assert_allclose(skew(a) @ b, np.cross(a, b))
+
+    def test_antisymmetry(self):
+        m = skew(np.array([0.3, -0.2, 0.9]))
+        np.testing.assert_allclose(m, -m.T)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            skew(np.zeros(4))
+
+
+class TestExpLog:
+    def test_zero_rotation_is_identity(self):
+        np.testing.assert_allclose(
+            rotation_from_rotvec(np.zeros(3)), np.eye(3)
+        )
+
+    def test_quarter_turn_about_z(self):
+        r = rotation_from_rotvec(np.array([0.0, 0.0, np.pi / 2]))
+        np.testing.assert_allclose(
+            r @ np.array([1.0, 0.0, 0.0]), [0.0, 1.0, 0.0], atol=1e-12
+        )
+
+    def test_rotation_is_orthonormal(self):
+        r = rotation_from_rotvec(np.array([0.4, -1.2, 0.7]))
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    @given(vec3)
+    @settings(max_examples=50)
+    def test_log_inverts_exp(self, v):
+        v = np.array(v)
+        angle = np.linalg.norm(v)
+        if angle > np.pi - 0.05:  # log is multivalued near pi
+            return
+        recovered = rotvec_from_rotation(rotation_from_rotvec(v))
+        np.testing.assert_allclose(recovered, v, atol=1e-8)
+
+    def test_log_near_pi(self):
+        v = np.array([0.0, 0.0, np.pi - 1e-9])
+        recovered = rotvec_from_rotation(rotation_from_rotvec(v))
+        np.testing.assert_allclose(np.abs(recovered), np.abs(v), atol=1e-5)
+
+
+class TestIntegration:
+    def test_constant_rate_integrates_to_angle(self):
+        r = np.eye(3)
+        omega = np.array([0.0, 0.0, 1.0])  # 1 rad/s about z
+        for _ in range(100):
+            r = integrate_angular_velocity(r, omega, 0.01)
+        expected = rotation_from_rotvec(np.array([0.0, 0.0, 1.0]))
+        np.testing.assert_allclose(r, expected, atol=1e-9)
+
+    def test_body_frame_convention(self):
+        # omega is in the *body* frame: after a 90-degree yaw, rolling
+        # about body-x must equal rolling about world-y.
+        r = rotation_from_rotvec(np.array([0.0, 0.0, np.pi / 2]))
+        stepped = integrate_angular_velocity(r, [np.pi / 2, 0, 0], 1.0)
+        expected = r @ rotation_from_rotvec(np.array([np.pi / 2, 0, 0]))
+        np.testing.assert_allclose(stepped, expected, atol=1e-12)
+
+
+class TestTriad:
+    def test_recovers_known_rotation(self):
+        true_r = rotation_from_rotvec(np.array([0.2, -0.5, 1.1]))
+        g_world = np.array([0.0, 0.0, 9.81])
+        m_world = np.array([0.0, 22.0, -42.0])
+        g_body = true_r.T @ g_world
+        m_body = true_r.T @ m_world
+        estimated = triad(g_body, m_body, g_world, m_world)
+        np.testing.assert_allclose(estimated, true_r, atol=1e-10)
+
+    def test_tolerates_measurement_noise(self):
+        rng = np.random.default_rng(0)
+        true_r = rotation_from_rotvec(np.array([-0.3, 0.8, 0.4]))
+        g_world = np.array([0.0, 0.0, 9.81])
+        m_world = np.array([0.0, 22.0, -42.0])
+        g_body = true_r.T @ g_world + rng.normal(0, 0.05, 3)
+        m_body = true_r.T @ m_world + rng.normal(0, 0.5, 3)
+        estimated = triad(g_body, m_body, g_world, m_world)
+        # Rotation error under a couple of degrees.
+        err = rotvec_from_rotation(estimated.T @ true_r)
+        assert np.linalg.norm(err) < np.deg2rad(3)
+
+    def test_rejects_collinear_references(self):
+        v = np.array([0.0, 0.0, 1.0])
+        with pytest.raises(ShapeError):
+            triad(v, 2 * v, v, 2 * v)

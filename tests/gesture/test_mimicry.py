@@ -1,0 +1,107 @@
+"""Tests for the gesture-mimicry model (the SVI-E.1 attack substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gesture import (
+    MimicryModel,
+    default_volunteers,
+    mimic_trajectory,
+    sample_gesture,
+)
+
+
+@pytest.fixture()
+def victim_trajectory():
+    return sample_gesture(default_volunteers()[0], rng=21)
+
+
+@pytest.fixture()
+def imitator():
+    return default_volunteers()[1]
+
+
+class TestMimicTrajectory:
+    def test_same_timeline(self, victim_trajectory, imitator):
+        mimic = mimic_trajectory(victim_trajectory, imitator, rng=1)
+        assert mimic.pause_s == victim_trajectory.pause_s
+        assert mimic.active_s == victim_trajectory.active_s
+
+    def test_coarsely_similar(self, victim_trajectory, imitator):
+        """The imitation tracks the victim's slow components: correlation
+        is clearly above chance..."""
+        mimic = mimic_trajectory(
+            victim_trajectory, imitator,
+            model=MimicryModel(reaction_delay_s=0.0, delay_jitter_s=0.01,
+                               amplitude_error=0.05,
+                               phase_error_per_hz=0.05,
+                               style_leakage=0.05),
+            rng=2,
+        )
+        t = np.linspace(1.0, 3.0, 400)
+        a = victim_trajectory.position(t)[:, 0]
+        b = mimic.position(t)[:, 0]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.5
+
+    def test_not_exact(self, victim_trajectory, imitator):
+        """... but never an exact copy, even for an excellent imitator."""
+        mimic = mimic_trajectory(victim_trajectory, imitator, rng=3)
+        t = np.linspace(1.0, 3.0, 400)
+        diff = victim_trajectory.position(t) - mimic.position(t)
+        assert np.abs(diff).max() > 0.01
+
+    def test_high_frequency_components_replaced(
+        self, victim_trajectory, imitator
+    ):
+        model = MimicryModel(tracking_bandwidth_hz=1.0)
+        mimic = mimic_trajectory(
+            victim_trajectory, imitator, model=model, rng=4
+        )
+        victim_fast = victim_trajectory.pos_freq[
+            victim_trajectory.pos_freq > 1.0
+        ]
+        # None of the victim's fast components survive verbatim in the
+        # tracked part of the mimic (they were re-drawn).
+        kept = mimic.pos_freq[: victim_trajectory.pos_freq.size]
+        for f in victim_fast:
+            tracked_slot = np.where(victim_trajectory.pos_freq == f)[0][0]
+            # The slot was replaced by one of the imitator's frequencies;
+            # equality would be a coincidence of measure zero.
+            assert kept[tracked_slot] != pytest.approx(f)
+
+    def test_rotation_is_imitators_own(self, victim_trajectory, imitator):
+        mimic = mimic_trajectory(victim_trajectory, imitator, rng=5)
+        assert mimic.rot_freq.shape != victim_trajectory.rot_freq.shape or not (
+            np.allclose(mimic.rot_freq, victim_trajectory.rot_freq)
+        )
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            MimicryModel(tracking_bandwidth_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            MimicryModel(style_leakage=1.5)
+
+    def test_reproducible(self, victim_trajectory, imitator):
+        a = mimic_trajectory(victim_trajectory, imitator, rng=9)
+        b = mimic_trajectory(victim_trajectory, imitator, rng=9)
+        t = np.linspace(0.0, 3.0, 64)
+        np.testing.assert_array_equal(a.position(t), b.position(t))
+
+
+class TestVolunteerProfiles:
+    def test_six_defaults(self):
+        profiles = default_volunteers()
+        assert len(profiles) == 6
+        assert len({p.name for p in profiles}) == 6
+
+    def test_profile_validation(self):
+        from repro.gesture import VolunteerProfile
+
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("bad", freq_band_hz=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("bad", n_components=0)
+        with pytest.raises(ConfigurationError):
+            VolunteerProfile("bad", amplitude_m=-0.1)

@@ -1,0 +1,99 @@
+"""Tests for the IMU calibration pipeline (SIV-B.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.imu import (
+    CalibrationConfig,
+    MobileIMU,
+    calibrate_imu_record,
+    default_mobile_devices,
+    detect_motion_onset,
+)
+
+
+@pytest.fixture(scope="module")
+def gesture_and_record():
+    trajectory = sample_gesture(default_volunteers()[0], rng=41,
+                                active_s=4.0)
+    device = MobileIMU(default_mobile_devices()[3])
+    return trajectory, device.record_gesture(trajectory, rng=42)
+
+
+class TestDetectMotionOnset:
+    def test_finds_step_in_variance(self):
+        rng = np.random.default_rng(0)
+        quiet = rng.normal(0, 0.01, 300)
+        loud = rng.normal(0, 1.0, 300)
+        signal = np.concatenate([quiet, loud])
+        onset = detect_motion_onset(signal, rate_hz=100)
+        assert 280 <= onset <= 330
+
+    def test_no_onset_raises(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(0, 0.01, 600)
+        with pytest.raises(SimulationError):
+            detect_motion_onset(signal, rate_hz=100)
+
+    def test_short_signal_raises(self):
+        with pytest.raises(SimulationError):
+            detect_motion_onset(np.zeros(10), rate_hz=100)
+
+    def test_min_std_floor_prevents_numerical_triggers(self):
+        # A perfectly silent baseline followed by a tiny wiggle must not
+        # trigger when min_std dominates.
+        signal = np.zeros(600)
+        signal[400:] = 1e-6
+        with pytest.raises(SimulationError):
+            detect_motion_onset(signal, rate_hz=100, min_std=0.01)
+
+
+class TestCalibrateImuRecord:
+    def test_output_shape(self, gesture_and_record):
+        _, record = gesture_and_record
+        a = calibrate_imu_record(record)
+        assert a.shape == (200, 3)
+
+    def test_recovers_true_acceleration(self, gesture_and_record):
+        """The calibrated accelerations track the ground-truth world-frame
+        linear accelerations (sensor-grade: correlation > 0.85)."""
+        trajectory, record = gesture_and_record
+        a = calibrate_imu_record(record)
+        t = trajectory.motion_onset_s + np.arange(200) / 100.0
+        truth = trajectory.acceleration(t)
+        for axis in range(3):
+            corr = np.corrcoef(a[:, axis], truth[:, axis])[0, 1]
+            assert corr > 0.85, f"axis {axis} correlation {corr:.3f}"
+
+    def test_gravity_removed(self, gesture_and_record):
+        _, record = gesture_and_record
+        a = calibrate_imu_record(record)
+        # World-frame linear acceleration averages near zero over the
+        # gesture (the hand returns roughly to where it started).
+        assert np.abs(a.mean(axis=0)).max() < 2.0
+
+    def test_offset_window_shifts_content(self, gesture_and_record):
+        _, record = gesture_and_record
+        a0 = calibrate_imu_record(record, offset_s=0.0)
+        a1 = calibrate_imu_record(record, offset_s=0.5)
+        assert np.abs(a0 - a1).max() > 0.5
+        # The shifted window overlaps the unshifted one by 1.5 s.
+        np.testing.assert_allclose(
+            a0[50:200], a1[0:150], atol=1.5
+        )
+
+    def test_negative_offset_rejected(self, gesture_and_record):
+        _, record = gesture_and_record
+        with pytest.raises(SimulationError):
+            calibrate_imu_record(record, offset_s=-0.1)
+
+    def test_offset_beyond_record_rejected(self, gesture_and_record):
+        _, record = gesture_and_record
+        with pytest.raises(SimulationError):
+            calibrate_imu_record(record, offset_s=10.0)
+
+    def test_config_sample_count(self):
+        config = CalibrationConfig(target_rate_hz=50.0, window_s=2.0)
+        assert config.n_samples == 100

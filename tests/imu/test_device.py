@@ -1,0 +1,66 @@
+"""Tests for the mobile-device IMU suite."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.imu import IMURecord, MobileIMU, default_mobile_devices
+
+
+@pytest.fixture(scope="module")
+def record():
+    trajectory = sample_gesture(default_volunteers()[0], rng=31)
+    device = MobileIMU(default_mobile_devices()[0])
+    return device.record_gesture(trajectory, rng=32)
+
+
+class TestDefaults:
+    def test_paper_roster(self):
+        names = [d.name for d in default_mobile_devices()]
+        assert names == [
+            "pixel-8", "galaxy-s5-a", "galaxy-s5-b", "galaxy-watch",
+        ]
+
+    def test_rates_near_100hz(self):
+        for device in default_mobile_devices():
+            assert 90 <= device.sample_rate_hz <= 110
+
+
+class TestRecordGesture:
+    def test_covers_full_timeline(self, record):
+        assert record.duration_s > 3.0
+
+    def test_rate_estimation(self, record):
+        assert record.nominal_rate_hz == pytest.approx(104.0, rel=0.02)
+
+    def test_timestamps_monotonic(self, record):
+        assert np.all(np.diff(record.timestamps_s) >= 0)
+
+    def test_gravity_visible_in_pause(self, record):
+        # During the pause the accelerometer magnitude is ~g.
+        pause = record.accelerometer[:40]
+        norms = np.linalg.norm(pause, axis=1)
+        assert abs(norms.mean() - 9.81) < 0.3
+
+    def test_gesture_visible_as_variance_jump(self, record):
+        early = record.accelerometer[:40].std(axis=0).max()
+        late = record.accelerometer[120:240].std(axis=0).max()
+        assert late > 10 * early
+
+    def test_reproducible(self):
+        trajectory = sample_gesture(default_volunteers()[1], rng=5)
+        device = MobileIMU(default_mobile_devices()[1])
+        a = device.record_gesture(trajectory, rng=6)
+        b = device.record_gesture(trajectory, rng=6)
+        np.testing.assert_array_equal(a.accelerometer, b.accelerometer)
+
+    def test_record_shape_validation(self):
+        with pytest.raises(SimulationError):
+            IMURecord(
+                device="x",
+                timestamps_s=np.zeros(5),
+                accelerometer=np.zeros((4, 3)),
+                gyroscope=np.zeros((5, 3)),
+                magnetometer=np.zeros((5, 3)),
+            )

@@ -1,0 +1,87 @@
+"""Tests for the individual IMU sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.gesture import rotation_from_rotvec
+from repro.imu import (
+    GRAVITY_WORLD,
+    MAGNETIC_FIELD_WORLD,
+    AccelerometerModel,
+    GyroscopeModel,
+    MagnetometerModel,
+)
+
+
+class TestAccelerometer:
+    def test_at_rest_reads_gravity_reaction(self):
+        model = AccelerometerModel(noise_std=0.0, bias_std=0.0)
+        rot = np.eye(3)[None]
+        out = model.measure(np.zeros((1, 3)), rot, rng=0)
+        np.testing.assert_allclose(out[0], -GRAVITY_WORLD, atol=1e-12)
+
+    def test_rotated_rest_reads_rotated_gravity(self):
+        model = AccelerometerModel(noise_std=0.0, bias_std=0.0)
+        r = rotation_from_rotvec(np.array([np.pi / 2, 0.0, 0.0]))
+        out = model.measure(np.zeros((1, 3)), r[None], rng=0)
+        np.testing.assert_allclose(out[0], r.T @ (-GRAVITY_WORLD),
+                                   atol=1e-12)
+
+    def test_linear_acceleration_adds(self):
+        model = AccelerometerModel(noise_std=0.0, bias_std=0.0)
+        accel = np.array([[1.0, 2.0, 3.0]])
+        out = model.measure(accel, np.eye(3)[None], rng=0)
+        np.testing.assert_allclose(out[0], accel[0] - GRAVITY_WORLD)
+
+    def test_noise_statistics(self):
+        model = AccelerometerModel(noise_std=0.05, bias_std=0.0)
+        n = 5000
+        out = model.measure(
+            np.zeros((n, 3)), np.broadcast_to(np.eye(3), (n, 3, 3)), rng=1,
+            bias=np.zeros(3),
+        )
+        residual = out + GRAVITY_WORLD
+        assert abs(residual.std() - 0.05) < 0.005
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            AccelerometerModel().measure(np.zeros((2, 3)), np.eye(3)[None])
+
+
+class TestGyroscope:
+    def test_measures_rate_plus_bias(self):
+        model = GyroscopeModel(noise_std=0.0, bias_std=0.0, drift_rate=0.0)
+        omega = np.tile([0.1, -0.2, 0.3], (5, 1))
+        out = model.measure(omega, dt=0.01, rng=0, bias=np.array([0.01, 0, 0]))
+        np.testing.assert_allclose(out[:, 0], 0.11, atol=1e-12)
+        np.testing.assert_allclose(out[:, 1], -0.2, atol=1e-12)
+
+    def test_drift_grows_with_time(self):
+        model = GyroscopeModel(noise_std=0.0, bias_std=0.0, drift_rate=0.01)
+        out = model.measure(np.zeros((2000, 3)), dt=0.01, rng=2,
+                            bias=np.zeros(3))
+        early = np.abs(out[:100]).mean()
+        late = np.abs(out[-100:]).mean()
+        assert late > early
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            GyroscopeModel().measure(np.zeros(3), dt=0.01)
+
+
+class TestMagnetometer:
+    def test_reads_rotated_field(self):
+        model = MagnetometerModel(noise_std=0.0, hard_iron_std=0.0)
+        r = rotation_from_rotvec(np.array([0.0, 0.0, np.pi / 2]))
+        out = model.measure(r[None], rng=0, hard_iron=np.zeros(3))
+        np.testing.assert_allclose(
+            out[0], r.T @ MAGNETIC_FIELD_WORLD, atol=1e-12
+        )
+
+    def test_hard_iron_offset_constant(self):
+        model = MagnetometerModel(noise_std=0.0)
+        rots = np.broadcast_to(np.eye(3), (10, 3, 3))
+        out = model.measure(rots, rng=3)
+        # Same offset on every sample -> zero variance.
+        assert out.std(axis=0).max() < 1e-12

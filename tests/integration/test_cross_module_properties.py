@@ -1,0 +1,68 @@
+"""Cross-module property tests (hypothesis) on the protocol contract.
+
+These run on small synthetic seeds — no trained model needed — and pin
+the protocol's central invariant: agreement success is *exactly*
+determined by the seed mismatch count relative to the ECC radius, and a
+successful agreement always ends with byte-identical keys on both
+sides.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import generate_dh_group
+from repro.protocol import KeyAgreementConfig, run_key_agreement
+from repro.utils.bits import BitSequence
+
+TEST_GROUP = generate_dh_group(64, rng=1234)
+CONFIG = KeyAgreementConfig(key_length_bits=64, eta=0.12, group=TEST_GROUP)
+SEED_LENGTH = 24
+RADIUS = CONFIG.tolerated_seed_mismatches(SEED_LENGTH)  # floor(.12*24)=2
+
+
+@given(
+    flips=st.integers(min_value=0, max_value=SEED_LENGTH),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_agreement_success_iff_within_radius(flips, seed):
+    rng = np.random.default_rng(seed)
+    s_m = BitSequence.random(SEED_LENGTH, rng)
+    noisy = s_m.array.copy()
+    if flips:
+        idx = rng.choice(SEED_LENGTH, size=flips, replace=False)
+        noisy[idx] ^= 1
+    s_r = BitSequence(noisy)
+    outcome = run_key_agreement(s_m, s_r, CONFIG, rng=seed)
+    if flips <= RADIUS:
+        assert outcome.success, (
+            f"{flips} flips within radius {RADIUS} must succeed"
+        )
+        assert outcome.keys_match
+        assert len(outcome.mobile_key) == 64
+    else:
+        # Beyond the radius the RS decoder fails (or, with negligible
+        # probability, miscorrects — which the HMAC then catches): the
+        # run must never report success with mismatched keys.
+        if outcome.success:
+            assert outcome.keys_match
+        else:
+            assert outcome.mobile_key is None
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_established_keys_pass_quick_uniformity_check(seed):
+    rng = np.random.default_rng(seed)
+    s = BitSequence.random(SEED_LENGTH, rng)
+    outcome = run_key_agreement(s, s, CONFIG, rng=seed)
+    assert outcome.success
+    key = outcome.mobile_key
+    # 64 coin flips land in [10, 54] ones except with p ~ 2e-9.
+    assert 10 <= key.popcount() <= 54

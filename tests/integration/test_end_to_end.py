@@ -1,0 +1,118 @@
+"""End-to-end integration tests against the shipped pretrained bundle.
+
+These assert the *converged* behaviour the paper reports: high benign
+key-establishment success, attacker seeds far outside the ECC radius,
+and protocol-level attack failure.  They are skipped when the pretrained
+artifact has not been built (``scripts/train_default_bundle.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import Eavesdropper, GestureMimicryAttack, MitmAttacker
+from repro.core import KeySeedPipeline, WaveKeySystem
+from repro.gesture import default_volunteers, sample_gesture
+from repro.imu import default_mobile_devices
+from repro.protocol import KeyAgreementConfig, SimulatedTransport
+from repro.rfid import default_environments, default_tags
+from repro.utils.rng import child_rng
+
+
+@pytest.fixture(scope="module")
+def system(default_bundle):
+    config = KeyAgreementConfig(
+        key_length_bits=256, eta=default_bundle.eta
+    )
+    return WaveKeySystem(default_bundle, agreement_config=config)
+
+
+class TestBenignOperation:
+    def test_benign_success_rate_high(self, system):
+        outcomes = [
+            system.establish_key(
+                volunteer=default_volunteers()[i % 6],
+                rng=child_rng(42, i),
+            )
+            for i in range(12)
+        ]
+        rate = np.mean([o.success for o in outcomes])
+        # Absolute level is substrate-limited (see EXPERIMENTS.md); the
+        # assertion pins "clearly above chance" rather than the paper's
+        # testbed 99%.
+        assert rate >= 0.4, f"benign success only {rate:.2f}"
+        successes = [o for o in outcomes if o.success]
+        assert successes
+        for o in successes:
+            assert len(o.key) == 256
+            assert o.seed_mismatch_rate <= system.bundle.eta
+
+    def test_keys_unique_across_sessions(self, system):
+        keys = []
+        for i in range(6):
+            result = system.establish_key(rng=child_rng(77, i))
+            if result.success:
+                keys.append(result.key.to_bytes())
+        assert len(keys) == len(set(keys))
+
+    def test_dynamic_environment_still_works(self, system):
+        outcomes = [
+            system.establish_key(
+                volunteer=default_volunteers()[0], dynamic=True,
+                rng=child_rng(88, i),
+            ).success
+            for i in range(8)
+        ]
+        assert np.mean(outcomes) >= 0.2
+
+
+class TestConvergedSecurity:
+    def test_mimicry_stays_outside_ecc_radius(self, default_bundle):
+        attack = GestureMimicryAttack(
+            pipeline=KeySeedPipeline(default_bundle),
+            eta=default_bundle.eta,
+            device=default_mobile_devices()[3],
+            tag=default_tags()[0],
+            environment=default_environments()[0],
+        )
+        outcome = attack.run(
+            victims=default_volunteers()[:2],
+            imitators=default_volunteers()[:3],
+            gestures_per_victim=2,
+            rng=99,
+        )
+        assert outcome.n_successes == 0
+        assert min(outcome.mismatch_rates()) > 0.9 * default_bundle.eta
+
+    def test_mitm_always_detected(self, system):
+        trajectory = sample_gesture(default_volunteers()[0], rng=7)
+        seed_m, seed_r = system.acquire(trajectory, rng=8)
+        mitm = MitmAttacker(
+            group=system.agreement_config.group,
+            strategy="substitute_ciphertexts",
+            rng=9,
+        )
+        result = system.agree_on_seeds(
+            seed_m, seed_r,
+            transport=SimulatedTransport(interceptor=mitm.intercept),
+            rng=10,
+        )
+        assert not result.success
+
+    def test_eavesdropper_learns_no_key_bits(self, system):
+        eve = Eavesdropper(group=system.agreement_config.group)
+        trajectory = sample_gesture(default_volunteers()[1], rng=11)
+        seed_m, seed_r = system.acquire(trajectory, rng=12)
+        result = system.agree_on_seeds(
+            seed_m, seed_r,
+            transport=SimulatedTransport(taps=[eve.tap]),
+            rng=13,
+        )
+        if not result.success:
+            pytest.skip("benign run failed on this draw")
+        forged = eve.attempt_key_recovery(
+            segment_bits=system.agreement_config.segment_bits(len(seed_m)),
+            rng=14,
+        )
+        overlap = min(len(forged), len(result.key))
+        rate = forged[:overlap].mismatch_rate(result.key[:overlap])
+        assert 0.3 < rate < 0.7

@@ -1,0 +1,34 @@
+"""The example scripts must at least parse and expose a main()."""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    ))),
+    "examples",
+)
+
+EXAMPLES = [
+    "quickstart.py",
+    "lineup_service.py",
+    "access_control_audit.py",
+    "attack_gauntlet.py",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_parses_and_has_main(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    with open(path) as fh:
+        tree = ast.parse(fh.read(), filename=name)
+    functions = {
+        node.name for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions
+    # Every example is documented.
+    assert ast.get_docstring(tree)

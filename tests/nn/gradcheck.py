@@ -1,0 +1,49 @@
+"""Numeric gradient-checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+
+def input_gradient_error(layer, x: np.ndarray, eps: float = 1e-6) -> float:
+    """Max abs error between analytic and numeric input gradients."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=True)
+    grad_out = rng.normal(size=out.shape)
+    analytic = layer.backward(grad_out.copy())
+    numeric = np.zeros_like(x)
+    for idx in np.ndindex(*x.shape):
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        # Stateless evaluation for layers with batch statistics: deep-copy
+        # so running buffers are not polluted by the probes.
+        fp = (copy.deepcopy(layer).forward(xp, training=True) * grad_out).sum()
+        fm = (copy.deepcopy(layer).forward(xm, training=True) * grad_out).sum()
+        numeric[idx] = (fp - fm) / (2 * eps)
+    return float(np.abs(numeric - analytic).max())
+
+
+def parameter_gradient_error(layer, x: np.ndarray, eps: float = 1e-6) -> float:
+    """Max abs error between analytic and numeric parameter gradients."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=True)
+    grad_out = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.backward(grad_out.copy())
+    worst = 0.0
+    for p in layer.parameters():
+        numeric = np.zeros_like(p.data)
+        for idx in np.ndindex(*p.data.shape):
+            orig = p.data[idx]
+            p.data[idx] = orig + eps
+            fp = (layer.forward(x, training=True) * grad_out).sum()
+            p.data[idx] = orig - eps
+            fm = (layer.forward(x, training=True) * grad_out).sum()
+            p.data[idx] = orig
+            numeric[idx] = (fp - fm) / (2 * eps)
+        worst = max(worst, float(np.abs(numeric - p.grad).max()))
+    return worst

@@ -1,0 +1,108 @@
+"""Gradient and adjoint tests for the 1-D convolution layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Conv1d, ConvTranspose1d
+from repro.nn.functional import col2im1d, im2col1d
+from tests.nn.gradcheck import input_gradient_error, parameter_gradient_error
+
+
+class TestIm2Col:
+    def test_simple_windows(self):
+        x = np.arange(6, dtype=float).reshape(1, 1, 6)
+        cols = im2col1d(x, kernel=3, stride=1, pad=0)
+        assert cols.shape == (1, 3, 4)
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 1, 2])
+        np.testing.assert_array_equal(cols[0, :, 3], [3, 4, 5])
+
+    def test_stride_and_pad(self):
+        x = np.arange(4, dtype=float).reshape(1, 1, 4)
+        cols = im2col1d(x, kernel=3, stride=2, pad=1)
+        assert cols.shape == (1, 3, 2)
+        np.testing.assert_array_equal(cols[0, :, 0], [0, 0, 1])
+
+    def test_col2im_is_adjoint(self):
+        # <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        # property both backward passes rely on.
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 10))
+        cols = im2col1d(x, kernel=4, stride=2, pad=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im1d(y, x.shape, 4, 2, 1)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+
+class TestConv1d:
+    def test_output_shape(self):
+        layer = Conv1d(3, 8, 7, stride=2, padding=3, rng=0)
+        out = layer.forward(np.zeros((2, 3, 200)))
+        assert out.shape == (2, 8, 100)
+        assert layer.output_length(200) == 100
+
+    def test_known_convolution(self):
+        layer = Conv1d(1, 1, 3, stride=1, padding=0, rng=0)
+        layer.weight.data[:] = np.array([[[1.0, 0.0, -1.0]]])
+        layer.bias.data[:] = 0.0
+        x = np.array([[[1.0, 2.0, 4.0, 8.0]]])
+        out = layer.forward(x)
+        # Position t: w0*x[t] + w1*x[t+1] + w2*x[t+2].
+        np.testing.assert_allclose(out, [[[1 - 4, 2 - 8]]])
+
+    def test_input_gradient(self):
+        layer = Conv1d(2, 3, 5, stride=2, padding=2, rng=1)
+        x = np.random.default_rng(0).normal(size=(2, 2, 12))
+        assert input_gradient_error(layer, x) < 1e-7
+
+    def test_parameter_gradients(self):
+        layer = Conv1d(2, 3, 5, stride=2, padding=2, rng=1)
+        x = np.random.default_rng(0).normal(size=(2, 2, 12))
+        assert parameter_gradient_error(layer, x) < 1e-7
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            Conv1d(3, 4, 3, rng=0).forward(np.zeros((1, 2, 10)))
+
+
+class TestConvTranspose1d:
+    def test_output_shape_inverts_conv(self):
+        conv = Conv1d(4, 8, 5, stride=2, padding=2, rng=0)
+        deconv = ConvTranspose1d(8, 4, 4, stride=2, padding=1, rng=0)
+        l_mid = conv.output_length(100)
+        assert deconv.output_length(l_mid) == 100
+
+    def test_input_gradient(self):
+        layer = ConvTranspose1d(3, 2, 4, stride=2, padding=1, rng=2)
+        x = np.random.default_rng(0).normal(size=(2, 3, 6))
+        assert input_gradient_error(layer, x) < 1e-7
+
+    def test_parameter_gradients(self):
+        layer = ConvTranspose1d(3, 2, 4, stride=2, padding=1, rng=2)
+        x = np.random.default_rng(0).normal(size=(2, 3, 6))
+        assert parameter_gradient_error(layer, x) < 1e-7
+
+    def test_adjoint_of_conv(self):
+        # With shared weights, <conv(x), y> == <x, deconv(y)>.  The input
+        # length is chosen stride-aligned ((L + 2p - k) % s == 0) so the
+        # transposed map reproduces it exactly.
+        rng = np.random.default_rng(3)
+        conv = Conv1d(2, 3, 5, stride=2, padding=2, rng=4)
+        deconv = ConvTranspose1d(3, 2, 5, stride=2, padding=2, rng=4)
+        # A conv kernel (C_out, C_in, K) is the transposed layer's kernel
+        # (C_in_deconv = C_out, C_out_deconv = C_in, K) verbatim.
+        deconv.weight.data = conv.weight.data.copy()
+        deconv.bias.data[:] = 0.0
+        conv.bias.data[:] = 0.0
+        length = 11
+        assert (length + 2 * 2 - 5) % 2 == 0
+        x = rng.normal(size=(2, 2, length))
+        y = rng.normal(size=(2, 3, conv.output_length(length)))
+        lhs = float((conv.forward(x) * y).sum())
+        rhs = float((x * deconv.forward(y)).sum())
+        assert abs(lhs - rhs) < 1e-9
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ShapeError):
+            ConvTranspose1d(3, 2, 4, rng=0).forward(np.zeros((1, 2, 5)))

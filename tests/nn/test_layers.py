@@ -1,0 +1,105 @@
+"""Tests for Dense, ReLU, Flatten, Reshape, Parameter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import Dense, Flatten, ReLU
+from repro.nn.layers import Parameter, Reshape
+from tests.nn.gradcheck import input_gradient_error, parameter_gradient_error
+
+
+class TestParameter:
+    def test_grad_buffer_matches_shape(self):
+        p = Parameter(np.ones((2, 3)), name="w")
+        assert p.grad.shape == (2, 3)
+        assert not p.grad.any()
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(4))
+        p.grad += 2.0
+        p.zero_grad()
+        assert not p.grad.any()
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(5, 3, rng=0)
+        out = layer.forward(np.zeros((7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            Dense(5, 3, rng=0).forward(np.zeros((7, 4)))
+
+    def test_bias_applied(self):
+        layer = Dense(2, 2, rng=0)
+        layer.weight.data[:] = 0.0
+        layer.bias.data[:] = [1.0, -1.0]
+        out = layer.forward(np.zeros((1, 2)))
+        np.testing.assert_allclose(out, [[1.0, -1.0]])
+
+    def test_input_gradient(self):
+        layer = Dense(4, 3, rng=1)
+        err = input_gradient_error(
+            layer, np.random.default_rng(2).normal(size=(3, 4))
+        )
+        assert err < 1e-7
+
+    def test_parameter_gradients(self):
+        layer = Dense(4, 3, rng=1)
+        err = parameter_gradient_error(
+            layer, np.random.default_rng(2).normal(size=(3, 4))
+        )
+        assert err < 1e-7
+
+    def test_backward_without_forward_raises(self):
+        with pytest.raises(ShapeError):
+            Dense(2, 2, rng=0).backward(np.zeros((1, 2)))
+
+    def test_inference_forward_does_not_cache(self):
+        layer = Dense(2, 2, rng=0)
+        layer.forward(np.zeros((1, 2)), training=False)
+        with pytest.raises(ShapeError):
+            layer.backward(np.zeros((1, 2)))
+
+
+class TestReLU:
+    def test_clips_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_gradient_masks(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 3.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_numeric_gradient(self):
+        # Keep values away from the kink for a clean numeric check.
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        x[np.abs(x) < 0.05] = 0.5
+        assert input_gradient_error(ReLU(), x) < 1e-7
+
+
+class TestFlattenReshape:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 12)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+    def test_reshape_roundtrip(self):
+        layer = Reshape((3, 4))
+        x = np.arange(24, dtype=float).reshape(2, 12)
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 3, 4)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+    def test_specs_roundtrip_via_names(self):
+        assert Flatten(name="f").spec() == {"type": "Flatten", "name": "f"}
+        assert Reshape((2, 2), name="r").spec()["target_shape"] == [2, 2]

@@ -1,0 +1,102 @@
+"""Tests for BatchNorm1d — the quantizer depends on its statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import BatchNorm1d
+from tests.nn.gradcheck import input_gradient_error
+
+
+class TestForward:
+    def test_training_normalizes_batch(self):
+        bn = BatchNorm1d(3)
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(64, 3))
+        out = bn.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm1d(2, momentum=0.05)
+        rng = np.random.default_rng(1)
+        for _ in range(400):
+            bn.forward(rng.normal(3.0, 2.0, size=(128, 2)), training=True)
+        np.testing.assert_allclose(bn.running_mean, 3.0, atol=0.2)
+        np.testing.assert_allclose(np.sqrt(bn.running_var), 2.0, atol=0.2)
+
+    def test_inference_uses_running_stats(self):
+        bn = BatchNorm1d(1, affine=False)
+        bn.running_mean[:] = 10.0
+        bn.running_var[:] = 4.0
+        out = bn.forward(np.array([[12.0]]))
+        np.testing.assert_allclose(out, [[1.0]], atol=1e-3)
+
+    def test_non_affine_has_no_parameters(self):
+        assert BatchNorm1d(4, affine=False).parameters() == []
+
+    def test_inference_output_near_standard_normal(self):
+        # The WaveKey quantization assumption: after training on N(mu,
+        # sigma) data, inference outputs are ~N(0, 1).
+        bn = BatchNorm1d(4, affine=False)
+        rng = np.random.default_rng(2)
+        for _ in range(300):
+            bn.forward(rng.normal(-2.0, 5.0, size=(64, 4)), training=True)
+        fresh = rng.normal(-2.0, 5.0, size=(4096, 4))
+        out = bn.forward(fresh)
+        assert np.abs(out.mean(axis=0)).max() < 0.1
+        assert np.abs(out.std(axis=0) - 1.0).max() < 0.1
+
+    def test_training_needs_two_samples(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1d(2).forward(np.zeros((1, 2)), training=True)
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ShapeError):
+            BatchNorm1d(2).forward(np.zeros((4, 3)))
+
+
+class TestBackward:
+    def test_input_gradient_affine(self):
+        bn = BatchNorm1d(4)
+        x = np.random.default_rng(0).normal(size=(8, 4))
+        assert input_gradient_error(bn, x) < 1e-6
+
+    def test_input_gradient_non_affine(self):
+        bn = BatchNorm1d(3, affine=False)
+        x = np.random.default_rng(1).normal(size=(6, 3))
+        assert input_gradient_error(bn, x) < 1e-6
+
+    def test_gamma_beta_gradients(self):
+        bn = BatchNorm1d(3)
+        x = np.random.default_rng(2).normal(size=(10, 3))
+        out = bn.forward(x, training=True)
+        grad = np.random.default_rng(3).normal(size=out.shape)
+        bn.zero_grad()
+        bn.backward(grad)
+        x_hat, _ = bn._cache
+        np.testing.assert_allclose(
+            bn.gamma.grad, (grad * x_hat).sum(axis=0), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            bn.beta.grad, grad.sum(axis=0), atol=1e-12
+        )
+
+
+class TestStateDict:
+    def test_roundtrip_includes_buffers(self):
+        bn = BatchNorm1d(2, name="bn")
+        bn.forward(np.random.default_rng(0).normal(size=(16, 2)),
+                   training=True)
+        state = bn.state_dict()
+        assert "bn.running_mean" in state
+        fresh = BatchNorm1d(2, name="bn")
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.running_mean, bn.running_mean)
+        np.testing.assert_array_equal(fresh.running_var, bn.running_var)
+
+    def test_missing_buffer_raises(self):
+        bn = BatchNorm1d(2, name="bn")
+        state = bn.state_dict()
+        del state["bn.running_var"]
+        with pytest.raises(ShapeError):
+            BatchNorm1d(2, name="bn").load_state_dict(state)

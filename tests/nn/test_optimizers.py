@@ -1,0 +1,88 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import SGD, Adam
+from repro.nn.layers import Parameter
+
+
+def quadratic_step(optimizer, params, target):
+    """One gradient step on sum((p - target)^2)."""
+    optimizer.zero_grad()
+    for p in params:
+        p.grad += 2.0 * (p.data - target)
+    optimizer.step()
+
+
+class TestSGD:
+    def test_plain_descent_converges(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, [p], 3.0)
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p_plain = Parameter(np.array([10.0]))
+        p_momentum = Parameter(np.array([10.0]))
+        plain = SGD([p_plain], lr=0.01)
+        momentum = SGD([p_momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(plain, [p_plain], 0.0)
+            quadratic_step(momentum, [p_momentum], 0.0)
+        assert abs(p_momentum.data[0]) < abs(p_plain.data[0])
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        opt.step()  # gradient zero; decay alone shrinks
+        assert p.data[0] < 1.0
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -5.0]))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            quadratic_step(opt, [p], 1.0)
+        np.testing.assert_allclose(p.data, 1.0, atol=1e-3)
+
+    def test_bias_correction_first_step_magnitude(self):
+        # With bias correction the very first step is ~lr regardless of
+        # gradient scale.
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.01)
+            opt.zero_grad()
+            p.grad += scale
+            opt.step()
+            assert abs(abs(p.data[0]) - 0.01) < 1e-3
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.9))
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ConfigurationError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_state_tracks_parameters_independently(self):
+        p1 = Parameter(np.array([1.0]))
+        p2 = Parameter(np.array([1.0]))
+        opt = Adam([p1, p2], lr=0.1)
+        opt.zero_grad()
+        p1.grad += 1.0  # only p1 has gradient
+        opt.step()
+        assert p1.data[0] != 1.0
+        assert p2.data[0] == 1.0

@@ -1,0 +1,83 @@
+"""Tests for variance-based pruning (the l_f mechanism, SVI-C.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn import (
+    BatchNorm1d,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    output_variances,
+    prune_feature_unit,
+)
+
+
+def make_encoder(width=6):
+    return Sequential(
+        Dense(10, width, rng=0, name="fc"),
+        BatchNorm1d(width, affine=False, name="bn"),
+    )
+
+
+class TestOutputVariances:
+    def test_measures_pre_batchnorm_variance(self):
+        enc = make_encoder(3)
+        # Make unit 1 constant: zero weights + bias.
+        enc[0].weight.data[:, 1] = 0.0
+        enc[0].bias.data[1] = 0.0
+        x = np.random.default_rng(0).normal(size=(128, 10))
+        variances = output_variances(enc, x)
+        assert variances.shape == (3,)
+        assert variances[1] == pytest.approx(0.0, abs=1e-12)
+        assert variances[0] > 0 and variances[2] > 0
+
+    def test_requires_dense_bn_tail(self):
+        bad = Sequential(Dense(4, 4, rng=0), ReLU())
+        with pytest.raises(ConfigurationError):
+            output_variances(bad, np.zeros((4, 4)))
+
+
+class TestPruneFeatureUnit:
+    def test_prunes_width_by_one(self):
+        enc = make_encoder(5)
+        prune_feature_unit(enc, 2)
+        assert enc[0].out_features == 4
+        assert enc[1].num_features == 4
+        out = enc.forward(np.random.default_rng(0).normal(size=(8, 10)))
+        assert out.shape == (8, 4)
+
+    def test_prunes_the_right_unit(self):
+        enc = make_encoder(3)
+        # Tag each unit with a distinctive bias and no weights.
+        enc[0].weight.data[:] = 0.0
+        enc[0].bias.data[:] = [10.0, 20.0, 30.0]
+        enc[1].running_mean[:] = 0.0
+        enc[1].running_var[:] = 1.0
+        prune_feature_unit(enc, 1)
+        out = enc.forward(np.zeros((1, 10)))
+        np.testing.assert_allclose(out, [[10.0, 30.0]], rtol=1e-4)
+
+    def test_refuses_last_unit(self):
+        enc = make_encoder(1)
+        with pytest.raises(ConfigurationError):
+            prune_feature_unit(enc, 0)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ShapeError):
+            prune_feature_unit(make_encoder(3), 3)
+
+    def test_pruned_encoder_still_trains(self):
+        enc = make_encoder(4)
+        prune_feature_unit(enc, 0)
+        x = np.random.default_rng(1).normal(size=(16, 10))
+        out = enc.forward(x, training=True)
+        enc.backward(np.ones_like(out))  # must not raise
+
+    def test_repeated_pruning_reaches_min(self):
+        enc = make_encoder(6)
+        for _ in range(5):
+            prune_feature_unit(enc, 0)
+        assert enc[0].out_features == 1

@@ -1,0 +1,74 @@
+"""Tests for the Sequential container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Flatten, ReLU, Sequential
+
+
+def make_chain():
+    return Sequential(
+        Dense(4, 8, rng=0, name="d1"),
+        ReLU(name="r"),
+        Dense(8, 2, rng=1, name="d2"),
+        name="chain",
+    )
+
+
+class TestContainer:
+    def test_forward_composes(self):
+        chain = make_chain()
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        manual = chain[2].forward(
+            chain[1].forward(chain[0].forward(x))
+        )
+        np.testing.assert_allclose(chain.forward(x), manual)
+
+    def test_backward_chains_in_reverse(self):
+        chain = make_chain()
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        out = chain.forward(x, training=True)
+        grad_in = chain.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_parameters_collects_all(self):
+        chain = make_chain()
+        names = {p.name for p in chain.parameters()}
+        assert names == {"d1.weight", "d1.bias", "d2.weight", "d2.bias"}
+
+    def test_add_returns_self(self):
+        chain = Sequential()
+        assert chain.add(Flatten()) is chain
+        assert len(chain) == 1
+
+    def test_state_dict_roundtrip(self):
+        chain = make_chain()
+        state = chain.state_dict()
+        other = make_chain()
+        # Perturb, then restore.
+        for p in other.parameters():
+            p.data += 1.0
+        other.load_state_dict(state)
+        x = np.random.default_rng(2).normal(size=(3, 4))
+        np.testing.assert_allclose(other.forward(x), chain.forward(x))
+
+    def test_iteration_and_indexing(self):
+        chain = make_chain()
+        assert len(list(chain)) == 3
+        assert isinstance(chain[1], ReLU)
+
+    def test_spec_nests_layers(self):
+        spec = make_chain().spec()
+        assert spec["type"] == "Sequential"
+        assert [s["type"] for s in spec["layers"]] == [
+            "Dense", "ReLU", "Dense",
+        ]
+
+    def test_zero_grad_clears_all(self):
+        chain = make_chain()
+        x = np.random.default_rng(3).normal(size=(4, 4))
+        out = chain.forward(x, training=True)
+        chain.backward(np.ones_like(out))
+        assert any(p.grad.any() for p in chain.parameters())
+        chain.zero_grad()
+        assert not any(p.grad.any() for p in chain.parameters())

@@ -1,0 +1,83 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (
+    BatchNorm1d,
+    Conv1d,
+    ConvTranspose1d,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    load_model,
+    save_model,
+)
+from repro.nn.layers import Reshape
+
+
+def make_model():
+    return Sequential(
+        Conv1d(2, 4, 5, stride=2, padding=2, rng=0, name="c1"),
+        ReLU(name="r1"),
+        Flatten(name="f1"),
+        Dense(4 * 5, 6, rng=1, name="d1"),
+        BatchNorm1d(6, name="b1"),
+        name="toy",
+    )
+
+
+class TestRoundtrip:
+    def test_identical_outputs(self, tmp_path):
+        model = make_model()
+        x = np.random.default_rng(0).normal(size=(3, 2, 10))
+        # Populate batch-norm running stats first.
+        model.forward(
+            np.random.default_rng(1).normal(size=(16, 2, 10)), training=True
+        )
+        expected = model.forward(x)
+        path = str(tmp_path / "model.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        np.testing.assert_allclose(restored.forward(x), expected, atol=1e-12)
+
+    def test_deconv_and_reshape_roundtrip(self, tmp_path):
+        model = Sequential(
+            Reshape((4, 1), name="rs"),
+            ConvTranspose1d(4, 2, 6, stride=2, padding=1, rng=2, name="dc"),
+            name="de",
+        )
+        x = np.random.default_rng(3).normal(size=(2, 4))
+        expected = model.forward(x)
+        path = str(tmp_path / "de.npz")
+        save_model(model, path)
+        np.testing.assert_allclose(
+            load_model(path).forward(x), expected, atol=1e-12
+        )
+
+    def test_spec_preserves_architecture(self, tmp_path):
+        model = make_model()
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert [layer.spec()["type"] for layer in restored] == [
+            "Conv1d", "ReLU", "Flatten", "Dense", "BatchNorm1d",
+        ]
+
+    def test_load_rejects_random_npz(self, tmp_path):
+        path = str(tmp_path / "junk.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ShapeError):
+            load_model(path)
+
+    def test_load_rejects_shape_mismatch(self, tmp_path):
+        model = make_model()
+        path = str(tmp_path / "m.npz")
+        save_model(model, path)
+        state = dict(np.load(path))
+        state["d1.weight"] = np.zeros((3, 3))
+        np.savez(path, **state)
+        with pytest.raises(ShapeError):
+            load_model(path)

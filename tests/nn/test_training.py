@@ -1,0 +1,102 @@
+"""Tests for the generic Trainer and the loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError, TrainingError
+from repro.nn import (
+    Adam,
+    Dense,
+    MSELoss,
+    ReLU,
+    Sequential,
+    SumSquaredError,
+    Trainer,
+)
+
+
+def make_regression(n=256, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    x = rng.normal(size=(n, 4))
+    w = rng.normal(size=(4, 2))
+    y = np.tanh(x @ w) + 0.01 * rng.normal(size=(n, 2))
+    return x, y
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        value, grad = MSELoss()(pred, target)
+        assert value == pytest.approx(2.5)
+        np.testing.assert_allclose(grad, [[1.0, 2.0]])
+
+    def test_sse_averages_over_batch_only(self):
+        pred = np.ones((4, 3))
+        target = np.zeros((4, 3))
+        value, _ = SumSquaredError()(pred, target)
+        assert value == pytest.approx(3.0)  # sum over features
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_gradient_is_derivative(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 5))
+        value, grad = SumSquaredError()(pred, target)
+        eps = 1e-6
+        probe = pred.copy()
+        probe[1, 2] += eps
+        value2, _ = SumSquaredError()(probe, target)
+        assert (value2 - value) / eps == pytest.approx(grad[1, 2], rel=1e-4)
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        x, y = make_regression()
+        model = Sequential(Dense(4, 16, rng=1), ReLU(), Dense(16, 2, rng=2))
+        trainer = Trainer(
+            model, MSELoss(), Adam(model.parameters(), lr=1e-2),
+            batch_size=32, rng=3,
+        )
+        history = trainer.fit(x, y, epochs=30)
+        assert history.final_train_loss < history.train_loss[0] * 0.2
+
+    def test_validation_history(self):
+        x, y = make_regression(128)
+        model = Sequential(Dense(4, 8, rng=1), ReLU(), Dense(8, 2, rng=2))
+        trainer = Trainer(
+            model, MSELoss(), Adam(model.parameters(), lr=1e-2), rng=3
+        )
+        history = trainer.fit(
+            x[:100], y[:100], epochs=5, x_val=x[100:], y_val=y[100:]
+        )
+        assert len(history.val_loss) == 5
+        assert history.best_val_loss == min(history.val_loss)
+
+    def test_sample_count_mismatch(self):
+        model = Sequential(Dense(4, 2, rng=0))
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((3, 4)), np.zeros((4, 2)), epochs=1)
+
+    def test_empty_dataset_raises(self):
+        model = Sequential(Dense(4, 2, rng=0))
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        with pytest.raises(TrainingError):
+            trainer.fit(np.zeros((0, 4)), np.zeros((0, 2)), epochs=1)
+
+    def test_evaluate_runs_inference(self):
+        x, y = make_regression(64)
+        model = Sequential(Dense(4, 2, rng=0))
+        trainer = Trainer(model, MSELoss(), Adam(model.parameters()))
+        loss = trainer.evaluate(x, y)
+        assert np.isfinite(loss)
+
+    def test_history_empty_raises(self):
+        from repro.nn.training import TrainingHistory
+
+        with pytest.raises(TrainingError):
+            _ = TrainingHistory().final_train_loss

@@ -1,0 +1,219 @@
+"""Failure-injection tests: malformed and tampered protocol messages.
+
+The agreement must fail *safely* — no exception escapes
+``run_key_agreement``; every injected fault surfaces as an unsuccessful
+outcome (or a typed ProtocolError at the party API level), never as a
+mismatched pair of "successful" keys.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import generate_dh_group
+from repro.errors import ProtocolError
+from repro.protocol import (
+    AgreementParty,
+    KeyAgreementConfig,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+    SimulatedTransport,
+    run_key_agreement,
+)
+from repro.protocol.messages import ConfirmationResponse
+from repro.utils.bits import BitSequence
+
+TEST_GROUP = generate_dh_group(96, rng=55)
+
+
+def make_config(**kwargs):
+    defaults = dict(key_length_bits=128, eta=0.1, group=TEST_GROUP)
+    defaults.update(kwargs)
+    return KeyAgreementConfig(**defaults)
+
+
+def make_parties(seed=1):
+    rng = np.random.default_rng(seed)
+    s = BitSequence.random(36, rng)
+    config = make_config()
+    mobile = AgreementParty("mobile", s, config, rng=2,
+                            own_sequences_first=True)
+    server = AgreementParty("server", s, config, rng=3,
+                            own_sequences_first=False)
+    return mobile, server, config
+
+
+def interceptor_for(target_type, mutate):
+    def intercept(sender, receiver, message):
+        if isinstance(message, target_type):
+            return mutate(message), 0.0
+        return message, 0.0
+
+    return intercept
+
+
+class TestTamperedMessages:
+    def _run_with_interceptor(self, intercept, seed=4):
+        rng = np.random.default_rng(seed)
+        s = BitSequence.random(36, rng)
+        return run_key_agreement(
+            s, s, make_config(),
+            transport=SimulatedTransport(interceptor=intercept),
+            rng=seed,
+        )
+
+    def test_truncated_announce_fails_cleanly(self):
+        outcome = self._run_with_interceptor(
+            interceptor_for(
+                OTAnnounce,
+                lambda m: OTAnnounce(m.sender, m.elements[:-1]),
+            )
+        )
+        assert not outcome.success
+        assert "protocol" in outcome.failure_reason
+
+    def test_out_of_group_announce_fails_cleanly(self):
+        outcome = self._run_with_interceptor(
+            interceptor_for(
+                OTAnnounce,
+                lambda m: OTAnnounce(
+                    m.sender, (TEST_GROUP.prime,) + m.elements[1:]
+                ),
+            )
+        )
+        assert not outcome.success
+
+    def test_swapped_response_elements_break_key(self):
+        outcome = self._run_with_interceptor(
+            interceptor_for(
+                OTResponse,
+                lambda m: OTResponse(
+                    m.sender, m.elements[::-1]
+                ),
+            )
+        )
+        assert not outcome.success
+
+    def test_single_corrupted_ciphertext_absorbed_by_ecc(self):
+        """One corrupted OT pair damages one key segment — inside the
+        reconciliation radius, so the run still succeeds with MATCHING
+        keys (the ECC treats it like a seed mismatch)."""
+        from repro.crypto.ot import OTCiphertexts
+
+        def flip_one(m):
+            pairs = list(m.pairs)
+            first = pairs[0]
+            pairs[0] = OTCiphertexts(
+                e0=bytes([first.e0[0] ^ 0xFF]) + first.e0[1:],
+                e1=bytes([first.e1[0] ^ 0xFF]) + first.e1[1:],
+            )
+            return OTCiphertextBatch(m.sender, tuple(pairs))
+
+        outcome = self._run_with_interceptor(
+            interceptor_for(OTCiphertextBatch, flip_one)
+        )
+        if outcome.success:
+            assert outcome.keys_match
+
+    def test_many_corrupted_ciphertexts_break_key(self):
+        """Corruption beyond the ECC radius must fail the agreement."""
+        from repro.crypto.ot import OTCiphertexts
+
+        def flip_many(m):
+            pairs = list(m.pairs)
+            for i in range(10):  # radius is floor(0.1 * 36) = 3
+                p = pairs[i]
+                pairs[i] = OTCiphertexts(
+                    e0=bytes([p.e0[0] ^ 0xFF]) + p.e0[1:],
+                    e1=bytes([p.e1[0] ^ 0xFF]) + p.e1[1:],
+                )
+            return OTCiphertextBatch(m.sender, tuple(pairs))
+
+        outcome = self._run_with_interceptor(
+            interceptor_for(OTCiphertextBatch, flip_many)
+        )
+        assert not outcome.success
+
+    def test_corrupted_sketch_fails_confirmation(self):
+        def flip(m):
+            bits = m.sketch.array.copy()
+            bits[: len(bits) // 2] ^= 1
+            return ReconciliationChallenge(
+                m.sender, BitSequence(bits), m.nonce
+            )
+
+        outcome = self._run_with_interceptor(
+            interceptor_for(ReconciliationChallenge, flip)
+        )
+        assert not outcome.success
+
+    def test_corrupted_confirmation_tag_detected(self):
+        def flip(m):
+            return ConfirmationResponse(
+                m.sender, bytes([m.tag[0] ^ 1]) + m.tag[1:]
+            )
+
+        outcome = self._run_with_interceptor(
+            interceptor_for(ConfirmationResponse, flip)
+        )
+        assert not outcome.success
+        assert "agreement" in outcome.failure_reason
+
+    def test_no_injected_fault_ever_yields_mismatched_success(self):
+        """Property over a batch of random tamperings: success implies
+        matching keys."""
+        rng = np.random.default_rng(9)
+
+        def random_tamper(sender, receiver, message):
+            if isinstance(message, OTResponse) and rng.random() < 0.5:
+                elements = list(message.elements)
+                i = rng.integers(0, len(elements))
+                elements[i] = TEST_GROUP.power(
+                    TEST_GROUP.random_exponent(rng)
+                )
+                return OTResponse(message.sender, tuple(elements)), 0.0
+            return message, 0.0
+
+        for seed in range(5):
+            s = BitSequence.random(36, np.random.default_rng(seed))
+            outcome = run_key_agreement(
+                s, s, make_config(),
+                transport=SimulatedTransport(interceptor=random_tamper),
+                rng=seed,
+            )
+            if outcome.success:
+                assert outcome.keys_match
+
+
+class TestPartyApiMisuse:
+    def test_double_challenge_requires_preliminary_key(self):
+        mobile, _, _ = make_parties()
+        with pytest.raises(ProtocolError):
+            mobile.craft_challenge()
+
+    def test_verify_without_challenge(self):
+        mobile, _, _ = make_parties()
+        with pytest.raises(ProtocolError):
+            mobile.verify_confirmation(
+                ConfirmationResponse("server", b"x" * 32)
+            )
+
+    def test_session_key_before_completion(self):
+        mobile, _, _ = make_parties()
+        with pytest.raises(ProtocolError):
+            mobile.session_key()
+
+    def test_receive_wrong_batch_size(self):
+        mobile, server, config = make_parties()
+        announce_m = mobile.craft_announce()
+        response_r = server.craft_response(announce_m)
+        batch = mobile.craft_ciphertexts(response_r)
+        with pytest.raises(ProtocolError):
+            server.receive_ciphertexts(
+                OTCiphertextBatch(batch.sender, batch.pairs[:-1])
+            )
+
+    def test_short_seed_rejected(self):
+        with pytest.raises(Exception):
+            AgreementParty("x", BitSequence([1]), make_config(), rng=0)

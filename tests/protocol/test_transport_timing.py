@@ -1,0 +1,103 @@
+"""Tests for the simulated transport, protocol clock, and messages."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceeded, ProtocolError
+from repro.protocol import (
+    ConfirmationResponse,
+    OTAnnounce,
+    ProtocolClock,
+    ReconciliationChallenge,
+    SimulatedTransport,
+)
+from repro.utils.bits import BitSequence
+
+
+class TestProtocolClock:
+    def test_advance_accumulates(self):
+        clock = ProtocolClock(start_s=2.0)
+        clock.advance(0.05)
+        clock.advance(0.01)
+        assert clock.now == pytest.approx(2.06)
+
+    def test_measure_adds_real_time(self):
+        clock = ProtocolClock()
+        with clock.measure():
+            time.sleep(0.02)
+        assert clock.now >= 0.02
+
+    def test_deadline_check(self):
+        clock = ProtocolClock(start_s=2.2)
+        with pytest.raises(DeadlineExceeded):
+            clock.check_deadline(2.12, "M_A")
+        clock2 = ProtocolClock(start_s=2.05)
+        clock2.check_deadline(2.12, "M_A")  # fine
+
+    def test_no_backwards(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolClock().advance(-1.0)
+
+
+class TestTransport:
+    def test_latency_and_bandwidth(self):
+        transport = SimulatedTransport(
+            base_latency_s=0.01, bandwidth_bytes_per_s=1000.0
+        )
+        message = OTAnnounce(sender="mobile", elements=(1 << 799,))
+        clock = ProtocolClock()
+        transport.deliver("mobile", "server", message, clock)
+        assert clock.now == pytest.approx(0.01 + 100 / 1000.0)
+
+    def test_taps_see_original_message(self):
+        seen = []
+        transport = SimulatedTransport(taps=[
+            lambda s, r, m: seen.append((s, r, m))
+        ])
+        message = OTAnnounce(sender="mobile", elements=(42,))
+        transport.deliver("mobile", "server", message, ProtocolClock())
+        assert seen == [("mobile", "server", message)]
+
+    def test_interceptor_substitutes(self):
+        replacement = OTAnnounce(sender="mobile", elements=(7,))
+
+        def mitm(sender, receiver, message):
+            return replacement, 0.25
+
+        transport = SimulatedTransport(interceptor=mitm)
+        clock = ProtocolClock()
+        delivered = transport.deliver(
+            "mobile", "server",
+            OTAnnounce(sender="mobile", elements=(42,)), clock,
+        )
+        assert delivered is replacement
+        assert clock.now >= 0.25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedTransport(base_latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulatedTransport(bandwidth_bytes_per_s=0.0)
+
+
+class TestMessages:
+    def test_empty_announce_rejected(self):
+        with pytest.raises(ProtocolError):
+            OTAnnounce(sender="m", elements=())
+
+    def test_wire_size_counts_bytes(self):
+        message = OTAnnounce(sender="m", elements=(255, 256))
+        assert message.wire_size_bytes() == 1 + 2
+
+    def test_challenge_nonce_minimum(self):
+        with pytest.raises(ProtocolError):
+            ReconciliationChallenge(
+                sender="m", sketch=BitSequence.zeros(10), nonce=b"short"
+            )
+
+    def test_confirmation_tag_length(self):
+        ConfirmationResponse(sender="s", tag=b"x" * 32)
+        with pytest.raises(ProtocolError):
+            ConfirmationResponse(sender="s", tag=b"x" * 16)

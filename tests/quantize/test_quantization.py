@@ -1,0 +1,146 @@
+"""Tests for equiprobable bins, gray coding, and key-seed generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.stats import norm
+
+from repro.errors import QuantizationError
+from repro.quantize import (
+    KeySeedQuantizer,
+    equiprobable_normal_boundaries,
+    gray_bits_per_symbol,
+    gray_code_table,
+    gray_decode,
+    gray_encode,
+    quantize_normal,
+)
+
+
+class TestBoundaries:
+    def test_equiprobable_mass(self):
+        """Each bin captures 1/N_b of the standard normal mass (Eq. 1)."""
+        for n_bins in (4, 8, 9, 15):
+            b = equiprobable_normal_boundaries(n_bins)
+            masses = np.diff(
+                np.concatenate([[0.0], norm.cdf(b), [1.0]])
+            )
+            np.testing.assert_allclose(masses, 1.0 / n_bins, atol=1e-12)
+
+    def test_symmetry(self):
+        b = equiprobable_normal_boundaries(8)
+        np.testing.assert_allclose(b, -b[::-1], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            equiprobable_normal_boundaries(1)
+
+
+class TestQuantizeNormal:
+    def test_bin_indices_in_range(self):
+        rng = np.random.default_rng(0)
+        idx = quantize_normal(rng.normal(size=1000), 9)
+        assert idx.min() >= 0 and idx.max() <= 8
+
+    def test_uniform_occupancy_for_normal_input(self):
+        rng = np.random.default_rng(1)
+        idx = quantize_normal(rng.normal(size=200_000), 8)
+        counts = np.bincount(idx, minlength=8) / idx.size
+        np.testing.assert_allclose(counts, 1 / 8, atol=0.01)
+
+    def test_extreme_values(self):
+        idx = quantize_normal(np.array([-100.0, 0.0, 100.0]), 9)
+        assert idx[0] == 0 and idx[2] == 8
+
+    def test_rejects_nan(self):
+        with pytest.raises(QuantizationError):
+            quantize_normal(np.array([np.nan]), 4)
+
+
+class TestGrayCode:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=100)
+    def test_decode_inverts_encode(self, i):
+        assert gray_decode(gray_encode(i)) == i
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=100)
+    def test_adjacent_codes_differ_one_bit(self, i):
+        assert bin(gray_encode(i) ^ gray_encode(i + 1)).count("1") == 1
+
+    def test_table_rows_unique(self):
+        table = gray_code_table(9)
+        rows = {tuple(r) for r in table}
+        assert len(rows) == 9
+
+    def test_table_adjacent_rows_one_bit(self):
+        table = gray_code_table(13)
+        diffs = np.abs(np.diff(table.astype(int), axis=0)).sum(axis=1)
+        assert np.all(diffs == 1)
+
+    def test_bits_per_symbol(self):
+        assert gray_bits_per_symbol(8) == 3
+        assert gray_bits_per_symbol(9) == 4
+        assert gray_bits_per_symbol(2) == 1
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            gray_bits_per_symbol(1)
+        with pytest.raises(QuantizationError):
+            gray_encode(-1)
+
+
+class TestKeySeedQuantizer:
+    def test_seed_length_formula(self):
+        q = KeySeedQuantizer(8)
+        assert q.seed_length(12) == 36  # whole-bit Eq. 2
+        assert KeySeedQuantizer(9).seed_length(12) == 48
+
+    def test_quantize_output_length(self):
+        q = KeySeedQuantizer(8)
+        seed = q.quantize(np.zeros(12))
+        assert len(seed) == 36
+
+    def test_close_values_close_seeds(self):
+        """Adjacent-bin perturbations flip at most one bit per element —
+        the gray-coding property the whole scheme leans on."""
+        q = KeySeedQuantizer(9)
+        rng = np.random.default_rng(2)
+        f = rng.normal(size=12)
+        boundaries = q.boundaries
+        # Nudge each element to just across its nearest boundary.
+        g = f.copy()
+        for i in range(12):
+            nearest = boundaries[np.argmin(np.abs(boundaries - f[i]))]
+            g[i] = nearest + 1e-6 * np.sign(nearest - f[i])
+        s_f = q.quantize(f)
+        s_g = q.quantize(g)
+        idx_f = q.bin_indices(f)
+        idx_g = q.bin_indices(g)
+        moved = int(np.sum(np.abs(idx_f - idx_g) == 1))
+        same = int(np.sum(idx_f == idx_g))
+        assert moved + same == 12  # nobody jumped two bins
+        assert s_f.hamming_distance(s_g) == moved
+
+    def test_identical_inputs_identical_seeds(self):
+        q = KeySeedQuantizer(8)
+        f = np.random.default_rng(3).normal(size=12)
+        assert q.quantize(f) == q.quantize(f.copy())
+
+    def test_marginally_uniform_bits_for_power_of_two(self):
+        """With N_b = 8 the seed bits are unbiased — the property that
+        makes the key-seed-chains pass NIST (see DESIGN.md deviation
+        note on N_b = 9)."""
+        q = KeySeedQuantizer(8)
+        rng = np.random.default_rng(4)
+        bits = np.concatenate(
+            [q.quantize(rng.normal(size=12)).array for _ in range(500)]
+        )
+        assert abs(bits.mean() - 0.5) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            KeySeedQuantizer(1)
+        with pytest.raises(QuantizationError):
+            KeySeedQuantizer(8).seed_length(0)

@@ -1,0 +1,63 @@
+"""Tests for the antenna gain model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rfid import LAIRD_S9028, AntennaProfile
+
+
+class TestGainPattern:
+    def test_boresight_is_unity_relative(self):
+        assert LAIRD_S9028.relative_gain(0.0) == pytest.approx(1.0)
+
+    def test_half_power_at_specified_beamwidth(self):
+        half = np.deg2rad(LAIRD_S9028.half_power_beamwidth_deg / 2)
+        power = LAIRD_S9028.relative_gain(half) ** 2
+        assert power == pytest.approx(0.5, rel=1e-6)
+
+    def test_monotone_decreasing_off_axis(self):
+        angles = np.deg2rad(np.linspace(0, 85, 30))
+        gains = LAIRD_S9028.relative_gain(angles)
+        assert np.all(np.diff(gains) <= 1e-12)
+
+    def test_back_hemisphere_at_sidelobe_floor(self):
+        floor = 10 ** (LAIRD_S9028.sidelobe_floor_db / 20)
+        assert LAIRD_S9028.relative_gain(np.pi * 0.75) == pytest.approx(
+            floor
+        )
+
+    def test_gain_never_below_floor(self):
+        angles = np.linspace(0, np.pi, 100)
+        floor = 10 ** (LAIRD_S9028.sidelobe_floor_db / 20)
+        assert np.all(LAIRD_S9028.relative_gain(angles) >= floor - 1e-12)
+
+    def test_symmetry(self):
+        a = np.deg2rad(37.0)
+        assert LAIRD_S9028.relative_gain(a) == pytest.approx(
+            LAIRD_S9028.relative_gain(-a)
+        )
+
+    def test_absolute_gain_includes_dbic(self):
+        boresight = LAIRD_S9028.absolute_gain(0.0)
+        assert boresight == pytest.approx(10 ** (8.5 / 20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AntennaProfile("bad", half_power_beamwidth_deg=5.0)
+
+
+class TestTagProfiles:
+    def test_six_tags_three_models(self):
+        from repro.rfid import default_tags
+
+        tags = default_tags()
+        assert len(tags) == 6
+        assert len({t.model for t in tags}) == 3
+
+    def test_sensitivity_threshold(self):
+        from repro.rfid import default_tags
+
+        tag = default_tags()[0]
+        assert tag.responds(-10.0)
+        assert not tag.responds(-30.0)

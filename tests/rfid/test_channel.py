@@ -1,0 +1,142 @@
+"""Tests for the backscatter channel physics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.rfid import (
+    BackscatterChannel,
+    ChannelGeometry,
+    Scatterer,
+    WalkingPerson,
+    default_tags,
+)
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    return sample_gesture(default_volunteers()[0], rng=51)
+
+
+def make_channel(trajectory_unused=None, **kwargs):
+    geometry = kwargs.pop("geometry", ChannelGeometry())
+    return BackscatterChannel(geometry, default_tags()[0], **kwargs)
+
+
+class TestGeometry:
+    def test_user_rest_distance(self):
+        geo = ChannelGeometry(user_distance_m=5.0, user_azimuth_deg=0.0)
+        d = np.linalg.norm(geo.user_rest_position - geo.antenna_position)
+        assert d == pytest.approx(5.0)
+
+    def test_azimuth_rotates_about_vertical(self):
+        geo = ChannelGeometry(user_distance_m=5.0, user_azimuth_deg=60.0)
+        rel = geo.user_rest_position - geo.antenna_position
+        assert rel[2] == pytest.approx(0.0)  # stays at antenna height
+        assert np.linalg.norm(rel) == pytest.approx(5.0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            ChannelGeometry(user_distance_m=0.0)
+        with pytest.raises(ConfigurationError):
+            ChannelGeometry(user_azimuth_deg=90.0)
+
+
+class TestPhasePhysics:
+    def test_phase_tracks_distance(self, trajectory):
+        """Backscatter phase advances at 4 pi / lambda per metre."""
+        channel = make_channel()
+        t = trajectory.motion_onset_s + np.linspace(0.0, 2.0, 400)
+        signal = channel.backscatter(trajectory, t)
+        phase = np.unwrap(np.angle(signal))
+        d = np.linalg.norm(
+            channel.tag_positions(trajectory, t)
+            - channel.geometry.antenna_position,
+            axis=1,
+        )
+        expected = -4.0 * np.pi * d / channel.wavelength_m
+        corr = np.corrcoef(phase - phase.mean(), expected - expected.mean())
+        assert corr[0, 1] > 0.95
+
+    def test_magnitude_falls_with_distance(self, trajectory):
+        t = np.array([0.1])
+        magnitudes = []
+        for dist in (1.0, 3.0, 9.0):
+            channel = make_channel(
+                geometry=ChannelGeometry(user_distance_m=dist)
+            )
+            magnitudes.append(
+                float(np.abs(channel.backscatter(trajectory, t))[0])
+            )
+        assert magnitudes[0] > magnitudes[1] > magnitudes[2]
+        # Two-way radar equation: |h^2| ~ 1/d^2 (one-way amplitude 1/d).
+        assert magnitudes[0] / magnitudes[1] == pytest.approx(9.0, rel=0.4)
+
+    def test_off_axis_gain_reduces_magnitude(self, trajectory):
+        t = np.array([0.1])
+        on_axis = make_channel(
+            geometry=ChannelGeometry(user_distance_m=5.0, user_azimuth_deg=0)
+        )
+        off_axis = make_channel(
+            geometry=ChannelGeometry(user_distance_m=5.0, user_azimuth_deg=60)
+        )
+        m_on = float(np.abs(on_axis.backscatter(trajectory, t))[0])
+        m_off = float(np.abs(off_axis.backscatter(trajectory, t))[0])
+        assert m_off < m_on
+
+    def test_tag_gain_scales_signal(self, trajectory):
+        t = np.array([0.1])
+        geo = ChannelGeometry()
+        tags = default_tags()
+        strong = BackscatterChannel(geo, tags[4])  # dogbone, gain 1.15
+        weak = BackscatterChannel(geo, tags[1])  # alien-b, gain 0.96
+        ratio = float(
+            np.abs(strong.backscatter(trajectory, t))[0]
+            / np.abs(weak.backscatter(trajectory, t))[0]
+        )
+        assert ratio == pytest.approx(1.15 / 0.96, rel=0.05)
+
+
+class TestMultipath:
+    def test_static_scatterer_changes_channel(self, trajectory):
+        t = trajectory.motion_onset_s + np.linspace(0.0, 2.0, 100)
+        clean = make_channel().backscatter(trajectory, t)
+        dirty = make_channel(
+            scatterers=[Scatterer(np.array([1.0, 2.5, 1.2]), 0.3)]
+        ).backscatter(trajectory, t)
+        assert np.abs(clean - dirty).max() > 0
+
+    def test_walker_makes_channel_time_varying(self, trajectory):
+        # With the tag stationary (pause segment), a walking person still
+        # modulates the channel.
+        t = np.linspace(0.0, 0.6, 120)
+        walker = WalkingPerson(
+            start=np.array([1.0, 3.0, 1.0]),
+            velocity=np.array([1.2, 0.0, 0.0]),
+        )
+        signal = make_channel(walkers=[walker]).backscatter(trajectory, t)
+        still = make_channel().backscatter(trajectory, t)
+        assert np.abs(signal).std() > np.abs(still).std()
+
+    def test_walker_patrol_stays_bounded(self):
+        walker = WalkingPerson(
+            start=np.array([0.0, 3.0, 1.0]),
+            velocity=np.array([1.0, 0.0, 0.0]),
+            patrol_length_m=3.0,
+        )
+        pos = walker.positions(np.linspace(0, 60, 600))
+        assert pos[:, 0].max() <= 3.0 + 0.2
+        assert pos[:, 0].min() >= -0.2
+
+
+class TestValidation:
+    def test_rejects_non_uhf_carrier(self):
+        with pytest.raises(ConfigurationError):
+            BackscatterChannel(
+                ChannelGeometry(), default_tags()[0], carrier_hz=1e5
+            )
+
+    def test_wavelength(self):
+        channel = make_channel()
+        assert channel.wavelength_m == pytest.approx(0.3276, rel=1e-3)

@@ -1,0 +1,171 @@
+"""Tests for the reader model and the server-side DSP pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gesture import default_volunteers, sample_gesture
+from repro.rfid import (
+    ChannelGeometry,
+    RFIDProcessingConfig,
+    RFIDReader,
+    ReaderProfile,
+    default_environments,
+    default_tags,
+    process_rfid_record,
+    savitzky_golay,
+    unwrap_phase,
+)
+
+
+@pytest.fixture(scope="module")
+def gesture_and_record():
+    trajectory = sample_gesture(default_volunteers()[0], rng=61,
+                                active_s=4.0)
+    channel = default_environments()[0].build_channel(
+        default_tags()[0], ChannelGeometry(), dynamic=False, rng=62
+    )
+    record = RFIDReader().record_gesture(channel, trajectory, rng=63)
+    return trajectory, channel, record
+
+
+class TestUnwrapPhase:
+    def test_removes_upward_jump(self):
+        wrapped = np.array([6.0, 6.2, 0.2, 0.4])  # wrapped past 2 pi
+        unwrapped = unwrap_phase(wrapped)
+        assert np.abs(np.diff(unwrapped)).max() < np.pi
+
+    def test_removes_downward_jump(self):
+        wrapped = np.array([0.4, 0.1, 6.1, 5.9])
+        unwrapped = unwrap_phase(wrapped)
+        assert np.abs(np.diff(unwrapped)).max() < np.pi
+
+    def test_matches_numpy_unwrap(self):
+        rng = np.random.default_rng(0)
+        # A smooth signal wrapped into [0, 2 pi).
+        true = np.cumsum(rng.normal(0, 0.4, 500))
+        wrapped = np.mod(true, 2 * np.pi)
+        np.testing.assert_allclose(
+            unwrap_phase(wrapped) - unwrap_phase(wrapped)[0],
+            np.unwrap(wrapped) - np.unwrap(wrapped)[0],
+            atol=1e-9,
+        )
+
+    def test_empty_and_single(self):
+        assert unwrap_phase(np.array([])).size == 0
+        np.testing.assert_array_equal(unwrap_phase(np.array([1.0])), [1.0])
+
+
+class TestSavitzkyGolay:
+    def test_preserves_smooth_extrema(self):
+        t = np.linspace(0, 2, 400)
+        clean = np.sin(2 * np.pi * t)
+        noisy = clean + np.random.default_rng(1).normal(0, 0.05, t.size)
+        smoothed = savitzky_golay(noisy, 15, 3)
+        assert np.abs(smoothed - clean).max() < 3 * np.abs(
+            noisy - clean
+        ).max() / 4
+
+    def test_validates_window(self):
+        with pytest.raises(SimulationError):
+            savitzky_golay(np.zeros(100), window=4)
+        with pytest.raises(SimulationError):
+            savitzky_golay(np.zeros(100), window=5, polyorder=7)
+        with pytest.raises(SimulationError):
+            savitzky_golay(np.zeros(3), window=15)
+
+
+class TestReader:
+    def test_record_shape_and_rate(self, gesture_and_record):
+        _, _, record = gesture_and_record
+        assert record.sample_rate_hz == pytest.approx(200.0)
+        assert record.phase_rad.min() >= 0.0
+        assert record.phase_rad.max() < 2 * np.pi
+
+    def test_phase_quantization_grid(self):
+        profile = ReaderProfile(phase_noise_rad=0.0)
+        trajectory = sample_gesture(default_volunteers()[1], rng=3)
+        channel = default_environments()[1].build_channel(
+            default_tags()[1], ChannelGeometry(), rng=4
+        )
+        record = RFIDReader(profile).record_gesture(channel, trajectory,
+                                                    rng=5)
+        step = 2 * np.pi / (1 << profile.phase_quantization_bits)
+        ratio = record.phase_rad / step
+        np.testing.assert_allclose(ratio, np.round(ratio), atol=1e-6)
+
+    def test_reproducible(self, gesture_and_record):
+        trajectory, channel, record = gesture_and_record
+        again = RFIDReader().record_gesture(channel, trajectory, rng=63)
+        np.testing.assert_array_equal(record.phase_rad, again.phase_rad)
+
+
+class TestProcessing:
+    def test_output_shape(self, gesture_and_record):
+        _, _, record = gesture_and_record
+        r = process_rfid_record(record)
+        assert r.shape == (400, 2)
+
+    def test_phase_tracks_geometry(self, gesture_and_record):
+        trajectory, channel, record = gesture_and_record
+        r = process_rfid_record(record)
+        t = trajectory.motion_onset_s + np.arange(400) / 200.0
+        d = np.linalg.norm(
+            channel.tag_positions(trajectory, t)
+            - channel.geometry.antenna_position,
+            axis=1,
+        )
+        expected = -4 * np.pi * d / channel.wavelength_m
+        corr = np.corrcoef(r[:, 0] - r[:, 0].mean(),
+                           expected - expected.mean())[0, 1]
+        assert corr > 0.85
+
+    def test_magnitudes_positive(self, gesture_and_record):
+        _, _, record = gesture_and_record
+        r = process_rfid_record(record)
+        assert np.all(r[:, 1] > 0)
+
+    def test_offset_window(self, gesture_and_record):
+        _, _, record = gesture_and_record
+        r0 = process_rfid_record(record, offset_s=0.0)
+        r1 = process_rfid_record(record, offset_s=0.5)
+        # 0.5 s at 200 Hz = 100 samples of overlap shift.
+        np.testing.assert_allclose(r0[100:400, 0], r1[0:300, 0], atol=1e-6)
+
+    def test_bad_offsets(self, gesture_and_record):
+        _, _, record = gesture_and_record
+        with pytest.raises(SimulationError):
+            process_rfid_record(record, offset_s=-1.0)
+        with pytest.raises(SimulationError):
+            process_rfid_record(record, offset_s=30.0)
+
+    def test_config_sample_count(self):
+        config = RFIDProcessingConfig(window_s=1.5)
+        assert config.n_samples(200.0) == 300
+
+
+class TestEnvironments:
+    def test_four_presets(self):
+        envs = default_environments()
+        assert len(envs) == 4
+        assert all(env.scatterers for env in envs)
+
+    def test_dynamic_channel_has_walkers(self):
+        env = default_environments()[0]
+        channel = env.build_channel(
+            default_tags()[0], ChannelGeometry(), dynamic=True, rng=1
+        )
+        assert len(channel.walkers) == env.n_walkers
+
+    def test_static_channel_has_no_walkers(self):
+        env = default_environments()[0]
+        channel = env.build_channel(
+            default_tags()[0], ChannelGeometry(), dynamic=False, rng=1
+        )
+        assert channel.walkers == []
+
+    def test_walker_paths_differ_per_run(self):
+        env = default_environments()[0]
+        w1 = env.sample_walkers(rng=1)
+        w2 = env.sample_walkers(rng=2)
+        assert not np.allclose(w1[0].start, w2[0].start)

@@ -1,0 +1,152 @@
+"""Unit + property tests for BitSequence and the bit helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.utils.bits import (
+    BitSequence,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    mismatch_rate,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=256)
+
+
+class TestConstruction:
+    def test_from_list(self):
+        seq = BitSequence([1, 0, 1, 1])
+        assert len(seq) == 4
+        assert seq.to01() == "1011"
+
+    def test_from_ndarray(self):
+        seq = BitSequence(np.array([0, 1, 0], dtype=np.uint8))
+        assert seq.to01() == "010"
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ShapeError):
+            BitSequence([0, 2, 1])
+
+    def test_zeros(self):
+        assert BitSequence.zeros(5).to01() == "00000"
+
+    def test_random_is_reproducible(self):
+        a = BitSequence.random(64, np.random.default_rng(3))
+        b = BitSequence.random(64, np.random.default_rng(3))
+        assert a == b
+
+    def test_from_int_roundtrip(self):
+        seq = BitSequence.from_int(0b1011, 6)
+        assert seq.to01() == "001011"
+        assert seq.to_int() == 0b1011
+
+    def test_from_int_overflow(self):
+        with pytest.raises(ShapeError):
+            BitSequence.from_int(16, 4)
+
+    def test_empty(self):
+        assert len(BitSequence()) == 0
+        assert BitSequence().mismatch_rate(BitSequence()) == 0.0
+
+    def test_immutability(self):
+        seq = BitSequence([1, 0])
+        with pytest.raises(ValueError):
+            seq.array[0] = 0
+
+
+class TestOperations:
+    def test_xor(self):
+        a = BitSequence([1, 1, 0, 0])
+        b = BitSequence([1, 0, 1, 0])
+        assert (a ^ b).to01() == "0110"
+
+    def test_xor_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            BitSequence([1]) ^ BitSequence([1, 0])
+
+    def test_concat_operator(self):
+        assert (BitSequence([1]) + BitSequence([0, 1])).to01() == "101"
+
+    def test_concat_many(self):
+        parts = [BitSequence([1]), BitSequence([0]), BitSequence([1, 1])]
+        assert parts[0].concat(*parts[1:]).to01() == "1011"
+
+    def test_hamming_and_mismatch(self):
+        a = BitSequence([1, 1, 1, 1])
+        b = BitSequence([1, 0, 1, 0])
+        assert a.hamming_distance(b) == 2
+        assert a.mismatch_rate(b) == 0.5
+
+    def test_slicing_returns_bitsequence(self):
+        seq = BitSequence([1, 0, 1, 1, 0])
+        assert isinstance(seq[1:4], BitSequence)
+        assert seq[1:4].to01() == "011"
+
+    def test_indexing_returns_int(self):
+        assert BitSequence([1, 0])[0] == 1
+        assert isinstance(BitSequence([1, 0])[0], int)
+
+    def test_equality_and_hash(self):
+        assert BitSequence([1, 0]) == BitSequence([1, 0])
+        assert BitSequence([1, 0]) != BitSequence([1, 0, 0])
+        assert hash(BitSequence([1, 0])) == hash(BitSequence([1, 0]))
+
+    def test_popcount(self):
+        assert BitSequence([1, 0, 1, 1]).popcount() == 3
+
+
+class TestModuleHelpers:
+    def test_hamming_distance_helper(self):
+        assert hamming_distance([1, 0, 1], [0, 0, 1]) == 1
+
+    def test_mismatch_rate_helper(self):
+        assert mismatch_rate([1, 1], [0, 0]) == 1.0
+
+    def test_bytes_to_bits_msb_first(self):
+        assert bytes_to_bits(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_bits_to_bytes_pads_tail(self):
+        assert bits_to_bytes(np.array([1, 0, 1], dtype=np.uint8)) == b"\xa0"
+
+
+@given(bit_lists)
+def test_xor_involution(bits):
+    a = BitSequence(bits)
+    b = BitSequence([1 - v for v in bits])
+    assert (a ^ b) ^ b == a
+
+
+@given(st.binary(max_size=64))
+def test_bytes_roundtrip(data):
+    assert BitSequence.from_bytes(data).to_bytes() == data
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_int_roundtrip(value):
+    assert bits_to_int(int_to_bits(value, 64)) == value
+
+
+@given(bit_lists, bit_lists)
+def test_mismatch_symmetry(a_bits, b_bits):
+    n = min(len(a_bits), len(b_bits))
+    if n == 0:
+        return
+    a = BitSequence(a_bits[:n])
+    b = BitSequence(b_bits[:n])
+    assert a.mismatch_rate(b) == b.mismatch_rate(a)
+    assert 0.0 <= a.mismatch_rate(b) <= 1.0
+
+
+@given(bit_lists)
+@settings(max_examples=30)
+def test_concat_preserves_content(bits):
+    seq = BitSequence(bits)
+    doubled = seq + seq
+    assert len(doubled) == 2 * len(seq)
+    assert doubled[: len(seq)] == seq

@@ -1,0 +1,80 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.validation import (
+    check_matrix,
+    check_positive,
+    check_probability,
+    check_range,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1.0, allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", float("inf"))
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability("p", value)
+
+
+class TestCheckRange:
+    def test_accepts_bounds(self):
+        assert check_range("r", 3, 3, 9) == 3
+        assert check_range("r", 9, 3, 9) == 9
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError, match="r"):
+            check_range("r", 10, 3, 9)
+
+
+class TestCheckMatrix:
+    def test_exact_shape(self):
+        m = check_matrix("m", np.ones((4, 3)), (4, 3))
+        assert m.shape == (4, 3)
+
+    def test_wildcard_axis(self):
+        assert check_matrix("m", np.ones((7, 3)), (-1, 3)).shape == (7, 3)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", np.ones(4), (4, 1))
+
+    def test_rejects_wrong_axis(self):
+        with pytest.raises(ShapeError, match="axis 1"):
+            check_matrix("m", np.ones((4, 2)), (4, 3))
+
+    def test_rejects_nan(self):
+        bad = np.ones((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(ShapeError, match="non-finite"):
+            check_matrix("m", bad, (2, 2))
