@@ -36,6 +36,13 @@ from repro.errors import (
 )
 from repro.gesture import VolunteerProfile, default_volunteers, sample_gesture
 from repro.protocol import KeyAgreementConfig, run_key_agreement
+from repro.service import (
+    AccessRequest,
+    LoadProfile,
+    ServiceConfig,
+    WaveKeyAccessServer,
+    run_load,
+)
 from repro.utils.bits import BitSequence
 
 __version__ = "1.0.0"
@@ -58,5 +65,10 @@ __all__ = [
     "WaveKeyError",
     "ProtocolError",
     "KeyAgreementFailure",
+    "AccessRequest",
+    "LoadProfile",
+    "ServiceConfig",
+    "WaveKeyAccessServer",
+    "run_load",
     "__version__",
 ]

@@ -2,14 +2,19 @@
 
 Usage (after ``pip install -e .``)::
 
-    python -m repro establish [--seed N] [--dynamic] [--distance M]
-    python -m repro inspect
-    python -m repro attack {guess,mimic,spoof} [--trials N]
+    repro establish [--seed N] [--dynamic] [--distance M]
+    repro inspect
+    repro attack {guess,mimic,spoof} [--trials N]
+    repro serve [--dry-run] [--workers N] [--queue-capacity N] ...
+    repro loadgen [--sessions N] [--rate HZ] [--seed N]
 
 ``establish`` runs one end-to-end key establishment against the
 pretrained bundle and prints the outcome; ``inspect`` summarizes the
 shipped bundle's operating point; ``attack`` runs a small campaign of
-the chosen attack and reports its success rate.
+the chosen attack and reports its success rate; ``serve`` brings up the
+concurrent access-control server (:mod:`repro.service`) and processes a
+burst of synthetic sessions; ``loadgen`` drives a server with a
+configurable offered load and prints the load report.
 """
 
 from __future__ import annotations
@@ -58,6 +63,37 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("kind", choices=("guess", "mimic", "spoof"))
     attack.add_argument("--trials", type=int, default=10)
     attack.add_argument("--seed", type=int, default=1)
+
+    def add_service_args(p):
+        p.add_argument("--workers", type=int, default=2)
+        p.add_argument("--queue-capacity", type=int, default=32)
+        p.add_argument("--batch-size", type=int, default=16,
+                       help="micro-batcher max batch size")
+        p.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="micro-batcher max wait before launching")
+        p.add_argument("--max-attempts", type=int, default=3)
+        p.add_argument("--session-deadline", type=float, default=30.0,
+                       help="wall-clock budget per session in seconds")
+        p.add_argument("--seed", type=int, default=7)
+
+    serve = sub.add_parser(
+        "serve", help="run the concurrent access-control server"
+    )
+    add_service_args(serve)
+    serve.add_argument("--sessions", type=int, default=8,
+                       help="synthetic sessions to serve before exiting")
+    serve.add_argument("--dry-run", action="store_true",
+                       help="validate config and print the operating "
+                            "point without serving")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a server with synthetic offered load"
+    )
+    add_service_args(loadgen)
+    loadgen.add_argument("--sessions", type=int, default=16)
+    loadgen.add_argument("--rate", type=float, default=0.0,
+                         help="arrival rate in sessions/s (0 = burst)")
+    loadgen.add_argument("--dynamic", action="store_true")
     return parser
 
 
@@ -148,6 +184,96 @@ def _cmd_attack(args, out) -> int:
     return 0 if outcome.n_successes == 0 else 2
 
 
+def _service_config(args):
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        max_batch_size=args.batch_size,
+        max_batch_wait_s=args.batch_wait_ms / 1000.0,
+        max_attempts=args.max_attempts,
+        session_deadline_s=args.session_deadline,
+    )
+
+
+def _print_service_header(config, bundle, out) -> None:
+    print("WaveKey access-control server", file=out)
+    print(f"  workers          : {config.workers}", file=out)
+    print(f"  queue capacity   : {config.queue_capacity}", file=out)
+    print(f"  batch policy     : <= {config.max_batch_size} windows or "
+          f"{config.max_batch_wait_s * 1000:.1f} ms", file=out)
+    print(f"  max attempts     : {config.max_attempts}", file=out)
+    print(f"  session deadline : {config.session_deadline_s:.1f} s",
+          file=out)
+    print(f"  bundle eta       : {bundle.eta:.4f}", file=out)
+
+
+def _print_service_metrics(server, out) -> None:
+    snapshot = server.metrics.snapshot()
+    print("counters:", file=out)
+    for name in sorted(snapshot["counters"]):
+        print(f"  {name:28s} {snapshot['counters'][name]}", file=out)
+    interesting = ("service.encode_s", "service.agree_s", "service.total_s")
+    for name in interesting:
+        hist = snapshot["histograms"].get(name)
+        if hist and hist["count"]:
+            print(f"  {name:28s} mean {hist['mean'] * 1000:8.1f} ms  "
+                  f"n={hist['count']}", file=out)
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.service import (
+        AccessRequest, WaveKeyAccessServer,
+    )
+    from repro.utils.rng import derive_seed
+
+    config = _service_config(args)
+    bundle = load_default_bundle()
+    if args.dry_run:
+        _print_service_header(config, bundle, out)
+        print("dry run: configuration OK, not serving", file=out)
+        return 0
+    _print_service_header(config, bundle, out)
+    with WaveKeyAccessServer(bundle, config) as server:
+        tickets = [
+            server.submit(
+                AccessRequest(rng_seed=derive_seed(args.seed, "serve", i))
+            )
+            for i in range(args.sessions)
+        ]
+        established = 0
+        for ticket in tickets:
+            record = ticket.result()
+            established += record.success
+            status = record.state.value
+            detail = "" if record.success else f"  ({record.failure_reason})"
+            print(f"  {record.session_id}: {status}{detail}", file=out)
+        _print_service_metrics(server, out)
+    print(f"established {established}/{args.sessions}", file=out)
+    return 0 if established else 1
+
+
+def _cmd_loadgen(args, out) -> int:
+    from repro.service import LoadProfile, WaveKeyAccessServer, run_load
+
+    config = _service_config(args)
+    bundle = load_default_bundle()
+    profile = LoadProfile(
+        sessions=args.sessions,
+        arrival_rate_hz=args.rate,
+        rng_seed=args.seed,
+        dynamic=args.dynamic,
+    )
+    _print_service_header(config, bundle, out)
+    with WaveKeyAccessServer(bundle, config) as server:
+        report = run_load(server, profile)
+        for line in report.summary_lines():
+            print(line, file=out)
+        _print_service_metrics(server, out)
+    return 0 if report.established else 1
+
+
 def main(argv=None, out=None) -> int:
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
@@ -156,6 +282,10 @@ def main(argv=None, out=None) -> int:
             return _cmd_establish(args, out)
         if args.command == "inspect":
             return _cmd_inspect(out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args, out)
         return _cmd_attack(args, out)
     except WaveKeyError as exc:
         print(f"error: {exc}", file=out)

@@ -54,6 +54,23 @@ class KeySeedPipeline:
 
     # -- batch evaluation -----------------------------------------------------
 
+    def imu_keyseeds(self, a_matrices) -> list:
+        """``S_M`` for many A matrices through ONE encoder forward pass.
+
+        ``a_matrices`` is any sequence/stack of (200, 3) matrices; the
+        service layer's micro-batcher coalesces concurrent requests onto
+        this path.
+        """
+        x = np.stack([normalize_imu_matrix(a) for a in a_matrices])
+        features = self.bundle.imu_encoder.forward(x)
+        return [self.quantizer.quantize(f) for f in features]
+
+    def rfid_keyseeds(self, r_matrices) -> list:
+        """``S_R`` for many R matrices through ONE encoder forward pass."""
+        x = np.stack([normalize_rfid_matrix(r) for r in r_matrices])
+        features = self.bundle.rf_encoder.forward(x)
+        return [self.quantizer.quantize(f) for f in features]
+
     def batch_seed_pairs(
         self, a_matrices: np.ndarray, r_matrices: np.ndarray
     ):
@@ -62,14 +79,9 @@ class KeySeedPipeline:
         ``a_matrices``: (N, 200, 3); ``r_matrices``: (N, 400, 2).
         Returns a list of ``(S_M, S_R)`` tuples.
         """
-        x_imu = np.stack([normalize_imu_matrix(a) for a in a_matrices])
-        x_rfid = np.stack([normalize_rfid_matrix(r) for r in r_matrices])
-        f_m = self.bundle.imu_encoder.forward(x_imu)
-        f_r = self.bundle.rf_encoder.forward(x_rfid)
-        return [
-            (self.quantizer.quantize(f_m[i]), self.quantizer.quantize(f_r[i]))
-            for i in range(f_m.shape[0])
-        ]
+        seeds_m = self.imu_keyseeds(a_matrices)
+        seeds_r = self.rfid_keyseeds(r_matrices)
+        return list(zip(seeds_m, seeds_r))
 
     def seed_mismatch_rates(
         self, a_matrices: np.ndarray, r_matrices: np.ndarray

@@ -37,6 +37,10 @@ class DeadlineExceeded(ProtocolError):
     """A critical protocol message arrived after the tau deadline (SIV-D.2)."""
 
 
+class MessageDropped(ProtocolError):
+    """A transport interceptor dropped a message instead of relaying it."""
+
+
 class KeyAgreementFailure(ProtocolError):
     """The two parties could not converge on a common key.
 
@@ -56,3 +60,8 @@ class CryptoError(WaveKeyError):
 
 class SimulationError(WaveKeyError):
     """A physical-layer simulation produced invalid state."""
+
+
+class ServiceError(WaveKeyError):
+    """The access-control service was misused (submit after shutdown,
+    double start, result read before completion, ...)."""

@@ -163,7 +163,7 @@ class ConvTranspose1d(Layer):
         w2 = self.weight.data.reshape(
             self.in_channels, self.out_channels * self.kernel_size
         )
-        cols = np.einsum("if,nil->nfl", w2, x, optimize=True)
+        cols = np.matmul(w2.T, x)
         y = col2im1d(
             cols,
             (n, self.out_channels, l_out),
@@ -187,10 +187,10 @@ class ConvTranspose1d(Layer):
         w2 = self.weight.data.reshape(
             self.in_channels, self.out_channels * self.kernel_size
         )
-        grad_x = np.einsum("if,nfl->nil", w2, grad_cols, optimize=True)
-        grad_w = np.einsum(
-            "nil,nfl->if", x, grad_cols, optimize=True
-        ).reshape(self.weight.data.shape)
+        grad_x = np.matmul(w2, grad_cols)
+        grad_w = np.matmul(x, grad_cols.swapaxes(1, 2)).sum(axis=0).reshape(
+            self.weight.data.shape
+        )
         self.weight.grad += grad_w
         self.bias.grad += grad_out.sum(axis=(0, 2))
         return grad_x

@@ -116,7 +116,10 @@ def conv1d_forward(
         )
     cols = im2col1d(x, kernel, stride, pad)
     w2 = weight.reshape(c_out, c_in * kernel)
-    out = np.einsum("of,nfl->nol", w2, cols, optimize=True)
+    # (O, F) @ (N, F, L) broadcasts to one BLAS gemm per sample; this is
+    # several times faster than the equivalent einsum, and the gap widens
+    # with batch size — the property the micro-batching service relies on.
+    out = np.matmul(w2, cols)
     out += bias[None, :, None]
     return out, cols
 
@@ -135,9 +138,9 @@ def conv1d_backward(
     """
     c_out, c_in, kernel = weight.shape
     w2 = weight.reshape(c_out, c_in * kernel)
-    grad_cols = np.einsum("of,nol->nfl", w2, grad_out, optimize=True)
+    grad_cols = np.matmul(w2.T, grad_out)
     grad_x = col2im1d(grad_cols, x_shape, kernel, stride, pad)
-    grad_w = np.einsum("nol,nfl->of", grad_out, cols, optimize=True).reshape(
+    grad_w = np.matmul(grad_out, cols.swapaxes(1, 2)).sum(axis=0).reshape(
         weight.shape
     )
     grad_b = grad_out.sum(axis=(0, 2))

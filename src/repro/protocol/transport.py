@@ -6,19 +6,20 @@ latency plus a bandwidth term, with two adversary hooks:
 * ``taps`` — read-only observers (eavesdropping attack, SV-A);
 * ``interceptor`` — a man-in-the-middle that may replace a message and
   add relay delay (SV-C); returning the message unchanged with zero
-  delay makes the MitM a pure relay.
+  delay makes the MitM a pure relay, and returning ``None`` drops the
+  message entirely (the receiver sees :class:`MessageDropped`).
 """
 
 from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MessageDropped
 from repro.protocol.timing import ProtocolClock
 
 #: tap(sender, receiver, message) -> None
 TapFn = Callable[[str, str, object], None]
-#: interceptor(sender, receiver, message) -> (message, extra_delay_s)
+#: interceptor(sender, receiver, message) -> (message | None, extra_delay_s)
 InterceptFn = Callable[[str, str, object], Tuple[object, float]]
 
 
@@ -39,6 +40,7 @@ class SimulatedTransport:
         self.taps: List[TapFn] = list(taps or [])
         self.interceptor = interceptor
         self.delivered_count = 0
+        self.dropped_count = 0
 
     def transmission_delay(self, message) -> float:
         """Latency plus serialization time for one message."""
@@ -51,15 +53,23 @@ class SimulatedTransport:
         """Deliver ``message``, advancing the protocol clock.
 
         Taps observe the original message; the interceptor may replace
-        it and add relay delay.  Returns the (possibly substituted)
-        message the receiver sees.
+        it, drop it (by returning ``None``), and add relay delay.
+        Returns the (possibly substituted) message the receiver sees;
+        raises :class:`MessageDropped` for dropped messages.
         """
         clock.advance(self.transmission_delay(message))
         for tap in self.taps:
             tap(sender, receiver, message)
         if self.interceptor is not None:
+            original = message
             message, extra_delay = self.interceptor(sender, receiver, message)
             if extra_delay:
                 clock.advance(extra_delay)
+            if message is None:
+                self.dropped_count += 1
+                raise MessageDropped(
+                    f"{type(original).__name__} from {sender} to {receiver} "
+                    "was dropped in transit"
+                )
         self.delivered_count += 1
         return message

@@ -1,0 +1,220 @@
+"""Micro-batching inference scheduler.
+
+Concurrent sessions each need one IMU-En or RF-En forward pass for a
+single sensor window.  Running them one-by-one wastes the encoders'
+throughput: a single stacked forward over N windows costs far less than
+N single-window forwards (the convolutions amortize their im2col and
+BLAS dispatch overhead).  :class:`MicroBatcher` is the classic
+model-serving answer: requests enqueue, a scheduler thread coalesces
+everything pending into one batch, launches it when either the batch is
+full or the oldest request has waited ``max_wait_s``, and distributes
+the per-item results back to the waiting sessions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.metrics import MetricsRegistry
+
+#: batch_fn(items) -> per-item results, len-preserving.
+BatchFn = Callable[[Sequence[object]], Sequence[object]]
+
+
+class BatchFuture:
+    """Handle for one submitted item; ``result()`` blocks until ready."""
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._result: Optional[object] = None
+        self._exception: Optional[BaseException] = None
+        self.batch_size: Optional[int] = None  # size of the fulfilling batch
+        self.queue_wait_s: float = 0.0  # enqueue -> batch launch
+        self.compute_s: float = 0.0     # batch_fn duration for the batch
+
+    def _fulfill(
+        self,
+        result: object,
+        batch_size: int,
+        queue_wait_s: float,
+        compute_s: float,
+    ) -> None:
+        self._result = result
+        self.batch_size = batch_size
+        self.queue_wait_s = queue_wait_s
+        self.compute_s = compute_s
+        self._done.set()
+
+    def _fail(self, exception: BaseException, batch_size: int) -> None:
+        self._exception = exception
+        self.batch_size = batch_size
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float = None) -> object:
+        if not self._done.wait(timeout):
+            raise ServiceError("batched inference result not ready in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+class _Pending:
+    __slots__ = ("item", "future", "enqueued_at")
+
+    def __init__(self, item: object, future: BatchFuture):
+        self.item = item
+        self.future = future
+        self.enqueued_at = time.monotonic()
+
+
+class MicroBatcher:
+    """Coalesces pending items and runs ``batch_fn`` over them.
+
+    Launch policy: fire as soon as ``max_batch_size`` items are pending,
+    or ``max_wait_s`` after the oldest pending item arrived.  With
+    ``max_batch_size=1`` every item runs alone (the per-request baseline
+    the throughput benchmark compares against).
+
+    Metrics (under ``<name>.``): ``items`` and ``batches`` counters, a
+    ``batch_size`` histogram, and a ``queue_wait_s`` latency histogram
+    measuring enqueue -> launch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        batch_fn: BatchFn,
+        max_batch_size: int = 16,
+        max_wait_s: float = 0.002,
+        metrics: MetricsRegistry = None,
+    ):
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ConfigurationError("max_wait_s must be >= 0")
+        self.name = name
+        self.batch_fn = batch_fn
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_s)
+        self.metrics = metrics or MetricsRegistry()
+        self._queue: List[_Pending] = []
+        self._cond = threading.Condition()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "MicroBatcher":
+        with self._cond:
+            if self._running:
+                raise ServiceError(f"{self.name}: already started")
+            self._running = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"microbatch-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        # Anything still pending will never run; fail it loudly.
+        with self._cond:
+            leftovers, self._queue = self._queue, []
+        for pending in leftovers:
+            pending.future._fail(
+                ServiceError(f"{self.name}: batcher stopped"), 0
+            )
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, item: object) -> BatchFuture:
+        """Enqueue one item; returns a :class:`BatchFuture`."""
+        future = BatchFuture()
+        with self._cond:
+            if not self._running:
+                raise ServiceError(f"{self.name}: batcher is not running")
+            self._queue.append(_Pending(item, future))
+            self._cond.notify_all()
+        self.metrics.counter(f"{self.name}.items").inc()
+        return future
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- scheduler thread --------------------------------------------------
+
+    def _take_batch(self) -> List[_Pending]:
+        """Block until a batch is due; empty list means shutdown."""
+        with self._cond:
+            while True:
+                if self._queue:
+                    oldest = self._queue[0].enqueued_at
+                    deadline = oldest + self.max_wait_s
+                    now = time.monotonic()
+                    if (
+                        len(self._queue) >= self.max_batch_size
+                        or now >= deadline
+                        or not self._running
+                    ):
+                        batch = self._queue[: self.max_batch_size]
+                        del self._queue[: len(batch)]
+                        return batch
+                    self._cond.wait(deadline - now)
+                elif self._running:
+                    self._cond.wait()
+                else:
+                    return []
+
+    def _run(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if not batch:
+                return
+            launch = time.monotonic()
+            size = len(batch)
+            wait_hist = self.metrics.histogram(f"{self.name}.queue_wait_s")
+            for pending in batch:
+                wait_hist.observe(launch - pending.enqueued_at)
+            try:
+                results = self.batch_fn([p.item for p in batch])
+                if len(results) != size:
+                    raise ServiceError(
+                        f"{self.name}: batch_fn returned {len(results)} "
+                        f"results for {size} items"
+                    )
+            except BaseException as exc:  # noqa: BLE001 — relayed to callers
+                for pending in batch:
+                    pending.future._fail(exc, size)
+                continue
+            finally:
+                self.metrics.counter(f"{self.name}.batches").inc()
+                self.metrics.histogram(
+                    f"{self.name}.batch_size",
+                    bounds=(1, 2, 4, 8, 16, 32, 64, 128),
+                ).observe(size)
+            compute_s = time.monotonic() - launch
+            for pending, result in zip(batch, results):
+                pending.future._fulfill(
+                    result, size, launch - pending.enqueued_at, compute_s
+                )

@@ -1,0 +1,246 @@
+"""Per-session state for the access-control server.
+
+A session is one user at the reader: admission, a bounded number of
+establishment attempts (gesture acquisition -> batched encoding -> OT
+agreement), and a terminal state.  The :class:`SessionManager` owns the
+registry, enforces legal state transitions, and emits every transition
+to the structured event log so tests and operators can reconstruct any
+session's history.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service.metrics import EventLog, MetricsRegistry
+from repro.utils.bits import BitSequence
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of one key-establishment session."""
+
+    QUEUED = "queued"          # admitted, waiting for a worker
+    ENCODING = "encoding"      # windows submitted to the micro-batcher
+    AGREEING = "agreeing"      # OT + reconciliation in flight
+    ESTABLISHED = "established"  # terminal: key agreed
+    FAILED = "failed"          # terminal: attempts exhausted
+    TIMED_OUT = "timed_out"    # terminal: tau/session deadline violated
+    SHED = "shed"              # terminal: rejected at admission
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = {
+    SessionState.ESTABLISHED,
+    SessionState.FAILED,
+    SessionState.TIMED_OUT,
+    SessionState.SHED,
+}
+
+_LEGAL = {
+    SessionState.QUEUED: {
+        SessionState.ENCODING,
+        SessionState.TIMED_OUT,
+    },
+    SessionState.ENCODING: {
+        SessionState.AGREEING,
+        SessionState.ENCODING,   # next attempt after a retry
+        SessionState.FAILED,
+        SessionState.TIMED_OUT,
+    },
+    SessionState.AGREEING: {
+        SessionState.ESTABLISHED,
+        SessionState.ENCODING,   # retry
+        SessionState.FAILED,
+        SessionState.TIMED_OUT,
+    },
+}
+
+_id_counter = itertools.count(1)
+
+
+def _next_session_id() -> str:
+    return f"s{next(_id_counter):06d}"
+
+
+@dataclass
+class AccessRequest:
+    """One user's key-establishment request.
+
+    ``volunteer``/``device``/``tag``/``environment`` override the
+    server's deployment defaults per session (a lineup service hands a
+    fresh tag to every visitor); ``rng_seed`` makes the session's
+    gesture and protocol randomness reproducible.
+    """
+
+    rng_seed: int
+    volunteer: object = None
+    device: object = None
+    tag: object = None
+    environment: object = None
+    dynamic: bool = False
+    session_id: str = field(default_factory=_next_session_id)
+
+
+@dataclass(frozen=True)
+class RejectionReason:
+    """Structured load-shedding verdict attached to SHED sessions."""
+
+    code: str                 # e.g. "queue_full"
+    detail: str
+    queue_depth: int
+    queue_capacity: int
+
+
+@dataclass
+class SessionRecord:
+    """Everything the server knows about one session."""
+
+    session_id: str
+    request: AccessRequest
+    state: SessionState = SessionState.QUEUED
+    attempts: int = 0
+    key: Optional[BitSequence] = None
+    failure_reason: Optional[str] = None
+    rejection: Optional[RejectionReason] = None
+    #: stage -> seconds; keys: queue_wait_s, encode_s, agree_s, total_s,
+    #: and protocol_elapsed_s (the simulated protocol timeline).
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        return self.state is SessionState.ESTABLISHED
+
+
+class SessionTicket:
+    """Caller-side handle: blocks on ``result()`` until terminal."""
+
+    def __init__(self, record: SessionRecord):
+        self._record = record
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float = None) -> SessionRecord:
+        if not self._done.wait(timeout):
+            raise ServiceError(
+                f"session {self._record.session_id} not finished in time"
+            )
+        return self._record
+
+    def _complete(self) -> None:
+        self._done.set()
+
+
+class SessionManager:
+    """Registry + transition enforcement + event emission."""
+
+    def __init__(self, metrics: MetricsRegistry, events: EventLog):
+        self.metrics = metrics
+        self.events = events
+        self._records: Dict[str, SessionRecord] = {}
+        self._tickets: Dict[str, SessionTicket] = {}
+        self._lock = threading.Lock()
+
+    def open(self, request: AccessRequest) -> SessionTicket:
+        record = SessionRecord(
+            session_id=request.session_id, request=request
+        )
+        ticket = SessionTicket(record)
+        with self._lock:
+            if request.session_id in self._records:
+                raise ServiceError(
+                    f"duplicate session id {request.session_id!r}"
+                )
+            self._records[request.session_id] = record
+            self._tickets[request.session_id] = ticket
+        return ticket
+
+    def transition(
+        self, record: SessionRecord, new_state: SessionState, **fields
+    ) -> None:
+        """Move ``record`` to ``new_state``, emit the event, and update
+        counters.  Raises :class:`ServiceError` on an illegal move."""
+        old = record.state
+        if new_state is not old and new_state not in _LEGAL.get(old, set()):
+            raise ServiceError(
+                f"illegal transition {old.value} -> {new_state.value} "
+                f"for session {record.session_id}"
+            )
+        record.state = new_state
+        self.events.emit(
+            new_state.value, session_id=record.session_id, **fields
+        )
+        if new_state.terminal:
+            self.metrics.counter(f"service.{new_state.value}").inc()
+            with self._lock:
+                ticket = self._tickets.pop(record.session_id, None)
+            if ticket is not None:
+                ticket._complete()
+
+    def shed(
+        self, request: AccessRequest, rejection: RejectionReason
+    ) -> SessionTicket:
+        """Open and immediately terminate a session as SHED."""
+        ticket = self.open(request)
+        record = ticket._record
+        record.rejection = rejection
+        record.failure_reason = f"{rejection.code}: {rejection.detail}"
+        record.state = SessionState.SHED
+        self.events.emit(
+            SessionState.SHED.value,
+            session_id=record.session_id,
+            code=rejection.code,
+            queue_depth=rejection.queue_depth,
+            queue_capacity=rejection.queue_capacity,
+        )
+        self.metrics.counter("service.shed").inc()
+        with self._lock:
+            self._tickets.pop(record.session_id, None)
+        ticket._complete()
+        return ticket
+
+    def abort(self, record: SessionRecord, reason: str) -> None:
+        """Force a session to FAILED from *any* non-terminal state.
+
+        Last-resort path for internal server errors; unlike
+        :meth:`transition` it skips legality checks so the waiting
+        caller is always released.
+        """
+        if record.state.terminal:
+            return
+        record.failure_reason = reason
+        record.state = SessionState.FAILED
+        self.events.emit(
+            SessionState.FAILED.value,
+            session_id=record.session_id,
+            reason=reason,
+            aborted=True,
+        )
+        self.metrics.counter("service.failed").inc()
+        with self._lock:
+            ticket = self._tickets.pop(record.session_id, None)
+        if ticket is not None:
+            ticket._complete()
+
+    def get(self, session_id: str) -> SessionRecord:
+        with self._lock:
+            if session_id not in self._records:
+                raise ServiceError(f"unknown session {session_id!r}")
+            return self._records[session_id]
+
+    def records(self) -> List[SessionRecord]:
+        with self._lock:
+            return list(self._records.values())
+
+    def count(self, state: SessionState) -> int:
+        with self._lock:
+            return sum(1 for r in self._records.values() if r.state is state)

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import os
 
 import pytest
 
@@ -58,6 +59,77 @@ class TestEstablish:
         text = out.getvalue()
         assert code in (0, 1)  # untrained bundle may fail agreement
         assert "seed mismatch" in text
+
+
+class TestSmoke:
+    """One parametrized pass over every subcommand's happy path."""
+
+    @pytest.mark.parametrize(
+        "argv,expected_codes,expected_text",
+        [
+            (["inspect"], (0,), "eta"),
+            (
+                ["establish", "--seed", "3", "--key-bits", "128"],
+                (0, 1),  # untrained bundle may fail agreement
+                "seed mismatch",
+            ),
+            (["serve", "--dry-run"], (0,), "dry run: configuration OK"),
+            (
+                [
+                    "serve", "--sessions", "1", "--workers", "1",
+                    "--max-attempts", "1", "--seed", "5",
+                ],
+                (0, 1),
+                "established",
+            ),
+            (
+                [
+                    "loadgen", "--sessions", "2", "--workers", "1",
+                    "--max-attempts", "1", "--seed", "5",
+                ],
+                (0, 1),
+                "offered sessions",
+            ),
+        ],
+        ids=["inspect", "establish", "serve-dry-run", "serve", "loadgen"],
+    )
+    def test_subcommand(self, tiny_asset, argv, expected_codes,
+                        expected_text):
+        out = io.StringIO()
+        code = cli.main(argv, out=out)
+        assert code in expected_codes
+        assert expected_text in out.getvalue()
+
+    def test_console_entry_point_is_registered(self):
+        tomllib = pytest.importorskip("tomllib")  # stdlib since 3.11
+        pyproject = os.path.join(
+            os.path.dirname(__file__), "..", "..", "pyproject.toml"
+        )
+        with open(pyproject, "rb") as fh:
+            project = tomllib.load(fh)["project"]
+        assert project["scripts"]["repro"] == "repro.cli:main"
+
+
+class TestServeConfiguration:
+    def test_dry_run_reports_batch_policy(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "serve", "--dry-run", "--workers", "3",
+                "--batch-size", "8", "--batch-wait-ms", "1.5",
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "workers          : 3" in text
+        assert "<= 8 windows or 1.5 ms" in text
+
+    def test_invalid_config_is_a_clean_error(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(["serve", "--dry-run", "--workers", "0"], out=out)
+        assert code == 3
+        assert "error:" in out.getvalue()
 
 
 class TestAttack:

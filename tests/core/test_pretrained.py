@@ -1,6 +1,8 @@
 """Tests for pretrained-bundle access."""
 
+import json
 import os
+import zipfile
 
 import pytest
 
@@ -42,3 +44,55 @@ class TestPretrainedAccess:
         directory = pretrained.default_bundle_dir()
         assert os.path.basename(directory) == "default_bundle"
         assert "repro" in directory
+
+
+class TestAssetIntegrity:
+    """Guards against shipping corrupted weight archives.
+
+    ``np.load`` reads npz archives through :mod:`zipfile`; a truncated
+    or bit-rotted asset fails deep inside model loading with an opaque
+    ``BadZipFile``.  This test pins the failure to the exact file so a
+    broken asset is caught at the door.
+    """
+
+    REQUIRED = ("imu_en.npz", "rf_en.npz", "de.npz", "bundle.json")
+
+    @pytest.fixture(autouse=True)
+    def _need_assets(self):
+        if not pretrained.has_default_bundle():
+            pytest.skip("pretrained bundle not built yet "
+                        "(run scripts/train_default_bundle.py)")
+
+    def test_all_files_present(self):
+        directory = pretrained.default_bundle_dir()
+        for name in self.REQUIRED:
+            assert os.path.exists(os.path.join(directory, name)), (
+                f"bundle asset {name} is missing"
+            )
+
+    def test_npz_archives_are_valid_zipfiles(self):
+        directory = pretrained.default_bundle_dir()
+        for name in self.REQUIRED:
+            if not name.endswith(".npz"):
+                continue
+            path = os.path.join(directory, name)
+            assert zipfile.is_zipfile(path), (
+                f"bundle asset {name} is not a valid zip archive "
+                "(corrupted? re-run scripts/train_default_bundle.py)"
+            )
+            with zipfile.ZipFile(path) as archive:
+                assert archive.testzip() is None, (
+                    f"bundle asset {name} has a corrupt member"
+                )
+                assert archive.namelist(), f"{name} is empty"
+
+    def test_metadata_is_consistent(self):
+        directory = pretrained.default_bundle_dir()
+        with open(os.path.join(directory, "bundle.json")) as fh:
+            meta = json.load(fh)
+        assert meta["n_bins"] >= 2
+        assert 0.0 < meta["eta"] < 0.5
+
+    def test_bundle_loads_end_to_end(self, default_bundle):
+        assert default_bundle.latent_width >= 1
+        assert default_bundle.eta > 0.0

@@ -17,6 +17,7 @@ EXAMPLES = [
     "lineup_service.py",
     "access_control_audit.py",
     "attack_gauntlet.py",
+    "service_rush_hour.py",
 ]
 
 

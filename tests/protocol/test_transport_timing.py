@@ -5,7 +5,12 @@ import time
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError, DeadlineExceeded, ProtocolError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceeded,
+    MessageDropped,
+    ProtocolError,
+)
 from repro.protocol import (
     ConfirmationResponse,
     OTAnnounce,
@@ -80,6 +85,75 @@ class TestTransport:
             SimulatedTransport(base_latency_s=-1.0)
         with pytest.raises(ConfigurationError):
             SimulatedTransport(bandwidth_bytes_per_s=0.0)
+
+    def test_zero_latency_delivery(self):
+        """An idealized channel: the clock still advances only by the
+        (tiny) serialization time, and delivery counts are kept."""
+        transport = SimulatedTransport(
+            base_latency_s=0.0, bandwidth_bytes_per_s=1e12
+        )
+        clock = ProtocolClock(start_s=2.0)
+        message = OTAnnounce(sender="mobile", elements=(42,))
+        delivered = transport.deliver("mobile", "server", message, clock)
+        assert delivered is message
+        assert clock.now == pytest.approx(2.0, abs=1e-9)
+        assert transport.delivered_count == 1
+        assert transport.dropped_count == 0
+
+    def test_interceptor_drop_raises_and_counts(self):
+        dropped = []
+
+        def jammer(sender, receiver, message):
+            dropped.append((sender, receiver))
+            return None, 0.1
+
+        transport = SimulatedTransport(interceptor=jammer)
+        clock = ProtocolClock()
+        with pytest.raises(MessageDropped, match="OTAnnounce from mobile"):
+            transport.deliver(
+                "mobile", "server",
+                OTAnnounce(sender="mobile", elements=(42,)), clock,
+            )
+        assert dropped == [("mobile", "server")]
+        assert transport.dropped_count == 1
+        assert transport.delivered_count == 0
+        # The relay delay was spent before the drop was discovered.
+        assert clock.now >= 0.1
+
+    def test_taps_fire_in_registration_order_before_interception(self):
+        trace = []
+        replacement = OTAnnounce(sender="mobile", elements=(7,))
+        original = OTAnnounce(sender="mobile", elements=(42,))
+
+        transport = SimulatedTransport(
+            taps=[
+                lambda s, r, m: trace.append(("tap1", m)),
+                lambda s, r, m: trace.append(("tap2", m)),
+            ],
+            interceptor=lambda s, r, m: (
+                trace.append(("mitm", m)) or (replacement, 0.0)
+            ),
+        )
+        delivered = transport.deliver(
+            "mobile", "server", original, ProtocolClock()
+        )
+        # Eavesdroppers observe the genuine message, in order, before
+        # the MitM substitutes it.
+        assert [t[0] for t in trace] == ["tap1", "tap2", "mitm"]
+        assert all(t[1] is original for t in trace)
+        assert delivered is replacement
+
+    def test_pure_relay_interceptor_is_transparent(self):
+        transport = SimulatedTransport(
+            base_latency_s=0.0,
+            bandwidth_bytes_per_s=1e12,
+            interceptor=lambda s, r, m: (m, 0.0),
+        )
+        message = OTAnnounce(sender="mobile", elements=(42,))
+        clock = ProtocolClock()
+        assert transport.deliver("mobile", "server", message, clock) is message
+        assert clock.now == pytest.approx(0.0, abs=1e-9)
+        assert transport.delivered_count == 1
 
 
 class TestMessages:
