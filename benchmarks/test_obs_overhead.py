@@ -1,0 +1,77 @@
+"""Disabled-instrumentation overhead on the batched encoder path.
+
+The observability hooks (span context managers, ``resolve_tracer``,
+labeled-metrics emission, the ``Sequential.profiler`` attribute check)
+sit directly on the service's hottest path — the stacked encoder
+forward inside :meth:`KeySeedPipeline.imu_keyseeds`.  This benchmark
+pins the design contract from ``repro.obs``: with no tracer, no
+metrics registry, and no profiler attached, the instrumented pipeline
+must cost within a few percent of the bare normalize -> forward ->
+quantize loop it wraps.
+
+Methodology: interleaved min-of-N timing (alternating measurements of
+the two variants so drift hits both equally; the minimum is the
+classic low-noise estimator for "how fast can this code go").
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import KeySeedPipeline
+from repro.datasets.normalization import normalize_imu_matrix
+
+BATCH = 64
+ROUNDS = 15
+
+
+@pytest.fixture(scope="module")
+def matrices(bundle):
+    rng = np.random.default_rng(11)
+    return [rng.normal(size=(200, 3)) for _ in range(BATCH)]
+
+
+def baseline_keyseeds(bundle, quantizer, mats):
+    """The exact work of ``imu_keyseeds`` with zero instrumentation.
+
+    ``quantizer`` is hoisted by the caller because ``bundle.quantizer``
+    is a constructing property and the pipeline caches it once.
+    """
+    x = np.stack([normalize_imu_matrix(a) for a in mats])
+    features = bundle.imu_encoder.forward(x)
+    return [quantizer.quantize(f) for f in features]
+
+
+def test_disabled_instrumentation_overhead_is_negligible(bundle, matrices):
+    pipeline = KeySeedPipeline(bundle)  # no tracer, no metrics
+    assert pipeline.profiler is None
+    quantizer = bundle.quantizer
+
+    # warm-up: touch every code path once before timing
+    reference = baseline_keyseeds(bundle, quantizer, matrices)
+    instrumented = pipeline.imu_keyseeds(matrices)
+    assert instrumented == reference  # same seeds, always
+
+    base_min = float("inf")
+    obs_min = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        baseline_keyseeds(bundle, quantizer, matrices)
+        base_min = min(base_min, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        pipeline.imu_keyseeds(matrices)
+        obs_min = min(obs_min, time.perf_counter() - start)
+
+    overhead = obs_min / base_min - 1.0
+    print(
+        f"\nbatched encoder path (batch={BATCH}): "
+        f"baseline {base_min * 1000:.2f} ms, "
+        f"instrumented {obs_min * 1000:.2f} ms, "
+        f"overhead {overhead * 100:+.2f}%"
+    )
+    assert overhead < 0.05, (
+        f"disabled instrumentation costs {overhead * 100:.1f}% "
+        f"(budget: 5%)"
+    )

@@ -35,6 +35,19 @@ from repro.errors import (
     WaveKeyError,
 )
 from repro.gesture import VolunteerProfile, default_volunteers, sample_gesture
+from repro.obs import (
+    EventLog,
+    LayerProfiler,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    format_trace_tree,
+    load_trace_jsonl,
+    merge_snapshots,
+    render_prometheus,
+    set_default_tracer,
+    use_default_tracer,
+)
 from repro.protocol import KeyAgreementConfig, run_key_agreement
 from repro.service import (
     AccessRequest,
@@ -70,5 +83,16 @@ __all__ = [
     "ServiceConfig",
     "WaveKeyAccessServer",
     "run_load",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "EventLog",
+    "LayerProfiler",
+    "format_trace_tree",
+    "load_trace_jsonl",
+    "merge_snapshots",
+    "render_prometheus",
+    "set_default_tracer",
+    "use_default_tracer",
     "__version__",
 ]

@@ -2,11 +2,13 @@
 
 Usage (after ``pip install -e .``)::
 
-    repro establish [--seed N] [--dynamic] [--distance M]
+    repro establish [--seed N] [--dynamic] [--distance M] [--trace-out F]
     repro inspect
     repro attack {guess,mimic,spoof} [--trials N]
     repro serve [--dry-run] [--workers N] [--queue-capacity N] ...
     repro loadgen [--sessions N] [--rate HZ] [--seed N]
+    repro obs trace TRACE.jsonl
+    repro obs metrics METRICS.json
 
 ``establish`` runs one end-to-end key establishment against the
 pretrained bundle and prints the outcome; ``inspect`` summarizes the
@@ -15,11 +17,21 @@ the chosen attack and reports its success rate; ``serve`` brings up the
 concurrent access-control server (:mod:`repro.service`) and processes a
 burst of synthetic sessions; ``loadgen`` drives a server with a
 configurable offered load and prints the load report.
+
+Observability: ``--trace-out FILE`` on ``establish``/``serve``/
+``loadgen`` exports the run's span trace as JSONL, ``--metrics-out
+FILE`` dumps the metrics-registry snapshot as JSON, and ``--profile``
+enables per-layer encoder profiling (printed after the run and, with
+tracing on, attached as per-layer child spans).  ``repro obs trace``
+renders a trace file as ASCII span trees; ``repro obs metrics`` renders
+a snapshot file as Prometheus-style text exposition.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 import numpy as np
@@ -45,6 +57,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_obs_args(p):
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="export the run's span trace as JSONL")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="dump the metrics-registry snapshot as JSON")
+        p.add_argument("--profile", action="store_true",
+                       help="record per-layer encoder forward timings")
+
     establish = sub.add_parser(
         "establish", help="run one end-to-end key establishment"
     )
@@ -56,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     establish.add_argument("--azimuth", type=float, default=0.0,
                            help="user azimuth in degrees")
     establish.add_argument("--key-bits", type=int, default=256)
+    add_obs_args(establish)
 
     sub.add_parser("inspect", help="summarize the pretrained bundle")
 
@@ -65,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--seed", type=int, default=1)
 
     def add_service_args(p):
+        add_obs_args(p)
         p.add_argument("--workers", type=int, default=2)
         p.add_argument("--queue-capacity", type=int, default=32)
         p.add_argument("--batch-size", type=int, default=16,
@@ -94,11 +116,54 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--rate", type=float, default=0.0,
                          help="arrival rate in sessions/s (0 = burst)")
     loadgen.add_argument("--dynamic", action="store_true")
+
+    obs = sub.add_parser(
+        "obs", help="inspect exported traces and metric snapshots"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_trace = obs_sub.add_parser(
+        "trace", help="render a JSONL trace file as span trees"
+    )
+    obs_trace.add_argument("path", help="trace file from --trace-out")
+    obs_trace.add_argument("--session", default=None,
+                           help="only render the trace containing this "
+                                "session id")
+    obs_metrics = obs_sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot as Prometheus-style text",
+    )
+    obs_metrics.add_argument("path", help="snapshot file from --metrics-out")
     return parser
 
 
+def _obs_session(args):
+    """Tracer/profiler setup requested by --trace-out / --profile."""
+    from repro.obs import Tracer
+
+    tracer = Tracer() if (args.trace_out or args.profile) else None
+    return tracer
+
+
+def _finish_obs(args, tracer, metrics, profiler, out) -> None:
+    if args.trace_out and tracer is not None:
+        count = tracer.export_jsonl(args.trace_out)
+        print(f"trace: {count} spans -> {args.trace_out}", file=out)
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics.snapshot(), fh, indent=2, default=str)
+        print(f"metrics snapshot -> {args.metrics_out}", file=out)
+    if args.profile and profiler is not None:
+        print("per-layer profile:", file=out)
+        for line in profiler.report_lines():
+            print(f"  {line}", file=out)
+
+
 def _cmd_establish(args, out) -> int:
+    from repro.obs import use_default_tracer
+    from repro.obs.metrics import MetricsRegistry
+
     bundle = load_default_bundle()
+    metrics = MetricsRegistry()
     system = WaveKeySystem(
         bundle,
         geometry=ChannelGeometry(
@@ -108,10 +173,24 @@ def _cmd_establish(args, out) -> int:
             key_length_bits=args.key_bits, eta=bundle.eta
         ),
     )
-    result = system.establish_key(rng=args.seed, dynamic=args.dynamic)
+    system.pipeline.metrics = metrics
+    tracer = _obs_session(args)
+    profiler = (
+        system.pipeline.enable_profiling(tracer=tracer)
+        if args.profile else None
+    )
+    from repro.obs import NULL_TRACER
+
+    root_tracer = tracer or NULL_TRACER
+    with use_default_tracer(tracer):
+        with root_tracer.span("establish", seed=args.seed):
+            result = system.establish_key(
+                rng=args.seed, dynamic=args.dynamic
+            )
     print(f"seed mismatch: {100 * result.seed_mismatch_rate:.1f}% "
           f"(eta {100 * bundle.eta:.1f}%)", file=out)
     print(f"elapsed: {result.elapsed_s:.2f} s", file=out)
+    _finish_obs(args, tracer, metrics, profiler, out)
     if result.success:
         print(f"key ({len(result.key)} bits): "
               f"{result.key.to_bytes().hex()}", file=out)
@@ -235,7 +314,12 @@ def _cmd_serve(args, out) -> int:
         print("dry run: configuration OK, not serving", file=out)
         return 0
     _print_service_header(config, bundle, out)
-    with WaveKeyAccessServer(bundle, config) as server:
+    tracer = _obs_session(args)
+    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+        profiler = (
+            server.pipeline.enable_profiling(tracer=tracer)
+            if args.profile else None
+        )
         tickets = [
             server.submit(
                 AccessRequest(rng_seed=derive_seed(args.seed, "serve", i))
@@ -250,6 +334,7 @@ def _cmd_serve(args, out) -> int:
             detail = "" if record.success else f"  ({record.failure_reason})"
             print(f"  {record.session_id}: {status}{detail}", file=out)
         _print_service_metrics(server, out)
+        _finish_obs(args, tracer, server.metrics, profiler, out)
     print(f"established {established}/{args.sessions}", file=out)
     return 0 if established else 1
 
@@ -266,12 +351,56 @@ def _cmd_loadgen(args, out) -> int:
         dynamic=args.dynamic,
     )
     _print_service_header(config, bundle, out)
-    with WaveKeyAccessServer(bundle, config) as server:
+    tracer = _obs_session(args)
+    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+        profiler = (
+            server.pipeline.enable_profiling(tracer=tracer)
+            if args.profile else None
+        )
         report = run_load(server, profile)
         for line in report.summary_lines():
             print(line, file=out)
         _print_service_metrics(server, out)
+        _finish_obs(args, tracer, server.metrics, profiler, out)
     return 0 if report.established else 1
+
+
+def _cmd_obs_trace(args, out) -> int:
+    from repro.obs import format_trace_tree, load_trace_jsonl
+
+    spans = load_trace_jsonl(args.path)
+    if args.session is not None:
+        keep = {
+            s.trace_id for s in spans
+            if s.attributes.get("session_id") == args.session
+        }
+        spans = [s for s in spans if s.trace_id in keep]
+        if not spans:
+            print(f"no spans for session {args.session!r}", file=out)
+            return 1
+    print(format_trace_tree(spans), file=out)
+    return 0
+
+
+def _coerce_bucket_keys(snapshot):
+    """JSON stringifies histogram bucket bounds; restore them to floats
+    so cumulative ``le`` buckets render in numeric order."""
+    for hist in snapshot.get("histograms", {}).values():
+        buckets = hist.get("buckets")
+        if buckets:
+            hist["buckets"] = {
+                float(bound): count for bound, count in buckets.items()
+            }
+    return snapshot
+
+
+def _cmd_obs_metrics(args, out) -> int:
+    from repro.obs import render_prometheus
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        snapshot = json.load(fh)
+    print(render_prometheus(_coerce_bucket_keys(snapshot)), file=out)
+    return 0
 
 
 def main(argv=None, out=None) -> int:
@@ -286,10 +415,20 @@ def main(argv=None, out=None) -> int:
             return _cmd_serve(args, out)
         if args.command == "loadgen":
             return _cmd_loadgen(args, out)
+        if args.command == "obs":
+            if args.obs_command == "trace":
+                return _cmd_obs_trace(args, out)
+            return _cmd_obs_metrics(args, out)
         return _cmd_attack(args, out)
     except WaveKeyError as exc:
         print(f"error: {exc}", file=out)
         return 3
+    except BrokenPipeError:
+        # Downstream `head`/pager closed the pipe mid-print: the unix
+        # norm is a silent exit.  Point stdout at devnull so the
+        # interpreter's shutdown flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

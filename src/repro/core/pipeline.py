@@ -8,6 +8,9 @@ RF side, each producing an ``l_s``-bit :class:`BitSequence`.
 
 from __future__ import annotations
 
+import time
+from typing import Optional
+
 import numpy as np
 
 from repro.core.models import WaveKeyModelBundle
@@ -15,15 +18,62 @@ from repro.datasets.normalization import (
     normalize_imu_matrix,
     normalize_rfid_matrix,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiling import LayerProfiler
+from repro.obs.tracing import Tracer, resolve_tracer
 from repro.utils.bits import BitSequence
 
 
 class KeySeedPipeline:
-    """Inference-time wrapper around a trained model bundle."""
+    """Inference-time wrapper around a trained model bundle.
 
-    def __init__(self, bundle: WaveKeyModelBundle):
+    Observability is opt-in and inherited: spans go to ``tracer`` when
+    given, else to the caller's active tracer (so the service's batched
+    path traces without plumbing); labeled per-encoder metrics land in
+    ``metrics`` when a registry is supplied (the access-control server
+    passes its own, giving service and pipeline one shared registry).
+    """
+
+    def __init__(
+        self,
+        bundle: WaveKeyModelBundle,
+        tracer: Tracer = None,
+        metrics: MetricsRegistry = None,
+    ):
         self.bundle = bundle
         self.quantizer = bundle.quantizer
+        self.tracer = tracer
+        self.metrics = metrics
+        self._profiler: Optional[LayerProfiler] = None
+
+    # -- observability -------------------------------------------------------
+
+    def enable_profiling(self, tracer: Tracer = None) -> LayerProfiler:
+        """Attach one shared per-layer profiler to both encoders."""
+        profiler = LayerProfiler(tracer=tracer or self.tracer)
+        self.bundle.imu_encoder.profiler = profiler
+        self.bundle.rf_encoder.profiler = profiler
+        self._profiler = profiler
+        return profiler
+
+    def disable_profiling(self) -> None:
+        self.bundle.imu_encoder.profiler = None
+        self.bundle.rf_encoder.profiler = None
+        self._profiler = None
+
+    @property
+    def profiler(self) -> Optional[LayerProfiler]:
+        return self._profiler
+
+    def _observe(self, encoder: str, n_windows: int, elapsed_s: float):
+        if self.metrics is not None:
+            labels = {"encoder": encoder}
+            self.metrics.counter("pipeline.windows", labels=labels).inc(
+                n_windows
+            )
+            self.metrics.histogram(
+                "pipeline.encode_s", labels=labels
+            ).observe(elapsed_s)
 
     @property
     def seed_length(self) -> int:
@@ -46,11 +96,21 @@ class KeySeedPipeline:
 
     def imu_keyseed(self, a_matrix: np.ndarray) -> BitSequence:
         """``S_M``: the mobile device's key-seed."""
-        return self.quantizer.quantize(self.imu_features(a_matrix))
+        tracer = resolve_tracer(self.tracer)
+        start = time.monotonic()
+        with tracer.span("pipeline.imu_keyseed"):
+            seed = self.quantizer.quantize(self.imu_features(a_matrix))
+        self._observe("imu_en", 1, time.monotonic() - start)
+        return seed
 
     def rfid_keyseed(self, r_matrix: np.ndarray) -> BitSequence:
         """``S_R``: the RFID server's key-seed."""
-        return self.quantizer.quantize(self.rfid_features(r_matrix))
+        tracer = resolve_tracer(self.tracer)
+        start = time.monotonic()
+        with tracer.span("pipeline.rfid_keyseed"):
+            seed = self.quantizer.quantize(self.rfid_features(r_matrix))
+        self._observe("rf_en", 1, time.monotonic() - start)
+        return seed
 
     # -- batch evaluation -----------------------------------------------------
 
@@ -61,15 +121,29 @@ class KeySeedPipeline:
         service layer's micro-batcher coalesces concurrent requests onto
         this path.
         """
-        x = np.stack([normalize_imu_matrix(a) for a in a_matrices])
-        features = self.bundle.imu_encoder.forward(x)
-        return [self.quantizer.quantize(f) for f in features]
+        tracer = resolve_tracer(self.tracer)
+        start = time.monotonic()
+        with tracer.span(
+            "pipeline.imu_keyseeds", batch_size=len(a_matrices)
+        ):
+            x = np.stack([normalize_imu_matrix(a) for a in a_matrices])
+            features = self.bundle.imu_encoder.forward(x)
+            seeds = [self.quantizer.quantize(f) for f in features]
+        self._observe("imu_en", len(seeds), time.monotonic() - start)
+        return seeds
 
     def rfid_keyseeds(self, r_matrices) -> list:
         """``S_R`` for many R matrices through ONE encoder forward pass."""
-        x = np.stack([normalize_rfid_matrix(r) for r in r_matrices])
-        features = self.bundle.rf_encoder.forward(x)
-        return [self.quantizer.quantize(f) for f in features]
+        tracer = resolve_tracer(self.tracer)
+        start = time.monotonic()
+        with tracer.span(
+            "pipeline.rfid_keyseeds", batch_size=len(r_matrices)
+        ):
+            x = np.stack([normalize_rfid_matrix(r) for r in r_matrices])
+            features = self.bundle.rf_encoder.forward(x)
+            seeds = [self.quantizer.quantize(f) for f in features]
+        self._observe("rf_en", len(seeds), time.monotonic() - start)
+        return seeds
 
     def batch_seed_pairs(
         self, a_matrices: np.ndarray, r_matrices: np.ndarray

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence
+import time
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -11,11 +12,20 @@ from repro.nn.layers import Layer, Parameter
 
 
 class Sequential(Layer):
-    """A linear chain of layers applied in order."""
+    """A linear chain of layers applied in order.
+
+    Assigning a :class:`repro.obs.LayerProfiler` to :attr:`profiler`
+    turns on per-layer forward timing (and, under an active tracer,
+    per-layer child spans).  The default ``None`` keeps the hot path at
+    one attribute check per forward call.
+    """
 
     def __init__(self, *layers: Layer, name: str = "sequential"):
         self.layers: List[Layer] = list(layers)
         self.name = name
+        #: opt-in observability hook; duck-typed so :mod:`repro.nn`
+        #: never imports :mod:`repro.obs`.
+        self.profiler: Optional[object] = None
 
     def add(self, layer: Layer) -> "Sequential":
         """Append ``layer``; returns ``self`` for chaining."""
@@ -23,8 +33,25 @@ class Sequential(Layer):
         return self
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        profiler = self.profiler
+        if profiler is not None and profiler.enabled:
+            return self._forward_profiled(x, training)
         for layer in self.layers:
             x = layer.forward(x, training=training)
+        return x
+
+    def _forward_profiled(
+        self, x: np.ndarray, training: bool
+    ) -> np.ndarray:
+        profiler = self.profiler
+        for layer in self.layers:
+            in_shape = np.shape(x)
+            start = time.monotonic()
+            x = layer.forward(x, training=training)
+            profiler.record(
+                self.name, layer, in_shape, np.shape(x),
+                start, time.monotonic(),
+            )
         return x
 
     def forward_many(

@@ -1,0 +1,76 @@
+"""`repro.obs` — shared observability for the key-agreement stack.
+
+Three instruments, designed to be threaded through every layer of the
+reproduction and to cost (almost) nothing when switched off:
+
+* **tracing** (:mod:`repro.obs.tracing`) — hierarchical spans with a
+  thread-local active-span stack, explicit parent handoff for
+  cross-thread work (the service's worker and micro-batcher threads),
+  JSONL export, and an ASCII tree renderer;
+* **metrics** (:mod:`repro.obs.metrics`) — labeled counters, gauges and
+  histograms in a registry with merge-able snapshots and
+  Prometheus-style text exposition (plus the ring-buffer
+  :class:`EventLog` in :mod:`repro.obs.events`);
+* **profiling** (:mod:`repro.obs.profiling`) — opt-in per-layer forward
+  timing and FLOP estimates for :mod:`repro.nn` containers.
+
+Quick start::
+
+    from repro.obs import Tracer, use_default_tracer, format_trace_tree
+
+    tracer = Tracer()
+    with use_default_tracer(tracer):
+        system.establish_key(rng=7)     # library code traces itself
+    print(format_trace_tree(tracer.finished_spans()))
+"""
+
+from repro.obs.events import EventLog, ServiceEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.obs.profiling import LayerProfiler, LayerStats, flop_estimate
+from repro.obs.tracing import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    format_trace_tree,
+    get_default_tracer,
+    load_trace_jsonl,
+    resolve_tracer,
+    set_default_tracer,
+    use_default_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "LayerProfiler",
+    "LayerStats",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ServiceEvent",
+    "Span",
+    "Tracer",
+    "current_span",
+    "current_tracer",
+    "flop_estimate",
+    "format_trace_tree",
+    "get_default_tracer",
+    "latency_buckets",
+    "load_trace_jsonl",
+    "merge_snapshots",
+    "render_prometheus",
+    "resolve_tracer",
+    "set_default_tracer",
+    "use_default_tracer",
+]

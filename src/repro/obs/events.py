@@ -1,0 +1,84 @@
+"""Structured event log (ring buffer).
+
+Every notable service occurrence — admission, state transition, retry,
+shed — is one :class:`ServiceEvent`.  The log is a bounded ring: at
+capacity the *oldest* event is evicted so the log always holds the most
+recent window of activity, with :attr:`EventLog.dropped` counting the
+evictions.  ``query()`` returns events in emission order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One structured entry in the service event log."""
+
+    seq: int
+    t_s: float  # seconds since the log was created (monotonic clock)
+    kind: str
+    session_id: Optional[str] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+
+class EventLog:
+    """Bounded, thread-safe, queryable structured event log.
+
+    A ring buffer: emitting past ``capacity`` evicts the oldest event
+    (and increments :attr:`dropped`) — recent history is always
+    retained, which is what an operator debugging a live incident
+    needs.
+    """
+
+    def __init__(self, capacity: int = 100_000):
+        if capacity < 1:
+            raise ConfigurationError("event-log capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._events: "deque[ServiceEvent]" = deque(maxlen=self.capacity)
+        self._dropped = 0
+        self._seq = itertools.count()
+        self._origin = time.monotonic()
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, session_id: str = None, **fields) -> None:
+        event = ServiceEvent(
+            seq=next(self._seq),
+            t_s=time.monotonic() - self._origin,
+            kind=kind,
+            session_id=session_id,
+            fields=fields,
+        )
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1  # deque evicts the oldest on append
+            self._events.append(event)
+
+    def query(
+        self, kind: str = None, session_id: str = None
+    ) -> List[ServiceEvent]:
+        """Events matching the filters, in emission order."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if session_id is not None:
+            events = [e for e in events if e.session_id == session_id]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped

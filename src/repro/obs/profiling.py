@@ -1,0 +1,185 @@
+"""Per-layer forward profiling for :mod:`repro.nn`.
+
+A :class:`LayerProfiler` attached to a :class:`repro.nn.Sequential`
+(``encoder.profiler = profiler``) records, for every layer of every
+forward pass: wall time, batch size, and an analytic FLOP estimate.
+When a tracer is active it additionally emits one child span per layer,
+so a traced service run shows exactly which convolution the encode
+latency went to.
+
+The hooks are opt-in: a ``Sequential`` with ``profiler`` unset (the
+default) pays one attribute check per forward call and nothing else —
+the invariant ``benchmarks/test_obs_overhead.py`` pins.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.obs.tracing import Tracer, current_span, resolve_tracer
+
+
+def flop_estimate(layer, in_shape, out_shape) -> Optional[int]:
+    """Analytic multiply-add count for one forward pass of ``layer``.
+
+    Returns ``None`` for layer types without a meaningful estimate.
+    Imports :mod:`repro.nn` lazily so the obs package stays importable
+    on its own.
+    """
+    from repro.nn.conv import Conv1d, ConvTranspose1d
+    from repro.nn.layers import Dense, Flatten, ReLU, Reshape
+    from repro.nn.norm import BatchNorm1d
+
+    def numel(shape) -> int:
+        n = 1
+        for d in shape:
+            n *= int(d)
+        return n
+
+    batch = int(in_shape[0]) if in_shape else 1
+    if isinstance(layer, Dense):
+        return 2 * batch * layer.in_features * layer.out_features
+    if isinstance(layer, Conv1d):
+        return (
+            2 * batch * layer.out_channels * layer.in_channels
+            * layer.kernel_size * int(out_shape[-1])
+        )
+    if isinstance(layer, ConvTranspose1d):
+        return (
+            2 * batch * layer.out_channels * layer.in_channels
+            * layer.kernel_size * int(in_shape[-1])
+        )
+    if isinstance(layer, BatchNorm1d):
+        return 4 * numel(out_shape)
+    if isinstance(layer, (ReLU, Flatten, Reshape)):
+        return numel(out_shape)
+    return None
+
+
+class LayerStats:
+    """Aggregate forward statistics for one (container, layer) pair."""
+
+    __slots__ = (
+        "layer_type", "calls", "total_s", "min_s", "max_s",
+        "total_items", "total_flops",
+    )
+
+    def __init__(self, layer_type: str):
+        self.layer_type = layer_type
+        self.calls = 0
+        self.total_s = 0.0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+        self.total_items = 0
+        self.total_flops = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": self.layer_type,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "total_items": self.total_items,
+            "total_flops": self.total_flops,
+        }
+
+
+class LayerProfiler:
+    """Collects per-layer forward timings; optionally emits spans.
+
+    One profiler may be shared by several containers (the pipeline
+    attaches the same instance to IMU-En and RF-En); entries are keyed
+    ``"<container>/<layer-name>"``.  ``enabled=False`` makes
+    :meth:`record` a no-op so a profiler can stay attached across runs.
+    """
+
+    def __init__(self, tracer: Tracer = None, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self.tracer = tracer
+        self._stats: Dict[str, LayerStats] = {}
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        container: str,
+        layer,
+        in_shape,
+        out_shape,
+        start_s: float,
+        end_s: float,
+    ) -> None:
+        if not self.enabled:
+            return
+        duration = end_s - start_s
+        layer_name = getattr(layer, "name", type(layer).__name__)
+        key = f"{container}/{layer_name}"
+        batch = int(in_shape[0]) if in_shape else 1
+        flops = flop_estimate(layer, in_shape, out_shape)
+        with self._lock:
+            stats = self._stats.get(key)
+            if stats is None:
+                stats = self._stats[key] = LayerStats(type(layer).__name__)
+            stats.calls += 1
+            stats.total_s += duration
+            stats.min_s = (
+                duration if stats.min_s is None
+                else min(stats.min_s, duration)
+            )
+            stats.max_s = (
+                duration if stats.max_s is None
+                else max(stats.max_s, duration)
+            )
+            stats.total_items += batch
+            if flops is not None:
+                stats.total_flops += flops
+        tracer = resolve_tracer(self.tracer)
+        if tracer.enabled:
+            attributes = {"batch_size": batch}
+            if flops is not None:
+                attributes["flops"] = flops
+            tracer.record_span(
+                f"nn.{key}",
+                parent=current_span(),
+                start_s=start_s,
+                end_s=end_s,
+                **attributes,
+            )
+
+    # -- inspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {key: s.as_dict() for key, s in self._stats.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+    def report_lines(self) -> List[str]:
+        """Human-readable per-layer breakdown, slowest first."""
+        stats = self.stats()
+        if not stats:
+            return ["(no profiled forwards)"]
+        width = max(len(k) for k in stats)
+        lines = [
+            f"{'layer':{width}s} {'type':>16s} {'calls':>6s} "
+            f"{'items':>7s} {'mean ms':>8s} {'total ms':>9s} {'GFLOP':>7s}"
+        ]
+        ordered = sorted(
+            stats.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+        )
+        for key, s in ordered:
+            gflop = s["total_flops"] / 1e9
+            lines.append(
+                f"{key:{width}s} {s['type']:>16s} {s['calls']:>6d} "
+                f"{s['total_items']:>7d} {s['mean_s'] * 1000:>8.3f} "
+                f"{s['total_s'] * 1000:>9.2f} {gflop:>7.3f}"
+            )
+        return lines

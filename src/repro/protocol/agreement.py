@@ -42,6 +42,7 @@ from repro.protocol.messages import (
     OTResponse,
     ReconciliationChallenge,
 )
+from repro.obs.tracing import Tracer, resolve_tracer
 from repro.protocol.timing import ProtocolClock
 from repro.protocol.transport import SimulatedTransport
 from repro.utils.bits import BitSequence
@@ -313,6 +314,7 @@ def run_key_agreement(
     transport: SimulatedTransport = None,
     clock: ProtocolClock = None,
     rng=None,
+    tracer: Tracer = None,
 ) -> KeyAgreementOutcome:
     """Execute the Fig. 4 protocol between two simulated endpoints.
 
@@ -322,12 +324,19 @@ def run_key_agreement(
     reconciliation or confirmation failure is reported as an unsuccessful
     outcome rather than an exception — failures are a *measured quantity*
     in every experiment.
+
+    When tracing is active (explicit ``tracer``, a caller span on this
+    thread, or a process default) the run emits an ``agreement`` span
+    with one child per protocol stage — ``ot.announce`` through
+    ``reconcile.confirm`` — carrying both wall-clock and simulated
+    protocol-timeline durations.
     """
     if len(seed_mobile) != len(seed_server):
         raise ConfigurationError("key-seeds must have equal length")
     rng = ensure_rng(rng)
     transport = transport or SimulatedTransport()
     clock = clock or ProtocolClock(start_s=config.gesture_window_s)
+    tracer = resolve_tracer(tracer)
 
     mobile = AgreementParty(
         "mobile", seed_mobile, config, child_rng(rng, "mobile"),
@@ -349,53 +358,90 @@ def run_key_agreement(
             seed_mismatch_bits=mismatch,
         )
 
-    try:
-        # Exchange M_A (deadline-checked on arrival, SIV-D.2).
-        with clock.measure():
-            announce_m = mobile.craft_announce()
-            announce_r = server.craft_announce()
-        announce_m = transport.deliver("mobile", "server", announce_m, clock)
-        clock.check_deadline(config.announce_deadline_s, "M_A (mobile)")
-        announce_r = transport.deliver("server", "mobile", announce_r, clock)
-        clock.check_deadline(config.announce_deadline_s, "M_A (server)")
+    def stage(name: str):
+        """Protocol-stage span annotated with the simulated timeline."""
+        return _StageSpan(tracer, clock, name)
 
-        # Exchange M_B.
-        with clock.measure():
-            response_m = mobile.craft_response(announce_r)
-            response_r = server.craft_response(announce_m)
-        response_m = transport.deliver("mobile", "server", response_m, clock)
-        response_r = transport.deliver("server", "mobile", response_r, clock)
+    with tracer.span(
+        "agreement", l_s=len(seed_mobile), seed_mismatch_bits=mismatch
+    ) as root:
+        try:
+            # Exchange M_A (deadline-checked on arrival, SIV-D.2).
+            with stage("ot.announce"):
+                with clock.measure():
+                    announce_m = mobile.craft_announce()
+                    announce_r = server.craft_announce()
+                announce_m = transport.deliver(
+                    "mobile", "server", announce_m, clock
+                )
+                clock.check_deadline(
+                    config.announce_deadline_s, "M_A (mobile)"
+                )
+                announce_r = transport.deliver(
+                    "server", "mobile", announce_r, clock
+                )
+                clock.check_deadline(
+                    config.announce_deadline_s, "M_A (server)"
+                )
 
-        # Exchange M_E.
-        with clock.measure():
-            cipher_m = mobile.craft_ciphertexts(response_r)
-            cipher_r = server.craft_ciphertexts(response_m)
-        cipher_m = transport.deliver("mobile", "server", cipher_m, clock)
-        cipher_r = transport.deliver("server", "mobile", cipher_r, clock)
+            # Exchange M_B.
+            with stage("ot.respond"):
+                with clock.measure():
+                    response_m = mobile.craft_response(announce_r)
+                    response_r = server.craft_response(announce_m)
+                response_m = transport.deliver(
+                    "mobile", "server", response_m, clock
+                )
+                response_r = transport.deliver(
+                    "server", "mobile", response_r, clock
+                )
 
-        with clock.measure():
-            mobile.receive_ciphertexts(cipher_r)
-            server.receive_ciphertexts(cipher_m)
-            mobile.build_preliminary_key()
-            server.build_preliminary_key()
+            # Exchange M_E.
+            with stage("ot.ciphertexts"):
+                with clock.measure():
+                    cipher_m = mobile.craft_ciphertexts(response_r)
+                    cipher_r = server.craft_ciphertexts(response_m)
+                cipher_m = transport.deliver(
+                    "mobile", "server", cipher_m, clock
+                )
+                cipher_r = transport.deliver(
+                    "server", "mobile", cipher_r, clock
+                )
 
-        # Reconciliation challenge and HMAC confirmation.
-        with clock.measure():
-            challenge = mobile.craft_challenge()
-        challenge = transport.deliver("mobile", "server", challenge, clock)
-        with clock.measure():
-            confirmation = server.answer_challenge(challenge)
-        confirmation = transport.deliver(
-            "server", "mobile", confirmation, clock
-        )
-        with clock.measure():
-            mobile.verify_confirmation(confirmation)
-    except DeadlineExceeded as exc:
-        return fail(f"deadline: {exc}")
-    except KeyAgreementFailure as exc:
-        return fail(f"agreement: {exc}")
-    except ProtocolError as exc:
-        return fail(f"protocol: {exc}")
+            with stage("ot.assemble"):
+                with clock.measure():
+                    mobile.receive_ciphertexts(cipher_r)
+                    server.receive_ciphertexts(cipher_m)
+                    mobile.build_preliminary_key()
+                    server.build_preliminary_key()
+
+            # Reconciliation challenge and HMAC confirmation.
+            with stage("reconcile"):
+                with stage("reconcile.challenge"):
+                    with clock.measure():
+                        challenge = mobile.craft_challenge()
+                    challenge = transport.deliver(
+                        "mobile", "server", challenge, clock
+                    )
+                with stage("reconcile.answer"):
+                    with clock.measure():
+                        confirmation = server.answer_challenge(challenge)
+                    confirmation = transport.deliver(
+                        "server", "mobile", confirmation, clock
+                    )
+                with stage("reconcile.confirm"):
+                    with clock.measure():
+                        mobile.verify_confirmation(confirmation)
+        except DeadlineExceeded as exc:
+            root.set_attribute("failure", f"deadline: {exc}")
+            return fail(f"deadline: {exc}")
+        except KeyAgreementFailure as exc:
+            root.set_attribute("failure", f"agreement: {exc}")
+            return fail(f"agreement: {exc}")
+        except ProtocolError as exc:
+            root.set_attribute("failure", f"protocol: {exc}")
+            return fail(f"protocol: {exc}")
+        root.set_attribute("protocol_elapsed_s", round(clock.now, 6))
 
     return KeyAgreementOutcome(
         success=True,
@@ -404,3 +450,34 @@ def run_key_agreement(
         elapsed_s=clock.now,
         seed_mismatch_bits=mismatch,
     )
+
+
+class _StageSpan:
+    """A tracer span that also captures the simulated protocol clock.
+
+    Wall time alone misrepresents the protocol: transport latency and
+    the parties' modelled crafting time advance the *simulated*
+    timeline, not the wall clock.  Each stage span therefore carries a
+    ``protocol_s`` attribute with the simulated seconds the stage
+    consumed.  Exceptions propagate — the caller converts them into a
+    failed outcome — but still mark the span as errored.
+    """
+
+    __slots__ = ("_cm", "_clock", "_span", "_t0")
+
+    def __init__(self, tracer, clock, name):
+        self._cm = tracer.span(name)
+        self._clock = clock
+        self._span = None
+        self._t0 = 0.0
+
+    def __enter__(self):
+        self._t0 = self._clock.now
+        self._span = self._cm.__enter__()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._span.set_attribute(
+            "protocol_s", round(self._clock.now - self._t0, 6)
+        )
+        return self._cm.__exit__(exc_type, exc, tb)

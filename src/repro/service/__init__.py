@@ -20,16 +20,16 @@ Quick start::
         report = run_load(server, LoadProfile(sessions=32))
 """
 
+from repro.obs.events import EventLog, ServiceEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.service.batching import BatchFuture, MicroBatcher
 from repro.service.config import ServiceConfig
 from repro.service.loadgen import LoadProfile, LoadReport, run_load
-from repro.service.metrics import (
-    Counter,
-    EventLog,
-    Histogram,
-    MetricsRegistry,
-    ServiceEvent,
-)
 from repro.service.server import WaveKeyAccessServer
 from repro.service.sessions import (
     AccessRequest,
@@ -45,6 +45,7 @@ __all__ = [
     "BatchFuture",
     "Counter",
     "EventLog",
+    "Gauge",
     "Histogram",
     "LoadProfile",
     "LoadReport",

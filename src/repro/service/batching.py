@@ -18,7 +18,8 @@ import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError, ServiceError
-from repro.service.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, current_span, resolve_tracer
 
 #: batch_fn(items) -> per-item results, len-preserving.
 BatchFn = Callable[[Sequence[object]], Sequence[object]]
@@ -65,12 +66,15 @@ class BatchFuture:
 
 
 class _Pending:
-    __slots__ = ("item", "future", "enqueued_at")
+    __slots__ = ("item", "future", "enqueued_at", "trace_parent")
 
-    def __init__(self, item: object, future: BatchFuture):
+    def __init__(self, item: object, future: BatchFuture, trace_parent=None):
         self.item = item
         self.future = future
         self.enqueued_at = time.monotonic()
+        # The submitter's active span: the scheduler thread parents this
+        # item's inference span to it (explicit cross-thread handoff).
+        self.trace_parent = trace_parent
 
 
 class MicroBatcher:
@@ -93,6 +97,7 @@ class MicroBatcher:
         max_batch_size: int = 16,
         max_wait_s: float = 0.002,
         metrics: MetricsRegistry = None,
+        tracer: Tracer = None,
     ):
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -103,6 +108,7 @@ class MicroBatcher:
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_s)
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         self._queue: List[_Pending] = []
         self._cond = threading.Condition()
         self._running = False
@@ -149,10 +155,11 @@ class MicroBatcher:
     def submit(self, item: object) -> BatchFuture:
         """Enqueue one item; returns a :class:`BatchFuture`."""
         future = BatchFuture()
+        pending = _Pending(item, future, trace_parent=current_span())
         with self._cond:
             if not self._running:
                 raise ServiceError(f"{self.name}: batcher is not running")
-            self._queue.append(_Pending(item, future))
+            self._queue.append(pending)
             self._cond.notify_all()
         self.metrics.counter(f"{self.name}.items").inc()
         return future
@@ -196,8 +203,21 @@ class MicroBatcher:
             wait_hist = self.metrics.histogram(f"{self.name}.queue_wait_s")
             for pending in batch:
                 wait_hist.observe(launch - pending.enqueued_at)
+            tracer = resolve_tracer(self.tracer)
+            # The stacked forward serves several sessions at once; its
+            # span hangs under the first item's submitter so the shared
+            # work appears in exactly one tree, while every session gets
+            # its own retroactive per-item span below.
+            batch_parent = next(
+                (p.trace_parent for p in batch if p.trace_parent), None
+            )
             try:
-                results = self.batch_fn([p.item for p in batch])
+                with tracer.span(
+                    f"{self.name}.batch",
+                    parent=batch_parent,
+                    batch_size=size,
+                ):
+                    results = self.batch_fn([p.item for p in batch])
                 if len(results) != size:
                     raise ServiceError(
                         f"{self.name}: batch_fn returned {len(results)} "
@@ -213,8 +233,19 @@ class MicroBatcher:
                     f"{self.name}.batch_size",
                     bounds=(1, 2, 4, 8, 16, 32, 64, 128),
                 ).observe(size)
-            compute_s = time.monotonic() - launch
+            done = time.monotonic()
+            compute_s = done - launch
             for pending, result in zip(batch, results):
+                if pending.trace_parent is not None:
+                    tracer.record_span(
+                        f"{self.name}.infer",
+                        parent=pending.trace_parent,
+                        start_s=pending.enqueued_at,
+                        end_s=done,
+                        batch_size=size,
+                        queue_wait_s=round(launch - pending.enqueued_at, 6),
+                        compute_s=round(compute_s, 6),
+                    )
                 pending.future._fulfill(
                     result, size, launch - pending.enqueued_at, compute_s
                 )

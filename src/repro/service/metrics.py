@@ -1,225 +1,38 @@
-"""Service observability: counters, latency histograms, structured events.
+"""Deprecated shim — the observability primitives moved to `repro.obs`.
 
-Every quantity the server records is queryable from tests and printed by
-the CLI summary: monotonically increasing :class:`Counter`s, bucketed
-:class:`Histogram`s (latency percentiles for the enqueue -> encode -> OT
--> done stages), and an append-only :class:`EventLog` of structured
-per-session events.  All three are thread-safe; the server's worker
-pool, the micro-batcher thread, and client threads all write
-concurrently.
+``repro.service.metrics`` historically owned the service's counters,
+histograms and event log.  Those primitives are now the shared
+:mod:`repro.obs` subsystem (labeled metrics, Prometheus exposition,
+merge-able snapshots) used by the pipeline and protocol as well.  This
+module re-exports the public names so existing imports keep working;
+new code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import itertools
-import threading
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
 
-from repro.errors import ConfigurationError
+from repro.obs.events import EventLog, ServiceEvent
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    latency_buckets,
+)
 
+warnings.warn(
+    "repro.service.metrics is deprecated; import from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-class Counter:
-    """A monotonically increasing, thread-safe counter."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ConfigurationError(f"{self.name}: counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-def latency_buckets() -> Tuple[float, ...]:
-    """Default histogram bounds: 100 us .. 60 s, roughly log-spaced."""
-    return (
-        1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 60.0,
-    )
-
-
-class Histogram:
-    """A fixed-bucket histogram with approximate percentiles.
-
-    ``bounds`` are the inclusive upper edges of the finite buckets; one
-    implicit overflow bucket catches everything larger.  Percentiles are
-    reported as the upper edge of the bucket holding the requested rank
-    (the standard Prometheus-style estimate), which is exact enough for
-    asserting latency behaviour in tests.
-    """
-
-    def __init__(self, name: str, bounds: Sequence[float] = None):
-        self.name = name
-        self.bounds: Tuple[float, ...] = tuple(
-            float(b) for b in (bounds or latency_buckets())
-        )
-        if not self.bounds or list(self.bounds) != sorted(self.bounds):
-            raise ConfigurationError(
-                f"{name}: histogram bounds must be ascending and non-empty"
-            )
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._total = 0.0
-        self._count = 0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
-        with self._lock:
-            self._counts[index] += 1
-            self._total += value
-            self._count += 1
-            self._min = value if self._min is None else min(self._min, value)
-            self._max = value if self._max is None else max(self._max, value)
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def total(self) -> float:
-        with self._lock:
-            return self._total
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._total / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """Upper bucket edge holding the ``q``-quantile (0 < q <= 1)."""
-        if not (0.0 < q <= 1.0):
-            raise ConfigurationError(f"{self.name}: quantile must be in (0, 1]")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            for i, n in enumerate(self._counts):
-                cumulative += n
-                if cumulative >= rank:
-                    if i < len(self.bounds):
-                        return self.bounds[i]
-                    return self._max if self._max is not None else 0.0
-            return self._max if self._max is not None else 0.0
-
-    def snapshot(self) -> Dict[str, object]:
-        with self._lock:
-            return {
-                "count": self._count,
-                "total": self._total,
-                "mean": self._total / self._count if self._count else 0.0,
-                "min": self._min,
-                "max": self._max,
-                "buckets": dict(zip(self.bounds, self._counts)),
-                "overflow": self._counts[-1],
-            }
-
-
-@dataclass(frozen=True)
-class ServiceEvent:
-    """One structured entry in the service event log."""
-
-    seq: int
-    t_s: float  # seconds since the log was created (monotonic clock)
-    kind: str
-    session_id: Optional[str] = None
-    fields: Dict[str, object] = field(default_factory=dict)
-
-
-class EventLog:
-    """Append-only, thread-safe, queryable structured event log."""
-
-    def __init__(self, capacity: int = 100_000):
-        if capacity < 1:
-            raise ConfigurationError("event-log capacity must be >= 1")
-        self.capacity = int(capacity)
-        self._events: List[ServiceEvent] = []
-        self._dropped = 0
-        self._seq = itertools.count()
-        self._origin = time.monotonic()
-        self._lock = threading.Lock()
-
-    def emit(self, kind: str, session_id: str = None, **fields) -> None:
-        event = ServiceEvent(
-            seq=next(self._seq),
-            t_s=time.monotonic() - self._origin,
-            kind=kind,
-            session_id=session_id,
-            fields=fields,
-        )
-        with self._lock:
-            if len(self._events) >= self.capacity:
-                self._dropped += 1
-                return
-            self._events.append(event)
-
-    def query(
-        self, kind: str = None, session_id: str = None
-    ) -> List[ServiceEvent]:
-        """Events matching the filters, in emission order."""
-        with self._lock:
-            events = list(self._events)
-        if kind is not None:
-            events = [e for e in events if e.kind == kind]
-        if session_id is not None:
-            events = [e for e in events if e.session_id == session_id]
-        return events
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._events)
-
-    @property
-    def dropped(self) -> int:
-        with self._lock:
-            return self._dropped
-
-
-class MetricsRegistry:
-    """Namespace of counters and histograms with one-call snapshots."""
-
-    def __init__(self):
-        self._counters: Dict[str, Counter] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            if name not in self._counters:
-                self._counters[name] = Counter(name)
-            return self._counters[name]
-
-    def histogram(
-        self, name: str, bounds: Sequence[float] = None
-    ) -> Histogram:
-        with self._lock:
-            if name not in self._histograms:
-                self._histograms[name] = Histogram(name, bounds)
-            return self._histograms[name]
-
-    def snapshot(self) -> Dict[str, object]:
-        """All metric values as one nested dict (for tests / CLI)."""
-        with self._lock:
-            counters = dict(self._counters)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {n: c.value for n, c in counters.items()},
-            "histograms": {n: h.snapshot() for n, h in histograms.items()},
-        }
+__all__ = [
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ServiceEvent",
+    "latency_buckets",
+]

@@ -36,6 +36,10 @@ from repro.datasets.generation import generate_sample
 from repro.errors import ServiceError, SimulationError
 from repro.gesture import default_volunteers, sample_gesture
 from repro.imu import default_mobile_devices
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER as _NO_TRACE
+from repro.obs.tracing import Tracer, resolve_tracer
 from repro.protocol import (
     KeyAgreementConfig,
     ProtocolClock,
@@ -44,7 +48,6 @@ from repro.protocol import (
 from repro.rfid import ChannelGeometry, default_environments, default_tags
 from repro.service.batching import MicroBatcher
 from repro.service.config import ServiceConfig
-from repro.service.metrics import EventLog, MetricsRegistry
 from repro.service.sessions import (
     AccessRequest,
     RejectionReason,
@@ -77,10 +80,15 @@ class WaveKeyAccessServer:
         transport_factory: Callable[[], object] = None,
         acquire_fn: Callable = None,
         agreement_fn: Callable = None,
+        tracer: Tracer = None,
     ):
         self.bundle = bundle
         self.config = config or ServiceConfig()
-        self.pipeline = KeySeedPipeline(bundle)
+        self.metrics = MetricsRegistry()
+        self.tracer = tracer
+        # The pipeline shares the server's registry, so its labeled
+        # per-encoder series land next to the service counters.
+        self.pipeline = KeySeedPipeline(bundle, metrics=self.metrics)
         self.device = device or default_mobile_devices()[3]
         self.tag = tag or default_tags()[0]
         self.environment = environment or default_environments()[0]
@@ -92,7 +100,6 @@ class WaveKeyAccessServer:
         self._acquire_fn = acquire_fn or self._acquire
         self._agreement_fn = agreement_fn or run_key_agreement
 
-        self.metrics = MetricsRegistry()
         self.events = EventLog()
         self.sessions = SessionManager(self.metrics, self.events)
         self._imu_batcher = MicroBatcher(
@@ -101,6 +108,7 @@ class WaveKeyAccessServer:
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_batch_wait_s,
             metrics=self.metrics,
+            tracer=tracer,
         )
         self._rf_batcher = MicroBatcher(
             "rf_en",
@@ -108,6 +116,7 @@ class WaveKeyAccessServer:
             max_batch_size=self.config.max_batch_size,
             max_wait_s=self.config.max_batch_wait_s,
             metrics=self.metrics,
+            tracer=tracer,
         )
         self._queue: "queue.Queue[Optional[SessionRecord]]" = queue.Queue()
         self._admission_lock = threading.Lock()
@@ -194,9 +203,16 @@ class WaveKeyAccessServer:
             ticket = self.sessions.open(request)
             record = ticket._record
             record.timings["admitted_at"] = time.monotonic()
+            tracer = self._tracer()
+            if tracer.enabled:
+                record.trace = tracer.start_span(
+                    "session", parent=None,
+                    session_id=record.session_id,
+                )
             self._pending += 1
             self._queue.put(record)
         self.metrics.counter("service.admitted").inc()
+        self.metrics.gauge("service.queue_depth").set(depth + 1)
         self.events.emit(
             "admitted", session_id=record.session_id, queue_depth=depth + 1
         )
@@ -210,6 +226,9 @@ class WaveKeyAccessServer:
 
     # -- session processing ------------------------------------------------
 
+    def _tracer(self) -> Tracer:
+        return resolve_tracer(self.tracer)
+
     def _worker_loop(self) -> None:
         while True:
             record = self._queue.get()
@@ -217,10 +236,13 @@ class WaveKeyAccessServer:
                 return
             with self._admission_lock:
                 self._pending -= 1
+                self.metrics.gauge("service.queue_depth").set(self._pending)
             try:
                 self._process(record)
             except Exception as exc:  # noqa: BLE001 — never kill a worker
                 self.sessions.abort(record, f"internal: {exc}")
+                if record.trace is not None and not record.trace.finished:
+                    self._tracer().finish_span(record.trace, status="error")
 
     def _deadline_left(self, record: SessionRecord) -> float:
         spent = time.monotonic() - record.timings["admitted_at"]
@@ -239,12 +261,30 @@ class WaveKeyAccessServer:
         total = time.monotonic() - record.timings.pop("admitted_at")
         record.timings["total_s"] = total
         self.metrics.histogram("service.total_s").observe(total)
+        if record.trace is not None:
+            record.trace.set_attribute("state", record.state.value)
+            record.trace.set_attribute("attempts", record.attempts)
+            if record.failure_reason:
+                record.trace.set_attribute("failure", record.failure_reason)
+            self._tracer().finish_span(
+                record.trace,
+                status="ok" if record.success else "error",
+            )
 
     def _process(self, record: SessionRecord) -> None:
         request = record.request
-        queue_wait = time.monotonic() - record.timings["admitted_at"]
+        tracer = self._tracer()
+        root = record.trace
+        pickup = time.monotonic()
+        queue_wait = pickup - record.timings["admitted_at"]
         record.timings["queue_wait_s"] = queue_wait
         self.metrics.histogram("service.queue_wait_s").observe(queue_wait)
+        if root is not None:
+            # Retroactive: the wait already happened, on another thread.
+            tracer.record_span(
+                "enqueue", parent=root,
+                start_s=record.timings["admitted_at"], end_s=pickup,
+            )
 
         if self._deadline_left(record) <= 0:
             self._time_out(
@@ -273,11 +313,19 @@ class WaveKeyAccessServer:
             clock = ProtocolClock(
                 start_s=self.agreement_config.gesture_window_s
             )
+
+            # Stage spans hang directly under the session root so every
+            # attempt's enqueue -> encode -> agreement chain reads off
+            # one flat tree level.  ``stages`` is the disabled tracer
+            # when the session has no root (tracing off at admission).
+            stages = tracer if root is not None else _NO_TRACE
+
             try:
-                with self._compute_lock:
-                    a_matrix, r_matrix = self._acquire_fn(
-                        request, child_rng(rng, "acquire")
-                    )
+                with stages.span("acquire", parent=root, attempt=attempt):
+                    with self._compute_lock:
+                        a_matrix, r_matrix = self._acquire_fn(
+                            request, child_rng(rng, "acquire")
+                        )
             except SimulationError as exc:
                 record.failure_reason = f"acquisition: {exc}"
                 self.events.emit(
@@ -296,10 +344,16 @@ class WaveKeyAccessServer:
                 self._finish_timings(record)
                 return
             try:
-                future_m = self._imu_batcher.submit(a_matrix)
-                future_r = self._rf_batcher.submit(r_matrix)
-                seed_m = future_m.result(timeout=budget)
-                seed_r = future_r.result(timeout=budget)
+                with stages.span(
+                    "encode", parent=root, attempt=attempt
+                ) as encode_span:
+                    future_m = self._imu_batcher.submit(a_matrix)
+                    future_r = self._rf_batcher.submit(r_matrix)
+                    seed_m = future_m.result(timeout=budget)
+                    seed_r = future_r.result(timeout=budget)
+                    encode_span.set_attribute(
+                        "batch_size", future_m.batch_size
+                    )
             except ServiceError as exc:
                 self._time_out(
                     record, "session_deadline", "encode", str(exc)
@@ -338,15 +392,21 @@ class WaveKeyAccessServer:
                 else None
             )
             agree_start = time.monotonic()
-            with self._compute_lock:
-                outcome = self._agreement_fn(
-                    seed_m,
-                    seed_r,
-                    config=self.agreement_config,
-                    transport=transport,
-                    clock=clock,
-                    rng=child_rng(rng, "agreement"),
-                )
+            # The "ot" span is active on this thread while the protocol
+            # runs, so run_key_agreement's own "agreement" span (and its
+            # ot.*/reconcile children) nest under it via the active-span
+            # stack — no tracer plumbing through injected agreement_fns.
+            with stages.span("ot", parent=root, attempt=attempt) as ot_span:
+                with self._compute_lock:
+                    outcome = self._agreement_fn(
+                        seed_m,
+                        seed_r,
+                        config=self.agreement_config,
+                        transport=transport,
+                        clock=clock,
+                        rng=child_rng(rng, "agreement"),
+                    )
+                ot_span.set_attribute("success", outcome.success)
             agree_s = time.monotonic() - agree_start
             record.timings["agree_s"] = agree_s
             record.timings["protocol_elapsed_s"] = outcome.elapsed_s

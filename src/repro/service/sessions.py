@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ServiceError
-from repro.service.metrics import EventLog, MetricsRegistry
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.bits import BitSequence
 
 
@@ -113,6 +114,8 @@ class SessionRecord:
     #: stage -> seconds; keys: queue_wait_s, encode_s, agree_s, total_s,
     #: and protocol_elapsed_s (the simulated protocol timeline).
     timings: Dict[str, float] = field(default_factory=dict)
+    #: the session's root tracing span (None when tracing is off).
+    trace: Optional[object] = None
 
     @property
     def success(self) -> bool:

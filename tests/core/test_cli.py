@@ -132,6 +132,74 @@ class TestServeConfiguration:
         assert "error:" in out.getvalue()
 
 
+class TestObservability:
+    def test_loadgen_trace_round_trips_through_obs_commands(
+        self, tiny_asset, tmp_path
+    ):
+        trace = str(tmp_path / "trace.jsonl")
+        metrics = str(tmp_path / "metrics.json")
+        out = io.StringIO()
+        code = cli.main(
+            [
+                "loadgen", "--sessions", "2", "--workers", "1",
+                "--max-attempts", "1", "--seed", "5",
+                "--trace-out", trace, "--metrics-out", metrics,
+            ],
+            out=out,
+        )
+        assert code in (0, 1)
+        assert "trace:" in out.getvalue()
+        # every line of the export is a well-formed span object
+        import json as _json
+
+        with open(trace, "r", encoding="utf-8") as fh:
+            spans = [_json.loads(line) for line in fh if line.strip()]
+        assert spans
+        roots = [s for s in spans if s["name"] == "session"]
+        assert len(roots) == 2
+
+        out = io.StringIO()
+        assert cli.main(["obs", "trace", trace], out=out) == 0
+        rendered = out.getvalue()
+        assert "session" in rendered and "encode" in rendered
+
+        session_id = roots[0]["attributes"]["session_id"]
+        out = io.StringIO()
+        code = cli.main(
+            ["obs", "trace", trace, "--session", session_id], out=out
+        )
+        assert code == 0
+        assert session_id in out.getvalue()
+
+        out = io.StringIO()
+        assert cli.main(["obs", "metrics", metrics], out=out) == 0
+        prom = out.getvalue()
+        assert "# TYPE service_admitted counter" in prom
+        assert 'pipeline_windows{encoder="imu_en"}' in prom
+        assert 'service_total_s_bucket{le="+Inf"} 2' in prom
+
+    def test_obs_trace_unknown_session_fails_cleanly(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("")
+        out = io.StringIO()
+        code = cli.main(
+            ["obs", "trace", str(trace), "--session", "nope"], out=out
+        )
+        assert code == 1
+        assert "no spans" in out.getvalue()
+
+    def test_establish_profile_prints_layer_table(self, tiny_asset):
+        out = io.StringIO()
+        code = cli.main(
+            ["establish", "--seed", "3", "--key-bits", "128", "--profile"],
+            out=out,
+        )
+        assert code in (0, 1)
+        text = out.getvalue()
+        assert "per-layer profile:" in text
+        assert "imu_encoder/" in text
+
+
 class TestAttack:
     def test_guess_campaign(self, tiny_asset):
         out = io.StringIO()

@@ -1,0 +1,52 @@
+"""Ring-buffer semantics of the structured event log."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import EventLog
+
+
+class TestRingBuffer:
+    def test_evicts_oldest_not_newest(self):
+        log = EventLog(capacity=3)
+        for kind in ("a", "b", "c", "d", "e"):
+            log.emit(kind)
+        # The most recent window survives; the oldest two were evicted.
+        assert [e.kind for e in log.query()] == ["c", "d", "e"]
+
+    def test_dropped_counts_evictions_accurately(self):
+        log = EventLog(capacity=2)
+        assert log.dropped == 0
+        log.emit("a")
+        log.emit("b")
+        assert log.dropped == 0
+        log.emit("c")
+        log.emit("d")
+        assert log.dropped == 2
+        assert len(log) == 2
+
+    def test_query_preserves_emission_order_after_wrap(self):
+        log = EventLog(capacity=4)
+        for i in range(10):
+            log.emit("tick", n=i)
+        events = log.query()
+        assert [e.fields["n"] for e in events] == [6, 7, 8, 9]
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_filters_still_apply_after_wrap(self):
+        log = EventLog(capacity=3)
+        log.emit("admitted", session_id="s1")
+        log.emit("established", session_id="s1")
+        log.emit("admitted", session_id="s2")
+        log.emit("established", session_id="s2")  # evicts s1's admission
+        assert [e.session_id for e in log.query(kind="established")] == [
+            "s1", "s2",
+        ]
+        assert [e.kind for e in log.query(session_id="s2")] == [
+            "admitted", "established",
+        ]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventLog(capacity=0)

@@ -1,0 +1,150 @@
+"""Unit tests for labeled metrics, snapshots, and Prometheus rendering."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+    render_prometheus,
+)
+
+
+class TestLabels:
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        imu = registry.counter("pipeline.windows", labels={"encoder": "imu_en"})
+        rf = registry.counter("pipeline.windows", labels={"encoder": "rf_en"})
+        assert imu is not rf
+        imu.inc(3)
+        rf.inc(1)
+        snap = registry.snapshot()
+        assert snap["counters"]['pipeline.windows{encoder="imu_en"}'] == 3
+        assert snap["counters"]['pipeline.windows{encoder="rf_en"}'] == 1
+
+    def test_same_labels_are_memoized(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("h", labels={"x": "1"})
+        b = registry.histogram("h", labels={"x": "1"})
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", labels={"a": "1", "b": "2"})
+        b = registry.counter("c", labels={"b": "2", "a": "1"})
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == pytest.approx(3.0)
+
+    def test_registry_snapshot_includes_gauges_when_present(self):
+        registry = MetricsRegistry()
+        snap = registry.snapshot()
+        assert "gauges" not in snap
+        registry.gauge("service.queue_depth").set(7)
+        snap = registry.snapshot()
+        assert snap["gauges"]["service.queue_depth"] == pytest.approx(7.0)
+
+
+class TestPrometheusRender:
+    def test_counter_gauge_histogram_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", labels={"mode": "fast"}).inc(2)
+        registry.gauge("depth").set(5)
+        registry.histogram("latency_s", bounds=(0.1, 1.0)).observe(0.05)
+        text = registry.render_prometheus()
+        assert '# TYPE requests counter' in text
+        assert 'requests{mode="fast"} 2' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 5.0" in text
+        assert "# TYPE latency_s histogram" in text
+        assert 'latency_s_bucket{le="0.1"} 1' in text
+        # buckets are cumulative and always end with +Inf == count
+        assert 'latency_s_bucket{le="1.0"} 1' in text
+        assert 'latency_s_bucket{le="+Inf"} 1' in text
+        assert "latency_s_count 1" in text
+
+    def test_metric_names_are_mangled(self):
+        registry = MetricsRegistry()
+        registry.counter("service.shed").inc()
+        text = registry.render_prometheus()
+        assert "service_shed 1" in text
+
+    def test_module_function_accepts_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        # JSON stringifies bucket keys; restore before rendering.
+        for hist in snap["histograms"].values():
+            hist["buckets"] = {
+                float(k): v for k, v in hist["buckets"].items()
+            }
+        text = render_prometheus(snap)
+        assert 'h_bucket{le="1.0"} 1' in text
+
+
+class TestMergeSnapshots:
+    def test_counters_add_and_gauges_take_last(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("n").inc(2)
+        r2.counter("n").inc(3)
+        r1.gauge("g").set(1)
+        r2.gauge("g").set(9)
+        merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+        assert merged["counters"]["n"] == 5
+        assert merged["gauges"]["g"] == pytest.approx(9.0)
+
+    def test_histogram_buckets_add(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        for v in (0.5, 2.0):
+            r1.histogram("h", bounds=(1.0,)).observe(v)
+        r2.histogram("h", bounds=(1.0,)).observe(0.25)
+        merged = merge_snapshots(r1.snapshot(), r2.snapshot())
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 3
+        assert hist["buckets"][1.0] == 2
+        assert hist["overflow"] == 1
+        assert hist["min"] == pytest.approx(0.25)
+        assert hist["max"] == pytest.approx(2.0)
+        assert hist["mean"] == pytest.approx((0.5 + 2.0 + 0.25) / 3)
+
+    def test_mismatched_bounds_are_rejected(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("h", bounds=(1.0,)).observe(0.5)
+        r2.histogram("h", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            merge_snapshots(r1.snapshot(), r2.snapshot())
+
+
+class TestInterpolatedPercentiles:
+    def test_uniform_distribution_pins_p50_p99(self):
+        hist = Histogram("h", bounds=tuple(float(b) for b in range(10, 101, 10)))
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.5) == pytest.approx(50.0)
+        assert hist.percentile(0.99) == pytest.approx(99.0)
+
+    def test_estimate_clamped_to_observed_range(self):
+        hist = Histogram("h", bounds=(10.0,))
+        hist.observe(4.0)
+        hist.observe(6.0)
+        # Interpolation alone would say 5 for p50 and 10 for p100; the
+        # clamp keeps estimates inside [min, max].
+        assert 4.0 <= hist.percentile(0.5) <= 6.0
+        assert hist.percentile(1.0) <= 6.0
+
+    def test_overflow_reports_true_max(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(123.0)
+        assert hist.percentile(0.99) == pytest.approx(123.0)

@@ -1,0 +1,102 @@
+"""Per-layer profiling hooks on the minimal neural-network stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.sequential import Sequential
+from repro.obs import LayerProfiler, Tracer, flop_estimate
+
+
+def small_net():
+    rng = np.random.default_rng(0)
+    return Sequential(
+        Dense(4, 8, rng=rng, name="fc1"),
+        ReLU(name="act"),
+        Dense(8, 2, rng=rng, name="fc2"),
+        name="net",
+    )
+
+
+class TestFlopEstimate:
+    def test_dense_multiply_add_count(self):
+        layer = Dense(4, 8, rng=np.random.default_rng(0))
+        assert flop_estimate(layer, (3, 4), (3, 8)) == 2 * 3 * 4 * 8
+
+    def test_relu_counts_elements(self):
+        assert flop_estimate(ReLU(), (3, 8), (3, 8)) == 24
+
+    def test_unknown_layer_returns_none(self):
+        class Odd:
+            pass
+
+        assert flop_estimate(Odd(), (1, 4), (1, 4)) is None
+
+
+class TestLayerProfiler:
+    def test_attached_profiler_aggregates_per_layer(self):
+        net = small_net()
+        profiler = LayerProfiler()
+        net.profiler = profiler
+        x = np.ones((5, 4))
+        net.forward(x)
+        net.forward(x)
+        stats = profiler.stats()
+        assert set(stats) == {"net/fc1", "net/act", "net/fc2"}
+        fc1 = stats["net/fc1"]
+        assert fc1["type"] == "Dense"
+        assert fc1["calls"] == 2
+        assert fc1["total_items"] == 10
+        assert fc1["total_flops"] == 2 * (2 * 5 * 4 * 8)
+        assert fc1["total_s"] >= 0.0
+        assert fc1["min_s"] <= fc1["max_s"]
+
+    def test_shared_profiler_keys_by_container(self):
+        profiler = LayerProfiler()
+        a, b = small_net(), small_net()
+        b.name = "other"
+        a.profiler = profiler
+        b.profiler = profiler
+        x = np.ones((1, 4))
+        a.forward(x)
+        b.forward(x)
+        assert "net/fc1" in profiler.stats()
+        assert "other/fc1" in profiler.stats()
+
+    def test_emits_spans_under_active_tracer(self):
+        net = small_net()
+        tracer = Tracer()
+        net.profiler = LayerProfiler(tracer=tracer)
+        with tracer.span("encode") as encode:
+            net.forward(np.ones((2, 4)))
+        spans = {s.name: s for s in tracer.finished_spans()}
+        assert "nn.net/fc1" in spans
+        assert spans["nn.net/fc1"].parent_id == encode.span_id
+        assert spans["nn.net/fc1"].attributes["batch_size"] == 2
+        assert spans["nn.net/fc1"].attributes["flops"] == 2 * 2 * 4 * 8
+
+    def test_disabled_profiler_records_nothing(self):
+        net = small_net()
+        profiler = LayerProfiler(enabled=False)
+        net.profiler = profiler
+        net.forward(np.ones((1, 4)))
+        assert profiler.stats() == {}
+
+    def test_detached_forward_matches_profiled_forward(self):
+        net = small_net()
+        x = np.ones((3, 4))
+        plain = net.forward(x)
+        net.profiler = LayerProfiler()
+        profiled = net.forward(x)
+        np.testing.assert_allclose(plain, profiled)
+
+    def test_report_lines_render(self):
+        net = small_net()
+        profiler = LayerProfiler()
+        net.profiler = profiler
+        net.forward(np.ones((1, 4)))
+        lines = profiler.report_lines()
+        assert len(lines) == 4  # header + 3 layers
+        assert any("net/fc1" in line for line in lines)
+        profiler.reset()
+        assert profiler.report_lines() == ["(no profiled forwards)"]

@@ -1,0 +1,175 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_span,
+    current_tracer,
+    format_trace_tree,
+    load_trace_jsonl,
+    resolve_tracer,
+    use_default_tracer,
+)
+
+
+class TestSpanLifecycle:
+    def test_span_context_manager_finishes_and_stores(self):
+        tracer = Tracer()
+        with tracer.span("work", n=3) as span:
+            assert span.finished is False
+            assert current_span() is span
+        assert current_span() is None
+        finished = tracer.finished_spans()
+        assert [s.name for s in finished] == ["work"]
+        assert finished[0].attributes == {"n": 3}
+        assert finished[0].duration_s >= 0.0
+        assert finished[0].status == "ok"
+
+    def test_nested_spans_share_trace_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        roots = [s for s in tracer.finished_spans() if s.parent_id is None]
+        assert [s.name for s in roots] == ["outer"]
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.status == "error"
+        assert "boom" in span.attributes["error"]
+        assert current_span() is None
+
+    def test_explicit_parent_overrides_active_stack(self):
+        tracer = Tracer()
+        root = tracer.start_span("root", parent=None)
+        with tracer.span("unrelated"):
+            with tracer.span("child", parent=root) as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+
+    def test_record_span_is_retroactive(self):
+        tracer = Tracer()
+        span = tracer.record_span("waited", start_s=10.0, end_s=10.5, k=1)
+        assert span.duration_s == pytest.approx(0.5)
+        assert tracer.finished_spans() == [span]
+
+    def test_max_spans_counts_drops(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(4):
+            with tracer.span(f"s{i}", parent=None):
+                pass
+        assert len(tracer.finished_spans()) == 2
+        assert tracer.dropped == 2
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+
+class TestDisabledTracer:
+    def test_null_tracer_spans_are_free_noops(self):
+        with NULL_TRACER.span("anything", k=1) as span:
+            assert not span
+            span.set_attribute("x", 2)
+        assert NULL_TRACER.finished_spans() == []
+        assert current_span() is None
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record_span("x", start_s=0.0, end_s=1.0)
+        with tracer.span("y"):
+            pass
+        assert tracer.finished_spans() == []
+
+
+class TestTracerResolution:
+    def test_explicit_tracer_wins(self):
+        tracer = Tracer()
+        assert resolve_tracer(tracer) is tracer
+
+    def test_active_span_carries_its_tracer(self):
+        tracer = Tracer()
+        assert current_tracer() is None
+        with tracer.span("outer"):
+            assert current_tracer() is tracer
+            assert resolve_tracer(None) is tracer
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_default_tracer_scoping(self):
+        tracer = Tracer()
+        with use_default_tracer(tracer):
+            assert resolve_tracer(None) is tracer
+        assert resolve_tracer(None) is NULL_TRACER
+
+
+class TestCrossThreadHandoff:
+    def test_activate_reparents_on_another_thread(self):
+        tracer = Tracer()
+        root = tracer.start_span("root", parent=None)
+        child_ids = {}
+
+        def worker():
+            with tracer.activate(root):
+                with tracer.span("child") as child:
+                    child_ids["parent"] = child.parent_id
+                    child_ids["trace"] = child.trace_id
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tracer.finish_span(root)
+        assert child_ids["parent"] == root.span_id
+        assert child_ids["trace"] == root.trace_id
+
+
+class TestExportAndRender:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root", session_id="s1"):
+            with tracer.span("step"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        count = tracer.export_jsonl(str(path))
+        assert count == 2
+        loaded = load_trace_jsonl(str(path))
+        assert {s.name for s in loaded} == {"root", "step"}
+        by_name = {s.name: s for s in loaded}
+        assert by_name["step"].parent_id == by_name["root"].span_id
+        assert by_name["root"].attributes["session_id"] == "s1"
+
+    def test_format_trace_tree_shows_hierarchy(self):
+        tracer = Tracer()
+        with tracer.span("session"):
+            with tracer.span("encode"):
+                pass
+            with tracer.span("ot"):
+                pass
+        text = format_trace_tree(tracer.finished_spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "session" in lines[1]
+        # children are indented under the root, in start order
+        assert lines[2].index("encode") > lines[1].index("session")
+        assert "ot" in lines[3]
+
+    def test_format_trace_tree_promotes_orphans(self):
+        orphan = Span(
+            name="lost", trace_id="t1", span_id="s2",
+            parent_id="missing", start_s=0.0, end_s=1.0,
+        )
+        text = format_trace_tree([orphan])
+        assert "lost" in text
+
+    def test_format_empty(self):
+        assert format_trace_tree([]) == "(no spans)"

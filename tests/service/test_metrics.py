@@ -49,14 +49,34 @@ class TestHistogram:
         assert hist.total == pytest.approx(6.0)
         assert hist.mean == pytest.approx(2.0)
 
-    def test_percentile_reports_bucket_upper_edge(self):
+    def test_percentile_interpolates_within_bucket(self):
         hist = Histogram("h", bounds=(0.01, 0.1, 1.0))
         for _ in range(99):
             hist.observe(0.005)
         hist.observe(0.5)
-        assert hist.percentile(0.5) == 0.01
-        assert hist.percentile(0.99) == 0.01
-        assert hist.percentile(1.0) == 1.0
+        # p50 falls at rank 50 of 99 observations inside [0, 0.01).
+        assert hist.percentile(0.5) == pytest.approx(50 / 99 * 0.01)
+        assert hist.percentile(0.99) == pytest.approx(0.01)
+        # The top percentile lands in [0.1, 1.0); interpolation is
+        # clamped to the largest observed value.
+        assert hist.percentile(1.0) == pytest.approx(0.5)
+
+    def test_percentile_pins_uniform_distribution(self):
+        # Regression: uniform 1..100 against decade bounds must report
+        # p50/p99 near the true order statistics, not bucket edges.
+        hist = Histogram(
+            "h", bounds=tuple(float(b) for b in range(10, 101, 10))
+        )
+        for v in range(1, 101):
+            hist.observe(float(v))
+        assert hist.percentile(0.5) == pytest.approx(50.0)
+        assert hist.percentile(0.99) == pytest.approx(99.0)
+
+    def test_percentile_overflow_reports_true_max(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(0.5)
+        hist.observe(42.0)
+        assert hist.percentile(0.99) == pytest.approx(42.0)
 
     def test_overflow_bucket_and_snapshot(self):
         hist = Histogram("h", bounds=(1.0,))
@@ -108,6 +128,18 @@ class TestEventLog:
         log.emit("c")
         assert len(log) == 2
         assert log.dropped == 1
+
+
+class TestDeprecatedShim:
+    def test_service_metrics_aliases_the_obs_package(self):
+        import repro.obs.events
+        import repro.obs.metrics
+        import repro.service.metrics as shim
+
+        assert shim.Counter is repro.obs.metrics.Counter
+        assert shim.Histogram is repro.obs.metrics.Histogram
+        assert shim.MetricsRegistry is repro.obs.metrics.MetricsRegistry
+        assert shim.EventLog is repro.obs.events.EventLog
 
 
 class TestMetricsRegistry:
