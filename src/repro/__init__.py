@@ -32,7 +32,14 @@ from repro.datasets import DatasetConfig, generate_dataset
 from repro.errors import (
     KeyAgreementFailure,
     ProtocolError,
+    TransportError,
     WaveKeyError,
+)
+from repro.net import (
+    FaultInjectionProxy,
+    NetClientConfig,
+    WaveKeyNetClient,
+    WaveKeyTCPServer,
 )
 from repro.gesture import VolunteerProfile, default_volunteers, sample_gesture
 from repro.obs import (
@@ -78,6 +85,11 @@ __all__ = [
     "WaveKeyError",
     "ProtocolError",
     "KeyAgreementFailure",
+    "TransportError",
+    "FaultInjectionProxy",
+    "NetClientConfig",
+    "WaveKeyNetClient",
+    "WaveKeyTCPServer",
     "AccessRequest",
     "LoadProfile",
     "ServiceConfig",

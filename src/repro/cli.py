@@ -3,10 +3,13 @@
 Usage (after ``pip install -e .``)::
 
     repro establish [--seed N] [--dynamic] [--distance M] [--trace-out F]
+    repro establish --connect HOST:PORT [--seed N]
     repro inspect
     repro attack {guess,mimic,spoof} [--trials N]
     repro serve [--dry-run] [--workers N] [--queue-capacity N] ...
+    repro serve --listen HOST:PORT [--port-file F] [--sessions N]
     repro loadgen [--sessions N] [--rate HZ] [--seed N]
+    repro loadgen --connect HOST:PORT [--sessions N]
     repro obs trace TRACE.jsonl
     repro obs metrics METRICS.json
 
@@ -17,6 +20,12 @@ the chosen attack and reports its success rate; ``serve`` brings up the
 concurrent access-control server (:mod:`repro.service`) and processes a
 burst of synthetic sessions; ``loadgen`` drives a server with a
 configurable offered load and prints the load report.
+
+Networked mode (:mod:`repro.net`): ``serve --listen HOST:PORT`` puts
+the access server on a TCP socket (port 0 picks a free port;
+``--port-file`` writes the bound address for scripts), and
+``establish``/``loadgen`` with ``--connect HOST:PORT`` run real
+client sessions against it over the wire.
 
 Observability: ``--trace-out FILE`` on ``establish``/``serve``/
 ``loadgen`` exports the run's span trace as JSONL, ``--metrics-out
@@ -76,6 +85,9 @@ def _build_parser() -> argparse.ArgumentParser:
     establish.add_argument("--azimuth", type=float, default=0.0,
                            help="user azimuth in degrees")
     establish.add_argument("--key-bits", type=int, default=256)
+    establish.add_argument("--connect", metavar="HOST:PORT", default=None,
+                           help="establish against a networked server "
+                                "instead of running in-process")
     add_obs_args(establish)
 
     sub.add_parser("inspect", help="summarize the pretrained bundle")
@@ -103,10 +115,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_service_args(serve)
     serve.add_argument("--sessions", type=int, default=8,
-                       help="synthetic sessions to serve before exiting")
+                       help="synthetic sessions to serve before exiting; "
+                            "with --listen, networked sessions to serve "
+                            "(0 = run until interrupted)")
     serve.add_argument("--dry-run", action="store_true",
                        help="validate config and print the operating "
                             "point without serving")
+    serve.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="serve real clients on a TCP socket "
+                            "(port 0 picks a free port)")
+    serve.add_argument("--port-file", metavar="FILE", default=None,
+                       help="with --listen, write the bound HOST:PORT "
+                            "to FILE once listening")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a server with synthetic offered load"
@@ -116,6 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--rate", type=float, default=0.0,
                          help="arrival rate in sessions/s (0 = burst)")
     loadgen.add_argument("--dynamic", action="store_true")
+    loadgen.add_argument("--connect", metavar="HOST:PORT", default=None,
+                         help="drive a networked server over TCP instead "
+                              "of an in-process one")
 
     obs = sub.add_parser(
         "obs", help="inspect exported traces and metric snapshots"
@@ -158,10 +181,48 @@ def _finish_obs(args, tracer, metrics, profiler, out) -> None:
             print(f"  {line}", file=out)
 
 
+def _parse_hostport(value: str):
+    from repro.errors import ConfigurationError
+
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigurationError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    return host, int(port)
+
+
+def _cmd_establish_net(args, out) -> int:
+    from repro.net import WaveKeyNetClient
+    from repro.obs import use_default_tracer
+    from repro.obs.metrics import MetricsRegistry
+
+    host, port = _parse_hostport(args.connect)
+    metrics = MetricsRegistry()
+    tracer = _obs_session(args)
+    client = WaveKeyNetClient(
+        host, port, metrics=metrics, tracer=tracer
+    )
+    with use_default_tracer(tracer):
+        result = client.establish(args.seed, dynamic=args.dynamic)
+    print(f"session {result.session_id}: {result.state} "
+          f"(attempts {result.attempts}, connects {result.connects}, "
+          f"{result.elapsed_s:.2f} s)", file=out)
+    _finish_obs(args, tracer, metrics, None, out)
+    if result.success:
+        print(f"key ({len(result.key)} bits): "
+              f"{result.key.to_bytes().hex()}", file=out)
+        return 0
+    print(f"FAILED: {result.failure_reason}", file=out)
+    return 1
+
+
 def _cmd_establish(args, out) -> int:
     from repro.obs import use_default_tracer
     from repro.obs.metrics import MetricsRegistry
 
+    if args.connect:
+        return _cmd_establish_net(args, out)
     bundle = load_default_bundle()
     metrics = MetricsRegistry()
     system = WaveKeySystem(
@@ -301,6 +362,40 @@ def _print_service_metrics(server, out) -> None:
                   f"n={hist['count']}", file=out)
 
 
+def _cmd_serve_net(args, config, bundle, out) -> int:
+    import time
+
+    from repro.net import WaveKeyTCPServer
+    from repro.service import WaveKeyAccessServer
+
+    host, port = _parse_hostport(args.listen)
+    tracer = _obs_session(args)
+    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+        profiler = (
+            server.pipeline.enable_profiling(tracer=tracer)
+            if args.profile else None
+        )
+        with WaveKeyTCPServer(server, host, port) as tcp:
+            bound = f"{tcp.address[0]}:{tcp.address[1]}"
+            print(f"listening on {bound}", file=out, flush=True)
+            if args.port_file:
+                with open(args.port_file, "w", encoding="utf-8") as fh:
+                    fh.write(bound + "\n")
+            try:
+                while (
+                    args.sessions <= 0
+                    or tcp.sessions_served < args.sessions
+                ):
+                    time.sleep(0.05)
+            except KeyboardInterrupt:
+                pass
+            served = tcp.sessions_served
+        _print_service_metrics(server, out)
+        _finish_obs(args, tracer, server.metrics, profiler, out)
+    print(f"served {served} networked sessions", file=out)
+    return 0
+
+
 def _cmd_serve(args, out) -> int:
     from repro.service import (
         AccessRequest, WaveKeyAccessServer,
@@ -314,6 +409,8 @@ def _cmd_serve(args, out) -> int:
         print("dry run: configuration OK, not serving", file=out)
         return 0
     _print_service_header(config, bundle, out)
+    if args.listen:
+        return _cmd_serve_net(args, config, bundle, out)
     tracer = _obs_session(args)
     with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
         profiler = (
@@ -339,9 +436,68 @@ def _cmd_serve(args, out) -> int:
     return 0 if established else 1
 
 
+def _cmd_loadgen_net(args, out) -> int:
+    import threading
+    import time
+
+    from repro.errors import TransportError
+    from repro.net import WaveKeyNetClient
+    from repro.obs.metrics import MetricsRegistry
+    from repro.utils.rng import derive_seed
+
+    host, port = _parse_hostport(args.connect)
+    metrics = MetricsRegistry()
+    results = []
+    lock = threading.Lock()
+
+    def one(i: int) -> None:
+        client = WaveKeyNetClient(host, port, metrics=metrics)
+        try:
+            result = client.establish(
+                derive_seed(args.seed, "loadgen", i),
+                dynamic=args.dynamic,
+            )
+            state, elapsed = result.state, result.elapsed_s
+        except TransportError as exc:
+            state, elapsed = f"transport_error ({exc})", 0.0
+        with lock:
+            results.append((state, elapsed))
+
+    started = time.monotonic()
+    threads = []
+    for i in range(args.sessions):
+        thread = threading.Thread(
+            target=one, args=(i,), name=f"loadgen-{i}", daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+        if args.rate > 0:
+            time.sleep(1.0 / args.rate)
+    for thread in threads:
+        thread.join()
+    wall_s = time.monotonic() - started
+
+    by_state: dict = {}
+    for state, _ in results:
+        by_state[state] = by_state.get(state, 0) + 1
+    established = by_state.get("established", 0)
+    print(f"networked load: {args.sessions} sessions against "
+          f"{host}:{port} in {wall_s:.2f} s", file=out)
+    for state in sorted(by_state):
+        print(f"  {state:16s} {by_state[state]}", file=out)
+    done = [e for s, e in results if s == "established"]
+    if done:
+        print(f"  mean establish latency: "
+              f"{1000 * sum(done) / len(done):.1f} ms", file=out)
+    _finish_obs(args, None, metrics, None, out)
+    return 0 if established else 1
+
+
 def _cmd_loadgen(args, out) -> int:
     from repro.service import LoadProfile, WaveKeyAccessServer, run_load
 
+    if args.connect:
+        return _cmd_loadgen_net(args, out)
     config = _service_config(args)
     bundle = load_default_bundle()
     profile = LoadProfile(

@@ -37,8 +37,40 @@ class DeadlineExceeded(ProtocolError):
     """A critical protocol message arrived after the tau deadline (SIV-D.2)."""
 
 
-class MessageDropped(ProtocolError):
-    """A transport interceptor dropped a message instead of relaying it."""
+class TransportError(WaveKeyError):
+    """Moving bytes between protocol endpoints failed.
+
+    Raised by both the simulated channel (:mod:`repro.protocol.transport`)
+    and the real wire (:mod:`repro.net`): oversized frames, undecodable
+    bytes, timed-out reads, dropped messages, and closed connections all
+    derive from this class, so a client can retry on ``TransportError``
+    without accidentally swallowing protocol or crypto failures.
+    """
+
+
+class FrameTooLarge(TransportError):
+    """A frame (or simulated message) exceeds the configured size limit."""
+
+
+class DecodeError(TransportError):
+    """Received bytes could not be decoded into a protocol message."""
+
+
+class ConnectionTimeout(TransportError):
+    """A connect or read deadline expired before the peer answered."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the connection mid-conversation."""
+
+
+class MessageDropped(TransportError, ProtocolError):
+    """A transport interceptor dropped a message instead of relaying it.
+
+    Subclasses both :class:`TransportError` (it is a delivery failure)
+    and :class:`ProtocolError` (historical position in the hierarchy, so
+    existing ``except ProtocolError`` handlers keep working).
+    """
 
 
 class KeyAgreementFailure(ProtocolError):

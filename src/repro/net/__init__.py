@@ -1,0 +1,81 @@
+"""repro.net — the key-agreement protocol on a real wire.
+
+Everything below the process boundary that PR 1's in-process service
+left simulated:
+
+* :mod:`repro.net.codec` — versioned binary codec: length-prefixed
+  frames, message-type tags, and round-trip serialization for every
+  protocol dataclass plus the session-control frames (hello, accept,
+  seed grant, round result, verdict, error);
+* :mod:`repro.net.connection` — a socket wrapper speaking that codec
+  with read deadlines, max-frame enforcement, and frame/byte metrics;
+* :mod:`repro.net.server` — a threaded TCP front end over
+  :class:`repro.service.WaveKeyAccessServer`: one handler per client
+  connection, sessions fed through the existing admission queue and
+  micro-batcher, load shedding mapped to wire error frames;
+* :mod:`repro.net.client` — a blocking client SDK driving a full
+  establishment from the device side, with connect/read timeouts and
+  bounded exponential-backoff retries;
+* :mod:`repro.net.proxy` — a fault-injection TCP proxy porting the
+  simulated adversary hooks (tap, delay, drop, corrupt, reorder) to
+  real connections, so SV-A/SV-C experiments run over loopback.
+
+Quick start (loopback)::
+
+    from repro.core.pretrained import load_default_bundle
+    from repro.net import WaveKeyTCPServer, WaveKeyNetClient
+    from repro.service import WaveKeyAccessServer
+
+    with WaveKeyAccessServer(load_default_bundle()) as access:
+        with WaveKeyTCPServer(access, "127.0.0.1", 0) as tcp:
+            host, port = tcp.address
+            client = WaveKeyNetClient(host, port)
+            result = client.establish(rng_seed=7)
+            assert result.success
+"""
+
+from repro.net.client import (
+    EstablishmentResult,
+    NetClientConfig,
+    WaveKeyNetClient,
+)
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameType,
+    decode_payload,
+    encode_message,
+    frame_to_bytes,
+    framing_overhead,
+)
+from repro.net.connection import FrameConnection
+from repro.net.proxy import (
+    FaultInjectionProxy,
+    corrupt_frames,
+    delay_frames,
+    drop_frames,
+    reorder_once,
+)
+from repro.net.server import WaveKeyTCPServer
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "EstablishmentResult",
+    "FaultInjectionProxy",
+    "Frame",
+    "FrameConnection",
+    "FrameType",
+    "NetClientConfig",
+    "WaveKeyNetClient",
+    "WaveKeyTCPServer",
+    "corrupt_frames",
+    "decode_payload",
+    "delay_frames",
+    "drop_frames",
+    "encode_message",
+    "frame_to_bytes",
+    "framing_overhead",
+    "reorder_once",
+]

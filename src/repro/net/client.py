@@ -1,0 +1,365 @@
+"""Blocking client SDK: drive a key establishment from the device side.
+
+:class:`WaveKeyNetClient` dials a :class:`repro.net.server.WaveKeyTCPServer`,
+performs the hello/accept handshake, and then plays the mobile half of
+the Fig. 4 protocol for every round the server grants: craft ``M_A``,
+answer the server's announce, exchange ciphertexts, assemble the
+preliminary key, send the reconciliation challenge, verify the HMAC
+confirmation, and close the round with a mutual-confirmation ack.
+
+Fault handling is the SDK contract:
+
+* connect failures, read deadlines, oversized frames, undecodable
+  bytes, and mid-session disconnects all surface as typed
+  :class:`repro.errors.TransportError` subclasses;
+* :meth:`WaveKeyNetClient.establish` retries the *whole* establishment
+  (fresh connection, fresh server session) on transport errors, with
+  bounded exponential backoff — protocol-level failures (keys differ,
+  deadline breached, load shed) are returned as results, not retried,
+  because the server already applied its own retry policy;
+* every run emits client-side spans (``net.establish`` -> connect /
+  hello / per-round stages) and frame/byte metrics when given a tracer
+  or registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto.hashes import hmac_digest
+from repro.errors import (
+    ConfigurationError,
+    ConnectionTimeout,
+    KeyAgreementFailure,
+    ProtocolError,
+    TransportError,
+)
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Accept,
+    ConfirmAck,
+    ErrorFrame,
+    Hello,
+    RoundResult,
+    SeedGrant,
+    Verdict,
+)
+from repro.net.connection import FrameConnection, connect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, resolve_tracer
+from repro.protocol.agreement import AgreementParty, KeyAgreementConfig
+from repro.protocol.messages import (
+    ConfirmationResponse,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    require_sender,
+)
+from repro.utils.bits import BitSequence
+from repro.utils.rng import child_rng
+
+
+@dataclass(frozen=True)
+class NetClientConfig:
+    """Client-side knobs: identity, deadlines, and the retry policy."""
+
+    name: str = "mobile"
+    connect_timeout_s: float = 5.0
+    read_timeout_s: float = 10.0
+    establish_timeout_s: float = 60.0
+    max_retries: int = 2
+    backoff_initial_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 1.0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("client name must be non-empty")
+        if min(
+            self.connect_timeout_s,
+            self.read_timeout_s,
+            self.establish_timeout_s,
+        ) <= 0:
+            raise ConfigurationError("timeouts must be > 0")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_initial_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+
+
+@dataclass
+class EstablishmentResult:
+    """Client-side view of one (possibly retried) establishment."""
+
+    success: bool
+    state: str
+    session_id: str = ""
+    key: Optional[BitSequence] = None
+    attempts: int = 0          # server-side protocol attempts
+    connects: int = 1          # connections dialed (1 + transport retries)
+    elapsed_s: float = 0.0
+    failure_reason: Optional[str] = None
+    rounds: List[RoundResult] = field(default_factory=list)
+
+
+class _RoundAborted(Exception):
+    """Server ended the round early (carries its RoundResult)."""
+
+    def __init__(self, result: RoundResult):
+        super().__init__(result.reason)
+        self.result = result
+
+
+class WaveKeyNetClient:
+    """Blocking establishment client for one server endpoint."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        config: NetClientConfig = None,
+        *,
+        metrics: MetricsRegistry = None,
+        tracer: Tracer = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.config = config or NetClientConfig()
+        self.metrics = metrics
+        self.tracer = tracer
+
+    # -- public API --------------------------------------------------------
+
+    def establish(
+        self, rng_seed: int, dynamic: bool = False
+    ) -> EstablishmentResult:
+        """Run one full key establishment, retrying transport faults.
+
+        Returns an :class:`EstablishmentResult` for every protocol-level
+        verdict (established, failed, timed out, shed); raises the last
+        :class:`TransportError` once the bounded retries are exhausted.
+        """
+        config = self.config
+        tracer = resolve_tracer(self.tracer)
+        start = time.monotonic()
+        delay = config.backoff_initial_s
+        last_error: Optional[TransportError] = None
+        with tracer.span(
+            "net.establish", seed=rng_seed, server=f"{self.host}:{self.port}"
+        ) as root:
+            for dial in range(1 + config.max_retries):
+                if dial:
+                    if self.metrics is not None:
+                        self.metrics.counter("net.client.retries").inc()
+                    time.sleep(delay)
+                    delay = min(
+                        delay * config.backoff_multiplier,
+                        config.backoff_max_s,
+                    )
+                try:
+                    result = self._attempt(rng_seed, dynamic, tracer)
+                    result.connects = dial + 1
+                    result.elapsed_s = time.monotonic() - start
+                    root.set_attribute("state", result.state)
+                    root.set_attribute("connects", result.connects)
+                    return result
+                except TransportError as exc:
+                    last_error = exc
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "net.client.transport_errors"
+                        ).inc()
+            root.set_attribute("state", "transport_error")
+        raise last_error
+
+    # -- one connection lifecycle ------------------------------------------
+
+    def _attempt(
+        self, rng_seed: int, dynamic: bool, tracer: Tracer
+    ) -> EstablishmentResult:
+        config = self.config
+        deadline = time.monotonic() + config.establish_timeout_s
+        with tracer.span("net.connect"):
+            conn = connect(
+                self.host,
+                self.port,
+                timeout_s=config.connect_timeout_s,
+                max_frame_bytes=config.max_frame_bytes,
+                read_timeout_s=config.read_timeout_s,
+                metrics=self.metrics,
+                endpoint="client",
+            )
+        try:
+            with tracer.span("net.hello"):
+                conn.send(Hello(
+                    sender=config.name, rng_seed=rng_seed, dynamic=dynamic,
+                ))
+                answer = conn.recv()
+            if isinstance(answer, ErrorFrame):
+                return self._error_result(answer)
+            if not isinstance(answer, Accept):
+                raise ProtocolError(
+                    f"expected ACCEPT, got {type(answer).__name__}"
+                )
+            if answer.version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"server speaks protocol {answer.version}, client "
+                    f"speaks {PROTOCOL_VERSION}"
+                )
+            accept = answer
+            agreement_config = KeyAgreementConfig(
+                key_length_bits=accept.key_length_bits, eta=accept.eta
+            )
+
+            rounds: List[RoundResult] = []
+            session_key: Optional[BitSequence] = None
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ConnectionTimeout(
+                        f"no verdict within {config.establish_timeout_s}s"
+                    )
+                message = conn.recv(
+                    timeout_s=min(config.read_timeout_s, remaining)
+                )
+                if isinstance(message, SeedGrant):
+                    session_key = self._run_round(
+                        conn, accept, agreement_config, message,
+                        rng_seed, rounds, tracer,
+                    )
+                elif isinstance(message, RoundResult):
+                    rounds.append(message)
+                elif isinstance(message, Verdict):
+                    return self._verdict_result(
+                        message, accept, session_key, rounds
+                    )
+                elif isinstance(message, ErrorFrame):
+                    return self._error_result(message, rounds)
+                else:
+                    raise ProtocolError(
+                        f"unexpected {type(message).__name__} "
+                        "between rounds"
+                    )
+        finally:
+            conn.close()
+
+    def _error_result(
+        self, error: ErrorFrame, rounds: List[RoundResult] = None
+    ) -> EstablishmentResult:
+        if error.code in ("busy", "timeout", "unavailable"):
+            state = "shed" if error.code == "busy" else "timed_out"
+            return EstablishmentResult(
+                success=False,
+                state=state,
+                failure_reason=f"{error.code}: {error.detail}",
+                rounds=rounds or [],
+            )
+        raise ProtocolError(f"server error {error.code}: {error.detail}")
+
+    def _verdict_result(
+        self,
+        verdict: Verdict,
+        accept: Accept,
+        session_key: Optional[BitSequence],
+        rounds: List[RoundResult],
+    ) -> EstablishmentResult:
+        success = verdict.state == "established"
+        if success and session_key is None:
+            raise ProtocolError(
+                "server reported establishment but no round completed "
+                "on the client side"
+            )
+        return EstablishmentResult(
+            success=success,
+            state=verdict.state,
+            session_id=verdict.session_id or accept.session_id,
+            key=session_key if success else None,
+            attempts=verdict.attempts,
+            failure_reason=verdict.reason or None,
+            rounds=rounds,
+        )
+
+    # -- one protocol round ------------------------------------------------
+
+    def _expect(self, conn: FrameConnection, message_type, peer: str):
+        message = conn.recv()
+        if isinstance(message, RoundResult):
+            raise _RoundAborted(message)
+        if isinstance(message, ErrorFrame):
+            raise ProtocolError(
+                f"peer error {message.code}: {message.detail}"
+            )
+        if not isinstance(message, message_type):
+            raise ProtocolError(
+                f"expected {message_type.__name__}, got "
+                f"{type(message).__name__}"
+            )
+        require_sender(message, peer)
+        return message
+
+    def _run_round(
+        self,
+        conn: FrameConnection,
+        accept: Accept,
+        agreement_config: KeyAgreementConfig,
+        grant: SeedGrant,
+        rng_seed: int,
+        rounds: List[RoundResult],
+        tracer: Tracer,
+    ) -> Optional[BitSequence]:
+        """Play the mobile side of one round; returns the session key
+        when this round's confirmation verified, else None."""
+        party = AgreementParty(
+            self.config.name,
+            grant.seed,
+            agreement_config,
+            rng=child_rng(rng_seed, "net-client", grant.attempt),
+            own_sequences_first=True,
+        )
+        peer = accept.sender
+        with tracer.span("net.round", attempt=grant.attempt) as span:
+            try:
+                with tracer.span("net.ot.announce"):
+                    conn.send(party.craft_announce())
+                    announce_s = self._expect(conn, OTAnnounce, peer)
+                with tracer.span("net.ot.respond"):
+                    conn.send(party.craft_response(announce_s))
+                    response_s = self._expect(conn, OTResponse, peer)
+                with tracer.span("net.ot.ciphertexts"):
+                    conn.send(party.craft_ciphertexts(response_s))
+                    cipher_s = self._expect(conn, OTCiphertextBatch, peer)
+                with tracer.span("net.ot.assemble"):
+                    party.receive_ciphertexts(cipher_s)
+                    party.build_preliminary_key()
+                with tracer.span("net.reconcile"):
+                    challenge = party.craft_challenge()
+                    conn.send(challenge)
+                    confirmation = self._expect(
+                        conn, ConfirmationResponse, peer
+                    )
+                    party.verify_confirmation(confirmation)
+                    conn.send(ConfirmAck(
+                        ok=True,
+                        tag=hmac_digest(
+                            party.final_key.to_bytes(),
+                            challenge.nonce + b"ack",
+                        ),
+                    ))
+            except _RoundAborted as exc:
+                rounds.append(exc.result)
+                span.set_attribute("aborted", exc.result.reason)
+                return None
+            except KeyAgreementFailure as exc:
+                # Report the failed verification so the server's round
+                # (and its retry policy) resolves promptly.
+                span.set_attribute("failure", str(exc))
+                conn.send(ConfirmAck(ok=False, tag=b""))
+                return None
+            span.set_attribute("confirmed", True)
+        return party.session_key()

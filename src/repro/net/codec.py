@@ -1,0 +1,618 @@
+"""Versioned binary codec for the WaveKey wire protocol.
+
+Frame layout (everything big-endian)::
+
+    +----------------+-----------+--------------------+
+    | body length u32| type u8   | payload            |
+    +----------------+-----------+--------------------+
+
+``body length`` counts the type byte plus the payload, so a receiver
+can bound memory before reading the body (:class:`FrameTooLarge`).
+
+Two message families share the framing:
+
+* the **protocol dataclasses** of :mod:`repro.protocol.messages` —
+  ``M_A``/``M_B``/``M_E`` (:class:`OTAnnounce`, :class:`OTResponse`,
+  :class:`OTCiphertextBatch`), the reconciliation challenge, and the
+  HMAC confirmation;
+* the **session-control frames** defined here — hello/accept handshake,
+  per-attempt seed grant, confirmation ack, round result, terminal
+  verdict, and structured error frames.
+
+Encoded sizes are reconciled with the latency model: for every protocol
+dataclass, ``len(payload) == msg.wire_size_bytes() + framing_overhead``
+where the overhead is exactly the codec's field headers (sender string,
+element counts, per-element length prefixes) plus the 5-byte frame
+header — :func:`framing_overhead` computes it so tests can pin the
+identity exactly.
+
+Integers (OT group elements) are encoded as ``u16`` length plus the
+minimal big-endian byte string, matching the ``max(1, ...)`` minimal
+sizing that ``wire_size_bytes`` models; bit sequences are a ``u32`` bit
+count plus MSB-first packed bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, NamedTuple, Tuple
+
+from repro.crypto.ot import OTCiphertexts
+from repro.errors import DecodeError, FrameTooLarge, ProtocolError
+from repro.protocol.messages import (
+    ConfirmationResponse,
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+)
+from repro.utils.bits import BitSequence
+
+#: Bump on any incompatible change to frame layout or message payloads.
+PROTOCOL_VERSION = 1
+
+#: Frame header: u32 body length + u8 frame type.
+HEADER_BYTES = 5
+
+#: Default bound on one frame's payload; generous next to real messages
+#: (a 512-bit-group M_E for l_s=128 is ~20 KiB).
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+class FrameType(enum.IntEnum):
+    """One byte on the wire identifying the payload schema."""
+
+    HELLO = 0x01
+    ACCEPT = 0x02
+    SEED_GRANT = 0x03
+    OT_ANNOUNCE = 0x10
+    OT_RESPONSE = 0x11
+    OT_CIPHERTEXTS = 0x12
+    RECON_CHALLENGE = 0x13
+    CONFIRM_RESPONSE = 0x14
+    CONFIRM_ACK = 0x15
+    ROUND_RESULT = 0x20
+    VERDICT = 0x21
+    ERROR = 0x30
+
+
+class Frame(NamedTuple):
+    """A decoded frame header + raw payload (pre message decode)."""
+
+    type: FrameType
+    payload: bytes
+
+
+# -- session-control messages -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client -> server: open a session (the wire's AccessRequest)."""
+
+    sender: str
+    rng_seed: int
+    dynamic: bool = False
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class Accept:
+    """Server -> client: session admitted; carries the protocol
+    operating point so both sides build identical reconciliation
+    parameters."""
+
+    sender: str
+    session_id: str
+    key_length_bits: int
+    eta: float
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class SeedGrant:
+    """Server -> client: the device-side key-seed for one attempt.
+
+    In a real deployment the device derives this from its own IMU
+    sensing of the shared gesture; the reproduction's sensor simulator
+    lives server-side, so the simulated device sensing is granted over
+    the wire at the start of each round.
+    """
+
+    attempt: int
+    seed: BitSequence
+
+
+@dataclass(frozen=True)
+class ConfirmAck:
+    """Client -> server: mutual confirmation closing one round.
+
+    ``tag`` is ``HMAC(final_key, nonce || b"ack")`` — proof to the
+    server that the mobile reconstructed the same key; ``ok=False``
+    (empty tag) reports a client-side verification failure.
+    """
+
+    ok: bool
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Server -> client: verdict of one protocol round (attempt)."""
+
+    success: bool
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Server -> client: the session's terminal state."""
+
+    state: str
+    attempts: int
+    reason: str = ""
+    session_id: str = ""
+
+
+@dataclass(frozen=True)
+class ErrorFrame:
+    """Either direction: a structured wire-level error (load shed,
+    version mismatch, malformed frame)."""
+
+    code: str
+    detail: str = ""
+
+
+# -- primitive writers / readers ---------------------------------------------
+
+
+class _Writer:
+    """Accumulates big-endian fields into one payload."""
+
+    __slots__ = ("_parts",)
+
+    def __init__(self):
+        self._parts = []
+
+    def u8(self, value: int) -> "_Writer":
+        self._parts.append(struct.pack("!B", value))
+        return self
+
+    def u16(self, value: int) -> "_Writer":
+        self._parts.append(struct.pack("!H", value))
+        return self
+
+    def u32(self, value: int) -> "_Writer":
+        self._parts.append(struct.pack("!I", value))
+        return self
+
+    def f64(self, value: float) -> "_Writer":
+        self._parts.append(struct.pack("!d", value))
+        return self
+
+    def string(self, value: str) -> "_Writer":
+        data = value.encode("utf-8")
+        if len(data) > 0xFFFF:
+            raise ProtocolError("string field over 65535 bytes")
+        return self.u16(len(data)).raw(data)
+
+    def blob8(self, data: bytes) -> "_Writer":
+        if len(data) > 0xFF:
+            raise ProtocolError("blob8 field over 255 bytes")
+        return self.u8(len(data)).raw(data)
+
+    def blob16(self, data: bytes) -> "_Writer":
+        if len(data) > 0xFFFF:
+            raise ProtocolError("blob16 field over 65535 bytes")
+        return self.u16(len(data)).raw(data)
+
+    def uint(self, value: int) -> "_Writer":
+        """Arbitrary-precision non-negative int: u16 length + minimal
+        big-endian bytes (zero encodes as one zero byte, matching the
+        ``max(1, ...)`` sizing in ``wire_size_bytes``)."""
+        value = int(value)
+        if value < 0:
+            raise ProtocolError("cannot encode a negative integer")
+        data = value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")
+        return self.blob16(data)
+
+    def bits(self, seq: BitSequence) -> "_Writer":
+        """u32 bit count + MSB-first packed bytes."""
+        return self.u32(len(seq)).raw(seq.to_bytes())
+
+    def raw(self, data: bytes) -> "_Writer":
+        self._parts.append(bytes(data))
+        return self
+
+    def payload(self) -> bytes:
+        return b"".join(self._parts)
+
+
+class _Reader:
+    """Consumes a payload; every underrun or leftover is a DecodeError."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise DecodeError(
+                f"payload truncated: wanted {n} bytes at offset "
+                f"{self._pos}, have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("!I", self._take(4))[0]
+
+    def f64(self) -> float:
+        return struct.unpack("!d", self._take(8))[0]
+
+    def string(self) -> str:
+        data = self._take(self.u16())
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid utf-8 in string field: {exc}")
+
+    def blob8(self) -> bytes:
+        return self._take(self.u8())
+
+    def blob16(self) -> bytes:
+        return self._take(self.u16())
+
+    def uint(self) -> int:
+        data = self.blob16()
+        if not data:
+            raise DecodeError("empty integer field")
+        return int.from_bytes(data, "big")
+
+    def bits(self) -> BitSequence:
+        n_bits = self.u32()
+        data = self._take((n_bits + 7) // 8)
+        try:
+            return BitSequence.from_bytes(data, n_bits)
+        except Exception as exc:  # ShapeError and friends
+            raise DecodeError(f"invalid bit sequence: {exc}")
+
+    def expect_end(self) -> None:
+        if self._pos != len(self._data):
+            raise DecodeError(
+                f"{len(self._data) - self._pos} trailing bytes after payload"
+            )
+
+
+# -- per-message encoders -----------------------------------------------------
+
+
+def _encode_announce_like(msg) -> bytes:
+    w = _Writer().string(msg.sender).u16(len(msg.elements))
+    for element in msg.elements:
+        w.uint(element)
+    return w.payload()
+
+
+def _decode_announce(payload: bytes) -> OTAnnounce:
+    r = _Reader(payload)
+    sender = r.string()
+    elements = tuple(r.uint() for _ in range(r.u16()))
+    r.expect_end()
+    return OTAnnounce(sender=sender, elements=elements)
+
+
+def _decode_response(payload: bytes) -> OTResponse:
+    r = _Reader(payload)
+    sender = r.string()
+    elements = tuple(r.uint() for _ in range(r.u16()))
+    r.expect_end()
+    return OTResponse(sender=sender, elements=elements)
+
+
+def _encode_ciphertexts(msg: OTCiphertextBatch) -> bytes:
+    w = _Writer().string(msg.sender).u16(len(msg.pairs))
+    for pair in msg.pairs:
+        w.blob16(pair.e0).blob16(pair.e1)
+    return w.payload()
+
+
+def _decode_ciphertexts(payload: bytes) -> OTCiphertextBatch:
+    r = _Reader(payload)
+    sender = r.string()
+    pairs = tuple(
+        OTCiphertexts(e0=r.blob16(), e1=r.blob16())
+        for _ in range(r.u16())
+    )
+    r.expect_end()
+    return OTCiphertextBatch(sender=sender, pairs=pairs)
+
+
+def _encode_challenge(msg: ReconciliationChallenge) -> bytes:
+    return (
+        _Writer()
+        .string(msg.sender)
+        .bits(msg.sketch)
+        .blob8(msg.nonce)
+        .payload()
+    )
+
+
+def _decode_challenge(payload: bytes) -> ReconciliationChallenge:
+    r = _Reader(payload)
+    sender = r.string()
+    sketch = r.bits()
+    nonce = r.blob8()
+    r.expect_end()
+    return ReconciliationChallenge(sender=sender, sketch=sketch, nonce=nonce)
+
+
+def _encode_confirmation(msg: ConfirmationResponse) -> bytes:
+    return _Writer().string(msg.sender).blob8(msg.tag).payload()
+
+
+def _decode_confirmation(payload: bytes) -> ConfirmationResponse:
+    r = _Reader(payload)
+    sender = r.string()
+    tag = r.blob8()
+    r.expect_end()
+    return ConfirmationResponse(sender=sender, tag=tag)
+
+
+def _encode_hello(msg: Hello) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.sender)
+        .uint(msg.rng_seed)
+        .u8(1 if msg.dynamic else 0)
+        .payload()
+    )
+
+
+def _decode_hello(payload: bytes) -> Hello:
+    r = _Reader(payload)
+    version = r.u8()
+    sender = r.string()
+    rng_seed = r.uint()
+    dynamic = bool(r.u8())
+    r.expect_end()
+    return Hello(
+        sender=sender, rng_seed=rng_seed, dynamic=dynamic, version=version
+    )
+
+
+def _encode_accept(msg: Accept) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.sender)
+        .string(msg.session_id)
+        .u16(msg.key_length_bits)
+        .f64(msg.eta)
+        .payload()
+    )
+
+
+def _decode_accept(payload: bytes) -> Accept:
+    r = _Reader(payload)
+    version = r.u8()
+    sender = r.string()
+    session_id = r.string()
+    key_length_bits = r.u16()
+    eta = r.f64()
+    r.expect_end()
+    return Accept(
+        sender=sender,
+        session_id=session_id,
+        key_length_bits=key_length_bits,
+        eta=eta,
+        version=version,
+    )
+
+
+def _encode_seed_grant(msg: SeedGrant) -> bytes:
+    return _Writer().u16(msg.attempt).bits(msg.seed).payload()
+
+
+def _decode_seed_grant(payload: bytes) -> SeedGrant:
+    r = _Reader(payload)
+    attempt = r.u16()
+    seed = r.bits()
+    r.expect_end()
+    return SeedGrant(attempt=attempt, seed=seed)
+
+
+def _encode_confirm_ack(msg: ConfirmAck) -> bytes:
+    return _Writer().u8(1 if msg.ok else 0).blob8(msg.tag).payload()
+
+
+def _decode_confirm_ack(payload: bytes) -> ConfirmAck:
+    r = _Reader(payload)
+    ok = bool(r.u8())
+    tag = r.blob8()
+    r.expect_end()
+    return ConfirmAck(ok=ok, tag=tag)
+
+
+def _encode_round_result(msg: RoundResult) -> bytes:
+    return (
+        _Writer().u8(1 if msg.success else 0).string(msg.reason).payload()
+    )
+
+
+def _decode_round_result(payload: bytes) -> RoundResult:
+    r = _Reader(payload)
+    success = bool(r.u8())
+    reason = r.string()
+    r.expect_end()
+    return RoundResult(success=success, reason=reason)
+
+
+def _encode_verdict(msg: Verdict) -> bytes:
+    return (
+        _Writer()
+        .string(msg.state)
+        .u16(msg.attempts)
+        .string(msg.reason)
+        .string(msg.session_id)
+        .payload()
+    )
+
+
+def _decode_verdict(payload: bytes) -> Verdict:
+    r = _Reader(payload)
+    state = r.string()
+    attempts = r.u16()
+    reason = r.string()
+    session_id = r.string()
+    r.expect_end()
+    return Verdict(
+        state=state, attempts=attempts, reason=reason, session_id=session_id
+    )
+
+
+def _encode_error(msg: ErrorFrame) -> bytes:
+    return _Writer().string(msg.code).string(msg.detail).payload()
+
+
+def _decode_error(payload: bytes) -> ErrorFrame:
+    r = _Reader(payload)
+    code = r.string()
+    detail = r.string()
+    r.expect_end()
+    return ErrorFrame(code=code, detail=detail)
+
+
+_ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
+    OTAnnounce: (FrameType.OT_ANNOUNCE, _encode_announce_like),
+    OTResponse: (FrameType.OT_RESPONSE, _encode_announce_like),
+    OTCiphertextBatch: (FrameType.OT_CIPHERTEXTS, _encode_ciphertexts),
+    ReconciliationChallenge: (FrameType.RECON_CHALLENGE, _encode_challenge),
+    ConfirmationResponse: (FrameType.CONFIRM_RESPONSE, _encode_confirmation),
+    Hello: (FrameType.HELLO, _encode_hello),
+    Accept: (FrameType.ACCEPT, _encode_accept),
+    SeedGrant: (FrameType.SEED_GRANT, _encode_seed_grant),
+    ConfirmAck: (FrameType.CONFIRM_ACK, _encode_confirm_ack),
+    RoundResult: (FrameType.ROUND_RESULT, _encode_round_result),
+    Verdict: (FrameType.VERDICT, _encode_verdict),
+    ErrorFrame: (FrameType.ERROR, _encode_error),
+}
+
+_DECODERS: Dict[FrameType, Callable] = {
+    FrameType.OT_ANNOUNCE: _decode_announce,
+    FrameType.OT_RESPONSE: _decode_response,
+    FrameType.OT_CIPHERTEXTS: _decode_ciphertexts,
+    FrameType.RECON_CHALLENGE: _decode_challenge,
+    FrameType.CONFIRM_RESPONSE: _decode_confirmation,
+    FrameType.HELLO: _decode_hello,
+    FrameType.ACCEPT: _decode_accept,
+    FrameType.SEED_GRANT: _decode_seed_grant,
+    FrameType.CONFIRM_ACK: _decode_confirm_ack,
+    FrameType.ROUND_RESULT: _decode_round_result,
+    FrameType.VERDICT: _decode_verdict,
+    FrameType.ERROR: _decode_error,
+}
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def encode_message(message) -> Frame:
+    """Serialize any wire message into a typed frame."""
+    try:
+        frame_type, encoder = _ENCODERS[type(message)]
+    except KeyError:
+        raise ProtocolError(
+            f"{type(message).__name__} is not a wire message"
+        )
+    return Frame(frame_type, encoder(message))
+
+
+def decode_payload(frame: Frame):
+    """Deserialize a frame back into its message object.
+
+    Raises :class:`DecodeError` on unknown types, truncated payloads,
+    and trailing bytes; message-level validation failures (empty
+    announce, short nonce...) surface as :class:`ProtocolError` from
+    the dataclass constructors.
+    """
+    try:
+        frame_type = FrameType(frame.type)
+    except ValueError:
+        raise DecodeError(f"unknown frame type 0x{int(frame.type):02x}")
+    return _DECODERS[frame_type](frame.payload)
+
+
+def frame_to_bytes(frame: Frame) -> bytes:
+    """Wrap a frame in the length-prefixed wire header."""
+    body_len = len(frame.payload) + 1
+    return struct.pack("!IB", body_len, int(frame.type)) + frame.payload
+
+
+def read_frame(
+    recv_exactly: Callable[[int], bytes],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Frame:
+    """Read one frame via ``recv_exactly(n) -> bytes``.
+
+    Enforces ``max_frame_bytes`` on the payload *before* reading the
+    body, so an oversized (or corrupted-length) frame cannot balloon
+    memory; the frame type is validated but the payload is returned
+    raw (the proxy tampers with frames without decoding them).
+    """
+    header = recv_exactly(4)
+    (body_len,) = struct.unpack("!I", header)
+    if body_len < 1:
+        raise DecodeError("frame body length must be >= 1")
+    if body_len - 1 > max_frame_bytes:
+        raise FrameTooLarge(
+            f"incoming frame payload of {body_len - 1} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    body = recv_exactly(body_len)
+    try:
+        frame_type = FrameType(body[0])
+    except ValueError:
+        raise DecodeError(f"unknown frame type 0x{body[0]:02x}")
+    return Frame(frame_type, body[1:])
+
+
+def framing_overhead(message) -> int:
+    """Exact codec overhead of a protocol dataclass, in bytes.
+
+    For the five :mod:`repro.protocol.messages` classes this is the
+    difference between the encoded frame (header included) and the
+    payload bytes that ``wire_size_bytes()`` models::
+
+        len(frame_to_bytes(encode_message(m)))
+            == m.wire_size_bytes() + framing_overhead(m)
+
+    Per message: the 5-byte frame header, the sender string (u16 length
+    + utf-8), and the per-field length prefixes (u16 per integer
+    element, u16 per ciphertext half, u32 bit count for sketches, u8
+    nonce/tag lengths).
+    """
+    sender_bytes = 2 + len(message.sender.encode("utf-8"))
+    if isinstance(message, (OTAnnounce, OTResponse)):
+        return HEADER_BYTES + sender_bytes + 2 + 2 * len(message.elements)
+    if isinstance(message, OTCiphertextBatch):
+        return HEADER_BYTES + sender_bytes + 2 + 4 * len(message.pairs)
+    if isinstance(message, ReconciliationChallenge):
+        return HEADER_BYTES + sender_bytes + 4 + 1
+    if isinstance(message, ConfirmationResponse):
+        return HEADER_BYTES + sender_bytes + 1
+    raise ProtocolError(
+        f"{type(message).__name__} has no wire_size_bytes() model"
+    )

@@ -1,0 +1,190 @@
+"""A socket speaking the WaveKey frame codec.
+
+:class:`FrameConnection` owns one TCP socket and turns it into a typed
+message stream: ``send(message)`` / ``recv(timeout)`` with per-call
+read deadlines, max-frame enforcement, and a write lock (the server's
+worker thread and connection handler share one socket).  All failures
+are typed :class:`repro.errors.TransportError` subclasses so callers
+can retry transport faults without swallowing protocol errors.
+
+When given a :class:`MetricsRegistry`, the connection emits labeled
+frame/byte counters and encode/decode latency histograms per endpoint
+(``{"endpoint": "client"}`` vs ``"server"``) — the wire-level half of
+the observability story.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from typing import Optional, Tuple
+
+from repro.errors import (
+    ConnectionClosed,
+    ConnectionTimeout,
+    TransportError,
+)
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    decode_payload,
+    encode_message,
+    frame_to_bytes,
+    read_frame,
+)
+from repro.obs.metrics import MetricsRegistry
+
+import threading
+
+_UNSET = object()
+
+
+def connect(
+    host: str,
+    port: int,
+    timeout_s: float = 5.0,
+    **kwargs,
+) -> "FrameConnection":
+    """Dial ``host:port`` and wrap the socket; connection failures and
+    connect deadlines surface as typed transport errors."""
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+    except socket.timeout as exc:
+        raise ConnectionTimeout(
+            f"connect to {host}:{port} timed out after {timeout_s}s"
+        ) from exc
+    except OSError as exc:
+        raise TransportError(f"connect to {host}:{port} failed: {exc}")
+    return FrameConnection(sock, **kwargs)
+
+
+class FrameConnection:
+    """One framed, typed, metered TCP connection."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        read_timeout_s: float = 10.0,
+        metrics: Optional[MetricsRegistry] = None,
+        endpoint: str = "client",
+    ):
+        self._sock = sock
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.read_timeout_s = float(read_timeout_s)
+        self.metrics = metrics
+        self.endpoint = endpoint
+        self._labels = {"endpoint": endpoint}
+        self._write_lock = threading.Lock()
+        self._closed = False
+        # Disable Nagle: the protocol is strict request/response, so
+        # coalescing 40-byte frames only adds RTTs.
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def peername(self) -> Tuple[str, int]:
+        try:
+            return self._sock.getpeername()
+        except OSError:
+            return ("?", 0)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message) -> None:
+        """Encode and write one message (thread-safe)."""
+        start = time.perf_counter()
+        data = frame_to_bytes(encode_message(message))
+        encode_s = time.perf_counter() - start
+        try:
+            with self._write_lock:
+                self._sock.sendall(data)
+        except socket.timeout as exc:
+            raise ConnectionTimeout(f"send timed out: {exc}") from exc
+        except OSError as exc:
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+        if self.metrics is not None:
+            self.metrics.counter(
+                "net.frames_sent", labels=self._labels
+            ).inc()
+            self.metrics.counter(
+                "net.bytes_sent", labels=self._labels
+            ).inc(len(data))
+            self.metrics.histogram(
+                "net.encode_s", labels=self._labels
+            ).observe(encode_s)
+
+    # -- receiving ---------------------------------------------------------
+
+    def _recv_exactly(self, n: int) -> bytes:
+        chunks = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except socket.timeout as exc:
+                raise ConnectionTimeout(
+                    f"read timed out after {self._sock.gettimeout()}s "
+                    f"waiting for {remaining}/{n} bytes"
+                ) from exc
+            except OSError as exc:
+                raise ConnectionClosed(f"read failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionClosed(
+                    f"peer closed the connection with {remaining}/{n} "
+                    "bytes outstanding"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv_frame(self, timeout_s: float = _UNSET) -> Frame:
+        """Read one raw frame, enforcing the read deadline and frame
+        size limit."""
+        if timeout_s is _UNSET:
+            timeout_s = self.read_timeout_s
+        self._sock.settimeout(timeout_s)
+        return read_frame(self._recv_exactly, self.max_frame_bytes)
+
+    def recv(self, timeout_s: float = _UNSET):
+        """Read and decode one message."""
+        frame = self.recv_frame(timeout_s)
+        start = time.perf_counter()
+        message = decode_payload(frame)
+        decode_s = time.perf_counter() - start
+        if self.metrics is not None:
+            self.metrics.counter(
+                "net.frames_received", labels=self._labels
+            ).inc()
+            self.metrics.counter(
+                "net.bytes_received", labels=self._labels
+            ).inc(len(frame.payload) + struct.calcsize("!IB"))
+            self.metrics.histogram(
+                "net.decode_s", labels=self._labels
+            ).observe(decode_s)
+        return message

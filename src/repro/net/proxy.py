@@ -1,0 +1,284 @@
+"""Fault-injection TCP proxy: the simulated adversary hooks on a real wire.
+
+:class:`FaultInjectionProxy` sits between a :class:`WaveKeyNetClient`
+and a :class:`WaveKeyTCPServer`, relaying frames in both directions.
+Because it reads whole frames (not byte streams), faults operate at the
+protocol granularity the paper's SV-A/SV-C experiments reason about:
+
+* **tap** — observe every frame (direction, type, payload) without
+  modifying it: the passive eavesdropper;
+* **drop** — swallow selected frames: the peer's read deadline fires
+  and surfaces as :class:`ConnectionTimeout`;
+* **corrupt** — flip payload bytes: the receiver raises
+  :class:`DecodeError`;
+* **delay** — hold frames: announce-phase delays breach the paper's
+  ``2 s + tau`` deadline on the server's protocol clock;
+* **reorder** — hold one frame and release it after the next: the
+  strict alternating exchange rejects it as a :class:`ProtocolError`.
+
+An ``interceptor(direction, frame) -> (frames, delay_s)`` decides what
+to forward; the helpers below build the common ones.  Directions are
+``"c2s"`` (client-to-server) and ``"s2c"``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Frame,
+    FrameType,
+    frame_to_bytes,
+    read_frame,
+)
+
+#: interceptor signature: (direction, frame) -> (frames_to_forward, delay_s)
+Interceptor = Callable[[str, Frame], Tuple[List[Frame], float]]
+
+#: tap signature: (direction, frame) -> None
+Tap = Callable[[str, Frame], None]
+
+
+def _forward(direction: str, frame: Frame) -> Tuple[List[Frame], float]:
+    return [frame], 0.0
+
+
+def _matches(frame: Frame, types: Optional[Iterable[FrameType]]) -> bool:
+    return types is None or frame.type in set(types)
+
+
+def drop_frames(
+    types: Iterable[FrameType] = None, count: int = 1
+) -> Interceptor:
+    """Swallow the first ``count`` matching frames (any direction)."""
+    remaining = [count]
+
+    def interceptor(direction: str, frame: Frame):
+        if remaining[0] > 0 and _matches(frame, types):
+            remaining[0] -= 1
+            return [], 0.0
+        return [frame], 0.0
+
+    return interceptor
+
+
+def corrupt_frames(
+    types: Iterable[FrameType] = None, count: int = 1
+) -> Interceptor:
+    """Flip the first payload byte of ``count`` matching frames.
+
+    For every ``sender``-carrying message byte 0 is the high byte of
+    the sender-length prefix, so the flip yields an impossible string
+    length and a deterministic :class:`DecodeError` at the receiver.
+    """
+    remaining = [count]
+
+    def interceptor(direction: str, frame: Frame):
+        if remaining[0] > 0 and _matches(frame, types) and frame.payload:
+            remaining[0] -= 1
+            payload = bytes([frame.payload[0] ^ 0xFF]) + frame.payload[1:]
+            return [Frame(frame.type, payload)], 0.0
+        return [frame], 0.0
+
+    return interceptor
+
+
+def delay_frames(
+    delay_s: float, types: Iterable[FrameType] = None, count: int = None
+) -> Interceptor:
+    """Hold matching frames for ``delay_s`` before forwarding them."""
+    remaining = [count]
+
+    def interceptor(direction: str, frame: Frame):
+        if _matches(frame, types) and (
+            remaining[0] is None or remaining[0] > 0
+        ):
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            return [frame], delay_s
+        return [frame], 0.0
+
+    return interceptor
+
+
+def reorder_once(types: Iterable[FrameType] = None) -> Interceptor:
+    """Hold the first matching frame and emit it *after* the next frame
+    in the same direction — a one-shot swap."""
+    held: dict = {}
+    done = [False]
+
+    def interceptor(direction: str, frame: Frame):
+        if done[0]:
+            return [frame], 0.0
+        if direction in held:
+            done[0] = True
+            return [frame, held.pop(direction)], 0.0
+        if _matches(frame, types):
+            held[direction] = frame
+            return [], 0.0
+        return [frame], 0.0
+
+    return interceptor
+
+
+class FaultInjectionProxy:
+    """A frame-granular TCP relay with pluggable fault injection."""
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        listen_host: str = "127.0.0.1",
+        listen_port: int = 0,
+        *,
+        taps: List[Tap] = None,
+        interceptor: Interceptor = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ):
+        self.upstream = upstream
+        self.taps = list(taps or [])
+        self.interceptor = interceptor or _forward
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._listen_host = listen_host
+        self._listen_port = listen_port
+        self._sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._pumps: list = []
+        self._socks: set = set()
+        self._lock = threading.Lock()
+        self._running = False
+        self.address: Optional[Tuple[str, int]] = None
+        self.forwarded = 0
+        self.dropped = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "FaultInjectionProxy":
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._listen_host, self._listen_port))
+        sock.listen(16)
+        self._sock = sock
+        self.address = sock.getsockname()[:2]
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="wavekey-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            socks = list(self._socks)
+            pumps = list(self._pumps)
+        for s in socks:
+            try:
+                s.close()
+            except OSError:
+                pass
+        for pump in pumps:
+            pump.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultInjectionProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- relaying ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client_sock, _ = self._sock.accept()
+            except OSError:
+                return
+            try:
+                server_sock = socket.create_connection(
+                    self.upstream, timeout=5.0
+                )
+            except OSError:
+                client_sock.close()
+                continue
+            server_sock.settimeout(None)
+            with self._lock:
+                self._socks.update((client_sock, server_sock))
+            for direction, src, dst in (
+                ("c2s", client_sock, server_sock),
+                ("s2c", server_sock, client_sock),
+            ):
+                pump = threading.Thread(
+                    target=self._pump,
+                    args=(direction, src, dst),
+                    name=f"wavekey-proxy-{direction}",
+                    daemon=True,
+                )
+                with self._lock:
+                    self._pumps.append(pump)
+                pump.start()
+
+    def _recv_exactly(self, sock: socket.socket):
+        def recv_exactly(n: int) -> bytes:
+            chunks = []
+            remaining = n
+            while remaining:
+                chunk = sock.recv(remaining)
+                if not chunk:
+                    raise ConnectionError("eof")
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            return b"".join(chunks)
+
+        return recv_exactly
+
+    def _pump(
+        self, direction: str, src: socket.socket, dst: socket.socket
+    ) -> None:
+        recv_exactly = self._recv_exactly(src)
+        try:
+            while True:
+                try:
+                    frame = read_frame(recv_exactly, self.max_frame_bytes)
+                except (TransportError, ConnectionError, OSError):
+                    break
+                for tap in self.taps:
+                    tap(direction, frame)
+                frames, delay_s = self.interceptor(direction, frame)
+                if delay_s > 0:
+                    time.sleep(delay_s)
+                if not frames:
+                    self.dropped += 1
+                    continue
+                try:
+                    for out in frames:
+                        dst.sendall(frame_to_bytes(out))
+                        self.forwarded += 1
+                except OSError:
+                    break
+        finally:
+            # Half-close propagation: when one side goes quiet, tear the
+            # pair down so the peer's read fails fast instead of hanging.
+            for sock in (src, dst):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            with self._lock:
+                self._socks.discard(src)
+                self._socks.discard(dst)

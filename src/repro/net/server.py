@@ -1,0 +1,436 @@
+"""Threaded TCP front end over :class:`WaveKeyAccessServer`.
+
+:class:`WaveKeyTCPServer` puts the access-control service on a real
+socket: an accept loop hands each client connection to its own handler
+thread, the handler performs the hello/accept handshake and submits an
+:class:`AccessRequest` into the *existing* admission queue, and the
+session's key agreement runs over the wire via :class:`_NetAgreement`
+— the per-session ``agreement_fn`` that replaces the in-process
+two-party simulation with the server half of the Fig. 4 exchange.
+
+Operational mapping onto the wire:
+
+* **load shedding** — a shed admission becomes an ``ErrorFrame`` with
+  code ``busy`` carrying the queue depth, and the connection closes;
+* **deadlines** — socket reads carry per-connection timeouts, and all
+  network wait time advances the session's :class:`ProtocolClock`, so
+  a slow or stalled client breaches the paper's ``2 s + tau`` announce
+  deadline exactly as a slow reader link would;
+* **sender validation** — the hello fixes the peer identity for the
+  connection; every subsequent protocol message claiming a different
+  ``sender`` is rejected (anti-spoofing);
+* **observability** — handler and agreement stages emit spans under
+  the session's trace, and the shared registry collects wire-level
+  frame/byte counters next to the service metrics.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.crypto.hashes import hmac_verify
+from repro.errors import (
+    DeadlineExceeded,
+    KeyAgreementFailure,
+    ProtocolError,
+    ServiceError,
+    TransportError,
+)
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Accept,
+    ConfirmAck,
+    ErrorFrame,
+    Hello,
+    RoundResult,
+    SeedGrant,
+    Verdict,
+)
+from repro.net.connection import FrameConnection
+from repro.protocol.agreement import AgreementParty, KeyAgreementOutcome
+from repro.protocol.messages import (
+    OTAnnounce,
+    OTCiphertextBatch,
+    OTResponse,
+    ReconciliationChallenge,
+    require_sender,
+)
+from repro.obs.tracing import resolve_tracer
+from repro.service.server import WaveKeyAccessServer
+from repro.service.sessions import AccessRequest, SessionState
+from repro.utils.rng import child_rng
+
+
+class _NetAgreement:
+    """Server half of the Fig. 4 exchange over one client connection.
+
+    Instances are per-connection and passed as the session's
+    ``agreement_fn``; the access server calls them once per attempt
+    with the freshly encoded seeds.  Each call runs one wire round:
+    seed grant, the three OT messages in both directions, the
+    reconciliation challenge, the HMAC confirmation, and the mutual
+    confirmation ack.
+    """
+
+    #: Network waits must not serialize other sessions' compute: the
+    #: access server skips its compute lock for this agreement_fn and
+    #: lets real crafting time (including contention) bill the clock.
+    hold_compute_lock = False
+
+    def __init__(self, conn: FrameConnection, peer: str, server_name: str):
+        self.conn = conn
+        self.peer = peer
+        self.server_name = server_name
+        self.attempt = 0
+
+    def _expect(self, message_type):
+        message = self.conn.recv()
+        if isinstance(message, ErrorFrame):
+            raise ProtocolError(
+                f"peer error {message.code}: {message.detail}"
+            )
+        if not isinstance(message, message_type):
+            raise ProtocolError(
+                f"expected {message_type.__name__}, got "
+                f"{type(message).__name__}"
+            )
+        if hasattr(message, "sender"):
+            require_sender(message, self.peer)
+        return message
+
+    def __call__(
+        self, seed_m, seed_r, config, transport=None, clock=None, rng=None
+    ) -> KeyAgreementOutcome:
+        self.attempt += 1
+        conn = self.conn
+        tracer = resolve_tracer(None)
+        mismatch = seed_m.hamming_distance(seed_r)
+        party = AgreementParty(
+            self.server_name,
+            seed_r,
+            config,
+            rng=child_rng(rng, "party"),
+            own_sequences_first=False,
+        )
+
+        def fail(reason: str) -> KeyAgreementOutcome:
+            with contextlib.suppress(TransportError):
+                conn.send(RoundResult(success=False, reason=reason))
+            return KeyAgreementOutcome(
+                success=False,
+                mobile_key=None,
+                server_key=None,
+                elapsed_s=clock.now,
+                failure_reason=reason,
+                seed_mismatch_bits=mismatch,
+            )
+
+        with tracer.span(
+            "net.agreement",
+            attempt=self.attempt,
+            peer=self.peer,
+            seed_mismatch_bits=mismatch,
+        ):
+            try:
+                # The device's simulated sensing, granted over the wire.
+                with tracer.span("net.seed_grant"):
+                    with clock.measure():
+                        conn.send(SeedGrant(self.attempt, seed_m))
+
+                # M_A both ways; arrival deadline-checked (SIV-D.2).
+                # clock.measure() wall-clocks the socket wait, so real
+                # network latency counts against the tau budget.
+                with tracer.span("net.ot.announce"):
+                    with clock.measure():
+                        announce_c = self._expect(OTAnnounce)
+                    clock.check_deadline(
+                        config.announce_deadline_s, f"M_A ({self.peer})"
+                    )
+                    with clock.measure():
+                        conn.send(party.craft_announce())
+
+                # M_B both ways.
+                with tracer.span("net.ot.respond"):
+                    with clock.measure():
+                        response_c = self._expect(OTResponse)
+                        conn.send(party.craft_response(announce_c))
+
+                # M_E both ways.
+                with tracer.span("net.ot.ciphertexts"):
+                    with clock.measure():
+                        cipher_c = self._expect(OTCiphertextBatch)
+                        conn.send(party.craft_ciphertexts(response_c))
+
+                with tracer.span("net.ot.assemble"):
+                    with clock.measure():
+                        party.receive_ciphertexts(cipher_c)
+                        party.build_preliminary_key()
+
+                # Reconciliation + mutual confirmation.
+                with tracer.span("net.reconcile"):
+                    with clock.measure():
+                        challenge = self._expect(ReconciliationChallenge)
+                        confirmation = party.answer_challenge(challenge)
+                        conn.send(confirmation)
+                        ack = self._expect(ConfirmAck)
+                        if not ack.ok:
+                            raise KeyAgreementFailure(
+                                "client reported HMAC confirmation failure"
+                            )
+                        if not hmac_verify(
+                            party.final_key.to_bytes(),
+                            challenge.nonce + b"ack",
+                            ack.tag,
+                        ):
+                            raise KeyAgreementFailure(
+                                "confirmation ack HMAC mismatch: peers "
+                                "hold different keys"
+                            )
+            except DeadlineExceeded as exc:
+                return fail(f"deadline: {exc}")
+            except KeyAgreementFailure as exc:
+                return fail(f"agreement: {exc}")
+            except TransportError as exc:
+                return fail(f"transport: {exc}")
+            except ProtocolError as exc:
+                return fail(f"protocol: {exc}")
+
+        try:
+            conn.send(RoundResult(success=True))
+        except TransportError as exc:
+            # The keys agree but the client never heard it; report the
+            # round as failed so server and client views stay consistent.
+            return KeyAgreementOutcome(
+                success=False,
+                mobile_key=None,
+                server_key=None,
+                elapsed_s=clock.now,
+                failure_reason=f"transport: {exc}",
+                seed_mismatch_bits=mismatch,
+            )
+        key = party.session_key()
+        return KeyAgreementOutcome(
+            success=True,
+            mobile_key=key,
+            server_key=key,
+            elapsed_s=clock.now,
+            seed_mismatch_bits=mismatch,
+        )
+
+
+class WaveKeyTCPServer:
+    """Accept loop + per-connection handlers over an access server."""
+
+    def __init__(
+        self,
+        access_server: WaveKeyAccessServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "server",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        read_timeout_s: float = 10.0,
+        handshake_timeout_s: float = 5.0,
+        verdict_grace_s: float = 10.0,
+    ):
+        self.access_server = access_server
+        self.name = name
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.read_timeout_s = float(read_timeout_s)
+        self.handshake_timeout_s = float(handshake_timeout_s)
+        self.verdict_grace_s = float(verdict_grace_s)
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: list = []
+        self._conns: set = set()
+        self._lock = threading.Lock()
+        self._running = False
+        self.sessions_served = 0
+        self.address: Optional[Tuple[str, int]] = None
+
+    @property
+    def metrics(self):
+        return self.access_server.metrics
+
+    @property
+    def events(self):
+        return self.access_server.events
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WaveKeyTCPServer":
+        if self._running:
+            raise ServiceError("TCP server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(128)
+        self._sock = sock
+        self.address = sock.getsockname()[:2]
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="wavekey-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self.events.emit(
+            "net_listening", host=self.address[0], port=self.address[1]
+        )
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            conns = list(self._conns)
+            handlers = list(self._handlers)
+        for conn in conns:
+            conn.close()
+        for handler in handlers:
+            handler.join(timeout=5.0)
+        self.events.emit("net_stopped", sessions_served=self.sessions_served)
+
+    def __enter__(self) -> "WaveKeyTCPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling -----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client_sock, addr = self._sock.accept()
+            except OSError:
+                return  # listener closed by stop()
+            handler = threading.Thread(
+                target=self._handle,
+                args=(client_sock, addr),
+                name=f"wavekey-net-{addr[0]}:{addr[1]}",
+                daemon=True,
+            )
+            with self._lock:
+                self._handlers.append(handler)
+                self._handlers = [
+                    t for t in self._handlers if t.is_alive() or t is handler
+                ]
+            handler.start()
+
+    def _handle(self, client_sock: socket.socket, addr) -> None:
+        conn = FrameConnection(
+            client_sock,
+            max_frame_bytes=self.max_frame_bytes,
+            read_timeout_s=self.read_timeout_s,
+            metrics=self.metrics,
+            endpoint="server",
+        )
+        with self._lock:
+            self._conns.add(conn)
+        try:
+            self._converse(conn, addr)
+        except TransportError as exc:
+            self.metrics.counter(
+                "net.server.transport_errors"
+            ).inc()
+            self.events.emit(
+                "net_transport_error", peer=f"{addr[0]}:{addr[1]}",
+                error=str(exc),
+            )
+        except Exception as exc:  # noqa: BLE001 — never kill the handler
+            self.events.emit(
+                "net_handler_error", peer=f"{addr[0]}:{addr[1]}",
+                error=repr(exc),
+            )
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            conn.close()
+
+    def _converse(self, conn: FrameConnection, addr) -> None:
+        hello = conn.recv(timeout_s=self.handshake_timeout_s)
+        if not isinstance(hello, Hello):
+            conn.send(ErrorFrame(
+                "protocol",
+                f"expected HELLO, got {type(hello).__name__}",
+            ))
+            return
+        if hello.version != PROTOCOL_VERSION:
+            conn.send(ErrorFrame(
+                "version",
+                f"server speaks protocol {PROTOCOL_VERSION}, "
+                f"client sent {hello.version}",
+            ))
+            return
+        if not hello.sender or hello.sender == self.name:
+            conn.send(ErrorFrame(
+                "identity", f"invalid client identity {hello.sender!r}"
+            ))
+            return
+
+        agreement = _NetAgreement(
+            conn, peer=hello.sender, server_name=self.name
+        )
+        request = AccessRequest(
+            rng_seed=hello.rng_seed,
+            dynamic=hello.dynamic,
+            agreement_fn=agreement,
+        )
+        try:
+            ticket = self.access_server.submit(request)
+        except ServiceError as exc:
+            conn.send(ErrorFrame("unavailable", str(exc)))
+            return
+
+        if ticket.done():
+            record = ticket.result(timeout=0.1)
+            if record.state is SessionState.SHED:
+                # Structured load shedding, mapped to a wire error frame.
+                rejection = record.rejection
+                conn.send(ErrorFrame(
+                    "busy",
+                    f"{rejection.code}: queue "
+                    f"{rejection.queue_depth}/{rejection.queue_capacity}",
+                ))
+                self.metrics.counter("net.server.shed").inc()
+                return
+
+        config = self.access_server.agreement_config
+        conn.send(Accept(
+            sender=self.name,
+            session_id=request.session_id,
+            key_length_bits=config.key_length_bits,
+            eta=config.eta,
+        ))
+
+        budget = (
+            self.access_server.config.session_deadline_s
+            + self.verdict_grace_s
+        )
+        try:
+            record = ticket.result(timeout=budget)
+        except ServiceError as exc:
+            conn.send(ErrorFrame("timeout", str(exc)))
+            return
+        # Count before sending: a client acting on the verdict must
+        # never observe a stale sessions_served.
+        with self._lock:
+            self.sessions_served += 1
+        self.metrics.counter("net.server.sessions").inc()
+        conn.send(Verdict(
+            state=record.state.value,
+            attempts=record.attempts,
+            reason=record.failure_reason or "",
+            session_id=record.session_id,
+        ))

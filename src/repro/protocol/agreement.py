@@ -34,6 +34,7 @@ from repro.errors import (
     DeadlineExceeded,
     KeyAgreementFailure,
     ProtocolError,
+    TransportError,
 )
 from repro.protocol.messages import (
     ConfirmationResponse,
@@ -41,6 +42,7 @@ from repro.protocol.messages import (
     OTCiphertextBatch,
     OTResponse,
     ReconciliationChallenge,
+    require_sender,
 )
 from repro.obs.tracing import Tracer, resolve_tracer
 from repro.protocol.timing import ProtocolClock
@@ -371,14 +373,19 @@ def run_key_agreement(
                 with clock.measure():
                     announce_m = mobile.craft_announce()
                     announce_r = server.craft_announce()
-                announce_m = transport.deliver(
-                    "mobile", "server", announce_m, clock
+                # Receivers validate the claimed sender identity on every
+                # delivered message: an interceptor substituting a frame
+                # under its own name is rejected outright (anti-spoofing).
+                announce_m = require_sender(
+                    transport.deliver("mobile", "server", announce_m, clock),
+                    "mobile",
                 )
                 clock.check_deadline(
                     config.announce_deadline_s, "M_A (mobile)"
                 )
-                announce_r = transport.deliver(
-                    "server", "mobile", announce_r, clock
+                announce_r = require_sender(
+                    transport.deliver("server", "mobile", announce_r, clock),
+                    "server",
                 )
                 clock.check_deadline(
                     config.announce_deadline_s, "M_A (server)"
@@ -389,11 +396,13 @@ def run_key_agreement(
                 with clock.measure():
                     response_m = mobile.craft_response(announce_r)
                     response_r = server.craft_response(announce_m)
-                response_m = transport.deliver(
-                    "mobile", "server", response_m, clock
+                response_m = require_sender(
+                    transport.deliver("mobile", "server", response_m, clock),
+                    "mobile",
                 )
-                response_r = transport.deliver(
-                    "server", "mobile", response_r, clock
+                response_r = require_sender(
+                    transport.deliver("server", "mobile", response_r, clock),
+                    "server",
                 )
 
             # Exchange M_E.
@@ -401,11 +410,13 @@ def run_key_agreement(
                 with clock.measure():
                     cipher_m = mobile.craft_ciphertexts(response_r)
                     cipher_r = server.craft_ciphertexts(response_m)
-                cipher_m = transport.deliver(
-                    "mobile", "server", cipher_m, clock
+                cipher_m = require_sender(
+                    transport.deliver("mobile", "server", cipher_m, clock),
+                    "mobile",
                 )
-                cipher_r = transport.deliver(
-                    "server", "mobile", cipher_r, clock
+                cipher_r = require_sender(
+                    transport.deliver("server", "mobile", cipher_r, clock),
+                    "server",
                 )
 
             with stage("ot.assemble"):
@@ -420,14 +431,20 @@ def run_key_agreement(
                 with stage("reconcile.challenge"):
                     with clock.measure():
                         challenge = mobile.craft_challenge()
-                    challenge = transport.deliver(
-                        "mobile", "server", challenge, clock
+                    challenge = require_sender(
+                        transport.deliver(
+                            "mobile", "server", challenge, clock
+                        ),
+                        "mobile",
                     )
                 with stage("reconcile.answer"):
                     with clock.measure():
                         confirmation = server.answer_challenge(challenge)
-                    confirmation = transport.deliver(
-                        "server", "mobile", confirmation, clock
+                    confirmation = require_sender(
+                        transport.deliver(
+                            "server", "mobile", confirmation, clock
+                        ),
+                        "server",
                     )
                 with stage("reconcile.confirm"):
                     with clock.measure():
@@ -438,6 +455,9 @@ def run_key_agreement(
         except KeyAgreementFailure as exc:
             root.set_attribute("failure", f"agreement: {exc}")
             return fail(f"agreement: {exc}")
+        except TransportError as exc:
+            root.set_attribute("failure", f"transport: {exc}")
+            return fail(f"transport: {exc}")
         except ProtocolError as exc:
             root.set_attribute("failure", f"protocol: {exc}")
             return fail(f"protocol: {exc}")

@@ -17,6 +17,25 @@ from repro.errors import ProtocolError
 from repro.utils.bits import BitSequence
 
 
+def require_sender(message, expected: str):
+    """Anti-spoofing check: assert ``message`` claims the expected sender.
+
+    Every wire message carries a ``sender`` identity; once a session has
+    established who its peer is (the other protocol party, or the client
+    named in the connection handshake), any message claiming a different
+    identity is rejected with :class:`ProtocolError` instead of being
+    processed.  Returns the message so call sites can stay expression
+    shaped: ``msg = require_sender(transport.deliver(...), "mobile")``.
+    """
+    sender = getattr(message, "sender", None)
+    if sender != expected:
+        raise ProtocolError(
+            f"sender mismatch on {type(message).__name__}: expected "
+            f"{expected!r}, got {sender!r}"
+        )
+    return message
+
+
 @dataclass(frozen=True)
 class OTAnnounce:
     """``M_A``: the concatenated ``g^a_i`` of all OT instances."""

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple
 
-from repro.errors import ConfigurationError, MessageDropped
+from repro.errors import ConfigurationError, FrameTooLarge, MessageDropped
 from repro.protocol.timing import ProtocolClock
 
 #: tap(sender, receiver, message) -> None
@@ -32,13 +32,17 @@ class SimulatedTransport:
         bandwidth_bytes_per_s: float = 2.5e6,
         taps: Optional[List[TapFn]] = None,
         interceptor: Optional[InterceptFn] = None,
+        max_message_bytes: Optional[int] = None,
     ):
         if base_latency_s < 0 or bandwidth_bytes_per_s <= 0:
             raise ConfigurationError("invalid transport parameters")
+        if max_message_bytes is not None and max_message_bytes < 1:
+            raise ConfigurationError("max_message_bytes must be >= 1")
         self.base_latency_s = float(base_latency_s)
         self.bandwidth_bytes_per_s = float(bandwidth_bytes_per_s)
         self.taps: List[TapFn] = list(taps or [])
         self.interceptor = interceptor
+        self.max_message_bytes = max_message_bytes
         self.delivered_count = 0
         self.dropped_count = 0
 
@@ -55,8 +59,21 @@ class SimulatedTransport:
         Taps observe the original message; the interceptor may replace
         it, drop it (by returning ``None``), and add relay delay.
         Returns the (possibly substituted) message the receiver sees;
-        raises :class:`MessageDropped` for dropped messages.
+        raises :class:`MessageDropped` for dropped messages and
+        :class:`FrameTooLarge` when ``max_message_bytes`` is configured
+        and the message exceeds it (mirroring the frame limit the real
+        wire in :mod:`repro.net` enforces).
         """
+        size = message.wire_size_bytes()
+        if (
+            self.max_message_bytes is not None
+            and size > self.max_message_bytes
+        ):
+            self.dropped_count += 1
+            raise FrameTooLarge(
+                f"{type(message).__name__} from {sender} is {size} bytes, "
+                f"over the {self.max_message_bytes}-byte message limit"
+            )
         clock.advance(self.transmission_delay(message))
         for tap in self.taps:
             tap(sender, receiver, message)

@@ -25,6 +25,7 @@ Operational behaviour:
 
 from __future__ import annotations
 
+import contextlib
 import queue
 import threading
 import time
@@ -392,13 +393,23 @@ class WaveKeyAccessServer:
                 else None
             )
             agree_start = time.monotonic()
+            agreement_fn = request.agreement_fn or self._agreement_fn
+            # An agreement_fn that blocks on I/O (the network front end)
+            # opts out of the compute lock via ``hold_compute_lock``:
+            # holding it across socket waits would serialize every other
+            # session behind the slowest client.
+            compute_lock = (
+                self._compute_lock
+                if getattr(agreement_fn, "hold_compute_lock", True)
+                else contextlib.nullcontext()
+            )
             # The "ot" span is active on this thread while the protocol
             # runs, so run_key_agreement's own "agreement" span (and its
             # ot.*/reconcile children) nest under it via the active-span
             # stack — no tracer plumbing through injected agreement_fns.
             with stages.span("ot", parent=root, attempt=attempt) as ot_span:
-                with self._compute_lock:
-                    outcome = self._agreement_fn(
+                with compute_lock:
+                    outcome = agreement_fn(
                         seed_m,
                         seed_r,
                         config=self.agreement_config,

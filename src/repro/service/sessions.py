@@ -78,7 +78,10 @@ class AccessRequest:
     ``volunteer``/``device``/``tag``/``environment`` override the
     server's deployment defaults per session (a lineup service hands a
     fresh tag to every visitor); ``rng_seed`` makes the session's
-    gesture and protocol randomness reproducible.
+    gesture and protocol randomness reproducible.  ``agreement_fn``
+    (same signature as the server-wide one) replaces the in-process
+    two-party agreement for this session only — the network front end
+    uses it to run the exchange over the client's connection.
     """
 
     rng_seed: int
@@ -87,6 +90,7 @@ class AccessRequest:
     tag: object = None
     environment: object = None
     dynamic: bool = False
+    agreement_fn: object = None
     session_id: str = field(default_factory=_next_session_id)
 
 

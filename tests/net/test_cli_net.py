@@ -1,0 +1,63 @@
+"""CLI wiring test: ``serve --listen`` + ``establish --connect``.
+
+Runs the real CLI entry points against each other over loopback (the
+server in a thread, the client in the test thread), driving the full
+pretrained-bundle path end to end.
+"""
+
+import io
+import threading
+import time
+
+from repro.cli import main
+
+
+def test_serve_listen_and_establish_connect(tmp_path):
+    port_file = tmp_path / "port.txt"
+    trace_file = tmp_path / "trace.jsonl"
+    metrics_file = tmp_path / "metrics.json"
+    server_out = io.StringIO()
+    server_rc = []
+
+    def run_server():
+        server_rc.append(main(
+            [
+                "serve", "--listen", "127.0.0.1:0",
+                "--port-file", str(port_file),
+                "--sessions", "1",
+                "--metrics-out", str(tmp_path / "server-metrics.json"),
+            ],
+            out=server_out,
+        ))
+
+    server = threading.Thread(target=run_server, daemon=True)
+    server.start()
+
+    deadline = time.monotonic() + 60.0
+    while not port_file.exists() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert port_file.exists(), server_out.getvalue()
+    address = port_file.read_text().strip()
+
+    client_out = io.StringIO()
+    rc = main(
+        [
+            "establish", "--connect", address, "--seed", "7",
+            "--trace-out", str(trace_file),
+            "--metrics-out", str(metrics_file),
+        ],
+        out=client_out,
+    )
+    text = client_out.getvalue()
+    assert rc in (0, 1), text  # agreement may fail; transport must not
+    assert "session s" in text
+    if rc == 0:
+        assert "key (256 bits):" in text
+
+    server.join(timeout=60.0)
+    assert server_rc == [0], server_out.getvalue()
+    assert "served 1 networked sessions" in server_out.getvalue()
+    # observability artifacts from both endpoints
+    assert trace_file.exists() and trace_file.stat().st_size > 0
+    assert metrics_file.exists()
+    assert (tmp_path / "server-metrics.json").exists()
