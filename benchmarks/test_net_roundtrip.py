@@ -23,8 +23,9 @@ import numpy as np
 from benchmarks.conftest import bench_scale
 from repro.analysis import format_table
 from repro.net import WaveKeyNetClient, WaveKeyTCPServer, NetClientConfig
-from repro.net.codec import decode_payload, encode_message, frame_to_bytes
-from repro.net.connection import FrameConnection  # noqa: F401 (docs link)
+from repro.net.codec import Hello, decode_payload, encode_message, \
+    frame_to_bytes
+from repro.net.connection import FrameConnection, connect  # noqa: F401
 from repro.protocol.agreement import AgreementParty, KeyAgreementConfig
 from repro.service import AccessRequest, ServiceConfig, WaveKeyAccessServer
 from repro.utils.bits import BitSequence
@@ -86,6 +87,45 @@ def test_codec_throughput(bundle):
     # (hundreds of ms per session): well under a millisecond each way.
     assert encode_s < 5e-3
     assert decode_s < 5e-3
+
+
+def test_nodelay_keeps_roundtrips_under_nagle_delay(bundle):
+    """Both ends set TCP_NODELAY, so a small request/response exchange
+    (bad-version HELLO -> ERROR frame) round-trips in well under the
+    ~40 ms Nagle + delayed-ACK coalescing would impose on loopback."""
+    with WaveKeyAccessServer(
+        bundle, ServiceConfig(workers=1), acquire_fn=_fixed_acquire
+    ) as server:
+        with WaveKeyTCPServer(server) as tcp:
+            rtts = []
+            for i in range(20 * bench_scale() + 1):
+                conn = connect(*tcp.address, read_timeout_s=5.0)
+                start = time.perf_counter()
+                conn.send(Hello(sender="probe", rng_seed=i, version=99))
+                error = conn.recv()
+                elapsed = time.perf_counter() - start
+                conn.close()
+                assert error.code == "version"
+                if i > 0:  # first exchange absorbs warmup
+                    rtts.append(elapsed)
+
+    rtts.sort()
+    mean_s = sum(rtts) / len(rtts)
+    median_s = rtts[len(rtts) // 2]
+    print()
+    print(format_table(
+        ["metric", "ms"],
+        [
+            ["median RTT", f"{1000 * median_s:.3f}"],
+            ["mean RTT", f"{1000 * mean_s:.3f}"],
+            ["p max RTT", f"{1000 * rtts[-1]:.3f}"],
+        ],
+        title=f"hello->error wire round trip, {len(rtts)} exchanges",
+    ))
+    # With Nagle active, the ~40 ms coalescing delay would dominate
+    # every exchange; with TCP_NODELAY a loopback round trip is
+    # sub-millisecond, so even a noisy CI box stays far below it.
+    assert mean_s < 0.040, f"mean RTT {1000 * mean_s:.1f} ms"
 
 
 def test_loopback_overhead_vs_in_process(bundle):

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     repro attack {guess,mimic,spoof} [--trials N]
     repro serve [--dry-run] [--workers N] [--queue-capacity N] ...
     repro serve --listen HOST:PORT [--port-file F] [--sessions N]
+                [--no-event-loop]
     repro loadgen [--sessions N] [--rate HZ] [--seed N]
     repro loadgen --connect HOST:PORT [--sessions N]
     repro obs trace TRACE.jsonl
@@ -25,7 +26,9 @@ Networked mode (:mod:`repro.net`): ``serve --listen HOST:PORT`` puts
 the access server on a TCP socket (port 0 picks a free port;
 ``--port-file`` writes the bound address for scripts), and
 ``establish``/``loadgen`` with ``--connect HOST:PORT`` run real
-client sessions against it over the wire.
+client sessions against it over the wire.  Connections are served by
+the selectors event loop by default; ``--no-event-loop`` selects the
+thread-per-connection front end instead.
 
 Observability: ``--trace-out FILE`` on ``establish``/``serve``/
 ``loadgen`` exports the run's span trace as JSONL, ``--metrics-out
@@ -127,6 +130,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port-file", metavar="FILE", default=None,
                        help="with --listen, write the bound HOST:PORT "
                             "to FILE once listening")
+    serve.add_argument("--event-loop", dest="event_loop",
+                       action="store_true", default=True,
+                       help="with --listen, serve connections on the "
+                            "selectors event loop (default)")
+    serve.add_argument("--no-event-loop", dest="event_loop",
+                       action="store_false",
+                       help="with --listen, use the thread-per-"
+                            "connection front end instead")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a server with synthetic offered load"
@@ -365,17 +376,22 @@ def _print_service_metrics(server, out) -> None:
 def _cmd_serve_net(args, config, bundle, out) -> int:
     import time
 
-    from repro.net import WaveKeyTCPServer
+    from repro.net import ThreadedWaveKeyTCPServer, WaveKeyTCPServer
     from repro.service import WaveKeyAccessServer
 
     host, port = _parse_hostport(args.listen)
+    front_end = (
+        WaveKeyTCPServer
+        if getattr(args, "event_loop", True)
+        else ThreadedWaveKeyTCPServer
+    )
     tracer = _obs_session(args)
     with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
         profiler = (
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None
         )
-        with WaveKeyTCPServer(server, host, port) as tcp:
+        with front_end(server, host, port) as tcp:
             bound = f"{tcp.address[0]}:{tcp.address[1]}"
             print(f"listening on {bound}", file=out, flush=True)
             if args.port_file:

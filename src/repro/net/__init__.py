@@ -8,17 +8,26 @@ left simulated:
   protocol dataclass plus the session-control frames (hello, accept,
   seed grant, round result, verdict, error);
 * :mod:`repro.net.connection` — a socket wrapper speaking that codec
-  with read deadlines, max-frame enforcement, and frame/byte metrics;
-* :mod:`repro.net.server` — a threaded TCP front end over
-  :class:`repro.service.WaveKeyAccessServer`: one handler per client
-  connection, sessions fed through the existing admission queue and
-  micro-batcher, load shedding mapped to wire error frames;
+  with read deadlines, max-frame enforcement, zero-copy buffered
+  reads, frame/byte metrics, and the bounded non-blocking
+  :class:`OutboundBuffer` used by the event-loop tier;
+* :mod:`repro.net.eventloop` — a single-threaded ``selectors`` event
+  loop (self-pipe wakeups, timer heap, loop health metrics) shared by
+  the server and proxy front ends;
+* :mod:`repro.net.server` — TCP front ends over
+  :class:`repro.service.WaveKeyAccessServer`: the default event-loop
+  :class:`WaveKeyTCPServer` (constant thread count at any connection
+  count, protocol compute offloaded to the access server's workers)
+  and the original :class:`ThreadedWaveKeyTCPServer` baseline;
+  sessions feed through the existing admission queue and
+  micro-batcher, load shedding maps to wire error frames;
 * :mod:`repro.net.client` — a blocking client SDK driving a full
   establishment from the device side, with connect/read timeouts and
   bounded exponential-backoff retries;
 * :mod:`repro.net.proxy` — a fault-injection TCP proxy porting the
   simulated adversary hooks (tap, delay, drop, corrupt, reorder) to
-  real connections, so SV-A/SV-C experiments run over loopback.
+  real connections, so SV-A/SV-C experiments run over loopback — now
+  relaying on the shared event loop.
 
 Quick start (loopback)::
 
@@ -43,13 +52,15 @@ from repro.net.codec import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     Frame,
+    FrameAssembler,
     FrameType,
     decode_payload,
     encode_message,
     frame_to_bytes,
     framing_overhead,
 )
-from repro.net.connection import FrameConnection
+from repro.net.connection import FrameConnection, OutboundBuffer
+from repro.net.eventloop import EventLoop
 from repro.net.proxy import (
     FaultInjectionProxy,
     corrupt_frames,
@@ -57,17 +68,21 @@ from repro.net.proxy import (
     drop_frames,
     reorder_once,
 )
-from repro.net.server import WaveKeyTCPServer
+from repro.net.server import ThreadedWaveKeyTCPServer, WaveKeyTCPServer
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "EstablishmentResult",
+    "EventLoop",
     "FaultInjectionProxy",
     "Frame",
+    "FrameAssembler",
     "FrameConnection",
     "FrameType",
     "NetClientConfig",
+    "OutboundBuffer",
+    "ThreadedWaveKeyTCPServer",
     "WaveKeyNetClient",
     "WaveKeyTCPServer",
     "corrupt_frames",

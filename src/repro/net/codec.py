@@ -37,7 +37,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
-from typing import Callable, Dict, NamedTuple, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.crypto.ot import OTCiphertexts
 from repro.errors import DecodeError, FrameTooLarge, ProtocolError
@@ -587,6 +587,146 @@ def read_frame(
     except ValueError:
         raise DecodeError(f"unknown frame type 0x{body[0]:02x}")
     return Frame(frame_type, body[1:])
+
+
+class FrameAssembler:
+    """Incremental frame decoder over one reusable receive buffer.
+
+    The blocking :func:`read_frame` pulls exactly one frame per call
+    and blocks inside ``recv``; an event loop instead gets *whatever
+    bytes are currently readable* and must carve frames out of them.
+    :class:`FrameAssembler` owns a single growable ``bytearray``:
+    :meth:`read_into` fills it with ``socket.recv_into`` (no per-chunk
+    ``bytes`` objects, no join), and :meth:`next_frame` parses complete
+    frames in place, copying each payload out exactly once.
+
+    Error taxonomy mirrors :func:`read_frame`:
+
+    * :class:`FrameTooLarge` / zero-length body — the length prefix is
+      poisoned, so the stream position is unrecoverable; the assembler
+      marks itself :attr:`broken` and refuses further parsing;
+    * unknown frame type — the frame was consumed whole, so the stream
+      stays aligned; the :class:`DecodeError` is per-frame and
+      :meth:`next_frame` may be called again.
+    """
+
+    __slots__ = ("max_frame_bytes", "broken", "_buf", "_start", "_end")
+
+    def __init__(
+        self,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        initial_capacity: int = 8192,
+    ):
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.broken = False
+        self._buf = bytearray(max(HEADER_BYTES, int(initial_capacity)))
+        self._start = 0   # first unparsed byte
+        self._end = 0     # one past the last received byte
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet parsed into frames."""
+        return self._end - self._start
+
+    @property
+    def capacity(self) -> int:
+        """Current size of the reusable buffer (diagnostics)."""
+        return len(self._buf)
+
+    def _reserve(self, need: int) -> None:
+        """Make at least ``need`` bytes of tail room, compacting (moving
+        the unparsed window to offset 0) before growing."""
+        if self._start == self._end:
+            self._start = self._end = 0
+        free = len(self._buf) - self._end
+        if free >= need:
+            return
+        pending = self._end - self._start
+        if self._start and len(self._buf) - pending >= need:
+            # Slide the window down in place; no allocation.
+            self._buf[:pending] = memoryview(self._buf)[
+                self._start:self._end
+            ]
+            self._start, self._end = 0, pending
+            return
+        capacity = len(self._buf)
+        while capacity - pending < need:
+            capacity *= 2
+        grown = bytearray(capacity)
+        grown[:pending] = memoryview(self._buf)[self._start:self._end]
+        self._buf = grown
+        self._start, self._end = 0, pending
+
+    def read_into(self, sock) -> int:
+        """One non-blocking ``recv_into`` from ``sock``.
+
+        Returns the byte count (0 = EOF).  Raises ``BlockingIOError``
+        when the socket has nothing (callers loop until it does), and
+        OS errors as-is — the event loop owns the typed-error mapping.
+        """
+        # Reserve enough for the frame in progress when its length is
+        # already known, else a page; one recv per readiness event is
+        # the fairness unit, the loop calls again while data remains.
+        need = 4096
+        if self._end - self._start >= 4:
+            (body_len,) = struct.unpack_from("!I", self._buf, self._start)
+            if 1 <= body_len - 1 <= self.max_frame_bytes:
+                need = max(need, 4 + body_len - self.buffered)
+        self._reserve(need)
+        n = sock.recv_into(memoryview(self._buf)[self._end:])
+        self._end += n
+        return n
+
+    def feed(self, data: bytes) -> int:
+        """Append raw bytes (tests, non-socket sources)."""
+        data = bytes(data)
+        self._reserve(len(data))
+        self._buf[self._end:self._end + len(data)] = data
+        self._end += len(data)
+        return len(data)
+
+    def next_frame(self) -> Optional[Frame]:
+        """Parse and return one complete frame, or ``None`` if the
+        buffer holds only a partial frame."""
+        if self.broken:
+            raise DecodeError("frame stream is unrecoverable")
+        avail = self._end - self._start
+        if avail < 4:
+            return None
+        (body_len,) = struct.unpack_from("!I", self._buf, self._start)
+        if body_len < 1:
+            self.broken = True
+            raise DecodeError("frame body length must be >= 1")
+        if body_len - 1 > self.max_frame_bytes:
+            self.broken = True
+            raise FrameTooLarge(
+                f"incoming frame payload of {body_len - 1} bytes exceeds "
+                f"the {self.max_frame_bytes}-byte limit"
+            )
+        if avail < 4 + body_len:
+            return None
+        type_byte = self._buf[self._start + 4]
+        payload = bytes(
+            memoryview(self._buf)[
+                self._start + 5:self._start + 4 + body_len
+            ]
+        )
+        self._start += 4 + body_len
+        try:
+            frame_type = FrameType(type_byte)
+        except ValueError:
+            # The whole frame was consumed: the stream stays aligned.
+            raise DecodeError(f"unknown frame type 0x{type_byte:02x}")
+        return Frame(frame_type, payload)
+
+    def drain(self) -> List[Frame]:
+        """All currently complete frames (stops at the first partial)."""
+        frames: List[Frame] = []
+        while True:
+            frame = self.next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
 
 
 def framing_overhead(message) -> int:

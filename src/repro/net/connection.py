@@ -78,6 +78,7 @@ class FrameConnection:
         self.endpoint = endpoint
         self._labels = {"endpoint": endpoint}
         self._write_lock = threading.Lock()
+        self._rx_buf = bytearray(4096)
         self._closed = False
         # Disable Nagle: the protocol is strict request/response, so
         # coalescing 40-byte frames only adds RTTs.
@@ -142,26 +143,30 @@ class FrameConnection:
     # -- receiving ---------------------------------------------------------
 
     def _recv_exactly(self, n: int) -> bytes:
-        chunks = []
-        remaining = n
-        while remaining:
+        # recv_into a reusable per-connection buffer: no per-chunk bytes
+        # objects and no b"".join — one copy out at the end, which the
+        # decoders need as immutable bytes anyway.
+        if len(self._rx_buf) < n:
+            self._rx_buf = bytearray(max(n, 2 * len(self._rx_buf)))
+        view = memoryview(self._rx_buf)
+        got = 0
+        while got < n:
             try:
-                chunk = self._sock.recv(remaining)
+                nread = self._sock.recv_into(view[got:n])
             except socket.timeout as exc:
                 raise ConnectionTimeout(
                     f"read timed out after {self._sock.gettimeout()}s "
-                    f"waiting for {remaining}/{n} bytes"
+                    f"waiting for {n - got}/{n} bytes"
                 ) from exc
             except OSError as exc:
                 raise ConnectionClosed(f"read failed: {exc}") from exc
-            if not chunk:
+            if not nread:
                 raise ConnectionClosed(
-                    f"peer closed the connection with {remaining}/{n} "
+                    f"peer closed the connection with {n - got}/{n} "
                     "bytes outstanding"
                 )
-            chunks.append(chunk)
-            remaining -= len(chunk)
-        return b"".join(chunks)
+            got += nread
+        return bytes(view[:n])
 
     def recv_frame(self, timeout_s: float = _UNSET) -> Frame:
         """Read one raw frame, enforcing the read deadline and frame
@@ -188,3 +193,76 @@ class FrameConnection:
                 "net.decode_s", labels=self._labels
             ).observe(decode_s)
         return message
+
+
+#: OutboundBuffer.append verdicts.
+SEND_OK = "ok"
+SEND_OVERFLOW = "overflow"
+SEND_CLOSED = "closed"
+
+
+class OutboundBuffer:
+    """A bounded, thread-safe, non-blocking send queue for one socket.
+
+    Producers (protocol workers, the event loop itself) ``append``
+    encoded frames; the event loop ``flush``\\ es to the non-blocking
+    socket whenever it reports writable, handling partial writes with a
+    ``memoryview`` offset instead of re-slicing the buffer.
+
+    The bound is the backpressure contract: a peer that stops reading
+    accumulates at most ``max_pending_bytes`` server-side, after which
+    ``append`` reports :data:`SEND_OVERFLOW` and the connection owner
+    sheds the client with a wire error frame (``force=True`` bypasses
+    the bound for exactly that terminal error frame).
+    """
+
+    def __init__(self, max_pending_bytes: int = 1 << 20):
+        self.max_pending_bytes = int(max_pending_bytes)
+        self._buf = bytearray()
+        self._offset = 0
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def pending(self) -> int:
+        """Bytes queued but not yet accepted by the kernel."""
+        with self._lock:
+            return len(self._buf) - self._offset
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def append(self, data: bytes, force: bool = False) -> str:
+        """Queue ``data``; returns one of the ``SEND_*`` verdicts."""
+        with self._lock:
+            if self._closed:
+                return SEND_CLOSED
+            pending = len(self._buf) - self._offset
+            if not force and pending + len(data) > self.max_pending_bytes:
+                return SEND_OVERFLOW
+            self._buf += data
+            return SEND_OK
+
+    def flush(self, sock: socket.socket) -> bool:
+        """Write as much as the kernel accepts; True when drained."""
+        with self._lock:
+            while self._offset < len(self._buf):
+                view = memoryview(self._buf)[self._offset:]
+                try:
+                    sent = sock.send(view)
+                except (BlockingIOError, InterruptedError):
+                    return False
+                finally:
+                    view.release()
+                self._offset += sent
+            # Fully drained: recycle the buffer in place.
+            del self._buf[:]
+            self._offset = 0
+            return True
+
+    def close(self) -> None:
+        """Refuse further appends (the connection is going away)."""
+        with self._lock:
+            self._closed = True

@@ -1,38 +1,69 @@
-"""Threaded TCP front end over :class:`WaveKeyAccessServer`.
+"""TCP front ends over :class:`WaveKeyAccessServer`.
 
-:class:`WaveKeyTCPServer` puts the access-control service on a real
-socket: an accept loop hands each client connection to its own handler
-thread, the handler performs the hello/accept handshake and submits an
-:class:`AccessRequest` into the *existing* admission queue, and the
-session's key agreement runs over the wire via :class:`_NetAgreement`
-— the per-session ``agreement_fn`` that replaces the in-process
-two-party simulation with the server half of the Fig. 4 exchange.
+Two servers speak the same wire protocol:
 
-Operational mapping onto the wire:
+* :class:`WaveKeyTCPServer` — the default **event-loop** front end: a
+  single ``selectors`` thread owns every socket, per-connection state
+  machines (handshake -> request -> agreement rounds -> verdict) are
+  driven by readiness events, and the only per-session threads are the
+  access server's existing protocol workers.  Thousands of idle
+  connections cost file descriptors, not OS threads.
+* :class:`ThreadedWaveKeyTCPServer` — the original thread-per-connection
+  design, kept as the latency baseline for the scaling benchmarks and
+  behind ``repro serve --no-event-loop``.
+
+The event-loop data path:
+
+* **reads** — the loop ``recv_into``\\ s each readable socket into that
+  connection's reusable :class:`FrameAssembler` buffer and decodes
+  complete frames in place (no per-chunk allocations, no joins);
+* **compute offload** — decoded protocol messages are queued to the
+  session's worker channel; the access server's worker runs the same
+  :class:`_NetAgreement` exchange as before, blocking on the in-memory
+  channel instead of the socket, and its sends append encoded bytes to
+  the connection's bounded :class:`OutboundBuffer` and wake the loop
+  through the self-pipe;
+* **writes** — the loop flushes outbound buffers on writability;
+  partial writes keep their ``memoryview`` offset.  A peer that stops
+  reading hits the buffer bound and is shed with an ``overloaded``
+  error frame (``net.server.backpressure_shed``);
+* **verdicts** — session completion fires a ticket done-callback that
+  hops onto the loop and flushes the terminal verdict, so no thread
+  ever parks in ``ticket.result``;
+* **deadlines** — loop timers enforce the hello deadline
+  (``net.server.handshake_timeouts``) and the verdict budget; mid-round
+  read deadlines ride the worker channel's bounded ``get``.
+
+Operational mapping onto the wire (both servers):
 
 * **load shedding** — a shed admission becomes an ``ErrorFrame`` with
   code ``busy`` carrying the queue depth, and the connection closes;
-* **deadlines** — socket reads carry per-connection timeouts, and all
-  network wait time advances the session's :class:`ProtocolClock`, so
-  a slow or stalled client breaches the paper's ``2 s + tau`` announce
-  deadline exactly as a slow reader link would;
+* **deadlines** — network wait time advances the session's
+  :class:`ProtocolClock`, so a slow or stalled client breaches the
+  paper's ``2 s + tau`` announce deadline exactly as a slow reader
+  link would;
 * **sender validation** — the hello fixes the peer identity for the
   connection; every subsequent protocol message claiming a different
   ``sender`` is rejected (anti-spoofing);
-* **observability** — handler and agreement stages emit spans under
-  the session's trace, and the shared registry collects wire-level
-  frame/byte counters next to the service metrics.
+* **observability** — wire-level frame/byte counters, loop health
+  series (``net.loop.*``), and a ``net.conn.open`` gauge share the
+  access server's registry.
 """
 
 from __future__ import annotations
 
 import contextlib
+import queue
 import socket
+import struct
 import threading
+import time
 from typing import Optional, Tuple
 
 from repro.crypto.hashes import hmac_verify
 from repro.errors import (
+    ConnectionClosed,
+    ConnectionTimeout,
     DeadlineExceeded,
     KeyAgreementFailure,
     ProtocolError,
@@ -45,12 +76,25 @@ from repro.net.codec import (
     Accept,
     ConfirmAck,
     ErrorFrame,
+    FrameAssembler,
     Hello,
     RoundResult,
     SeedGrant,
     Verdict,
+    decode_payload,
+    encode_message,
+    frame_to_bytes,
 )
-from repro.net.connection import FrameConnection
+from repro.net.connection import (
+    SEND_CLOSED,
+    SEND_OK,
+    SEND_OVERFLOW,
+    FrameConnection,
+    OutboundBuffer,
+)
+from repro.net.eventloop import EVENT_READ, EVENT_WRITE, EventLoop
+from repro.obs.metrics import byte_buckets
+from repro.obs.tracing import resolve_tracer
 from repro.protocol.agreement import AgreementParty, KeyAgreementOutcome
 from repro.protocol.messages import (
     OTAnnounce,
@@ -59,10 +103,12 @@ from repro.protocol.messages import (
     ReconciliationChallenge,
     require_sender,
 )
-from repro.obs.tracing import resolve_tracer
 from repro.service.server import WaveKeyAccessServer
 from repro.service.sessions import AccessRequest, SessionState
 from repro.utils.rng import child_rng
+
+_UNSET = object()
+_FRAME_HEADER_BYTES = struct.calcsize("!IB")
 
 
 class _NetAgreement:
@@ -73,7 +119,10 @@ class _NetAgreement:
     with the freshly encoded seeds.  Each call runs one wire round:
     seed grant, the three OT messages in both directions, the
     reconciliation challenge, the HMAC confirmation, and the mutual
-    confirmation ack.
+    confirmation ack.  ``conn`` is anything with the
+    :class:`FrameConnection` send/recv contract — the real socket
+    wrapper (threaded server) or a :class:`_WorkerChannel` bridging to
+    the event loop.
     """
 
     #: Network waits must not serialize other sessions' compute: the
@@ -81,7 +130,7 @@ class _NetAgreement:
     #: lets real crafting time (including contention) bill the clock.
     hold_compute_lock = False
 
-    def __init__(self, conn: FrameConnection, peer: str, server_name: str):
+    def __init__(self, conn, peer: str, server_name: str):
         self.conn = conn
         self.peer = peer
         self.server_name = server_name
@@ -222,8 +271,575 @@ class _NetAgreement:
         )
 
 
+# -- event-loop front end ------------------------------------------------------
+
+#: Inbox sentinel: the connection is gone; wakes any blocked worker.
+_CLOSED = object()
+
+#: _ClientConn lifecycle.
+_HANDSHAKE = "handshake"
+_AGREEMENT = "agreement"
+_CLOSING = "closing"
+
+
+class _WorkerChannel:
+    """The protocol worker's :class:`FrameConnection`-shaped view of one
+    event-loop connection: ``recv`` blocks on the inbox the loop fills,
+    ``send`` appends encoded bytes to the outbound buffer and wakes the
+    loop.  All failures keep the typed-transport-error contract so
+    :class:`_NetAgreement` is byte-for-byte reusable."""
+
+    def __init__(self, conn: "_ClientConn"):
+        self._conn = conn
+
+    def send(self, message) -> None:
+        self._conn.send_from_worker(message)
+
+    def recv(self, timeout_s: float = _UNSET):
+        conn = self._conn
+        if timeout_s is _UNSET:
+            timeout_s = conn.server.read_timeout_s
+        try:
+            item = conn.inbox.get(timeout=timeout_s)
+        except queue.Empty:
+            raise ConnectionTimeout(
+                f"read timed out after {timeout_s}s waiting for a frame"
+            )
+        if item is _CLOSED:
+            conn.inbox.put(_CLOSED)  # keep later readers unblocked
+            raise ConnectionClosed("connection closed")
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+class _ClientConn:
+    """Per-connection state owned by the event loop."""
+
+    __slots__ = (
+        "server", "sock", "addr", "state", "assembler", "outbound",
+        "inbox", "channel", "ticket", "deadline", "closed", "want_write",
+    )
+
+    def __init__(self, server: "WaveKeyTCPServer", sock, addr):
+        self.server = server
+        self.sock = sock
+        self.addr = addr
+        self.state = _HANDSHAKE
+        self.assembler = FrameAssembler(server.max_frame_bytes)
+        self.outbound = OutboundBuffer(server.max_outbound_bytes)
+        self.inbox: "queue.Queue" = queue.Queue()
+        self.channel = _WorkerChannel(self)
+        self.ticket = None
+        self.deadline = None
+        self.closed = False
+        self.want_write = False
+
+    @property
+    def peername(self) -> str:
+        return f"{self.addr[0]}:{self.addr[1]}"
+
+    # -- worker-thread send path ------------------------------------------
+
+    def send_from_worker(self, message) -> None:
+        server = self.server
+        start = time.perf_counter()
+        data = frame_to_bytes(encode_message(message))
+        encode_s = time.perf_counter() - start
+        verdict = self.outbound.append(data)
+        if verdict == SEND_CLOSED:
+            raise ConnectionClosed("send failed: connection closed")
+        if verdict == SEND_OVERFLOW:
+            server.loop.call_soon(server._shed_backpressure, self)
+            raise ConnectionClosed(
+                "send failed: outbound buffer overflow "
+                f"({self.outbound.pending}/{self.outbound.max_pending_bytes}"
+                " bytes pending, peer not reading)"
+            )
+        server._note_frame_sent(len(data), encode_s, self.outbound.pending)
+        server.loop.call_soon(server._ensure_writable, self)
+
+
 class WaveKeyTCPServer:
-    """Accept loop + per-connection handlers over an access server."""
+    """Event-loop TCP front end over an access server.
+
+    Public surface (constructor, ``start``/``stop``/context manager,
+    ``address``, ``sessions_served``, ``metrics``, ``events``) matches
+    the original threaded server, so clients, tests, and the CLI are
+    agnostic to which front end is running.
+    """
+
+    def __init__(
+        self,
+        access_server: WaveKeyAccessServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "server",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        read_timeout_s: float = 10.0,
+        handshake_timeout_s: float = 5.0,
+        verdict_grace_s: float = 10.0,
+        max_outbound_bytes: int = 1 << 20,
+        inbox_limit: int = 256,
+    ):
+        self.access_server = access_server
+        self.name = name
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.read_timeout_s = float(read_timeout_s)
+        self.handshake_timeout_s = float(handshake_timeout_s)
+        self.verdict_grace_s = float(verdict_grace_s)
+        self.max_outbound_bytes = int(max_outbound_bytes)
+        self.inbox_limit = int(inbox_limit)
+        self._host = host
+        self._port = port
+        self._sock: Optional[socket.socket] = None
+        self._conns: set = set()  # loop-thread only
+        self._running = False
+        self.loop: Optional[EventLoop] = None
+        self.sessions_served = 0
+        self.address: Optional[Tuple[str, int]] = None
+        self._labels = {"endpoint": "server"}
+
+    @property
+    def metrics(self):
+        return self.access_server.metrics
+
+    @property
+    def events(self):
+        return self.access_server.events
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WaveKeyTCPServer":
+        if self._running:
+            raise ServiceError("TCP server already started")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(1024)
+        sock.setblocking(False)
+        self._sock = sock
+        self.address = sock.getsockname()[:2]
+        self._running = True
+        self.loop = EventLoop(
+            name="wavekey-net-loop", metrics=self.metrics
+        ).start()
+        self.loop.call_soon(
+            self.loop.register, sock, EVENT_READ, self._on_listener_ready
+        )
+        self.events.emit(
+            "net_listening", host=self.address[0], port=self.address[1],
+            mode="event-loop",
+        )
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        done = threading.Event()
+        self.loop.call_soon(self._shutdown_on_loop, done)
+        done.wait(timeout=5.0)
+        self.loop.stop()
+        self.events.emit("net_stopped", sessions_served=self.sessions_served)
+
+    def _shutdown_on_loop(self, done: threading.Event) -> None:
+        try:
+            self.loop.unregister(self._sock)
+            self._sock.close()
+            for conn in list(self._conns):
+                self._close_conn(conn)
+        finally:
+            done.set()
+
+    def __enter__(self) -> "WaveKeyTCPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- metrics helpers (registry is thread-safe) -------------------------
+
+    def _note_frame_sent(
+        self, n_bytes: int, encode_s: float, outbound_depth: int
+    ) -> None:
+        metrics = self.metrics
+        metrics.counter("net.frames_sent", labels=self._labels).inc()
+        metrics.counter(
+            "net.bytes_sent", labels=self._labels
+        ).inc(n_bytes)
+        metrics.histogram(
+            "net.encode_s", labels=self._labels
+        ).observe(encode_s)
+        metrics.histogram(
+            "net.loop.outbound_buffer_bytes", bounds=byte_buckets()
+        ).observe(outbound_depth)
+
+    def _note_frame_received(self, payload_len: int, decode_s: float) -> None:
+        metrics = self.metrics
+        metrics.counter("net.frames_received", labels=self._labels).inc()
+        metrics.counter(
+            "net.bytes_received", labels=self._labels
+        ).inc(payload_len + _FRAME_HEADER_BYTES)
+        metrics.histogram(
+            "net.decode_s", labels=self._labels
+        ).observe(decode_s)
+
+    # -- accept path (loop thread) -----------------------------------------
+
+    def _on_listener_ready(self, mask: int) -> None:
+        while True:
+            try:
+                client_sock, addr = self._sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed by stop()
+            client_sock.setblocking(False)
+            # Disable Nagle: the protocol is strict request/response,
+            # so coalescing 40-byte frames only adds RTTs.
+            with contextlib.suppress(OSError):
+                client_sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            conn = _ClientConn(self, client_sock, addr)
+            self._conns.add(conn)
+            self.loop.register(client_sock, EVENT_READ,
+                               lambda m, c=conn: self._on_conn_ready(c, m))
+            conn.deadline = self.loop.call_later(
+                self.handshake_timeout_s,
+                lambda c=conn: self._handshake_timeout(c),
+            )
+            self.metrics.gauge("net.conn.open").inc()
+
+    # -- read path (loop thread) -------------------------------------------
+
+    def _on_conn_ready(self, conn: _ClientConn, mask: int) -> None:
+        if conn.closed:
+            return
+        if mask & EVENT_WRITE:
+            try:
+                drained = conn.outbound.flush(conn.sock)
+            except OSError as exc:
+                self._transport_error(
+                    conn, ConnectionClosed(f"send failed: {exc}")
+                )
+                return
+            if drained:
+                if conn.state == _CLOSING:
+                    self._close_conn(conn)
+                    return
+                conn.want_write = False
+                self.loop.modify(
+                    conn.sock, EVENT_READ,
+                    lambda m, c=conn: self._on_conn_ready(c, m),
+                )
+        if mask & EVENT_READ and conn.state != _CLOSING:
+            self._service_reads(conn)
+
+    def _service_reads(self, conn: _ClientConn) -> None:
+        eof = False
+        # Bounded reads per readiness event keep the loop fair; the
+        # selector is level-triggered, so leftover kernel bytes retrigger.
+        for _ in range(16):
+            try:
+                n = conn.assembler.read_into(conn.sock)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError as exc:
+                self._transport_error(
+                    conn, ConnectionClosed(f"read failed: {exc}")
+                )
+                return
+            if n == 0:
+                eof = True
+                break
+        self._drain_frames(conn)
+        if eof and not conn.closed:
+            self._transport_error(
+                conn, ConnectionClosed("peer closed the connection")
+            )
+
+    def _drain_frames(self, conn: _ClientConn) -> None:
+        while not conn.closed:
+            try:
+                frame = conn.assembler.next_frame()
+            except TransportError as exc:
+                if conn.assembler.broken:
+                    # Poisoned length prefix: the stream cannot recover.
+                    self._transport_error(conn, exc)
+                    return
+                self._frame_error(conn, exc)
+                continue
+            if frame is None:
+                return
+            self._on_frame(conn, frame)
+
+    def _on_frame(self, conn: _ClientConn, frame) -> None:
+        start = time.perf_counter()
+        try:
+            message = decode_payload(frame)
+        except TransportError as exc:
+            self._frame_error(conn, exc)
+            return
+        self._note_frame_received(
+            len(frame.payload), time.perf_counter() - start
+        )
+        if conn.state == _HANDSHAKE:
+            self._handle_hello(conn, message)
+        else:
+            if conn.inbox.qsize() >= self.inbox_limit:
+                self.metrics.counter("net.server.inbox_shed").inc()
+                self.events.emit(
+                    "net_inbox_overflow", peer=conn.peername,
+                    limit=self.inbox_limit,
+                )
+                self._enqueue(conn, ErrorFrame(
+                    "flood",
+                    f"over {self.inbox_limit} frames queued ahead of the "
+                    "protocol worker",
+                ), force=True)
+                self._close_after_flush(conn)
+                return
+            conn.inbox.put(message)
+
+    def _frame_error(self, conn: _ClientConn, exc: TransportError) -> None:
+        """A single frame failed to decode but the stream is aligned."""
+        if conn.state == _AGREEMENT:
+            # The worker fails the round ("transport: ...") and the
+            # server's retry policy may grant a fresh one — the
+            # connection survives, matching the threaded front end.
+            conn.inbox.put(exc)
+            return
+        self._transport_error(conn, exc)
+
+    def _transport_error(self, conn: _ClientConn, exc: TransportError) -> None:
+        self.metrics.counter("net.server.transport_errors").inc()
+        self.events.emit(
+            "net_transport_error", peer=conn.peername, error=str(exc)
+        )
+        if conn.state == _AGREEMENT:
+            conn.inbox.put(exc)
+        self._close_conn(conn)
+
+    # -- handshake / verdict state machine (loop thread) -------------------
+
+    def _handle_hello(self, conn: _ClientConn, message) -> None:
+        if not isinstance(message, Hello):
+            self._enqueue(conn, ErrorFrame(
+                "protocol",
+                f"expected HELLO, got {type(message).__name__}",
+            ))
+            self._close_after_flush(conn)
+            return
+        if message.version != PROTOCOL_VERSION:
+            self._enqueue(conn, ErrorFrame(
+                "version",
+                f"server speaks protocol {PROTOCOL_VERSION}, "
+                f"client sent {message.version}",
+            ))
+            self._close_after_flush(conn)
+            return
+        if not message.sender or message.sender == self.name:
+            self._enqueue(conn, ErrorFrame(
+                "identity", f"invalid client identity {message.sender!r}"
+            ))
+            self._close_after_flush(conn)
+            return
+
+        agreement = _NetAgreement(
+            conn.channel, peer=message.sender, server_name=self.name
+        )
+        request = AccessRequest(
+            rng_seed=message.rng_seed,
+            dynamic=message.dynamic,
+            agreement_fn=agreement,
+        )
+        try:
+            ticket = self.access_server.submit(request)
+        except ServiceError as exc:
+            self._enqueue(conn, ErrorFrame("unavailable", str(exc)))
+            self._close_after_flush(conn)
+            return
+        conn.ticket = ticket
+
+        if ticket.done():
+            record = ticket.result(timeout=0.1)
+            if record.state is SessionState.SHED:
+                self._send_shed(conn, record)
+                return
+
+        config = self.access_server.agreement_config
+        self._enqueue(conn, Accept(
+            sender=self.name,
+            session_id=request.session_id,
+            key_length_bits=config.key_length_bits,
+            eta=config.eta,
+        ))
+        if conn.closed or conn.state == _CLOSING:
+            return  # the accept itself overflowed: connection is shedding
+        conn.state = _AGREEMENT
+        if conn.deadline is not None:
+            conn.deadline.cancel()
+        budget = (
+            self.access_server.config.session_deadline_s
+            + self.verdict_grace_s
+        )
+        conn.deadline = self.loop.call_later(
+            budget,
+            lambda c=conn, b=budget, sid=request.session_id: (
+                self._verdict_timeout(c, b, sid)
+            ),
+        )
+        ticket.add_done_callback(
+            lambda record, c=conn: self.loop.call_soon(
+                self._deliver_verdict, c, record
+            )
+        )
+
+    def _send_shed(self, conn: _ClientConn, record) -> None:
+        # Structured load shedding, mapped to a wire error frame.
+        rejection = record.rejection
+        self._enqueue(conn, ErrorFrame(
+            "busy",
+            f"{rejection.code}: queue "
+            f"{rejection.queue_depth}/{rejection.queue_capacity}",
+        ))
+        self.metrics.counter("net.server.shed").inc()
+        self._close_after_flush(conn)
+
+    def _deliver_verdict(self, conn: _ClientConn, record) -> None:
+        if conn.closed:
+            return
+        if conn.deadline is not None:
+            conn.deadline.cancel()
+        if record.state is SessionState.SHED:
+            self._send_shed(conn, record)
+            return
+        # Count before sending: a client acting on the verdict must
+        # never observe a stale sessions_served.
+        self.sessions_served += 1
+        self.metrics.counter("net.server.sessions").inc()
+        self._enqueue(conn, Verdict(
+            state=record.state.value,
+            attempts=record.attempts,
+            reason=record.failure_reason or "",
+            session_id=record.session_id,
+        ))
+        self._close_after_flush(conn)
+
+    def _verdict_timeout(
+        self, conn: _ClientConn, budget: float, session_id: str
+    ) -> None:
+        if conn.closed or (conn.ticket is not None and conn.ticket.done()):
+            return
+        self._enqueue(conn, ErrorFrame(
+            "timeout",
+            f"session {session_id} did not finish within {budget}s",
+        ))
+        self._close_after_flush(conn)
+
+    def _handshake_timeout(self, conn: _ClientConn) -> None:
+        if conn.closed or conn.state != _HANDSHAKE:
+            return
+        self.metrics.counter("net.server.handshake_timeouts").inc()
+        self.events.emit(
+            "net_handshake_timeout", peer=conn.peername,
+            deadline_s=self.handshake_timeout_s,
+        )
+        self._enqueue(conn, ErrorFrame(
+            "timeout",
+            f"no HELLO within {self.handshake_timeout_s:.1f}s",
+        ))
+        self._close_after_flush(conn)
+
+    # -- write path (loop thread) ------------------------------------------
+
+    def _enqueue(self, conn: _ClientConn, message, force: bool = False) -> None:
+        """Loop-side send: encode, append, and arm EVENT_WRITE."""
+        if conn.closed:
+            return
+        start = time.perf_counter()
+        data = frame_to_bytes(encode_message(message))
+        encode_s = time.perf_counter() - start
+        verdict = conn.outbound.append(data, force=force)
+        if verdict == SEND_CLOSED:
+            return
+        if verdict == SEND_OVERFLOW:
+            self._shed_backpressure(conn)
+            return
+        self._note_frame_sent(len(data), encode_s, conn.outbound.pending)
+        self._ensure_writable(conn)
+
+    def _shed_backpressure(self, conn: _ClientConn) -> None:
+        """The bounded outbound buffer is full: the peer stopped
+        reading.  Shed it with a terminal error frame (allowed past the
+        bound) rather than buffering without limit."""
+        if conn.closed or conn.state == _CLOSING:
+            return
+        self.metrics.counter("net.server.backpressure_shed").inc()
+        self.events.emit(
+            "net_backpressure_shed", peer=conn.peername,
+            pending_bytes=conn.outbound.pending,
+            bound=self.max_outbound_bytes,
+        )
+        self._enqueue(conn, ErrorFrame(
+            "overloaded",
+            f"outbound buffer exceeded {self.max_outbound_bytes} bytes; "
+            "read faster or reconnect",
+        ), force=True)
+        self._close_after_flush(conn)
+
+    def _ensure_writable(self, conn: _ClientConn) -> None:
+        if conn.closed or conn.want_write:
+            return
+        if conn.outbound.pending == 0:
+            # Raced with the flush (or with close): nothing to arm.
+            if conn.state == _CLOSING:
+                self._close_conn(conn)
+            return
+        conn.want_write = True
+        events = EVENT_WRITE if conn.state == _CLOSING else (
+            EVENT_READ | EVENT_WRITE
+        )
+        self.loop.modify(
+            conn.sock, events, lambda m, c=conn: self._on_conn_ready(c, m)
+        )
+
+    def _close_after_flush(self, conn: _ClientConn) -> None:
+        if conn.closed:
+            return
+        conn.state = _CLOSING
+        if conn.outbound.pending == 0:
+            self._close_conn(conn)
+            return
+        conn.want_write = False  # force re-arm with WRITE-only interest
+        self._ensure_writable(conn)
+
+    def _close_conn(self, conn: _ClientConn) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        conn.outbound.close()
+        if conn.deadline is not None:
+            conn.deadline.cancel()
+        self.loop.unregister(conn.sock)
+        with contextlib.suppress(OSError):
+            conn.sock.close()
+        self._conns.discard(conn)
+        conn.inbox.put(_CLOSED)
+        self.metrics.gauge("net.conn.open").dec()
+
+
+# -- threaded front end (baseline) ---------------------------------------------
+
+
+class ThreadedWaveKeyTCPServer:
+    """Accept loop + per-connection handler threads over an access
+    server — the original front end, kept as the latency baseline for
+    the scaling benchmarks and behind ``repro serve --no-event-loop``.
+    Every connection costs one OS thread for its whole lifetime."""
 
     def __init__(
         self,
@@ -264,7 +880,7 @@ class WaveKeyTCPServer:
 
     # -- lifecycle ---------------------------------------------------------
 
-    def start(self) -> "WaveKeyTCPServer":
+    def start(self) -> "ThreadedWaveKeyTCPServer":
         if self._running:
             raise ServiceError("TCP server already started")
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -279,7 +895,8 @@ class WaveKeyTCPServer:
         )
         self._accept_thread.start()
         self.events.emit(
-            "net_listening", host=self.address[0], port=self.address[1]
+            "net_listening", host=self.address[0], port=self.address[1],
+            mode="threaded",
         )
         return self
 
@@ -301,7 +918,7 @@ class WaveKeyTCPServer:
             handler.join(timeout=5.0)
         self.events.emit("net_stopped", sessions_served=self.sessions_served)
 
-    def __enter__(self) -> "WaveKeyTCPServer":
+    def __enter__(self) -> "ThreadedWaveKeyTCPServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:

@@ -30,7 +30,9 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    byte_buckets,
     latency_buckets,
+    wakeup_buckets,
     merge_snapshots,
     render_prometheus,
 )
@@ -66,7 +68,9 @@ __all__ = [
     "flop_estimate",
     "format_trace_tree",
     "get_default_tracer",
+    "byte_buckets",
     "latency_buckets",
+    "wakeup_buckets",
     "load_trace_jsonl",
     "merge_snapshots",
     "render_prometheus",

@@ -91,6 +91,21 @@ def latency_buckets() -> Tuple[float, ...]:
     )
 
 
+def wakeup_buckets() -> Tuple[float, ...]:
+    """Histogram bounds for event-loop wakeup/dispatch latencies: these
+    are microsecond-scale on an idle loop, so the default latency
+    buckets would dump everything into the first bin."""
+    return (
+        1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0,
+    )
+
+
+def byte_buckets() -> Tuple[float, ...]:
+    """Histogram bounds for buffer/queue depths in bytes: 64 B .. 16 MiB,
+    power-of-four spaced (outbound wire buffers, frame sizes)."""
+    return tuple(float(64 << (2 * i)) for i in range(10))
+
+
 class Histogram:
     """A fixed-bucket histogram with interpolated percentiles.
 

@@ -127,11 +127,19 @@ class SessionRecord:
 
 
 class SessionTicket:
-    """Caller-side handle: blocks on ``result()`` until terminal."""
+    """Caller-side handle: blocks on ``result()`` until terminal.
+
+    Event-driven callers (the network front end's event loop) register
+    :meth:`add_done_callback` instead of blocking a thread on
+    :meth:`result`; callbacks fire on the thread that completed the
+    session, so they must be cheap and must hand real work elsewhere.
+    """
 
     def __init__(self, record: SessionRecord):
         self._record = record
         self._done = threading.Event()
+        self._callbacks: List[object] = []
+        self._lock = threading.Lock()
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -143,8 +151,25 @@ class SessionTicket:
             )
         return self._record
 
+    def add_done_callback(self, callback) -> None:
+        """Call ``callback(record)`` once the session is terminal.
+
+        Fires immediately (on the caller's thread) when the session is
+        already done; otherwise fires on the completing thread.  Late
+        registrations never get lost — exactly-once per callback.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self._record)
+
     def _complete(self) -> None:
-        self._done.set()
+        with self._lock:
+            callbacks, self._callbacks = self._callbacks, []
+            self._done.set()
+        for callback in callbacks:
+            callback(self._record)
 
 
 class SessionManager:

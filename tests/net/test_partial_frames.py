@@ -1,0 +1,203 @@
+"""Partial-frame adversary tests: the wire never promises whole frames.
+
+TCP is a byte stream — an adversary (or a congested path) can deliver
+a frame one byte at a time, split anywhere, or coalesced with its
+neighbors.  The event-loop server's :class:`FrameAssembler` must
+reassemble all of it without ever blocking the loop, and a client that
+stalls mid-frame must be evicted by the handshake deadline, not hold a
+connection slot forever.
+"""
+
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.errors import ConnectionClosed, DecodeError, FrameTooLarge
+from repro.net import NetClientConfig, WaveKeyNetClient, WaveKeyTCPServer
+from repro.net.codec import (
+    FrameAssembler,
+    FrameType,
+    Hello,
+    encode_message,
+    frame_to_bytes,
+)
+from repro.net.connection import FrameConnection
+from repro.protocol.messages import OTAnnounce
+
+from tests.net.conftest import make_access_server, matched_seed, pin_seeds
+
+CLIENT_CFG = NetClientConfig(
+    read_timeout_s=5.0, max_retries=1, backoff_initial_s=0.01
+)
+
+
+def _frame_bytes(message) -> bytes:
+    return frame_to_bytes(encode_message(message))
+
+
+# -- FrameAssembler units ----------------------------------------------------
+
+
+def test_assembler_reassembles_byte_at_a_time():
+    data = _frame_bytes(Hello(sender="m", rng_seed=1))
+    assembler = FrameAssembler()
+    for i, byte in enumerate(data):
+        assembler.feed(bytes([byte]))
+        frame = assembler.next_frame()
+        if i < len(data) - 1:
+            assert frame is None, f"frame completed early at byte {i}"
+        else:
+            assert frame is not None
+            assert frame.type is FrameType.HELLO
+    assert assembler.buffered == 0
+
+
+def test_assembler_parses_many_frames_from_one_chunk():
+    messages = [Hello(sender=f"m{i}", rng_seed=i) for i in range(5)]
+    assembler = FrameAssembler()
+    assembler.feed(b"".join(_frame_bytes(m) for m in messages))
+    frames = assembler.drain()
+    assert len(frames) == 5
+    assert all(f.type is FrameType.HELLO for f in frames)
+
+
+def test_assembler_oversized_frame_poisons_the_stream():
+    assembler = FrameAssembler(max_frame_bytes=16)
+    assembler.feed(_frame_bytes(Hello(sender="x" * 64, rng_seed=1)))
+    with pytest.raises(FrameTooLarge):
+        assembler.next_frame()
+    assert assembler.broken
+    # the length prefix cannot be trusted, so parsing stays refused
+    with pytest.raises(DecodeError):
+        assembler.next_frame()
+
+
+def test_assembler_unknown_type_consumes_frame_and_recovers():
+    bogus = struct.pack("!IB", 3, 0x7E) + b"ab"  # type 0x7E: unassigned
+    assembler = FrameAssembler()
+    assembler.feed(bogus + _frame_bytes(Hello(sender="m", rng_seed=2)))
+    with pytest.raises(DecodeError):
+        assembler.next_frame()
+    assert not assembler.broken  # per-frame error, stream still aligned
+    frame = assembler.next_frame()
+    assert frame is not None and frame.type is FrameType.HELLO
+
+
+def test_assembler_reuses_buffer_across_frames():
+    assembler = FrameAssembler(initial_capacity=64)
+    data = _frame_bytes(Hello(sender="m", rng_seed=3))
+    for _ in range(200):
+        assembler.feed(data)
+        assert assembler.next_frame() is not None
+    # sequential frames recycle the window in place; the buffer never
+    # grows beyond one doubling of the initial capacity
+    assert assembler.capacity <= 4 * max(64, len(data))
+
+
+# -- adversarial delivery over loopback --------------------------------------
+
+
+def test_slow_loris_hello_still_handshakes(tiny_bundle):
+    """A client dripping its HELLO one byte at a time is still served:
+    the assembler accumulates across readiness events."""
+    with make_access_server(tiny_bundle) as access:
+        pin_seeds(access, matched_seed())
+        with WaveKeyTCPServer(access) as tcp:
+            raw = socket.create_connection(tcp.address)
+            try:
+                for byte in _frame_bytes(Hello(sender="drip", rng_seed=51)):
+                    raw.sendall(bytes([byte]))
+                    time.sleep(0.002)
+                conn = FrameConnection(raw, read_timeout_s=5.0)
+                accept = conn.recv()
+            finally:
+                raw.close()
+    assert accept.session_id
+    assert accept.sender == "server"
+
+
+def test_frame_split_across_segments_mid_agreement(tiny_bundle):
+    """Mid-agreement frames arriving in 3-byte segments reassemble into
+    one protocol message (here: a spoofed announce, so the round fails
+    with the sender-mismatch rejection — proof the whole frame made it
+    through the assembler to the worker)."""
+    with make_access_server(tiny_bundle, max_attempts=1) as access:
+        pin_seeds(access, matched_seed())
+        with WaveKeyTCPServer(access, read_timeout_s=5.0) as tcp:
+            raw = socket.create_connection(tcp.address)
+            conn = FrameConnection(raw, read_timeout_s=5.0)
+            try:
+                conn.send(Hello(sender="mobile", rng_seed=52))
+                conn.recv()  # Accept
+                conn.recv()  # SeedGrant
+                spoofed = _frame_bytes(
+                    OTAnnounce(sender="mallory", elements=(5,))
+                )
+                for i in range(0, len(spoofed), 3):
+                    raw.sendall(spoofed[i:i + 3])
+                    time.sleep(0.001)
+                result = conn.recv()  # RoundResult
+            finally:
+                conn.close()
+    assert not result.success
+    assert "sender mismatch" in result.reason
+
+
+def test_coalesced_frames_in_one_segment(tiny_bundle):
+    """HELLO and the next protocol message welded into a single send
+    are split back into two frames by the assembler."""
+    with make_access_server(tiny_bundle, max_attempts=1) as access:
+        pin_seeds(access, matched_seed())
+        with WaveKeyTCPServer(access, read_timeout_s=5.0) as tcp:
+            raw = socket.create_connection(tcp.address)
+            conn = FrameConnection(raw, read_timeout_s=5.0)
+            try:
+                raw.sendall(
+                    _frame_bytes(Hello(sender="mobile", rng_seed=53))
+                    + _frame_bytes(
+                        OTAnnounce(sender="mallory", elements=(5,))
+                    )
+                )
+                accept = conn.recv()
+                grant = conn.recv()
+                result = conn.recv()  # RoundResult for the early announce
+            finally:
+                conn.close()
+    assert accept.session_id
+    assert grant.attempt == 1
+    assert not result.success
+    assert "sender mismatch" in result.reason
+
+
+def test_stall_mid_handshake_hits_read_deadline(tiny_bundle):
+    """A client sending half a HELLO and going silent is evicted at the
+    handshake deadline with a typed timeout error, and the server keeps
+    serving others."""
+    with make_access_server(tiny_bundle) as access:
+        pin_seeds(access, matched_seed())
+        with WaveKeyTCPServer(
+            access, handshake_timeout_s=0.3
+        ) as tcp:
+            host, port = tcp.address
+            raw = socket.create_connection((host, port))
+            try:
+                hello = _frame_bytes(Hello(sender="staller", rng_seed=54))
+                raw.sendall(hello[:len(hello) // 2])
+                conn = FrameConnection(raw, read_timeout_s=5.0)
+                error = conn.recv()
+                assert error.code == "timeout"
+                with pytest.raises(ConnectionClosed):
+                    conn.recv()  # server closed after the error frame
+            finally:
+                raw.close()
+
+            counters = access.metrics.snapshot()["counters"]
+            assert counters["net.server.handshake_timeouts"] >= 1
+
+            # the stalled connection did not wedge the server
+            result = WaveKeyNetClient(
+                host, port, CLIENT_CFG
+            ).establish(rng_seed=55)
+            assert result.success
