@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Spawn a local WaveKey fleet: N backend servers plus one gateway.
+
+Each backend is a ``repro serve --listen`` subprocess on a free port;
+once every backend has published its address the gateway comes up in
+front of them with ``repro cluster serve``.  The fleet runs until
+``--duration`` elapses or SIGINT, then children are torn down in
+reverse order (gateway first, so in-flight sessions drain to backends
+that still exist).
+
+Run:  python scripts/run_cluster.py [--backends 3] [--port-file F]
+      repro loadgen --connect $(cat F) --sessions 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _repro_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _wait_for_port_file(path: str, timeout_s: float, proc) -> str:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"child exited with {proc.returncode} before publishing "
+                f"its address (see its output above)"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                bound = fh.read().strip()
+            if bound:
+                return bound
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    raise RuntimeError(f"no address in {path} after {timeout_s}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backends", type=int, default=3,
+                        help="backend server processes to spawn")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="protocol workers per backend")
+    parser.add_argument("--port-file", default=None,
+                        help="publish the gateway's HOST:PORT here")
+    parser.add_argument("--duration", type=float, default=0.0,
+                        help="seconds to run (0 = until SIGINT)")
+    parser.add_argument("--startup-timeout", type=float, default=60.0,
+                        help="seconds to wait for each child's address")
+    args = parser.parse_args()
+    if args.backends < 1:
+        parser.error("--backends must be >= 1")
+
+    env = _repro_env()
+    children = []
+    state_dir = tempfile.mkdtemp(prefix="wavekey-cluster-")
+    try:
+        addresses = []
+        for index in range(args.backends):
+            port_file = os.path.join(state_dir, f"backend-{index}.addr")
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--listen", "127.0.0.1:0",
+                 "--port-file", port_file,
+                 "--sessions", "0",
+                 "--workers", str(args.workers)],
+                env=env, cwd=REPO_ROOT,
+            )
+            children.append(proc)
+            bound = _wait_for_port_file(
+                port_file, args.startup_timeout, proc
+            )
+            addresses.append(bound)
+            print(f"backend[{index}] on {bound}", flush=True)
+
+        gateway_port_file = args.port_file or os.path.join(
+            state_dir, "gateway.addr"
+        )
+        gateway_cmd = [sys.executable, "-m", "repro", "cluster", "serve",
+                       "--listen", "127.0.0.1:0",
+                       "--port-file", gateway_port_file]
+        for bound in addresses:
+            gateway_cmd += ["--backend", bound]
+        gateway = subprocess.Popen(gateway_cmd, env=env, cwd=REPO_ROOT)
+        children.append(gateway)
+        bound = _wait_for_port_file(
+            gateway_port_file, args.startup_timeout, gateway
+        )
+        print(f"gateway on {bound} over {len(addresses)} backends",
+              flush=True)
+
+        deadline = (
+            time.monotonic() + args.duration if args.duration > 0 else None
+        )
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            dead = [p for p in children if p.poll() is not None]
+            if dead:
+                print("a fleet process exited; shutting down",
+                      file=sys.stderr)
+                return 1
+            time.sleep(0.2)
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        # Gateway first: routing stops before its backends disappear.
+        for proc in reversed(children):
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)
+        for proc in reversed(children):
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
                 [--no-event-loop]
     repro loadgen [--sessions N] [--rate HZ] [--seed N]
     repro loadgen --connect HOST:PORT [--sessions N]
+    repro cluster serve --backend HOST:PORT [--backend HOST:PORT ...]
+                        [--listen HOST:PORT] [--port-file F]
+    repro cluster metrics HOST:PORT [--json FILE]
     repro obs trace TRACE.jsonl
     repro obs metrics METRICS.json
 
@@ -29,6 +32,15 @@ the access server on a TCP socket (port 0 picks a free port;
 client sessions against it over the wire.  Connections are served by
 the selectors event loop by default; ``--no-event-loop`` selects the
 thread-per-connection front end instead.
+
+Clustered mode (:mod:`repro.cluster`): ``cluster serve`` runs the
+consistent-hash sharding gateway over one or more ``--backend``
+addresses (see ``scripts/run_cluster.py`` for a one-command local
+fleet), and ``cluster metrics HOST:PORT`` scrapes any front end —
+against a gateway it prints the per-backend fleet table and the
+*merged* metrics snapshot.  ``loadgen --connect`` pointed at a gateway
+appends a per-backend breakdown (sessions routed, p50/p99 latency per
+shard) to its report.
 
 Observability: ``--trace-out FILE`` on ``establish``/``serve``/
 ``loadgen`` exports the run's span trace as JSONL, ``--metrics-out
@@ -151,6 +163,47 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="drive a networked server over TCP instead "
                               "of an in-process one")
 
+    cluster = sub.add_parser(
+        "cluster", help="run or inspect a sharded multi-backend fleet"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cluster_serve = cluster_sub.add_parser(
+        "serve", help="run the consistent-hash sharding gateway"
+    )
+    cluster_serve.add_argument(
+        "--backend", action="append", required=True, metavar="HOST:PORT",
+        help="backend server address (repeat for each backend)")
+    cluster_serve.add_argument("--listen", metavar="HOST:PORT",
+                               default="127.0.0.1:0",
+                               help="gateway listen address "
+                                    "(port 0 picks a free port)")
+    cluster_serve.add_argument("--port-file", metavar="FILE", default=None,
+                               help="write the bound HOST:PORT to FILE "
+                                    "once listening")
+    cluster_serve.add_argument("--sessions", type=int, default=0,
+                               help="sessions to route before exiting "
+                                    "(0 = run until interrupted)")
+    cluster_serve.add_argument("--replicas", type=int, default=64,
+                               help="virtual nodes per backend on the ring")
+    cluster_serve.add_argument("--probe-interval", type=float, default=1.0,
+                               help="seconds between backend health probes")
+    cluster_serve.add_argument("--spill-inflight", type=int, default=8,
+                               help="per-backend in-flight soft bound "
+                                    "before spilling to the next candidate")
+    cluster_serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                               help="dump the merged fleet snapshot as "
+                                    "JSON on exit")
+    cluster_metrics = cluster_sub.add_parser(
+        "metrics",
+        help="scrape a front end and render its metrics snapshot",
+    )
+    cluster_metrics.add_argument("target", metavar="HOST:PORT",
+                                 help="gateway or backend to scrape")
+    cluster_metrics.add_argument("--json", metavar="FILE", default=None,
+                                 help="also dump the raw stats document "
+                                      "as JSON")
+
     obs = sub.add_parser(
         "obs", help="inspect exported traces and metric snapshots"
     )
@@ -190,6 +243,18 @@ def _finish_obs(args, tracer, metrics, profiler, out) -> None:
         print("per-layer profile:", file=out)
         for line in profiler.report_lines():
             print(f"  {line}", file=out)
+
+
+def _write_port_file(path: str, bound: str) -> None:
+    """Atomically publish the bound address: scripts polling the file
+    must never observe a partial write, so the text lands in a temp
+    file first and ``os.replace`` swaps it in whole."""
+    temp_path = f"{path}.tmp.{os.getpid()}"
+    with open(temp_path, "w", encoding="utf-8") as fh:
+        fh.write(bound + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(temp_path, path)
 
 
 def _parse_hostport(value: str):
@@ -395,8 +460,7 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
             bound = f"{tcp.address[0]}:{tcp.address[1]}"
             print(f"listening on {bound}", file=out, flush=True)
             if args.port_file:
-                with open(args.port_file, "w", encoding="utf-8") as fh:
-                    fh.write(bound + "\n")
+                _write_port_file(args.port_file, bound)
             try:
                 while (
                     args.sessions <= 0
@@ -452,6 +516,111 @@ def _cmd_serve(args, out) -> int:
     return 0 if established else 1
 
 
+def _cmd_cluster_serve(args, out) -> int:
+    import time
+
+    from repro.cluster import REBALANCE_EVENT, WaveKeyGateway
+
+    host, port = _parse_hostport(args.listen)
+    gateway = WaveKeyGateway(
+        args.backend,
+        host,
+        port,
+        replicas=args.replicas,
+        probe_interval_s=args.probe_interval,
+        spill_inflight=args.spill_inflight,
+    )
+    with gateway:
+        bound = f"{gateway.address[0]}:{gateway.address[1]}"
+        print(f"gateway on {bound} over {len(args.backend)} backend(s)",
+              file=out, flush=True)
+        if args.port_file:
+            _write_port_file(args.port_file, bound)
+        try:
+            while (
+                args.sessions <= 0
+                or gateway.sessions_routed < args.sessions
+            ):
+                time.sleep(0.05)
+        except KeyboardInterrupt:
+            pass
+        routed = gateway.sessions_routed
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(gateway.fleet_snapshot(), fh, indent=2,
+                          default=str)
+            print(f"fleet snapshot -> {args.metrics_out}", file=out)
+        rebalances = gateway.events.query(kind=REBALANCE_EVENT)
+        for event in rebalances:
+            fields = event.fields
+            print(f"  rebalance t={event.t_s:7.2f}s "
+                  f"{fields.get('action'):5s} {fields.get('backend')} "
+                  f"({fields.get('reason')}) ring={fields.get('ring_size')}",
+                  file=out)
+    print(f"routed {routed} sessions", file=out)
+    return 0
+
+
+def _cmd_cluster_metrics(args, out) -> int:
+    from repro.cluster import fetch_stats
+    from repro.obs import render_prometheus
+
+    host, port = _parse_hostport(args.target)
+    document = fetch_stats(host, port)
+    role = document.get("role", "?")
+    print(f"{role} {document.get('name', '?')} at {host}:{port}", file=out)
+    if role == "gateway":
+        print(f"ring size: {document.get('ring_size')}  "
+              f"sessions routed: {document.get('sessions_served')}",
+              file=out)
+        for entry in document.get("backends", []):
+            status = "in-ring" if entry.get("in_ring") else "EJECTED"
+            print(f"  {entry.get('backend'):21s} {status:8s} "
+                  f"share {entry.get('share', 0.0):6.3f}  "
+                  f"in-flight {entry.get('in_flight', 0):3d}  "
+                  f"routed {entry.get('sessions_routed', 0)}", file=out)
+    else:
+        print(f"sessions served: {document.get('sessions_served')}  "
+              f"queue {document.get('queue_depth')}/"
+              f"{document.get('queue_capacity')}", file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, default=str)
+        print(f"stats document -> {args.json}", file=out)
+    snapshot = document.get("snapshot")
+    if isinstance(snapshot, dict):
+        print(render_prometheus(snapshot), file=out)
+    return 0
+
+
+def _print_gateway_breakdown(host, port, out) -> None:
+    """If the loadgen target is a gateway, append a per-shard report."""
+    from repro.cluster import fetch_stats
+    from repro.obs import snapshot_percentile
+
+    try:
+        document = fetch_stats(host, port, timeout_s=2.0)
+    except WaveKeyError:
+        return  # plain backend predating stats, or target gone
+    if document.get("role") != "gateway":
+        return
+    histograms = (document.get("snapshot") or {}).get("histograms", {})
+    print("per-backend breakdown (gateway fleet view):", file=out)
+    for entry in document.get("backends", []):
+        key = entry.get("backend", "?")
+        series = f'cluster.session_s{{backend="{key}"}}'
+        hist = histograms.get(series)
+        if hist and hist.get("count"):
+            p50 = snapshot_percentile(hist, 0.50)
+            p99 = snapshot_percentile(hist, 0.99)
+            latency = (f"p50 {1000 * p50:7.1f} ms  "
+                       f"p99 {1000 * p99:7.1f} ms")
+        else:
+            latency = "no completed sessions"
+        print(f"  {key:21s} routed {entry.get('sessions_routed', 0):4d}  "
+              f"{latency}", file=out)
+
+
 def _cmd_loadgen_net(args, out) -> int:
     import threading
     import time
@@ -505,6 +674,7 @@ def _cmd_loadgen_net(args, out) -> int:
     if done:
         print(f"  mean establish latency: "
               f"{1000 * sum(done) / len(done):.1f} ms", file=out)
+    _print_gateway_breakdown(host, port, out)
     _finish_obs(args, None, metrics, None, out)
     return 0 if established else 1
 
@@ -554,24 +724,14 @@ def _cmd_obs_trace(args, out) -> int:
     return 0
 
 
-def _coerce_bucket_keys(snapshot):
-    """JSON stringifies histogram bucket bounds; restore them to floats
-    so cumulative ``le`` buckets render in numeric order."""
-    for hist in snapshot.get("histograms", {}).values():
-        buckets = hist.get("buckets")
-        if buckets:
-            hist["buckets"] = {
-                float(bound): count for bound, count in buckets.items()
-            }
-    return snapshot
-
-
 def _cmd_obs_metrics(args, out) -> int:
-    from repro.obs import render_prometheus
+    from repro.obs import normalize_snapshot, render_prometheus
 
     with open(args.path, "r", encoding="utf-8") as fh:
         snapshot = json.load(fh)
-    print(render_prometheus(_coerce_bucket_keys(snapshot)), file=out)
+    # JSON stringifies histogram bucket bounds; normalize_snapshot
+    # restores floats so cumulative ``le`` buckets render in order.
+    print(render_prometheus(normalize_snapshot(snapshot)), file=out)
     return 0
 
 
@@ -587,6 +747,10 @@ def main(argv=None, out=None) -> int:
             return _cmd_serve(args, out)
         if args.command == "loadgen":
             return _cmd_loadgen(args, out)
+        if args.command == "cluster":
+            if args.cluster_command == "serve":
+                return _cmd_cluster_serve(args, out)
+            return _cmd_cluster_metrics(args, out)
         if args.command == "obs":
             if args.obs_command == "trace":
                 return _cmd_obs_trace(args, out)

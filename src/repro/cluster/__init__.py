@@ -1,0 +1,47 @@
+"""repro.cluster — sharded WaveKey deployment behind one address.
+
+The paper's access-control service must hold at production scale
+("millions of users"); one Python process does not.  This package
+adds the horizontal layer:
+
+* :mod:`repro.cluster.ring` — :class:`ShardRing`, a consistent-hash
+  ring with virtual nodes: stable session placement, ~``1/n``
+  keyspace movement per membership change;
+* :mod:`repro.cluster.gateway` — :class:`WaveKeyGateway`, an
+  event-loop front end that peeks each connection's HELLO frame,
+  routes the session by ``sender#seed`` identity with bounded-load
+  spill, and splices frames to the chosen backend; active stats
+  probes eject dead backends from the ring (emitting
+  ``cluster.ring.rebalance`` events) and re-admit them on recovery;
+* :mod:`repro.cluster.stats` — :func:`fetch_stats`, the one-round-trip
+  health-probe-plus-metrics-scrape spoken by backends and gateways
+  alike, feeding the merged fleet view
+  (``repro cluster metrics HOST:PORT``).
+
+Quick start (loopback)::
+
+    from repro.cluster import WaveKeyGateway
+    from repro.net import WaveKeyNetClient
+
+    gateway = WaveKeyGateway(["127.0.0.1:7101", "127.0.0.1:7102"])
+    with gateway:
+        host, port = gateway.address
+        result = WaveKeyNetClient(host, port).establish(rng_seed=7)
+"""
+
+from repro.cluster.gateway import (
+    REBALANCE_EVENT,
+    BackendState,
+    WaveKeyGateway,
+)
+from repro.cluster.ring import ShardRing, ring_hash
+from repro.cluster.stats import fetch_stats
+
+__all__ = [
+    "REBALANCE_EVENT",
+    "BackendState",
+    "ShardRing",
+    "WaveKeyGateway",
+    "fetch_stats",
+    "ring_hash",
+]

@@ -1,0 +1,879 @@
+"""WaveKey sharding gateway: one address in front of many backends.
+
+:class:`WaveKeyGateway` accepts client connections on a single
+listening socket, *peeks* the first frame to learn the session's
+identity, picks a backend on a :class:`repro.cluster.ring.ShardRing`,
+and then splices frames bidirectionally between client and backend on
+the shared :class:`repro.net.eventloop.EventLoop` — the same
+frame-granular relay machinery the fault-injection proxy uses, so a
+gateway hop costs one decode + one re-encode per frame and no extra
+threads per connection.
+
+Routing policy (bounded-load consistent hashing):
+
+* the route key is ``"<sender>#<rng_seed>"`` from the HELLO frame —
+  stable per device identity, spread across seeds;
+* the ring's candidate order is walked until a backend with headroom
+  (``in_flight < spill_inflight``) and no recent shed verdicts is
+  found; if every candidate is saturated the *least-loaded* healthy
+  backend takes the session rather than refusing it — the backend's
+  own admission queue remains the real shedding authority;
+* backends answering ``busy`` accumulate a shed score that steers new
+  placements away until a session completes cleanly.
+
+Membership is active: a prober thread scrapes every backend's
+:class:`StatsRequest` endpoint each ``probe_interval_s`` (the same
+exchange doubles as the metrics scrape feeding the fleet view).
+Backends failing ``probe_fail_threshold`` consecutive probes — or
+``eject_after_failures`` consecutive dials — are ejected from the
+ring, redistributing their keyspace to the survivors; a later
+successful probe re-admits them.  Every membership change emits a
+``cluster.ring.rebalance`` event into the gateway's
+:class:`repro.obs.EventLog` and bumps ``cluster.ring.rebalances``.
+
+State rules: all :class:`BackendState` and session mutation happens on
+the loop thread; the prober reports its verdicts via
+:meth:`EventLoop.call_soon`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.errors import ConfigurationError, TransportError
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ErrorFrame,
+    FrameAssembler,
+    FrameType,
+    Hello,
+    StatsRequest,
+    StatsResponse,
+    Verdict,
+    decode_payload,
+    encode_message,
+    frame_to_bytes,
+)
+from repro.net.connection import SEND_CLOSED, OutboundBuffer
+from repro.net.eventloop import EVENT_READ, EVENT_WRITE, EventLoop
+from repro.obs.events import EventLog
+from repro.obs.metrics import (
+    MetricsRegistry,
+    latency_buckets,
+    merge_snapshots,
+)
+from repro.cluster.ring import ShardRing
+from repro.cluster.stats import fetch_stats
+
+#: Event kind emitted on every ring-membership change.
+REBALANCE_EVENT = "cluster.ring.rebalance"
+
+_EINPROGRESS = (0, 115, 36, 10035)  # ok / EINPROGRESS / EWOULDBLOCK variants
+
+
+def _parse_backend(spec: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port_text = str(spec).rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"backend {spec!r} must look like HOST:PORT"
+        )
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"backend {spec!r} has a non-integer port"
+        ) from None
+
+
+class BackendState:
+    """Gateway-side view of one backend (loop-thread mutation only)."""
+
+    __slots__ = (
+        "address", "key", "healthy", "in_ring", "in_flight",
+        "sessions_routed", "consecutive_failures", "probe_failures",
+        "shed_score", "snapshot", "info",
+    )
+
+    def __init__(self, address: Tuple[str, int]):
+        self.address = address
+        self.key = f"{address[0]}:{address[1]}"
+        self.healthy = True
+        self.in_ring = False
+        self.in_flight = 0
+        self.sessions_routed = 0
+        self.consecutive_failures = 0
+        self.probe_failures = 0
+        self.shed_score = 0
+        self.snapshot: Optional[dict] = None  # last scraped metrics
+        self.info: dict = {}                  # last scraped header fields
+
+
+class _GatewaySession:
+    """One client connection through the gateway (loop-thread only)."""
+
+    __slots__ = (
+        "client_sock", "backend_sock", "backend", "state", "route_key",
+        "hello_bytes", "tried", "c2s_assembler", "s2c_assembler",
+        "to_backend", "to_client", "client_eof", "backend_eof",
+        "closing", "closed", "dial_timer", "session_timer", "routed_at",
+        "counted",
+    )
+
+    def __init__(self, client_sock, max_frame_bytes: int, max_pending: int):
+        self.client_sock = client_sock
+        self.backend_sock = None
+        self.backend: Optional[BackendState] = None
+        self.state = "hello"
+        self.route_key = ""
+        self.hello_bytes = b""
+        self.tried: Set[str] = set()
+        self.c2s_assembler = FrameAssembler(max_frame_bytes)
+        self.s2c_assembler = FrameAssembler(max_frame_bytes)
+        self.to_backend = OutboundBuffer(max_pending)
+        self.to_client = OutboundBuffer(max_pending)
+        self.client_eof = False
+        self.backend_eof = False
+        self.closing = False
+        self.closed = False
+        self.dial_timer = None
+        self.session_timer = None
+        self.routed_at = 0.0
+        self.counted = False  # True once in_flight was incremented
+
+
+class WaveKeyGateway:
+    """Consistent-hash sharding front end over WaveKey backends."""
+
+    def __init__(
+        self,
+        backends: Iterable[Union[str, Tuple[str, int]]],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        name: str = "gateway",
+        replicas: int = 64,
+        connect_timeout_s: float = 3.0,
+        handshake_timeout_s: float = 10.0,
+        session_timeout_s: float = 120.0,
+        probe_interval_s: float = 1.0,
+        probe_timeout_s: float = 2.0,
+        probe_fail_threshold: int = 2,
+        eject_after_failures: int = 2,
+        spill_inflight: int = 8,
+        shed_penalty: int = 3,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        max_outbound_bytes: int = 1 << 20,
+        health_checks: bool = True,
+        metrics: MetricsRegistry = None,
+        events: EventLog = None,
+    ):
+        addresses = [_parse_backend(spec) for spec in backends]
+        if not addresses:
+            raise ConfigurationError("a gateway needs at least one backend")
+        self.name = name
+        self.metrics = metrics or MetricsRegistry()
+        self.events = events or EventLog()
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.handshake_timeout_s = float(handshake_timeout_s)
+        self.session_timeout_s = float(session_timeout_s)
+        self.probe_interval_s = float(probe_interval_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.probe_fail_threshold = int(probe_fail_threshold)
+        self.eject_after_failures = int(eject_after_failures)
+        self.spill_inflight = int(spill_inflight)
+        self.shed_penalty = int(shed_penalty)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.max_outbound_bytes = int(max_outbound_bytes)
+        self.health_checks = bool(health_checks)
+        self._listen_host = host
+        self._listen_port = int(port)
+        self._backends: Dict[str, BackendState] = {}
+        for address in addresses:
+            state = BackendState(address)
+            if state.key in self._backends:
+                raise ConfigurationError(f"duplicate backend {state.key}")
+            self._backends[state.key] = state
+        self._ring = ShardRing(replicas=replicas)
+        self._sessions: Set[_GatewaySession] = set()  # loop-thread only
+        self._sock: Optional[socket.socket] = None
+        self.loop: Optional[EventLoop] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.sessions_routed = 0
+        self._running = False
+        self._probe_thread: Optional[threading.Thread] = None
+        self._probe_stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WaveKeyGateway":
+        if self._running:
+            return self
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._listen_host, self._listen_port))
+        sock.listen(128)
+        sock.setblocking(False)
+        self._sock = sock
+        self.address = sock.getsockname()[:2]
+        self._running = True
+        self.loop = EventLoop(
+            name=f"wavekey-gw-{self.name}", metrics=self.metrics
+        ).start()
+        self.loop.call_soon(self._bootstrap_on_loop)
+        if self.health_checks:
+            self._probe_stop.clear()
+            self._probe_thread = threading.Thread(
+                target=self._probe_forever,
+                name=f"wavekey-gw-{self.name}-probe",
+                daemon=True,
+            )
+            self._probe_thread.start()
+        return self
+
+    def _bootstrap_on_loop(self) -> None:
+        for backend in self._backends.values():
+            self._join(backend, reason="startup")
+        self.loop.register(
+            self._sock, EVENT_READ, self._on_listener_ready
+        )
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5.0)
+        done = threading.Event()
+        self.loop.call_soon(self._shutdown_on_loop, done)
+        done.wait(timeout=5.0)
+        self.loop.stop()
+
+    def _shutdown_on_loop(self, done: threading.Event) -> None:
+        try:
+            self.loop.unregister(self._sock)
+            self._sock.close()
+            for session in list(self._sessions):
+                self._close_session(session)
+        finally:
+            done.set()
+
+    def __enter__(self) -> "WaveKeyGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- fleet view --------------------------------------------------------
+
+    def backend_states(self) -> Dict[str, BackendState]:
+        return dict(self._backends)
+
+    def fleet_snapshot(self) -> dict:
+        """Gateway registry merged with the last scrape of every backend."""
+        snapshots = [self.metrics.snapshot()]
+        for backend in self._backends.values():
+            if backend.snapshot:
+                snapshots.append(backend.snapshot)
+        return merge_snapshots(*snapshots)
+
+    def fleet_document(self) -> dict:
+        """The JSON document served for a gateway-directed StatsRequest."""
+        entries: List[dict] = []
+        for key in sorted(self._backends):
+            backend = self._backends[key]
+            entries.append({
+                "backend": key,
+                "healthy": backend.healthy,
+                "in_ring": backend.in_ring,
+                "in_flight": backend.in_flight,
+                "sessions_routed": backend.sessions_routed,
+                "shed_score": backend.shed_score,
+                "share": round(self._ring.share(key), 6),
+                "info": dict(backend.info),
+            })
+        return {
+            "role": "gateway",
+            "name": self.name,
+            "sessions_served": self.sessions_routed,
+            "ring_size": len(self._ring),
+            "backends": entries,
+            "snapshot": self.fleet_snapshot(),
+        }
+
+    # -- ring membership (loop thread) -------------------------------------
+
+    def _join(self, backend: BackendState, reason: str) -> None:
+        if backend.in_ring:
+            return
+        self._ring.add(backend.key)
+        backend.in_ring = True
+        backend.healthy = True
+        backend.consecutive_failures = 0
+        backend.probe_failures = 0
+        backend.shed_score = 0
+        self.metrics.counter("cluster.ring.rebalances").inc()
+        self.events.emit(
+            REBALANCE_EVENT,
+            action="join",
+            backend=backend.key,
+            reason=reason,
+            share_assigned=round(self._ring.share(backend.key), 4),
+            ring_size=len(self._ring),
+        )
+        self._update_health_gauge()
+
+    def _eject(self, backend: BackendState, reason: str) -> None:
+        if not backend.in_ring:
+            backend.healthy = False
+            return
+        share = self._ring.share(backend.key)
+        self._ring.remove(backend.key)
+        backend.in_ring = False
+        backend.healthy = False
+        self.metrics.counter("cluster.ring.rebalances").inc()
+        self.events.emit(
+            REBALANCE_EVENT,
+            action="eject",
+            backend=backend.key,
+            reason=reason,
+            share_redistributed=round(share, 4),
+            ring_size=len(self._ring),
+        )
+        self._update_health_gauge()
+
+    def _update_health_gauge(self) -> None:
+        healthy = sum(1 for b in self._backends.values() if b.in_ring)
+        self.metrics.gauge("cluster.backends.healthy").set(healthy)
+
+    def _note_dial_failure(self, backend: BackendState, reason: str) -> None:
+        backend.consecutive_failures += 1
+        self.metrics.counter(
+            "cluster.backend.dial_errors", labels={"backend": backend.key}
+        ).inc()
+        if backend.consecutive_failures >= self.eject_after_failures:
+            self._eject(backend, reason=f"dial: {reason}")
+
+    # -- probing (prober thread -> loop thread) ----------------------------
+
+    def _probe_forever(self) -> None:
+        while not self._probe_stop.is_set():
+            for key, backend in list(self._backends.items()):
+                host, port = backend.address
+                try:
+                    document = fetch_stats(
+                        host, port, timeout_s=self.probe_timeout_s
+                    )
+                except Exception:  # any probe failure means "not healthy"
+                    document = None
+                if not self._running:
+                    return
+                self.loop.call_soon(self._on_probe_result, key, document)
+            self._probe_stop.wait(self.probe_interval_s)
+
+    def _on_probe_result(self, key: str, document: Optional[dict]) -> None:
+        backend = self._backends.get(key)
+        if backend is None:
+            return
+        self.metrics.counter(
+            "cluster.probes",
+            labels={
+                "backend": key,
+                "result": "ok" if document is not None else "fail",
+            },
+        ).inc()
+        if document is None:
+            backend.probe_failures += 1
+            if (
+                backend.in_ring
+                and backend.probe_failures >= self.probe_fail_threshold
+            ):
+                self._eject(backend, reason="probe")
+            return
+        backend.probe_failures = 0
+        backend.consecutive_failures = 0
+        snapshot = document.get("snapshot")
+        if isinstance(snapshot, dict):
+            backend.snapshot = snapshot
+        backend.info = {
+            field: document.get(field)
+            for field in ("name", "sessions_served", "queue_depth",
+                          "queue_capacity")
+        }
+        if not backend.in_ring:
+            self._join(backend, reason="probe-recovered")
+
+    # -- backend selection (loop thread) -----------------------------------
+
+    def _select_backend(
+        self, route_key: str, exclude: Set[str]
+    ) -> Optional[BackendState]:
+        candidates = [
+            self._backends[key]
+            for key in self._ring.candidates(route_key)
+            if key not in exclude and self._backends[key].in_ring
+        ]
+        if not candidates:
+            return None
+        for backend in candidates:
+            if (
+                backend.in_flight < self.spill_inflight
+                and backend.shed_score < self.shed_penalty
+            ):
+                if backend is not candidates[0]:
+                    self.metrics.counter("cluster.route.spill").inc()
+                return backend
+        # Every candidate is at the soft bound (or shed-penalized):
+        # spread rather than refuse — the backend's admission queue is
+        # the real shedding authority.
+        return min(candidates, key=lambda b: b.in_flight)
+
+    # -- accept + hello (loop thread) --------------------------------------
+
+    def _on_listener_ready(self, mask: int) -> None:
+        while True:
+            try:
+                client_sock, _ = self._sock.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed by stop()
+            client_sock.setblocking(False)
+            with contextlib.suppress(OSError):
+                client_sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            session = _GatewaySession(
+                client_sock, self.max_frame_bytes, self.max_outbound_bytes
+            )
+            self._sessions.add(session)
+            self.loop.register(
+                client_sock, EVENT_READ,
+                lambda m, s=session: self._on_client_ready(s, m),
+            )
+            session.session_timer = self.loop.call_later(
+                self.handshake_timeout_s,
+                lambda s=session: self._session_expired(s, "handshake"),
+            )
+
+    def _session_expired(self, session: _GatewaySession, phase: str) -> None:
+        if session.closed:
+            return
+        self.metrics.counter(
+            "cluster.session_timeouts", labels={"phase": phase}
+        ).inc()
+        self._close_session(session)
+
+    def _on_client_ready(self, session: _GatewaySession, mask: int) -> None:
+        if session.closed:
+            return
+        if mask & EVENT_WRITE:
+            try:
+                session.to_client.flush(session.client_sock)
+            except OSError:
+                self._close_session(session)
+                return
+            self._update_client_interest(session)
+            self._maybe_finish_close(session)
+            if session.closed:
+                return
+        if mask & EVENT_READ:
+            self._service_client_reads(session)
+
+    def _service_client_reads(self, session: _GatewaySession) -> None:
+        for _ in range(16):
+            if session.closing or session.client_eof:
+                break
+            try:
+                n = session.c2s_assembler.read_into(session.client_sock)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._close_session(session)
+                return
+            if n == 0:
+                session.client_eof = True
+                break
+        if session.state == "hello":
+            self._drain_hello(session)
+        elif session.state == "splice":
+            self._drain_c2s(session)
+        elif session.state == "dial" and session.client_eof:
+            # The client hung up while the backend dial was in flight.
+            self._close_session(session)
+            return
+        if not session.closed:
+            self._update_client_interest(session)
+
+    def _drain_hello(self, session: _GatewaySession) -> None:
+        try:
+            frame = session.c2s_assembler.next_frame()
+        except TransportError:
+            self._close_session(session)
+            return
+        if frame is None:
+            if session.client_eof:
+                self._close_session(session)
+            return
+        try:
+            message = decode_payload(frame)
+        except TransportError:
+            self._close_session(session)
+            return
+        if isinstance(message, StatsRequest):
+            self.metrics.counter("cluster.stats_requests").inc()
+            reply = StatsResponse(
+                payload_json=json.dumps(self.fleet_document(), default=str)
+            )
+            self._send_to_client(session, frame_to_bytes(
+                encode_message(reply)
+            ))
+            self._finish_after_flush(session)
+            return
+        if not isinstance(message, Hello):
+            self._refuse(
+                session, "protocol",
+                f"expected HELLO, got {type(message).__name__}",
+            )
+            return
+        session.route_key = f"{message.sender}#{message.rng_seed}"
+        session.hello_bytes = frame_to_bytes(frame)
+        session.state = "dial"
+        self._start_dial(session)
+
+    # -- backend dial (loop thread) ----------------------------------------
+
+    def _start_dial(self, session: _GatewaySession) -> None:
+        backend = self._select_backend(session.route_key, session.tried)
+        if backend is None:
+            self.metrics.counter("cluster.route.errors").inc()
+            self._refuse(
+                session, "unavailable",
+                "no healthy backend for this session",
+            )
+            return
+        if session.tried:
+            self.metrics.counter("cluster.route.failover").inc()
+        session.tried.add(backend.key)
+        session.backend = backend
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        err = sock.connect_ex(backend.address)
+        if err not in _EINPROGRESS:
+            sock.close()
+            self._dial_failed(session, backend, f"errno {err}")
+            return
+        session.backend_sock = sock
+        self.loop.register(
+            sock, EVENT_WRITE,
+            lambda m, s=session: self._on_backend_dialed(s),
+        )
+        session.dial_timer = self.loop.call_later(
+            self.connect_timeout_s,
+            lambda s=session: self._dial_timed_out(s),
+        )
+
+    def _dial_timed_out(self, session: _GatewaySession) -> None:
+        if session.closed or session.state != "dial":
+            return
+        session.dial_timer = None
+        backend = session.backend
+        if session.backend_sock is not None:
+            self.loop.unregister(session.backend_sock)
+            with contextlib.suppress(OSError):
+                session.backend_sock.close()
+            session.backend_sock = None
+        self._dial_failed(session, backend, "connect timeout")
+
+    def _on_backend_dialed(self, session: _GatewaySession) -> None:
+        if session.closed or session.state != "dial":
+            return
+        if session.dial_timer is not None:
+            session.dial_timer.cancel()
+            session.dial_timer = None
+        sock = session.backend_sock
+        err = sock.getsockopt(socket.SOL_SOCKET, socket.SO_ERROR)
+        if err != 0:
+            self.loop.unregister(sock)
+            with contextlib.suppress(OSError):
+                sock.close()
+            session.backend_sock = None
+            self._dial_failed(session, session.backend, f"errno {err}")
+            return
+        with contextlib.suppress(OSError):
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        backend = session.backend
+        backend.consecutive_failures = 0
+        backend.in_flight += 1
+        backend.sessions_routed += 1
+        session.counted = True
+        self.sessions_routed += 1
+        self.metrics.counter(
+            "cluster.sessions.routed", labels={"backend": backend.key}
+        ).inc()
+        self.metrics.gauge(
+            "cluster.backend.in_flight", labels={"backend": backend.key}
+        ).set(backend.in_flight)
+        session.state = "splice"
+        session.routed_at = time.monotonic()
+        if session.session_timer is not None:
+            session.session_timer.cancel()
+        session.session_timer = self.loop.call_later(
+            self.session_timeout_s,
+            lambda s=session: self._session_expired(s, "splice"),
+        )
+        # The held HELLO opens the backend conversation, then any
+        # frames the client pipelined behind it follow in order.
+        session.to_backend.append(session.hello_bytes, force=True)
+        session.hello_bytes = b""
+        self.loop.modify(
+            sock, EVENT_READ | EVENT_WRITE,
+            lambda m, s=session: self._on_backend_ready(s, m),
+        )
+        self._drain_c2s(session)
+        self._update_client_interest(session)
+
+    def _dial_failed(
+        self, session: _GatewaySession, backend: BackendState, reason: str
+    ) -> None:
+        self._note_dial_failure(backend, reason)
+        if session.closed:
+            return
+        # Try the next ring candidate; _start_dial refuses the session
+        # (counting cluster.route.errors) once every one was tried.
+        self._start_dial(session)
+
+    # -- splicing (loop thread) --------------------------------------------
+
+    def _on_backend_ready(self, session: _GatewaySession, mask: int) -> None:
+        if session.closed:
+            return
+        if mask & EVENT_WRITE:
+            try:
+                session.to_backend.flush(session.backend_sock)
+            except OSError:
+                self._splice_broken(session, "backend write")
+                return
+            self._update_backend_interest(session)
+            self._maybe_finish_close(session)
+            if session.closed:
+                return
+        if mask & EVENT_READ:
+            self._service_backend_reads(session)
+
+    def _service_backend_reads(self, session: _GatewaySession) -> None:
+        for _ in range(16):
+            if session.closing or session.backend_eof:
+                break
+            try:
+                n = session.s2c_assembler.read_into(session.backend_sock)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._splice_broken(session, "backend read")
+                return
+            if n == 0:
+                session.backend_eof = True
+                break
+        self._drain_s2c(session)
+
+    def _drain_c2s(self, session: _GatewaySession) -> None:
+        while not session.closed:
+            try:
+                frame = session.c2s_assembler.next_frame()
+            except TransportError:
+                self._splice_broken(session, "client stream")
+                return
+            if frame is None:
+                break
+            self.metrics.counter(
+                "cluster.frames.relayed", labels={"direction": "c2s"}
+            ).inc()
+            if session.to_backend.append(
+                frame_to_bytes(frame), force=True
+            ) == SEND_CLOSED:
+                return
+        if session.closed:
+            return
+        self._update_backend_interest(session)
+        if session.client_eof and not session.closing:
+            session.closing = True
+            self._update_backend_interest(session)
+        self._maybe_finish_close(session)
+
+    def _drain_s2c(self, session: _GatewaySession) -> None:
+        while not session.closed:
+            try:
+                frame = session.s2c_assembler.next_frame()
+            except TransportError:
+                self._splice_broken(session, "backend stream")
+                return
+            if frame is None:
+                break
+            self._observe_s2c_frame(session, frame)
+            self.metrics.counter(
+                "cluster.frames.relayed", labels={"direction": "s2c"}
+            ).inc()
+            if session.to_client.append(
+                frame_to_bytes(frame), force=True
+            ) == SEND_CLOSED:
+                return
+        if session.closed:
+            return
+        self._update_client_interest(session)
+        if session.backend_eof and not session.closing:
+            # One session per connection: the backend said everything
+            # it will say; flush what is buffered and close both ways.
+            session.closing = True
+            self._update_client_interest(session)
+        self._update_backend_interest(session)
+        self._maybe_finish_close(session)
+
+    def _observe_s2c_frame(self, session: _GatewaySession, frame) -> None:
+        """Steer future placements from this session's verdict frames."""
+        backend = session.backend
+        if backend is None:
+            return
+        if frame.type == FrameType.VERDICT:
+            try:
+                verdict = decode_payload(frame)
+            except TransportError:
+                return
+            if isinstance(verdict, Verdict):
+                backend.shed_score = 0
+                self.metrics.counter(
+                    "cluster.sessions.verdicts",
+                    labels={"backend": backend.key, "state": verdict.state},
+                ).inc()
+                if session.routed_at:
+                    self.metrics.histogram(
+                        "cluster.session_s",
+                        bounds=latency_buckets(),
+                        labels={"backend": backend.key},
+                    ).observe(time.monotonic() - session.routed_at)
+                    session.routed_at = 0.0
+        elif frame.type == FrameType.ERROR:
+            try:
+                error = decode_payload(frame)
+            except TransportError:
+                return
+            if isinstance(error, ErrorFrame) and error.code == "busy":
+                backend.shed_score += 1
+                self.metrics.counter(
+                    "cluster.shed.observed", labels={"backend": backend.key}
+                ).inc()
+
+    def _splice_broken(self, session: _GatewaySession, where: str) -> None:
+        self.metrics.counter(
+            "cluster.splice_errors", labels={"where": where}
+        ).inc()
+        self._close_session(session)
+
+    # -- interest management (loop thread) ---------------------------------
+
+    def _update_client_interest(self, session: _GatewaySession) -> None:
+        if session.closed:
+            return
+        events = 0
+        if (
+            session.state in ("hello", "splice")
+            and not session.client_eof
+            and not session.closing
+        ):
+            events |= EVENT_READ
+        if session.to_client.pending > 0:
+            events |= EVENT_WRITE
+        callback = (
+            lambda m, s=session: self._on_client_ready(s, m)
+        )
+        if events:
+            try:
+                self.loop.modify(session.client_sock, events, callback)
+            except KeyError:
+                self.loop.register(session.client_sock, events, callback)
+        else:
+            self.loop.unregister(session.client_sock)
+
+    def _update_backend_interest(self, session: _GatewaySession) -> None:
+        if session.closed or session.backend_sock is None:
+            return
+        if session.state != "splice":
+            return
+        events = 0
+        if not session.backend_eof and not session.closing:
+            events |= EVENT_READ
+        if session.to_backend.pending > 0:
+            events |= EVENT_WRITE
+        callback = (
+            lambda m, s=session: self._on_backend_ready(s, m)
+        )
+        if events:
+            try:
+                self.loop.modify(session.backend_sock, events, callback)
+            except KeyError:
+                self.loop.register(session.backend_sock, events, callback)
+        else:
+            self.loop.unregister(session.backend_sock)
+
+    # -- refusal + teardown (loop thread) ----------------------------------
+
+    def _send_to_client(self, session: _GatewaySession, data: bytes) -> None:
+        session.to_client.append(data, force=True)
+        self._update_client_interest(session)
+
+    def _refuse(
+        self, session: _GatewaySession, code: str, detail: str
+    ) -> None:
+        frame = encode_message(ErrorFrame(code=code, detail=detail))
+        self._send_to_client(session, frame_to_bytes(frame))
+        self._finish_after_flush(session)
+
+    def _finish_after_flush(self, session: _GatewaySession) -> None:
+        session.closing = True
+        session.state = "closing"
+        self._update_client_interest(session)
+        self._maybe_finish_close(session)
+
+    def _maybe_finish_close(self, session: _GatewaySession) -> None:
+        if not session.closing or session.closed:
+            return
+        if session.to_client.pending > 0:
+            return
+        if session.backend_sock is not None and (
+            session.to_backend.pending > 0
+        ):
+            return
+        self._close_session(session)
+
+    def _close_session(self, session: _GatewaySession) -> None:
+        if session.closed:
+            return
+        session.closed = True
+        for timer in (session.dial_timer, session.session_timer):
+            if timer is not None:
+                timer.cancel()
+        session.to_client.close()
+        session.to_backend.close()
+        for sock in (session.client_sock, session.backend_sock):
+            if sock is None:
+                continue
+            self.loop.unregister(sock)
+            with contextlib.suppress(OSError):
+                sock.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                sock.close()
+        backend = session.backend
+        if backend is not None and session.counted:
+            backend.in_flight = max(0, backend.in_flight - 1)
+            self.metrics.gauge(
+                "cluster.backend.in_flight", labels={"backend": backend.key}
+            ).set(backend.in_flight)
+        self._sessions.discard(session)

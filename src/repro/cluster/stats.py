@@ -1,0 +1,78 @@
+"""Stats scraping: one round trip for health *and* metrics.
+
+Every WaveKey front end — backend TCP servers and the gateway alike —
+answers a :class:`repro.net.codec.StatsRequest` sent as the *first*
+frame of a connection with a JSON :class:`StatsResponse` and closes.
+That single exchange doubles as:
+
+* a **health probe** — a backend that cannot accept, parse the
+  request, and serialize its registry within the probe timeout is not
+  healthy in any sense a router cares about (strictly stronger than a
+  bare TCP connect check);
+* a **metrics scrape** — the payload carries the responder's full
+  metrics snapshot, so the gateway's prober accumulates per-backend
+  snapshots for free and :func:`repro.obs.merge_snapshots` builds the
+  fleet view.
+
+JSON stringifies histogram bucket bounds; :func:`fetch_stats` repairs
+them with :func:`repro.obs.normalize_snapshot` so scraped snapshots
+merge cleanly with live registries.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProtocolError
+from repro.net.codec import DEFAULT_MAX_FRAME_BYTES, StatsRequest, StatsResponse
+from repro.net.connection import connect
+from repro.obs.metrics import normalize_snapshot
+
+
+def fetch_stats(
+    host: str,
+    port: int,
+    *,
+    timeout_s: float = 5.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict:
+    """Fetch one stats document from a WaveKey front end.
+
+    Returns the decoded JSON document: ``role`` is ``"backend"`` or
+    ``"gateway"``; ``snapshot`` (and, for gateways, each entry of
+    ``backends[*].snapshot``) is normalized back to float bucket keys.
+    Raises :class:`repro.errors.TransportError` subclasses on
+    connect/read failures and :class:`ProtocolError` on a malformed
+    reply — both of which a prober should score as "unhealthy".
+    """
+    conn = connect(
+        host,
+        port,
+        timeout_s=timeout_s,
+        read_timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    try:
+        conn.send(StatsRequest())
+        reply = conn.recv(timeout_s=timeout_s)
+    finally:
+        conn.close()
+    if not isinstance(reply, StatsResponse):
+        raise ProtocolError(
+            f"expected STATS_RESPONSE, got {type(reply).__name__}"
+        )
+    try:
+        document = json.loads(reply.payload_json)
+    except ValueError as exc:
+        raise ProtocolError(f"stats payload is not JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("stats payload is not a JSON object")
+    snapshot = document.get("snapshot")
+    if isinstance(snapshot, dict):
+        normalize_snapshot(snapshot)
+    for entry in document.get("backends") or []:
+        if isinstance(entry, dict) and isinstance(
+            entry.get("snapshot"), dict
+        ):
+            normalize_snapshot(entry["snapshot"])
+    return document

@@ -54,6 +54,8 @@ from repro.net.codec import (
     Frame,
     FrameAssembler,
     FrameType,
+    StatsRequest,
+    StatsResponse,
     decode_payload,
     encode_message,
     frame_to_bytes,
@@ -68,7 +70,11 @@ from repro.net.proxy import (
     drop_frames,
     reorder_once,
 )
-from repro.net.server import ThreadedWaveKeyTCPServer, WaveKeyTCPServer
+from repro.net.server import (
+    ThreadedWaveKeyTCPServer,
+    WaveKeyTCPServer,
+    backend_stats_response,
+)
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
@@ -82,9 +88,12 @@ __all__ = [
     "FrameType",
     "NetClientConfig",
     "OutboundBuffer",
+    "StatsRequest",
+    "StatsResponse",
     "ThreadedWaveKeyTCPServer",
     "WaveKeyNetClient",
     "WaveKeyTCPServer",
+    "backend_stats_response",
     "corrupt_frames",
     "decode_payload",
     "delay_frames",

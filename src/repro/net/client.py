@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.crypto.hashes import hmac_digest
 from repro.errors import (
@@ -62,9 +62,36 @@ from repro.utils.bits import BitSequence
 from repro.utils.rng import child_rng
 
 
+def _parse_endpoint(spec: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` into a ``(host, port)`` pair."""
+    host, sep, port_text = spec.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"endpoint {spec!r} must look like HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"endpoint {spec!r} has a non-integer port"
+        ) from None
+    if not 0 < port < 65536:
+        raise ConfigurationError(f"endpoint {spec!r} port out of range")
+    return host, port
+
+
 @dataclass(frozen=True)
 class NetClientConfig:
-    """Client-side knobs: identity, deadlines, and the retry policy."""
+    """Client-side knobs: identity, deadlines, and the retry policy.
+
+    ``endpoints`` is an ordered list of fallback ``"host:port"``
+    addresses tried *after* the primary endpoint: when the connect
+    phase itself fails (refused, unreachable, timed out) the client
+    rotates to the next address on the following dial instead of
+    hammering the dead one.  Failures *after* a connection was
+    established stick with the current endpoint — the server already
+    holds session state worth retrying against.
+    """
 
     name: str = "mobile"
     connect_timeout_s: float = 5.0
@@ -75,10 +102,14 @@ class NetClientConfig:
     backoff_multiplier: float = 2.0
     backoff_max_s: float = 1.0
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    endpoints: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if not self.name:
             raise ConfigurationError("client name must be non-empty")
+        object.__setattr__(self, "endpoints", tuple(self.endpoints))
+        for spec in self.endpoints:
+            _parse_endpoint(spec)
         if min(
             self.connect_timeout_s,
             self.read_timeout_s,
@@ -106,6 +137,7 @@ class EstablishmentResult:
     elapsed_s: float = 0.0
     failure_reason: Optional[str] = None
     rounds: List[RoundResult] = field(default_factory=list)
+    endpoint: str = ""         # address that served the final attempt
 
 
 class _RoundAborted(Exception):
@@ -114,6 +146,14 @@ class _RoundAborted(Exception):
     def __init__(self, result: RoundResult):
         super().__init__(result.reason)
         self.result = result
+
+
+class _ConnectFailed(Exception):
+    """The connect phase itself failed (eligible for endpoint failover)."""
+
+    def __init__(self, cause: TransportError):
+        super().__init__(str(cause))
+        self.cause = cause
 
 
 class WaveKeyNetClient:
@@ -133,6 +173,11 @@ class WaveKeyNetClient:
         self.config = config or NetClientConfig()
         self.metrics = metrics
         self.tracer = tracer
+        self._endpoints: List[Tuple[str, int]] = [(self.host, self.port)]
+        for spec in self.config.endpoints:
+            pair = _parse_endpoint(spec)
+            if pair not in self._endpoints:
+                self._endpoints.append(pair)
 
     # -- public API --------------------------------------------------------
 
@@ -150,6 +195,7 @@ class WaveKeyNetClient:
         start = time.monotonic()
         delay = config.backoff_initial_s
         last_error: Optional[TransportError] = None
+        endpoint_index = 0
         with tracer.span(
             "net.establish", seed=rng_seed, server=f"{self.host}:{self.port}"
         ) as root:
@@ -162,13 +208,32 @@ class WaveKeyNetClient:
                         delay * config.backoff_multiplier,
                         config.backoff_max_s,
                     )
+                host, port = self._endpoints[
+                    endpoint_index % len(self._endpoints)
+                ]
                 try:
-                    result = self._attempt(rng_seed, dynamic, tracer)
+                    result = self._attempt(
+                        host, port, rng_seed, dynamic, tracer
+                    )
                     result.connects = dial + 1
                     result.elapsed_s = time.monotonic() - start
+                    result.endpoint = f"{host}:{port}"
                     root.set_attribute("state", result.state)
                     root.set_attribute("connects", result.connects)
+                    root.set_attribute("endpoint", result.endpoint)
                     return result
+                except _ConnectFailed as exc:
+                    last_error = exc.cause
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "net.client.transport_errors"
+                        ).inc()
+                    if len(self._endpoints) > 1:
+                        endpoint_index += 1
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "net.client.failover"
+                            ).inc()
                 except TransportError as exc:
                     last_error = exc
                     if self.metrics is not None:
@@ -181,20 +246,24 @@ class WaveKeyNetClient:
     # -- one connection lifecycle ------------------------------------------
 
     def _attempt(
-        self, rng_seed: int, dynamic: bool, tracer: Tracer
+        self, host: str, port: int, rng_seed: int, dynamic: bool,
+        tracer: Tracer,
     ) -> EstablishmentResult:
         config = self.config
         deadline = time.monotonic() + config.establish_timeout_s
-        with tracer.span("net.connect"):
-            conn = connect(
-                self.host,
-                self.port,
-                timeout_s=config.connect_timeout_s,
-                max_frame_bytes=config.max_frame_bytes,
-                read_timeout_s=config.read_timeout_s,
-                metrics=self.metrics,
-                endpoint="client",
-            )
+        with tracer.span("net.connect", server=f"{host}:{port}"):
+            try:
+                conn = connect(
+                    host,
+                    port,
+                    timeout_s=config.connect_timeout_s,
+                    max_frame_bytes=config.max_frame_bytes,
+                    read_timeout_s=config.read_timeout_s,
+                    metrics=self.metrics,
+                    endpoint="client",
+                )
+            except TransportError as exc:
+                raise _ConnectFailed(exc) from exc
         try:
             with tracer.span("net.hello"):
                 conn.send(Hello(

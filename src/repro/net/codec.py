@@ -76,6 +76,8 @@ class FrameType(enum.IntEnum):
     ROUND_RESULT = 0x20
     VERDICT = 0x21
     ERROR = 0x30
+    STATS_REQUEST = 0x40
+    STATS_RESPONSE = 0x41
 
 
 class Frame(NamedTuple):
@@ -165,6 +167,36 @@ class ErrorFrame:
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class StatsRequest:
+    """Client -> server: ask for an operational stats snapshot instead
+    of opening a session.
+
+    Sent as the *first* frame where a :class:`Hello` would go; the
+    server answers with one :class:`StatsResponse` and closes.  The
+    cluster tier uses this exchange both as a health probe and as the
+    metrics scrape feeding the fleet view.
+    """
+
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class StatsResponse:
+    """Server -> client: one JSON document of operational stats.
+
+    The payload is JSON (not a binary schema) because it carries a
+    whole :meth:`MetricsRegistry.snapshot` — an open-ended, labeled
+    series set that evolves faster than the wire protocol should.
+    ``role`` inside the document distinguishes a single backend
+    (``"backend"``) from a gateway answering with its merged fleet
+    view (``"gateway"``).
+    """
+
+    payload_json: str
+    version: int = PROTOCOL_VERSION
+
+
 # -- primitive writers / readers ---------------------------------------------
 
 
@@ -207,6 +239,12 @@ class _Writer:
         if len(data) > 0xFFFF:
             raise ProtocolError("blob16 field over 65535 bytes")
         return self.u16(len(data)).raw(data)
+
+    def blob32(self, data: bytes) -> "_Writer":
+        """u32-length blob: stats documents outgrow the u16 cap."""
+        if len(data) > 0xFFFFFFFF:
+            raise ProtocolError("blob32 field over 2**32-1 bytes")
+        return self.u32(len(data)).raw(data)
 
     def uint(self, value: int) -> "_Writer":
         """Arbitrary-precision non-negative int: u16 length + minimal
@@ -273,6 +311,9 @@ class _Reader:
 
     def blob16(self) -> bytes:
         return self._take(self.u16())
+
+    def blob32(self) -> bytes:
+        return self._take(self.u32())
 
     def uint(self) -> int:
         data = self.blob16()
@@ -487,6 +528,38 @@ def _encode_error(msg: ErrorFrame) -> bytes:
     return _Writer().string(msg.code).string(msg.detail).payload()
 
 
+def _encode_stats_request(msg: StatsRequest) -> bytes:
+    return _Writer().u8(msg.version).payload()
+
+
+def _decode_stats_request(payload: bytes) -> StatsRequest:
+    r = _Reader(payload)
+    version = r.u8()
+    r.expect_end()
+    return StatsRequest(version=version)
+
+
+def _encode_stats_response(msg: StatsResponse) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .blob32(msg.payload_json.encode("utf-8"))
+        .payload()
+    )
+
+
+def _decode_stats_response(payload: bytes) -> StatsResponse:
+    r = _Reader(payload)
+    version = r.u8()
+    data = r.blob32()
+    r.expect_end()
+    try:
+        document = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"invalid utf-8 in stats document: {exc}")
+    return StatsResponse(payload_json=document, version=version)
+
+
 def _decode_error(payload: bytes) -> ErrorFrame:
     r = _Reader(payload)
     code = r.string()
@@ -508,6 +581,8 @@ _ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
     RoundResult: (FrameType.ROUND_RESULT, _encode_round_result),
     Verdict: (FrameType.VERDICT, _encode_verdict),
     ErrorFrame: (FrameType.ERROR, _encode_error),
+    StatsRequest: (FrameType.STATS_REQUEST, _encode_stats_request),
+    StatsResponse: (FrameType.STATS_RESPONSE, _encode_stats_response),
 }
 
 _DECODERS: Dict[FrameType, Callable] = {
@@ -523,6 +598,8 @@ _DECODERS: Dict[FrameType, Callable] = {
     FrameType.ROUND_RESULT: _decode_round_result,
     FrameType.VERDICT: _decode_verdict,
     FrameType.ERROR: _decode_error,
+    FrameType.STATS_REQUEST: _decode_stats_request,
+    FrameType.STATS_RESPONSE: _decode_stats_response,
 }
 
 

@@ -75,6 +75,7 @@ class EventLoop:
         self.metrics = metrics
         self._selector = selectors.DefaultSelector()
         self._wake_r, self._wake_w = os.pipe()
+        self._wake_lock = threading.Lock()
         os.set_blocking(self._wake_r, False)
         os.set_blocking(self._wake_w, False)
         self._selector.register(self._wake_r, EVENT_READ, self._drain_wakeups)
@@ -115,8 +116,14 @@ class EventLoop:
         except (KeyError, ValueError):
             pass
         self._selector.close()
+        # Invalidate the write end under the wake lock BEFORE closing:
+        # late wakers (worker completions, probes) must see -1, never a
+        # recycled fd.  Writing the wake byte into whatever socket
+        # inherits the fd number would inject 0x00 into that stream.
+        with self._wake_lock:
+            wake_w, self._wake_w = self._wake_w, -1
         os.close(self._wake_r)
-        os.close(self._wake_w)
+        os.close(wake_w)
 
     def assert_loop_thread(self) -> None:
         if self._running and threading.current_thread() is not self._thread:
@@ -170,12 +177,18 @@ class EventLoop:
     def wake(self) -> None:
         """Interrupt a blocked ``select`` from any thread."""
         self._wake_stamps.append(time.perf_counter())
-        try:
-            os.write(self._wake_w, b"\x00")
-        except (BlockingIOError, InterruptedError):
-            pass  # pipe full: a wakeup is already pending
-        except OSError:
-            pass  # loop torn down concurrently
+        # The lock pins the fd across the write: without it a stop()
+        # racing this call can close the pipe and let the OS recycle
+        # the fd number for a fresh TCP socket, and the wake byte
+        # becomes a stray 0x00 in the middle of that connection's
+        # stream (observed as frame desync under backend churn).
+        with self._wake_lock:
+            if self._wake_w < 0:
+                return  # loop torn down: nothing left to wake
+            try:
+                os.write(self._wake_w, b"\x00")
+            except (BlockingIOError, InterruptedError):
+                pass  # pipe full: a wakeup is already pending
 
     # -- internals ---------------------------------------------------------
 

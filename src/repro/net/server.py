@@ -53,6 +53,7 @@ Operational mapping onto the wire (both servers):
 from __future__ import annotations
 
 import contextlib
+import json
 import queue
 import socket
 import struct
@@ -80,6 +81,8 @@ from repro.net.codec import (
     Hello,
     RoundResult,
     SeedGrant,
+    StatsRequest,
+    StatsResponse,
     Verdict,
     decode_payload,
     encode_message,
@@ -109,6 +112,28 @@ from repro.utils.rng import child_rng
 
 _UNSET = object()
 _FRAME_HEADER_BYTES = struct.calcsize("!IB")
+
+
+def backend_stats_response(front_end) -> StatsResponse:
+    """The wire stats document for one backend front end.
+
+    Answered in place of an :class:`Accept` when a peer's first frame
+    is a :class:`StatsRequest` — the cluster gateway's health probe and
+    metrics scrape in one round trip.  Carries the front end's identity
+    and session count, the access server's live admission-queue
+    pressure, and a full metrics-registry snapshot for fleet merging.
+    """
+    access = front_end.access_server
+    depth, capacity = access.queue_state()
+    document = {
+        "role": "backend",
+        "name": front_end.name,
+        "sessions_served": front_end.sessions_served,
+        "queue_depth": depth,
+        "queue_capacity": capacity,
+        "snapshot": access.metrics.snapshot(),
+    }
+    return StatsResponse(payload_json=json.dumps(document, default=str))
 
 
 class _NetAgreement:
@@ -626,6 +651,11 @@ class WaveKeyTCPServer:
     # -- handshake / verdict state machine (loop thread) -------------------
 
     def _handle_hello(self, conn: _ClientConn, message) -> None:
+        if isinstance(message, StatsRequest):
+            self.metrics.counter("net.server.stats_requests").inc()
+            self._enqueue(conn, backend_stats_response(self))
+            self._close_after_flush(conn)
+            return
         if not isinstance(message, Hello):
             self._enqueue(conn, ErrorFrame(
                 "protocol",
@@ -977,6 +1007,10 @@ class ThreadedWaveKeyTCPServer:
 
     def _converse(self, conn: FrameConnection, addr) -> None:
         hello = conn.recv(timeout_s=self.handshake_timeout_s)
+        if isinstance(hello, StatsRequest):
+            self.metrics.counter("net.server.stats_requests").inc()
+            conn.send(backend_stats_response(self))
+            return
         if not isinstance(hello, Hello):
             conn.send(ErrorFrame(
                 "protocol",

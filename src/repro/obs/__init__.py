@@ -34,7 +34,9 @@ from repro.obs.metrics import (
     latency_buckets,
     wakeup_buckets,
     merge_snapshots,
+    normalize_snapshot,
     render_prometheus,
+    snapshot_percentile,
 )
 from repro.obs.profiling import LayerProfiler, LayerStats, flop_estimate
 from repro.obs.tracing import (
@@ -73,7 +75,9 @@ __all__ = [
     "wakeup_buckets",
     "load_trace_jsonl",
     "merge_snapshots",
+    "normalize_snapshot",
     "render_prometheus",
+    "snapshot_percentile",
     "resolve_tracer",
     "set_default_tracer",
     "use_default_tracer",

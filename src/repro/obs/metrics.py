@@ -271,6 +271,59 @@ class MetricsRegistry:
 # -- snapshot-level operations ----------------------------------------------
 
 
+def normalize_snapshot(snapshot: Dict[str, object]) -> Dict[str, object]:
+    """Repair a snapshot that crossed a JSON boundary, in place.
+
+    JSON stringifies histogram bucket bounds (``0.1`` -> ``"0.1"``),
+    which would make :func:`merge_snapshots` see different bucket sets
+    when merging a deserialized snapshot with a live one.  Scrapers and
+    the CLI call this after ``json.loads`` so bounds compare equal
+    again.  Returns the snapshot for chaining.
+    """
+    for hist in snapshot.get("histograms", {}).values():
+        buckets = hist.get("buckets")
+        if buckets:
+            hist["buckets"] = {
+                float(bound): count for bound, count in buckets.items()
+            }
+    return snapshot
+
+
+def snapshot_percentile(hist: Dict[str, object], q: float) -> float:
+    """:meth:`Histogram.percentile` over a histogram *snapshot* dict.
+
+    Merged fleet snapshots are plain dicts with no live
+    :class:`Histogram` behind them; this applies the same
+    within-bucket linear interpolation (clamped to the recorded
+    min/max, overflow ranks reporting the recorded maximum) so
+    percentiles of merged data match what a single registry holding
+    all the observations would report.
+    """
+    if not (0.0 < q <= 1.0):
+        raise ConfigurationError("quantile must be in (0, 1]")
+    count = hist.get("count", 0)
+    if not count:
+        return 0.0
+    bounds = sorted(hist["buckets"])
+    counts = [hist["buckets"][b] for b in bounds]
+    counts.append(hist.get("overflow", 0))
+    rank = q * count
+    cumulative = 0
+    for i, n in enumerate(counts):
+        if cumulative + n >= rank and n > 0:
+            if i == len(bounds):
+                return hist["max"]
+            lower = bounds[i - 1] if i > 0 else 0.0
+            estimate = lower + (rank - cumulative) / n * (bounds[i] - lower)
+            if hist.get("min") is not None:
+                estimate = max(estimate, hist["min"])
+            if hist.get("max") is not None:
+                estimate = min(estimate, hist["max"])
+            return estimate
+        cumulative += n
+    return hist["max"] if hist.get("max") is not None else 0.0
+
+
 def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
     """Combine registry snapshots: counters and histogram buckets add,
     gauges keep the last snapshot's value.  Shapes must agree where

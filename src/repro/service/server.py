@@ -29,7 +29,7 @@ import contextlib
 import queue
 import threading
 import time
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.models import WaveKeyModelBundle
 from repro.core.pipeline import KeySeedPipeline
@@ -224,6 +224,17 @@ class WaveKeyAccessServer:
     ) -> SessionRecord:
         """Blocking convenience: submit and wait for the terminal record."""
         return self.submit(request).result(timeout)
+
+    def queue_state(self) -> Tuple[int, int]:
+        """Current admission-queue ``(depth, capacity)``.
+
+        The cluster tier scrapes this through the wire stats exchange:
+        a backend running near capacity sheds, and the gateway folds
+        that pressure into its routing weights rather than discovering
+        it one ``busy`` frame at a time.
+        """
+        with self._admission_lock:
+            return self._pending, self.config.queue_capacity
 
     # -- session processing ------------------------------------------------
 

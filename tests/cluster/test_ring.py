@@ -1,0 +1,121 @@
+"""Unit tests for the consistent-hash shard ring."""
+
+import pytest
+
+from repro.cluster import ShardRing, ring_hash
+from repro.errors import ConfigurationError
+
+NODES = ["10.0.0.1:7100", "10.0.0.2:7100", "10.0.0.3:7100"]
+KEYS = [f"mobile#{seed}" for seed in range(2000)]
+
+
+class TestPlacement:
+    def test_lookup_is_deterministic(self):
+        a = ShardRing(NODES)
+        b = ShardRing(list(reversed(NODES)))
+        for key in KEYS[:200]:
+            assert a.lookup(key) == b.lookup(key)
+
+    def test_hash_is_stable_across_instances(self):
+        # blake2b, not hash(): placement must survive process restarts.
+        assert ring_hash("mobile#7") == ring_hash("mobile#7")
+        assert ring_hash("mobile#7") != ring_hash("mobile#8")
+
+    def test_empty_ring_has_no_owner(self):
+        ring = ShardRing()
+        assert ring.lookup("anything") is None
+        assert ring.candidates("anything") == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = ShardRing([NODES[0]])
+        assert all(ring.lookup(k) == NODES[0] for k in KEYS[:50])
+        assert ring.share(NODES[0]) == pytest.approx(1.0)
+
+    def test_balance_within_tolerance(self):
+        ring = ShardRing(NODES, replicas=64)
+        counts = {node: 0 for node in NODES}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        # Every node should hold a non-trivial slice; vnode hashing
+        # keeps the spread well away from degenerate.
+        for node in NODES:
+            assert counts[node] > len(KEYS) * 0.15
+
+    def test_shares_sum_to_one_and_predict_load(self):
+        ring = ShardRing(NODES)
+        shares = {node: ring.share(node) for node in NODES}
+        assert sum(shares.values()) == pytest.approx(1.0)
+        counts = {node: 0 for node in NODES}
+        for key in KEYS:
+            counts[ring.lookup(key)] += 1
+        for node in NODES:
+            assert counts[node] / len(KEYS) == pytest.approx(
+                shares[node], abs=0.05
+            )
+
+
+class TestMembershipChanges:
+    def test_removal_only_remaps_the_lost_nodes_keys(self):
+        ring = ShardRing(NODES)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove(NODES[1])
+        moved = 0
+        for key in KEYS:
+            after = ring.lookup(key)
+            if before[key] == NODES[1]:
+                assert after != NODES[1]
+            else:
+                assert after == before[key], (
+                    "a key not owned by the removed node must not move"
+                )
+                continue
+            moved += 1
+        # ~1/3 of the keyspace moves, never more.
+        assert moved == sum(1 for v in before.values() if v == NODES[1])
+
+    def test_re_adding_restores_exact_placement(self):
+        ring = ShardRing(NODES)
+        before = {key: ring.lookup(key) for key in KEYS[:500]}
+        ring.remove(NODES[2])
+        ring.add(NODES[2])
+        assert {key: ring.lookup(key) for key in KEYS[:500]} == before
+
+    def test_candidates_agree_with_post_removal_owner(self):
+        ring = ShardRing(NODES)
+        for key in KEYS[:100]:
+            first, second = ring.candidates(key)[:2]
+            assert first == ring.lookup(key)
+            ring.remove(first)
+            assert ring.lookup(key) == second
+            ring.add(first)
+
+    def test_candidates_list_each_node_once(self):
+        ring = ShardRing(NODES)
+        for key in KEYS[:50]:
+            candidates = ring.candidates(key)
+            assert sorted(candidates) == sorted(NODES)
+
+    def test_add_is_idempotent_remove_is_tolerant(self):
+        ring = ShardRing(NODES)
+        ring.add(NODES[0])
+        assert len(ring) == 3
+        ring.remove("10.9.9.9:1")  # never a member: no-op
+        assert len(ring) == 3
+        assert NODES[0] in ring
+        ring.remove(NODES[0])
+        assert NODES[0] not in ring
+
+    def test_share_of_absent_node_is_zero(self):
+        ring = ShardRing(NODES)
+        assert ring.share("10.9.9.9:1") == 0.0
+
+
+class TestValidation:
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ShardRing(replicas=0)
+
+    def test_node_name_must_be_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            ShardRing([""])

@@ -1,0 +1,132 @@
+"""Client-side endpoint failover: bounded rotation on connect failure."""
+
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError, TransportError
+from repro.net import NetClientConfig, WaveKeyNetClient, WaveKeyTCPServer
+from repro.obs import MetricsRegistry
+
+from tests.net.conftest import make_access_server, matched_seed, pin_seeds
+
+
+def _dead_port() -> int:
+    """A port that was just closed: connects are refused, not hung."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+@pytest.fixture
+def live_server(tiny_bundle):
+    with make_access_server(tiny_bundle) as access:
+        pin_seeds(access, matched_seed())
+        with WaveKeyTCPServer(access, "127.0.0.1", 0) as tcp:
+            yield tcp
+
+
+class TestFailover:
+    def test_dead_primary_fails_over_to_live_endpoint(self, live_server):
+        host, port = live_server.address
+        metrics = MetricsRegistry()
+        config = NetClientConfig(
+            max_retries=2,
+            backoff_initial_s=0.0,
+            endpoints=(f"{host}:{port}",),
+        )
+        client = WaveKeyNetClient(
+            "127.0.0.1", _dead_port(), config, metrics=metrics
+        )
+        result = client.establish(rng_seed=11)
+        assert result.success
+        assert result.endpoint == f"{host}:{port}"
+        assert result.connects == 2
+        counters = metrics.snapshot()["counters"]
+        assert counters["net.client.failover"] == 1
+        assert counters["net.client.transport_errors"] == 1
+
+    def test_all_endpoints_dead_raises_after_bounded_retries(self):
+        metrics = MetricsRegistry()
+        config = NetClientConfig(
+            max_retries=2,
+            backoff_initial_s=0.0,
+            endpoints=(f"127.0.0.1:{_dead_port()}",),
+        )
+        client = WaveKeyNetClient(
+            "127.0.0.1", _dead_port(), config, metrics=metrics
+        )
+        with pytest.raises(TransportError):
+            client.establish(rng_seed=11)
+        counters = metrics.snapshot()["counters"]
+        assert counters["net.client.transport_errors"] == 3  # 1 + retries
+        assert counters["net.client.failover"] == 3
+
+    def test_single_endpoint_never_counts_failover(self):
+        metrics = MetricsRegistry()
+        config = NetClientConfig(max_retries=1, backoff_initial_s=0.0)
+        client = WaveKeyNetClient(
+            "127.0.0.1", _dead_port(), config, metrics=metrics
+        )
+        with pytest.raises(TransportError):
+            client.establish(rng_seed=3)
+        counters = metrics.snapshot()["counters"]
+        assert "net.client.failover" not in counters
+
+    def test_healthy_primary_ignores_fallbacks(self, live_server):
+        host, port = live_server.address
+        metrics = MetricsRegistry()
+        config = NetClientConfig(
+            endpoints=(f"127.0.0.1:{_dead_port()}",),
+        )
+        client = WaveKeyNetClient(host, port, config, metrics=metrics)
+        result = client.establish(rng_seed=19)
+        assert result.success
+        assert result.endpoint == f"{host}:{port}"
+        assert "net.client.failover" not in metrics.snapshot()["counters"]
+
+    def test_rotation_wraps_back_to_the_primary(self, live_server):
+        host, port = live_server.address
+        metrics = MetricsRegistry()
+        # Primary is live but listed *after* two dead fallbacks have
+        # been tried: index wraps modulo the endpoint count.
+        config = NetClientConfig(
+            max_retries=3,
+            backoff_initial_s=0.0,
+            endpoints=(
+                f"127.0.0.1:{_dead_port()}",
+                f"127.0.0.1:{_dead_port()}",
+            ),
+        )
+        client = WaveKeyNetClient(
+            "127.0.0.1", _dead_port(), config, metrics=metrics
+        )
+        # All three are dead -> rotation lands back on index 0 for the
+        # fourth dial; still dead here, so the raise is expected.
+        with pytest.raises(TransportError):
+            client.establish(rng_seed=5)
+        assert metrics.snapshot()["counters"]["net.client.failover"] == 4
+
+
+class TestEndpointValidation:
+    @pytest.mark.parametrize(
+        "spec", ["nocolon", ":7000", "host:", "host:notaport", "host:0"]
+    )
+    def test_malformed_endpoints_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            NetClientConfig(endpoints=(spec,))
+
+    def test_endpoint_list_is_coerced_to_tuple(self):
+        config = NetClientConfig(endpoints=["10.0.0.1:7000"])
+        assert config.endpoints == ("10.0.0.1:7000",)
+
+    def test_duplicate_of_primary_is_dropped(self):
+        client = WaveKeyNetClient(
+            "10.0.0.1", 7000,
+            NetClientConfig(endpoints=("10.0.0.1:7000", "10.0.0.2:7000")),
+        )
+        assert client._endpoints == [
+            ("10.0.0.1", 7000), ("10.0.0.2", 7000),
+        ]

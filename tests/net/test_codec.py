@@ -24,6 +24,8 @@ from repro.net.codec import (
     Hello,
     RoundResult,
     SeedGrant,
+    StatsRequest,
+    StatsResponse,
     Verdict,
     decode_payload,
     encode_message,
@@ -101,6 +103,12 @@ def sample_messages():
         Verdict(state="failed", attempts=3, reason="keys differ"),
         ErrorFrame(code="busy", detail="queue 32/32"),
         ErrorFrame(code="version"),
+        StatsRequest(),
+        StatsResponse(payload_json="{}"),
+        StatsResponse(
+            payload_json='{"role": "backend", "snapshot": '
+                         '{"counters": {"né": 3}}}'
+        ),
     ]
 
 

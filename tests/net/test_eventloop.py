@@ -113,6 +113,35 @@ def test_callback_exceptions_are_counted_not_fatal():
         loop.stop()
 
 
+def test_wake_after_stop_never_writes_into_a_recycled_fd():
+    """A late wake() must be a no-op once the loop is stopped.
+
+    stop() closes the self-pipe, so the OS is free to hand its fd
+    number to the next socket the process opens; a wake() racing that
+    teardown used to ``os.write(b"\\x00")`` into whatever inherited
+    the number, silently injecting zero bytes into an unrelated TCP
+    stream (seen as frame desync when backends are killed under load).
+    """
+    loop = EventLoop(name="late-wake").start()
+    loop.stop()
+    assert loop._wake_w == -1
+    # Grab fresh fds right away — on POSIX the lowest free numbers are
+    # reused, so these are very likely the pipe's old numbers.
+    left, right = socket.socketpair()
+    try:
+        for _ in range(8):
+            loop.wake()            # must not raise, must not write
+            loop.call_soon(lambda: None)
+        left.setblocking(False)
+        right.setblocking(False)
+        for sock in (left, right):
+            with pytest.raises(BlockingIOError):
+                sock.recv(64)      # no stray 0x00 landed in either end
+    finally:
+        left.close()
+        right.close()
+
+
 def test_wakeup_latency_histogram_measures_cross_thread_handoff():
     metrics = MetricsRegistry()
     loop = EventLoop(metrics=metrics).start()

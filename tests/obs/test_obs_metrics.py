@@ -10,7 +10,9 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     merge_snapshots,
+    normalize_snapshot,
     render_prometheus,
+    snapshot_percentile,
 )
 
 
@@ -124,6 +126,117 @@ class TestMergeSnapshots:
         r2.histogram("h", bounds=(2.0,)).observe(0.5)
         with pytest.raises(ConfigurationError):
             merge_snapshots(r1.snapshot(), r2.snapshot())
+
+
+_FLEET_BOUNDS = (0.1, 0.2, 0.4, 0.8)
+
+
+def _backend_snapshot(name, latencies, established):
+    """One simulated backend registry: a shared-series histogram, a
+    per-backend labeled histogram, and a state-labeled counter."""
+    registry = MetricsRegistry()
+    shared = registry.histogram("service.total_s", bounds=_FLEET_BOUNDS)
+    local = registry.histogram(
+        "service.total_s", bounds=_FLEET_BOUNDS,
+        labels={"backend": name},
+    )
+    for value in latencies:
+        shared.observe(value)
+        local.observe(value)
+    registry.counter(
+        "service.sessions", labels={"state": "established"}
+    ).inc(established)
+    return registry.snapshot()
+
+
+def _fleet_snapshots():
+    """Three backend snapshots with hand-computable merged stats.
+
+    Merged service.total_s: 6 observations
+    [0.05, 0.15, 0.25, 0.35, 0.3, 1.0] -> buckets
+    {0.1: 1, 0.2: 1, 0.4: 3, 0.8: 0}, overflow 1,
+    min 0.05, max 1.0, total 2.10.
+    """
+    return [
+        _backend_snapshot("b1", [0.05, 0.15], established=3),
+        _backend_snapshot("b2", [0.25, 0.35], established=2),
+        _backend_snapshot("b3", [0.3, 1.0], established=1),
+    ]
+
+
+class TestFleetMerge:
+    def test_three_backend_merge_hand_computed(self):
+        merged = merge_snapshots(*_fleet_snapshots())
+        assert (
+            merged["counters"]['service.sessions{state="established"}'] == 6
+        )
+        hist = merged["histograms"]["service.total_s"]
+        assert hist["count"] == 6
+        assert hist["buckets"] == {0.1: 1, 0.2: 1, 0.4: 3, 0.8: 0}
+        assert hist["overflow"] == 1
+        assert hist["min"] == pytest.approx(0.05)
+        assert hist["max"] == pytest.approx(1.0)
+        assert hist["total"] == pytest.approx(2.10)
+        assert hist["mean"] == pytest.approx(0.35)
+
+    def test_labeled_series_stay_per_backend(self):
+        merged = merge_snapshots(*_fleet_snapshots())
+        for name, count in (("b1", 2), ("b2", 2), ("b3", 2)):
+            series = f'service.total_s{{backend="{name}"}}'
+            assert merged["histograms"][series]["count"] == count
+
+    def test_merged_percentiles_hand_computed(self):
+        merged = merge_snapshots(*_fleet_snapshots())
+        hist = merged["histograms"]["service.total_s"]
+        # p50: rank 3 lands in the (0.2, 0.4] bucket holding items
+        # 3..5, one third in: 0.2 + (1/3) * 0.2.
+        assert snapshot_percentile(hist, 0.50) == pytest.approx(
+            0.2 + 0.2 / 3
+        )
+        # p99: rank 5.94 lands in the overflow bucket -> true max.
+        assert snapshot_percentile(hist, 0.99) == pytest.approx(1.0)
+
+    def test_merge_is_order_independent(self):
+        snapshots = _fleet_snapshots()
+        forward = merge_snapshots(*snapshots)
+        backward = merge_snapshots(*reversed(_fleet_snapshots()))
+        assert forward["counters"] == backward["counters"]
+        assert forward["histograms"] == backward["histograms"]
+
+    def test_json_round_tripped_snapshot_merges_after_normalize(self):
+        live, scraped, third = _fleet_snapshots()
+        scraped = json.loads(json.dumps(scraped))
+        with pytest.raises(ConfigurationError):
+            merge_snapshots(live, scraped)  # string vs float bucket keys
+        merged = merge_snapshots(
+            live, normalize_snapshot(scraped), third
+        )
+        assert merged["histograms"]["service.total_s"]["count"] == 6
+
+
+class TestSnapshotPercentile:
+    def test_matches_live_histogram(self):
+        hist = Histogram("h", bounds=tuple(
+            float(b) for b in range(10, 101, 10)
+        ))
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        for q in (0.25, 0.5, 0.9, 0.99, 1.0):
+            assert snapshot_percentile(snap, q) == pytest.approx(
+                hist.percentile(q)
+            )
+
+    def test_empty_snapshot_reports_zero(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        assert snapshot_percentile(snap, 0.5) == 0.0
+
+    def test_quantile_domain_is_validated(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        with pytest.raises(ConfigurationError):
+            snapshot_percentile(snap, 0.0)
+        with pytest.raises(ConfigurationError):
+            snapshot_percentile(snap, 1.5)
 
 
 class TestInterpolatedPercentiles:
