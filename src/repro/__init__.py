@@ -20,6 +20,25 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
 """
 
+# repro.net must initialize before repro.access: net.client/net.server
+# import the access channel endpoints at module level, while the access
+# modules only need the net leaf modules (codec, connection).  Entering
+# the cycle from the net side lets those leaves load without pulling a
+# partially-initialized repro.access.  Keep this import first.
+from repro.net import (
+    ClientTicket,
+    FaultInjectionProxy,
+    NetClientConfig,
+    WaveKeyNetClient,
+    WaveKeyTCPServer,
+)
+from repro.access import (
+    ClientAccessChannel,
+    KeyStore,
+    RecordChannel,
+    ServerAccessChannel,
+    TicketJournal,
+)
 from repro.core import (
     KeyEstablishmentResult,
     KeySeedPipeline,
@@ -30,16 +49,12 @@ from repro.core import (
 from repro.core.pretrained import load_default_bundle
 from repro.datasets import DatasetConfig, generate_dataset
 from repro.errors import (
+    AccessError,
     KeyAgreementFailure,
     ProtocolError,
+    TicketError,
     TransportError,
     WaveKeyError,
-)
-from repro.net import (
-    FaultInjectionProxy,
-    NetClientConfig,
-    WaveKeyNetClient,
-    WaveKeyTCPServer,
 )
 from repro.gesture import VolunteerProfile, default_volunteers, sample_gesture
 from repro.obs import (
@@ -86,6 +101,14 @@ __all__ = [
     "ProtocolError",
     "KeyAgreementFailure",
     "TransportError",
+    "AccessError",
+    "TicketError",
+    "ClientAccessChannel",
+    "ClientTicket",
+    "KeyStore",
+    "RecordChannel",
+    "ServerAccessChannel",
+    "TicketJournal",
     "FaultInjectionProxy",
     "NetClientConfig",
     "WaveKeyNetClient",

@@ -1,0 +1,57 @@
+"""Post-agreement secure access layer.
+
+Everything that happens *after* WaveKey agreement succeeds: turning
+the agreed key into an AEAD-style record channel
+(:mod:`~repro.access.records`), granting/expiring/revoking resumption
+tickets (:mod:`~repro.access.store`) with crash-safe persistence
+(:mod:`~repro.access.journal`), and running authenticated application
+ops over the channel (:mod:`~repro.access.channel`).
+
+The wire messages live in :mod:`repro.net.codec` (``TicketGrant``,
+``ResumeRequest``, ``ResumeAccept``, ``RecordFrame``,
+``RevokeNotice``); the server/client/gateway integration lives in
+:mod:`repro.net` and :mod:`repro.cluster`.
+"""
+
+from repro.access.channel import (
+    ClientAccessChannel,
+    ServerAccessChannel,
+    default_op_handler,
+    decode_payload,
+    encode_op,
+    new_nonce,
+)
+from repro.access.journal import JournalCorrupt, TicketJournal
+from repro.access.records import (
+    ChannelKeys,
+    RecordChannel,
+    confirm_tag,
+    derive_channel_keys,
+    derive_resume_secret,
+    derive_revocation_key,
+    revocation_tag,
+    verify_revocation_tag,
+)
+from repro.access.store import KeyStore, Ticket, new_ticket_id
+
+__all__ = [
+    "ChannelKeys",
+    "ClientAccessChannel",
+    "JournalCorrupt",
+    "KeyStore",
+    "RecordChannel",
+    "ServerAccessChannel",
+    "Ticket",
+    "TicketJournal",
+    "confirm_tag",
+    "decode_payload",
+    "default_op_handler",
+    "derive_channel_keys",
+    "derive_resume_secret",
+    "derive_revocation_key",
+    "encode_op",
+    "new_nonce",
+    "new_ticket_id",
+    "revocation_tag",
+    "verify_revocation_tag",
+]

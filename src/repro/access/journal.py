@@ -1,0 +1,202 @@
+"""Crash-recoverable ticket journal with snapshot compaction.
+
+The :class:`~repro.access.store.KeyStore` must survive a server
+restart: live tickets keep resuming, revoked tickets stay dead.  The
+persistence model is the classic append-only log + snapshot pair:
+
+* every mutation (``issue`` / ``revoke`` / ``expire`` / ``evict``) is
+  appended to ``<path>`` as one JSON line and flushed, so the journal
+  is consistent up to the last whole line even if the process dies
+  mid-write;
+* replay tolerates a truncated trailing line (the tell-tale of a
+  crash during append) by discarding it;
+* when the log grows past ``compact_after`` entries, the store writes
+  its live state to ``<path>.snapshot`` via a temp file and
+  :func:`os.replace` (atomic on POSIX), then truncates the log.
+  Recovery loads the snapshot first and replays the log on top.
+
+Secrets in the journal are hex-encoded resumption secrets — the
+agreed key itself is never persisted (it is discarded at grant time,
+see :func:`repro.access.records.derive_resume_secret`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import AccessError
+
+#: Journal format version stamped on every line and snapshot.
+JOURNAL_VERSION = 1
+
+#: Mutation kinds a journal line may carry.
+OPS = ("issue", "revoke", "expire", "evict", "touch")
+
+
+class JournalCorrupt(AccessError):
+    """A journal line or snapshot is structurally invalid.
+
+    Only raised for damage *before* the final line — a truncated tail
+    is expected crash residue and silently dropped.
+    """
+
+
+class TicketJournal:
+    """Append-only mutation log for one :class:`KeyStore`.
+
+    Thread-safe: appends take an internal lock so interleaved server
+    threads cannot shear lines.  The journal never interprets the
+    entries it stores — replay semantics live in the store.
+    """
+
+    def __init__(self, path: str, compact_after: int = 4096):
+        if compact_after < 16:
+            raise AccessError("compact_after must be >= 16")
+        self.path = str(path)
+        self.snapshot_path = self.path + ".snapshot"
+        self.compact_after = int(compact_after)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._line_count = 0
+
+    # -- appending -----------------------------------------------------
+
+    def open(self) -> None:
+        """Open (creating if needed) the log for appending."""
+        with self._lock:
+            if self._fh is None:
+                directory = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(directory, exist_ok=True)
+                self._fh = open(self.path, "a", encoding="utf-8")
+                self._line_count = self._count_lines()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def _count_lines(self) -> int:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                return sum(1 for _ in fh)
+        except FileNotFoundError:
+            return 0
+
+    def append(self, op: str, payload: Dict[str, object]) -> None:
+        """Write one mutation line and flush it to the OS.
+
+        ``payload`` must be JSON-serializable; the journal adds the
+        ``v`` (format version) and ``op`` envelope fields.
+        """
+        if op not in OPS:
+            raise AccessError(f"unknown journal op {op!r}")
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "op": op, **payload},
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        with self._lock:
+            if self._fh is None:
+                raise AccessError("journal is not open")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self._line_count += 1
+
+    @property
+    def pending_lines(self) -> int:
+        """Log lines since the last compaction (compaction trigger)."""
+        with self._lock:
+            return self._line_count
+
+    def needs_compaction(self) -> bool:
+        return self.pending_lines >= self.compact_after
+
+    # -- recovery ------------------------------------------------------
+
+    def replay(self) -> Tuple[Optional[Dict[str, object]], List[Dict[str, object]]]:
+        """Load persisted state: ``(snapshot_or_None, log_entries)``.
+
+        The caller applies the snapshot first, then each log entry in
+        order.  A truncated final log line is discarded; damage
+        anywhere else raises :class:`JournalCorrupt`.
+        """
+        snapshot = self._load_snapshot()
+        entries = list(self._iter_log())
+        return snapshot, entries
+
+    def _load_snapshot(self) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return None
+        try:
+            snap = json.loads(raw)
+        except ValueError as exc:
+            raise JournalCorrupt(
+                f"snapshot {self.snapshot_path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(snap, dict) or snap.get("v") != JOURNAL_VERSION:
+            raise JournalCorrupt(
+                f"snapshot {self.snapshot_path} has unsupported version"
+            )
+        return snap
+
+    def _iter_log(self) -> Iterator[Dict[str, object]]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+            except ValueError as exc:
+                if index == len(lines) - 1:
+                    # Torn tail from a crash mid-append: drop it.
+                    return
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} is not valid "
+                    f"JSON: {exc}"
+                ) from exc
+            if not isinstance(entry, dict) or entry.get("op") not in OPS:
+                raise JournalCorrupt(
+                    f"journal {self.path} line {index + 1} has no valid op"
+                )
+            yield entry
+
+    # -- compaction ----------------------------------------------------
+
+    def compact(self, state: Dict[str, object]) -> None:
+        """Atomically persist ``state`` as the snapshot, then truncate
+        the log.
+
+        Crash-safe ordering: the temp snapshot is fully written and
+        fsynced before :func:`os.replace` installs it; only then is the
+        log truncated.  A crash between the two steps merely replays
+        log entries already captured by the snapshot — replay is
+        idempotent in the store.
+        """
+        payload = json.dumps(
+            {"v": JOURNAL_VERSION, **state},
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        with self._lock:
+            tmp = self.snapshot_path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.snapshot_path)
+            if self._fh is not None:
+                self._fh.close()
+            self._fh = open(self.path, "w", encoding="utf-8")
+            self._line_count = 0

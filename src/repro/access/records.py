@@ -1,0 +1,260 @@
+"""AEAD-style record layer keyed from the WaveKey-agreed key.
+
+The agreement (:mod:`repro.protocol.agreement`) hands both endpoints
+the same ``l_k``-bit key; this module turns it into a secure channel:
+
+* **key schedule** — every working key is expanded from the agreed key
+  with :func:`repro.crypto.hashes.hkdf_stream` under a *distinct,
+  fixed-length domain-separation context* (``wavekey-access/...``), so
+  no two purposes ever share keystream.  The resumption secret is the
+  only long-lived derivative; per-connection channel keys are
+  freshened with both sides' nonces, so records from one resumption of
+  a ticket can never replay into another;
+* **records** — encrypt-then-MAC: the plaintext is XOR-encrypted
+  under a per-record keystream (the direction's encryption key, with
+  the 8-byte record sequence number as the HKDF context), then tagged
+  with HMAC-SHA256 over ``seq || ciphertext`` under the direction's
+  MAC key.  Per-direction keys make reflected records unverifiable;
+* **strict sequencing** — each direction carries an explicit ``u64``
+  counter.  A receiver accepts *only* the exact next sequence number:
+  replays, reorders, and gaps all raise :class:`RecordRejected` and
+  poison the channel (no resync — the peer reconnects and resumes).
+
+Contexts are fixed-length ASCII and the per-record context is a
+fixed 8-byte big-endian counter, so the ``key || context || counter``
+preimages of :func:`hkdf_stream` are prefix-free across purposes —
+``tests/access/test_records.py`` pins the non-collision property.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto.hashes import hkdf_stream, hmac_digest, hmac_verify
+from repro.errors import AccessError, ConfigurationError, RecordRejected
+from repro.net.codec import RecordFrame
+
+#: Bytes per derived working key.
+KEY_BYTES = 32
+
+#: Hard bound on one record's plaintext (fits DEFAULT_MAX_FRAME_BYTES
+#: with headroom for the record header and tag).
+MAX_RECORD_PLAINTEXT = (1 << 20) - 64
+
+# Domain-separation contexts.  All fixed-length (16 bytes) so the
+# hkdf preimages key || context || counter can never collide across
+# purposes by length-extension ambiguity.
+CTX_RESUME_SECRET = b"wk-access/resume"
+CTX_REVOKE_KEY = b"wk-access/revoke"
+CTX_CONFIRM_KEY = b"wk-access/confrm"
+CTX_ENC_C2S = b"wk-access/enc-cs"
+CTX_ENC_S2C = b"wk-access/enc-sc"
+CTX_MAC_C2S = b"wk-access/mac-cs"
+CTX_MAC_S2C = b"wk-access/mac-sc"
+
+_ALL_CONTEXTS = (
+    CTX_RESUME_SECRET, CTX_REVOKE_KEY, CTX_CONFIRM_KEY,
+    CTX_ENC_C2S, CTX_ENC_S2C, CTX_MAC_C2S, CTX_MAC_S2C,
+)
+assert len({len(c) for c in _ALL_CONTEXTS}) == 1, "contexts must be fixed-length"
+assert len(set(_ALL_CONTEXTS)) == len(_ALL_CONTEXTS), "contexts must be distinct"
+
+#: Client -> server direction label.
+CLIENT = "client"
+#: Server -> client direction label.
+SERVER = "server"
+
+
+def _require_key(key: bytes, what: str) -> bytes:
+    key = bytes(key)
+    if len(key) < 16:
+        raise ConfigurationError(f"{what} must be at least 16 bytes")
+    return key
+
+
+def derive_resume_secret(agreed_key: bytes) -> bytes:
+    """The ticket's long-lived resumption secret.
+
+    Both endpoints derive it from the agreed key at grant time; the
+    secret itself never travels.  Everything else in the schedule
+    hangs off this value, so the agreed key can be discarded once the
+    ticket is stored.
+    """
+    return hkdf_stream(
+        _require_key(agreed_key, "agreed key"), KEY_BYTES, CTX_RESUME_SECRET
+    )
+
+
+def derive_revocation_key(resume_secret: bytes) -> bytes:
+    """Key authenticating out-of-channel :class:`RevokeNotice` frames."""
+    return hkdf_stream(
+        _require_key(resume_secret, "resume secret"),
+        KEY_BYTES,
+        CTX_REVOKE_KEY,
+    )
+
+
+def revocation_tag(resume_secret: bytes, ticket_id: str) -> bytes:
+    """The HMAC a :class:`RevokeNotice` must carry for ``ticket_id``."""
+    return hmac_digest(
+        derive_revocation_key(resume_secret),
+        b"revoke|" + ticket_id.encode("utf-8"),
+    )
+
+
+def verify_revocation_tag(
+    resume_secret: bytes, ticket_id: str, tag: bytes
+) -> bool:
+    return hmac_verify(
+        derive_revocation_key(resume_secret),
+        b"revoke|" + ticket_id.encode("utf-8"),
+        tag,
+    )
+
+
+@dataclass(frozen=True)
+class ChannelKeys:
+    """The four working keys of one resumed channel plus the confirm
+    key authenticating the :class:`ResumeAccept` handshake."""
+
+    enc_c2s: bytes
+    enc_s2c: bytes
+    mac_c2s: bytes
+    mac_s2c: bytes
+    confirm: bytes
+
+
+def derive_channel_keys(
+    resume_secret: bytes, client_nonce: bytes, server_nonce: bytes
+) -> ChannelKeys:
+    """Freshen per-connection keys from the resumption secret.
+
+    The channel secret binds both nonces through HMAC (fixed-size
+    digest inputs, so no concatenation ambiguity), then each working
+    key gets its own domain-separated expansion.
+    """
+    if len(client_nonce) < 8 or len(server_nonce) < 8:
+        raise ConfigurationError("channel nonces must be >= 8 bytes")
+    secret = hmac_digest(
+        _require_key(resume_secret, "resume secret"),
+        struct.pack("!H", len(client_nonce)) + client_nonce + server_nonce,
+    )
+    return ChannelKeys(
+        enc_c2s=hkdf_stream(secret, KEY_BYTES, CTX_ENC_C2S),
+        enc_s2c=hkdf_stream(secret, KEY_BYTES, CTX_ENC_S2C),
+        mac_c2s=hkdf_stream(secret, KEY_BYTES, CTX_MAC_C2S),
+        mac_s2c=hkdf_stream(secret, KEY_BYTES, CTX_MAC_S2C),
+        confirm=hkdf_stream(secret, KEY_BYTES, CTX_CONFIRM_KEY),
+    )
+
+
+def confirm_tag(
+    keys: ChannelKeys,
+    channel_id: str,
+    client_nonce: bytes,
+    server_nonce: bytes,
+) -> bytes:
+    """The :class:`ResumeAccept` tag: proves the server derived the
+    same channel keys (i.e. holds the ticket's resumption secret)."""
+    message = b"|".join((
+        b"resume-accept",
+        channel_id.encode("utf-8"),
+        client_nonce.hex().encode("ascii"),
+        server_nonce.hex().encode("ascii"),
+    ))
+    return hmac_digest(keys.confirm, message)
+
+
+class RecordChannel:
+    """One endpoint's sealed-record view of a resumed channel.
+
+    ``role`` is :data:`CLIENT` or :data:`SERVER`; it fixes which
+    direction this endpoint seals (sends) and which it opens
+    (receives).  Sequence numbers are strict: :meth:`seal` stamps the
+    next send counter, :meth:`open_record` accepts only the exact next
+    receive counter and raises :class:`RecordRejected` — marking the
+    channel :attr:`poisoned` — on any replay, reorder, gap, or forgery.
+    """
+
+    __slots__ = (
+        "role", "poisoned", "_enc_send", "_mac_send", "_enc_recv",
+        "_mac_recv", "_send_seq", "_recv_seq",
+    )
+
+    def __init__(self, keys: ChannelKeys, role: str):
+        if role == CLIENT:
+            self._enc_send, self._mac_send = keys.enc_c2s, keys.mac_c2s
+            self._enc_recv, self._mac_recv = keys.enc_s2c, keys.mac_s2c
+        elif role == SERVER:
+            self._enc_send, self._mac_send = keys.enc_s2c, keys.mac_s2c
+            self._enc_recv, self._mac_recv = keys.enc_c2s, keys.mac_c2s
+        else:
+            raise ConfigurationError(f"unknown channel role {role!r}")
+        self.role = role
+        self.poisoned = False
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @property
+    def send_seq(self) -> int:
+        """Next sequence number :meth:`seal` will stamp."""
+        return self._send_seq
+
+    @property
+    def recv_seq(self) -> int:
+        """Next sequence number :meth:`open_record` will accept."""
+        return self._recv_seq
+
+    def _keystream(self, enc_key: bytes, seq: int, n: int) -> bytes:
+        # The 8-byte seq is the HKDF context; hkdf_stream appends its
+        # own 4-byte block counter, so (seq, block) pairs are unique
+        # and fixed-length -> no keystream reuse across records.
+        return hkdf_stream(enc_key, n, struct.pack("!Q", seq))
+
+    def seal(self, plaintext: bytes) -> RecordFrame:
+        """Encrypt-then-MAC one record and advance the send counter."""
+        if self.poisoned:
+            raise AccessError("channel poisoned: no further records")
+        plaintext = bytes(plaintext)
+        if len(plaintext) > MAX_RECORD_PLAINTEXT:
+            raise AccessError(
+                f"record plaintext of {len(plaintext)} bytes exceeds the "
+                f"{MAX_RECORD_PLAINTEXT}-byte bound"
+            )
+        seq = self._send_seq
+        stream = self._keystream(self._enc_send, seq, len(plaintext))
+        ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+        tag = hmac_digest(
+            self._mac_send, struct.pack("!Q", seq) + ciphertext
+        )
+        self._send_seq += 1
+        return RecordFrame(seq=seq, ciphertext=ciphertext, tag=tag)
+
+    def open_record(self, record: RecordFrame) -> bytes:
+        """Verify, sequence-check, and decrypt one received record."""
+        if self.poisoned:
+            raise AccessError("channel poisoned: no further records")
+        if not hmac_verify(
+            self._mac_recv,
+            struct.pack("!Q", record.seq) + record.ciphertext,
+            record.tag,
+        ):
+            self.poisoned = True
+            raise RecordRejected(
+                f"record {record.seq}: authentication failed"
+            )
+        # MAC first, sequence second: an attacker must hold the key
+        # even to probe the counter state.
+        if record.seq != self._recv_seq:
+            self.poisoned = True
+            kind = "replayed" if record.seq < self._recv_seq else "gapped"
+            raise RecordRejected(
+                f"record {kind}: got seq {record.seq}, expected "
+                f"{self._recv_seq}"
+            )
+        stream = self._keystream(
+            self._enc_recv, record.seq, len(record.ciphertext)
+        )
+        self._recv_seq += 1
+        return bytes(a ^ b for a, b in zip(record.ciphertext, stream))

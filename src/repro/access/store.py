@@ -1,0 +1,351 @@
+"""Ticket key store: TTL expiry, revocation, LRU caps, persistence.
+
+One :class:`KeyStore` per server process owns every resumption ticket
+the server has granted.  A ticket is the pair ``(ticket_id,
+resume_secret)`` plus lifecycle metadata; the store enforces:
+
+* **TTL** — tickets die ``ttl_s`` seconds after issue; a resumption
+  attempt after that raises :class:`TicketExpired`;
+* **revocation** — :meth:`revoke` kills a ticket immediately and
+  leaves a tombstone, so the id keeps answering
+  :class:`TicketRevoked` (not ``unknown``) even after restart;
+* **LRU cap** — at most ``max_tickets`` live tickets; issuing past
+  the cap evicts the least-recently-resumed ticket;
+* **persistence** — every mutation lands in the
+  :class:`~repro.access.journal.TicketJournal` (when one is attached)
+  before the store's answer is visible, so a restarted server
+  reconstructs exactly the live/revoked split.
+
+All operations are thread-safe and O(1) amortized (``OrderedDict``
+recency order).  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.access.journal import TicketJournal
+from repro.errors import (
+    AccessError,
+    TicketExpired,
+    TicketRevoked,
+    TicketUnknown,
+)
+from repro.obs.metrics import MetricsRegistry
+
+#: Default ticket lifetime.
+DEFAULT_TTL_S = 3600.0
+
+#: Default live-ticket cap.
+DEFAULT_MAX_TICKETS = 4096
+
+#: Cap on remembered revocation tombstones (oldest dropped first).
+MAX_TOMBSTONES = 65536
+
+
+def new_ticket_id() -> str:
+    """An unguessable ticket identifier (128-bit random, hex)."""
+    return uuid.UUID(bytes=os.urandom(16)).hex
+
+
+@dataclass(frozen=True)
+class Ticket:
+    """One granted resumption credential (server-side view)."""
+
+    ticket_id: str
+    resume_secret: bytes
+    peer: str
+    issued_at: float
+    expires_at: float
+    resumed: int = 0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def lifetime_s(self) -> float:
+        return self.expires_at - self.issued_at
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serializable form for the journal/snapshot."""
+        return {
+            "ticket_id": self.ticket_id,
+            "resume_secret": self.resume_secret.hex(),
+            "peer": self.peer,
+            "issued_at": self.issued_at,
+            "expires_at": self.expires_at,
+            "resumed": self.resumed,
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_state(state: Dict[str, object]) -> "Ticket":
+        try:
+            return Ticket(
+                ticket_id=str(state["ticket_id"]),
+                resume_secret=bytes.fromhex(str(state["resume_secret"])),
+                peer=str(state["peer"]),
+                issued_at=float(state["issued_at"]),
+                expires_at=float(state["expires_at"]),
+                resumed=int(state.get("resumed", 0)),
+                metadata={
+                    str(k): str(v)
+                    for k, v in dict(state.get("metadata") or {}).items()
+                },
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise AccessError(f"malformed ticket state: {exc}") from exc
+
+
+class KeyStore:
+    """Lifecycle authority for resumption tickets.
+
+    ``journal`` is optional: without one the store is purely
+    in-memory (tests, threaded demo server).  With one, attach via
+    :meth:`recover` which both replays persisted state and opens the
+    log for new appends.
+    """
+
+    def __init__(
+        self,
+        ttl_s: float = DEFAULT_TTL_S,
+        max_tickets: int = DEFAULT_MAX_TICKETS,
+        journal: Optional[TicketJournal] = None,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if ttl_s <= 0:
+            raise AccessError("ttl_s must be positive")
+        if max_tickets < 1:
+            raise AccessError("max_tickets must be >= 1")
+        self.ttl_s = float(ttl_s)
+        self.max_tickets = int(max_tickets)
+        self.journal = journal
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        # recency order: oldest-resumed first (LRU eviction victim).
+        self._tickets: "OrderedDict[str, Ticket]" = OrderedDict()
+        # id -> revocation time; survives restart via the journal.
+        self._revoked: "OrderedDict[str, float]" = OrderedDict()
+
+    # -- metrics helpers ----------------------------------------------
+
+    def _count(self, event: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "access.store.events", labels={"event": event}
+            ).inc()
+
+    def _update_gauges(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("access.store.live").set(len(self._tickets))
+            self._metrics.gauge("access.store.tombstones").set(
+                len(self._revoked)
+            )
+
+    # -- journal plumbing ---------------------------------------------
+
+    def recover(self) -> int:
+        """Replay the attached journal into memory; returns the number
+        of live tickets recovered.  Must be called before any mutation
+        when a journal is attached."""
+        if self.journal is None:
+            raise AccessError("no journal attached")
+        snapshot, entries = self.journal.replay()
+        with self._lock:
+            self._tickets.clear()
+            self._revoked.clear()
+            if snapshot is not None:
+                for state in snapshot.get("tickets", []):
+                    ticket = Ticket.from_state(state)
+                    self._tickets[ticket.ticket_id] = ticket
+                for tid, when in snapshot.get("revoked", []):
+                    self._revoked[str(tid)] = float(when)
+            for entry in entries:
+                self._apply(entry)
+            self._update_gauges()
+            live = len(self._tickets)
+        self.journal.open()
+        self._count("recover")
+        return live
+
+    def _apply(self, entry: Dict[str, object]) -> None:
+        """Replay one journal entry (idempotent; lock held)."""
+        op = entry.get("op")
+        if op == "issue":
+            ticket = Ticket.from_state(entry)
+            self._tickets[ticket.ticket_id] = ticket
+            self._tickets.move_to_end(ticket.ticket_id)
+        elif op == "touch":
+            tid = str(entry.get("ticket_id"))
+            existing = self._tickets.get(tid)
+            if existing is not None:
+                self._tickets[tid] = replace(
+                    existing, resumed=int(entry.get("resumed", 0))
+                )
+                self._tickets.move_to_end(tid)
+        elif op == "revoke":
+            tid = str(entry.get("ticket_id"))
+            self._tickets.pop(tid, None)
+            self._revoked[tid] = float(entry.get("at", 0.0))
+            self._trim_tombstones()
+        elif op in ("expire", "evict"):
+            self._tickets.pop(str(entry.get("ticket_id")), None)
+
+    def _journal_append(self, op: str, payload: Dict[str, object]) -> None:
+        if self.journal is not None:
+            self.journal.append(op, payload)
+
+    def _state(self) -> Dict[str, object]:
+        """Snapshot-able live state (lock held)."""
+        return {
+            "tickets": [t.to_state() for t in self._tickets.values()],
+            "revoked": [[tid, when] for tid, when in self._revoked.items()],
+        }
+
+    def _maybe_compact(self) -> None:
+        if self.journal is not None and self.journal.needs_compaction():
+            with self._lock:
+                state = self._state()
+            self.journal.compact(state)
+            self._count("compact")
+
+    def _trim_tombstones(self) -> None:
+        while len(self._revoked) > MAX_TOMBSTONES:
+            self._revoked.popitem(last=False)
+
+    # -- lifecycle operations -----------------------------------------
+
+    def issue(
+        self,
+        resume_secret: bytes,
+        peer: str,
+        ttl_s: Optional[float] = None,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> Ticket:
+        """Grant a fresh ticket; evicts the LRU ticket past the cap."""
+        lifetime = self.ttl_s if ttl_s is None else float(ttl_s)
+        if lifetime <= 0:
+            raise AccessError("ticket ttl must be positive")
+        now = self._clock()
+        ticket = Ticket(
+            ticket_id=new_ticket_id(),
+            resume_secret=bytes(resume_secret),
+            peer=str(peer),
+            issued_at=now,
+            expires_at=now + lifetime,
+            metadata=dict(metadata or {}),
+        )
+        evicted: List[str] = []
+        with self._lock:
+            self._tickets[ticket.ticket_id] = ticket
+            while len(self._tickets) > self.max_tickets:
+                victim, _ = self._tickets.popitem(last=False)
+                evicted.append(victim)
+            self._update_gauges()
+        self._journal_append("issue", ticket.to_state())
+        for victim in evicted:
+            self._journal_append("evict", {"ticket_id": victim})
+            self._count("evict")
+        self._count("issue")
+        self._maybe_compact()
+        return ticket
+
+    def resume(self, ticket_id: str) -> Ticket:
+        """Look up a ticket for resumption, refreshing its recency.
+
+        Raises the precise :class:`TicketError` subclass — revoked
+        beats expired beats unknown — so the wire error is truthful.
+        """
+        now = self._clock()
+        with self._lock:
+            if ticket_id in self._revoked:
+                self._count("resume_revoked")
+                raise TicketRevoked(f"ticket {ticket_id} was revoked")
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                self._count("resume_unknown")
+                raise TicketUnknown(f"no live ticket {ticket_id}")
+            if now >= ticket.expires_at:
+                del self._tickets[ticket_id]
+                self._update_gauges()
+                expired = True
+            else:
+                expired = False
+                ticket = replace(ticket, resumed=ticket.resumed + 1)
+                self._tickets[ticket_id] = ticket
+                self._tickets.move_to_end(ticket_id)
+        if expired:
+            self._journal_append("expire", {"ticket_id": ticket_id})
+            self._count("resume_expired")
+            raise TicketExpired(f"ticket {ticket_id} expired")
+        self._journal_append(
+            "touch", {"ticket_id": ticket_id, "resumed": ticket.resumed}
+        )
+        self._count("resume")
+        self._maybe_compact()
+        return ticket
+
+    def peek(self, ticket_id: str) -> Optional[Ticket]:
+        """Non-mutating lookup (no recency refresh, no errors)."""
+        with self._lock:
+            return self._tickets.get(ticket_id)
+
+    def revoke(self, ticket_id: str) -> bool:
+        """Kill a ticket; returns ``True`` if it was live.
+
+        Revoking an unknown/expired id still records the tombstone —
+        a revocation must win any race with resumption.
+        """
+        now = self._clock()
+        with self._lock:
+            was_live = self._tickets.pop(ticket_id, None) is not None
+            self._revoked[ticket_id] = now
+            self._trim_tombstones()
+            self._update_gauges()
+        self._journal_append("revoke", {"ticket_id": ticket_id, "at": now})
+        self._count("revoke")
+        self._maybe_compact()
+        return was_live
+
+    def purge_expired(self) -> int:
+        """Drop every ticket past its TTL; returns the count dropped."""
+        now = self._clock()
+        with self._lock:
+            dead = [
+                tid
+                for tid, t in self._tickets.items()
+                if now >= t.expires_at
+            ]
+            for tid in dead:
+                del self._tickets[tid]
+            self._update_gauges()
+        for tid in dead:
+            self._journal_append("expire", {"ticket_id": tid})
+            self._count("expire")
+        if dead:
+            self._maybe_compact()
+        return len(dead)
+
+    # -- introspection ------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tickets)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "live": len(self._tickets),
+                "revoked": len(self._revoked),
+                "max_tickets": self.max_tickets,
+            }
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()

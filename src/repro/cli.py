@@ -8,7 +8,11 @@ Usage (after ``pip install -e .``)::
     repro attack {guess,mimic,spoof} [--trials N]
     repro serve [--dry-run] [--workers N] [--queue-capacity N] ...
     repro serve --listen HOST:PORT [--port-file F] [--sessions N]
-                [--no-event-loop]
+                [--no-event-loop] [--ticket-journal F] [--ticket-ttl S]
+    repro access grant --connect HOST:PORT --ticket-file F [--seed N]
+    repro access {query,open} --connect HOST:PORT --ticket-file F
+                 [--target NAME]
+    repro access revoke --connect HOST:PORT --ticket-file F
     repro loadgen [--sessions N] [--rate HZ] [--seed N]
     repro loadgen --connect HOST:PORT [--sessions N]
     repro cluster serve --backend HOST:PORT [--backend HOST:PORT ...]
@@ -32,6 +36,15 @@ the access server on a TCP socket (port 0 picks a free port;
 client sessions against it over the wire.  Connections are served by
 the selectors event loop by default; ``--no-event-loop`` selects the
 thread-per-connection front end instead.
+
+Secure access (:mod:`repro.access`): ``access grant`` runs one
+establishment and parks the resumption ticket in ``--ticket-file``;
+``access query``/``access open`` reopen a secure channel from that
+ticket — no gesture, no OT — and run the authenticated op over the
+encrypted record layer; ``access revoke`` kills the ticket server-side
+so later resumptions fail with a typed error.  ``serve
+--ticket-journal FILE`` persists the server's key store so a restart
+honours live tickets and still rejects revoked ones.
 
 Clustered mode (:mod:`repro.cluster`): ``cluster serve`` runs the
 consistent-hash sharding gateway over one or more ``--backend``
@@ -67,7 +80,7 @@ from repro.attacks import (
 )
 from repro.core import KeySeedPipeline, WaveKeySystem
 from repro.core.pretrained import load_default_bundle
-from repro.errors import WaveKeyError
+from repro.errors import AccessError, WaveKeyError
 from repro.gesture import default_volunteers
 from repro.imu import default_mobile_devices
 from repro.protocol import KeyAgreementConfig
@@ -150,6 +163,50 @@ def _build_parser() -> argparse.ArgumentParser:
                        action="store_false",
                        help="with --listen, use the thread-per-"
                             "connection front end instead")
+    serve.add_argument("--ticket-journal", metavar="FILE", default=None,
+                       help="with --listen, persist resumption tickets "
+                            "to an append-only journal (recovered on "
+                            "restart)")
+    serve.add_argument("--ticket-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="with --listen, resumption-ticket lifetime "
+                            "(default 3600)")
+
+    access = sub.add_parser(
+        "access",
+        help="secure-channel ops over a resumed WaveKey session",
+    )
+    access_sub = access.add_subparsers(dest="access_command", required=True)
+
+    def add_access_args(p, with_target=False):
+        p.add_argument("--connect", metavar="HOST:PORT", required=True,
+                       help="networked WaveKey server (or gateway)")
+        p.add_argument("--ticket-file", metavar="FILE", required=True,
+                       help="resumption-ticket file")
+        p.add_argument("--name", default="mobile",
+                       help="client identity presented to the server")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="dump the client metrics snapshot as JSON")
+        if with_target:
+            p.add_argument("--target", default="door",
+                           help="resource the op addresses")
+
+    access_grant = access_sub.add_parser(
+        "grant",
+        help="run one establishment and save the resumption ticket",
+    )
+    add_access_args(access_grant)
+    access_grant.add_argument("--seed", type=int, default=7)
+    access_grant.add_argument("--dynamic", action="store_true")
+    add_access_args(access_sub.add_parser(
+        "query", help="ask what the ticket's key may access",
+    ), with_target=True)
+    add_access_args(access_sub.add_parser(
+        "open", help="actuate the RFID-protected resource",
+    ), with_target=True)
+    add_access_args(access_sub.add_parser(
+        "revoke", help="kill the ticket server-side",
+    ))
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a server with synthetic offered load"
@@ -438,11 +495,51 @@ def _print_service_metrics(server, out) -> None:
                   f"n={hist['count']}", file=out)
 
 
+def _build_key_store(args, server, out):
+    """Key store for serve --listen, honouring --ticket-journal/--ttl.
+
+    Returns None when neither flag was given so the front end keeps
+    its default in-memory store.
+    """
+    if not (args.ticket_journal or args.ticket_ttl):
+        return None
+    from repro.access import KeyStore, TicketJournal
+    from repro.access.store import DEFAULT_TTL_S
+
+    journal = (
+        TicketJournal(args.ticket_journal)
+        if args.ticket_journal else None
+    )
+    store = KeyStore(
+        ttl_s=args.ticket_ttl or DEFAULT_TTL_S,
+        journal=journal,
+        metrics=server.metrics,
+    )
+    if journal is not None:
+        recovered = store.recover()
+        print(f"ticket journal {args.ticket_journal}: "
+              f"{recovered} live ticket(s) recovered", file=out)
+    return store
+
+
 def _cmd_serve_net(args, config, bundle, out) -> int:
+    import signal
     import time
 
     from repro.net import ThreadedWaveKeyTCPServer, WaveKeyTCPServer
     from repro.service import WaveKeyAccessServer
+
+    # Graceful shutdown on SIGTERM too: CI smoke jobs run the server
+    # as a background shell job, where SIGINT arrives ignored, and we
+    # still want the metrics snapshot / journal flush on the way out.
+    def _term_handler(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = None
+    try:
+        previous_term = signal.signal(signal.SIGTERM, _term_handler)
+    except ValueError:
+        pass  # not the main thread; fall back to default delivery
 
     host, port = _parse_hostport(args.listen)
     front_end = (
@@ -456,7 +553,8 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None
         )
-        with front_end(server, host, port) as tcp:
+        key_store = _build_key_store(args, server, out)
+        with front_end(server, host, port, key_store=key_store) as tcp:
             bound = f"{tcp.address[0]}:{tcp.address[1]}"
             print(f"listening on {bound}", file=out, flush=True)
             if args.port_file:
@@ -470,8 +568,12 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
             except KeyboardInterrupt:
                 pass
             served = tcp.sessions_served
+        if key_store is not None:
+            key_store.close()
         _print_service_metrics(server, out)
         _finish_obs(args, tracer, server.metrics, profiler, out)
+    if previous_term is not None:
+        signal.signal(signal.SIGTERM, previous_term)
     print(f"served {served} networked sessions", file=out)
     return 0
 
@@ -514,6 +616,60 @@ def _cmd_serve(args, out) -> int:
         _finish_obs(args, tracer, server.metrics, profiler, out)
     print(f"established {established}/{args.sessions}", file=out)
     return 0 if established else 1
+
+
+def _cmd_access(args, out) -> int:
+    from repro.net import ClientTicket, NetClientConfig, WaveKeyNetClient
+    from repro.obs.metrics import MetricsRegistry
+
+    host, port = _parse_hostport(args.connect)
+    metrics = MetricsRegistry()
+    client = WaveKeyNetClient(
+        host, port, NetClientConfig(name=args.name), metrics=metrics
+    )
+
+    def finish(rc: int) -> int:
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(metrics.snapshot(), fh, indent=2, default=str)
+            print(f"metrics snapshot -> {args.metrics_out}", file=out)
+        return rc
+
+    if args.access_command == "grant":
+        result = client.establish(args.seed, dynamic=args.dynamic)
+        if not result.success:
+            print(f"FAILED ({result.state}): {result.failure_reason}",
+                  file=out)
+            return finish(1)
+        if result.ticket is None:
+            print("established, but the server issued no resumption "
+                  "ticket", file=out)
+            return finish(1)
+        with open(args.ticket_file, "w", encoding="utf-8") as fh:
+            fh.write(result.ticket.to_json() + "\n")
+        print(f"established in {result.elapsed_s:.2f} s; ticket "
+              f"{result.ticket.ticket_id} "
+              f"(lifetime {result.ticket.lifetime_s:.0f} s) "
+              f"-> {args.ticket_file}", file=out)
+        return finish(0)
+
+    try:
+        with open(args.ticket_file, "r", encoding="utf-8") as fh:
+            ticket = ClientTicket.from_json(fh.read())
+    except OSError as exc:
+        raise AccessError(
+            f"cannot read ticket file {args.ticket_file}: {exc.strerror}"
+        ) from exc
+
+    if args.access_command == "revoke":
+        client.revoke(ticket)
+        print(f"ticket {ticket.ticket_id} revoked", file=out)
+        return finish(0)
+
+    with client.open_channel(ticket) as channel:
+        reply = channel.request(args.access_command, target=args.target)
+    print(json.dumps(reply, indent=2, sort_keys=True), file=out)
+    return finish(0 if reply.get("ok") else 1)
 
 
 def _cmd_cluster_serve(args, out) -> int:
@@ -745,6 +901,8 @@ def main(argv=None, out=None) -> int:
             return _cmd_inspect(out)
         if args.command == "serve":
             return _cmd_serve(args, out)
+        if args.command == "access":
+            return _cmd_access(args, out)
         if args.command == "loadgen":
             return _cmd_loadgen(args, out)
         if args.command == "cluster":

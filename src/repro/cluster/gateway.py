@@ -52,6 +52,8 @@ from repro.net.codec import (
     FrameAssembler,
     FrameType,
     Hello,
+    ResumeRequest,
+    RevokeNotice,
     StatsRequest,
     StatsResponse,
     Verdict,
@@ -538,13 +540,31 @@ class WaveKeyGateway:
             ))
             self._finish_after_flush(session)
             return
-        if not isinstance(message, Hello):
+        if isinstance(message, (ResumeRequest, RevokeNotice)):
+            # Ticket-identity routing: every operation on one ticket —
+            # the resumption that uses it and the revocation that kills
+            # it — hashes to the same backend, so a single-issuer fleet
+            # stays consistent without gateway-side ticket state.  A
+            # resume landing on a non-issuer backend (post-rebalance,
+            # or a multi-backend fleet without ticket replication —
+            # see ROADMAP) earns a typed ``ticket_unknown`` error and
+            # the client falls back to full establishment.
+            session.route_key = f"ticket#{message.ticket_id}"
+            self.metrics.counter(
+                "cluster.route.access",
+                labels={
+                    "kind": "resume"
+                    if isinstance(message, ResumeRequest) else "revoke"
+                },
+            ).inc()
+        elif isinstance(message, Hello):
+            session.route_key = f"{message.sender}#{message.rng_seed}"
+        else:
             self._refuse(
                 session, "protocol",
                 f"expected HELLO, got {type(message).__name__}",
             )
             return
-        session.route_key = f"{message.sender}#{message.rng_seed}"
         session.hello_bytes = frame_to_bytes(frame)
         session.state = "dial"
         self._start_dial(session)

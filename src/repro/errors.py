@@ -97,3 +97,47 @@ class SimulationError(WaveKeyError):
 class ServiceError(WaveKeyError):
     """The access-control service was misused (submit after shutdown,
     double start, result read before completion, ...)."""
+
+
+class AccessError(WaveKeyError):
+    """The post-agreement secure access layer rejected an operation.
+
+    Raised by :mod:`repro.access`: ticket lifecycle violations, record
+    authentication failures, and misuse of the channel state machine
+    all derive from this class so callers can separate access-layer
+    refusals from transport faults (retryable) and protocol failures.
+    """
+
+
+class TicketError(AccessError):
+    """A session-resumption ticket could not be honoured."""
+
+    #: Wire error code carried in the ErrorFrame for this rejection.
+    wire_code = "ticket_rejected"
+
+
+class TicketUnknown(TicketError):
+    """No live ticket with this id (never issued, or already evicted)."""
+
+    wire_code = "ticket_unknown"
+
+
+class TicketExpired(TicketError):
+    """The ticket's TTL elapsed before the resumption attempt."""
+
+    wire_code = "ticket_expired"
+
+
+class TicketRevoked(TicketError):
+    """The ticket was explicitly revoked and must never resume again."""
+
+    wire_code = "ticket_revoked"
+
+
+class RecordRejected(AccessError):
+    """An AEAD record failed authentication or sequencing.
+
+    Covers forged/tampered ciphertexts, replayed or reordered sequence
+    numbers, and oversized plaintexts.  A channel that raises this is
+    poisoned: both ends tear the connection down rather than resync.
+    """

@@ -23,7 +23,10 @@ left simulated:
   micro-batcher, load shedding maps to wire error frames;
 * :mod:`repro.net.client` — a blocking client SDK driving a full
   establishment from the device side, with connect/read timeouts and
-  bounded exponential-backoff retries;
+  bounded exponential-backoff retries; after a successful agreement
+  it holds a :class:`ClientTicket` and can reopen a secure channel
+  (:meth:`WaveKeyNetClient.open_channel`) or revoke the ticket
+  without re-running the gesture/OT exchange (:mod:`repro.access`);
 * :mod:`repro.net.proxy` — a fault-injection TCP proxy porting the
   simulated adversary hooks (tap, delay, drop, corrupt, reorder) to
   real connections, so SV-A/SV-C experiments run over loopback — now
@@ -44,6 +47,7 @@ Quick start (loopback)::
 """
 
 from repro.net.client import (
+    ClientTicket,
     EstablishmentResult,
     NetClientConfig,
     WaveKeyNetClient,
@@ -54,8 +58,13 @@ from repro.net.codec import (
     Frame,
     FrameAssembler,
     FrameType,
+    RecordFrame,
+    ResumeAccept,
+    ResumeRequest,
+    RevokeNotice,
     StatsRequest,
     StatsResponse,
+    TicketGrant,
     decode_payload,
     encode_message,
     frame_to_bytes,
@@ -74,11 +83,13 @@ from repro.net.server import (
     ThreadedWaveKeyTCPServer,
     WaveKeyTCPServer,
     backend_stats_response,
+    issue_ticket_grant,
 )
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
+    "ClientTicket",
     "EstablishmentResult",
     "EventLoop",
     "FaultInjectionProxy",
@@ -88,13 +99,19 @@ __all__ = [
     "FrameType",
     "NetClientConfig",
     "OutboundBuffer",
+    "RecordFrame",
+    "ResumeAccept",
+    "ResumeRequest",
+    "RevokeNotice",
     "StatsRequest",
     "StatsResponse",
     "ThreadedWaveKeyTCPServer",
+    "TicketGrant",
     "WaveKeyNetClient",
     "WaveKeyTCPServer",
     "backend_stats_response",
     "corrupt_frames",
+    "issue_ticket_grant",
     "decode_payload",
     "delay_frames",
     "drop_frames",

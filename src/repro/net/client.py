@@ -24,16 +24,24 @@ Fault handling is the SDK contract:
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.access.channel import ClientAccessChannel, new_nonce
+from repro.access.records import derive_resume_secret, revocation_tag
 from repro.crypto.hashes import hmac_digest
 from repro.errors import (
+    AccessError,
     ConfigurationError,
     ConnectionTimeout,
     KeyAgreementFailure,
     ProtocolError,
+    TicketError,
+    TicketExpired,
+    TicketRevoked,
+    TicketUnknown,
     TransportError,
 )
 from repro.net.codec import (
@@ -43,8 +51,12 @@ from repro.net.codec import (
     ConfirmAck,
     ErrorFrame,
     Hello,
+    ResumeAccept,
+    ResumeRequest,
+    RevokeNotice,
     RoundResult,
     SeedGrant,
+    TicketGrant,
     Verdict,
 )
 from repro.net.connection import FrameConnection, connect
@@ -124,6 +136,48 @@ class NetClientConfig:
             raise ConfigurationError("backoff_multiplier must be >= 1")
 
 
+@dataclass(frozen=True)
+class ClientTicket:
+    """Client-side resumption credential.
+
+    Pairs the server's :class:`TicketGrant` with the resumption secret
+    the client derived from its own copy of the agreed key — the
+    secret never travels, so holding a :class:`ClientTicket` proves
+    the holder completed (or was handed the outcome of) an agreement.
+    Serializable via :meth:`to_json`/:meth:`from_json` so the CLI can
+    park it on disk between invocations.
+    """
+
+    ticket_id: str
+    resume_secret: bytes
+    expires_at: float
+    lifetime_s: float
+    server: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ticket_id": self.ticket_id,
+            "resume_secret": self.resume_secret.hex(),
+            "expires_at": self.expires_at,
+            "lifetime_s": self.lifetime_s,
+            "server": self.server,
+        })
+
+    @staticmethod
+    def from_json(text: str) -> "ClientTicket":
+        try:
+            data = json.loads(text)
+            return ClientTicket(
+                ticket_id=str(data["ticket_id"]),
+                resume_secret=bytes.fromhex(str(data["resume_secret"])),
+                expires_at=float(data["expires_at"]),
+                lifetime_s=float(data["lifetime_s"]),
+                server=str(data.get("server", "")),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AccessError(f"malformed client ticket: {exc}") from exc
+
+
 @dataclass
 class EstablishmentResult:
     """Client-side view of one (possibly retried) establishment."""
@@ -138,6 +192,7 @@ class EstablishmentResult:
     failure_reason: Optional[str] = None
     rounds: List[RoundResult] = field(default_factory=list)
     endpoint: str = ""         # address that served the final attempt
+    ticket: Optional[ClientTicket] = None  # resumption credential
 
 
 class _RoundAborted(Exception):
@@ -243,6 +298,121 @@ class WaveKeyNetClient:
             root.set_attribute("state", "transport_error")
         raise last_error
 
+    def open_channel(self, ticket: ClientTicket) -> ClientAccessChannel:
+        """Resume a secure channel from a ticket — no gesture, no OT.
+
+        Dials the primary endpoint, presents the ticket with a fresh
+        nonce, verifies the server's proof that it holds the ticket's
+        resumption secret, and returns the live channel.  Ticket
+        rejections surface as the matching typed error
+        (:class:`TicketUnknown` / :class:`TicketExpired` /
+        :class:`TicketRevoked`); transport faults raise
+        :class:`TransportError` so callers can fall back to
+        :meth:`establish`.
+        """
+        config = self.config
+        tracer = resolve_tracer(self.tracer)
+        with tracer.span(
+            "access.resume", ticket=ticket.ticket_id,
+            server=f"{self.host}:{self.port}",
+        ) as span:
+            conn = connect(
+                self.host,
+                self.port,
+                timeout_s=config.connect_timeout_s,
+                max_frame_bytes=config.max_frame_bytes,
+                read_timeout_s=config.read_timeout_s,
+                metrics=self.metrics,
+                endpoint="client",
+            )
+            try:
+                client_nonce = new_nonce()
+                conn.send(ResumeRequest(
+                    sender=config.name,
+                    ticket_id=ticket.ticket_id,
+                    client_nonce=client_nonce,
+                ))
+                answer = conn.recv()
+                if isinstance(answer, ErrorFrame):
+                    span.set_attribute("rejected", answer.code)
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "access.client.resume_rejected",
+                            labels={"code": answer.code},
+                        ).inc()
+                    raise self._ticket_error(answer)
+                if not isinstance(answer, ResumeAccept):
+                    raise ProtocolError(
+                        "expected RESUME_ACCEPT, got "
+                        f"{type(answer).__name__}"
+                    )
+                _, records = ClientAccessChannel.complete_handshake(
+                    ticket.resume_secret, client_nonce, answer
+                )
+            except BaseException:
+                conn.close()
+                raise
+            span.set_attribute("channel", answer.channel_id)
+            if self.metrics is not None:
+                self.metrics.counter("access.client.resumed").inc()
+            return ClientAccessChannel(
+                conn, records, answer.channel_id, metrics=self.metrics
+            )
+
+    def revoke(self, ticket: ClientTicket) -> bool:
+        """Kill a ticket server-side; returns True on the server's ack.
+
+        Authenticated by the ticket's revocation key, so it works from
+        any process holding the :class:`ClientTicket` — no secure
+        channel required.  Raises the typed ticket error if the server
+        no longer honours the id.
+        """
+        conn = connect(
+            self.host,
+            self.port,
+            timeout_s=self.config.connect_timeout_s,
+            max_frame_bytes=self.config.max_frame_bytes,
+            read_timeout_s=self.config.read_timeout_s,
+            metrics=self.metrics,
+            endpoint="client",
+        )
+        try:
+            conn.send(RevokeNotice(
+                ticket_id=ticket.ticket_id,
+                tag=revocation_tag(
+                    ticket.resume_secret, ticket.ticket_id
+                ),
+            ))
+            answer = conn.recv()
+        finally:
+            conn.close()
+        if isinstance(answer, ErrorFrame):
+            raise self._ticket_error(answer)
+        if isinstance(answer, RoundResult) and answer.success:
+            if self.metrics is not None:
+                self.metrics.counter("access.client.revoked").inc()
+            return True
+        raise ProtocolError(
+            f"unexpected revocation reply {type(answer).__name__}"
+        )
+
+    @staticmethod
+    def _ticket_error(error: ErrorFrame) -> Exception:
+        """Map a wire error code back to the typed exception."""
+        by_code = {
+            TicketUnknown.wire_code: TicketUnknown,
+            TicketExpired.wire_code: TicketExpired,
+            TicketRevoked.wire_code: TicketRevoked,
+        }
+        exc_type = by_code.get(error.code)
+        if exc_type is not None:
+            return exc_type(error.detail)
+        if error.code in ("resume_invalid", "revoke_auth"):
+            return TicketError(f"{error.code}: {error.detail}")
+        return ProtocolError(
+            f"server error {error.code}: {error.detail}"
+        )
+
     # -- one connection lifecycle ------------------------------------------
 
     def _attempt(
@@ -288,6 +458,7 @@ class WaveKeyNetClient:
 
             rounds: List[RoundResult] = []
             session_key: Optional[BitSequence] = None
+            grant: Optional[TicketGrant] = None
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -304,9 +475,12 @@ class WaveKeyNetClient:
                     )
                 elif isinstance(message, RoundResult):
                     rounds.append(message)
+                elif isinstance(message, TicketGrant):
+                    grant = message
                 elif isinstance(message, Verdict):
                     return self._verdict_result(
-                        message, accept, session_key, rounds
+                        message, accept, session_key, rounds, grant,
+                        f"{host}:{port}",
                     )
                 elif isinstance(message, ErrorFrame):
                     return self._error_result(message, rounds)
@@ -337,6 +511,8 @@ class WaveKeyNetClient:
         accept: Accept,
         session_key: Optional[BitSequence],
         rounds: List[RoundResult],
+        grant: Optional[TicketGrant] = None,
+        endpoint: str = "",
     ) -> EstablishmentResult:
         success = verdict.state == "established"
         if success and session_key is None:
@@ -344,6 +520,19 @@ class WaveKeyNetClient:
                 "server reported establishment but no round completed "
                 "on the client side"
             )
+        ticket: Optional[ClientTicket] = None
+        if success and grant is not None:
+            # The grant names the ticket; the secret comes from the
+            # client's own copy of the agreed key.
+            ticket = ClientTicket(
+                ticket_id=grant.ticket_id,
+                resume_secret=derive_resume_secret(session_key.to_bytes()),
+                expires_at=grant.expires_at,
+                lifetime_s=grant.lifetime_s,
+                server=endpoint,
+            )
+            if self.metrics is not None:
+                self.metrics.counter("access.client.grants").inc()
         return EstablishmentResult(
             success=success,
             state=verdict.state,
@@ -352,6 +541,7 @@ class WaveKeyNetClient:
             attempts=verdict.attempts,
             failure_reason=verdict.reason or None,
             rounds=rounds,
+            ticket=ticket,
         )
 
     # -- one protocol round ------------------------------------------------

@@ -17,7 +17,10 @@ Two message families share the framing:
   HMAC confirmation;
 * the **session-control frames** defined here — hello/accept handshake,
   per-attempt seed grant, confirmation ack, round result, terminal
-  verdict, and structured error frames.
+  verdict, and structured error frames;
+* the **access-layer frames** (:mod:`repro.access`) — resumption
+  ticket grant, resume request/accept, sealed channel records, and
+  authenticated revocation notices.
 
 Encoded sizes are reconciled with the latency model: for every protocol
 dataclass, ``len(payload) == msg.wire_size_bytes() + framing_overhead``
@@ -78,6 +81,11 @@ class FrameType(enum.IntEnum):
     ERROR = 0x30
     STATS_REQUEST = 0x40
     STATS_RESPONSE = 0x41
+    TICKET_GRANT = 0x50
+    RESUME_REQUEST = 0x51
+    RESUME_ACCEPT = 0x52
+    RECORD = 0x53
+    REVOKE_NOTICE = 0x54
 
 
 class Frame(NamedTuple):
@@ -197,6 +205,91 @@ class StatsResponse:
     version: int = PROTOCOL_VERSION
 
 
+# -- access-layer messages (repro.access) -------------------------------------
+
+
+@dataclass(frozen=True)
+class TicketGrant:
+    """Server -> client: a session-resumption ticket.
+
+    Issued alongside the terminal verdict of a successful agreement: a
+    returning client presents ``ticket_id`` in a :class:`ResumeRequest`
+    to open a secure channel without re-running the gesture/OT
+    exchange.  The resumption secret itself never travels — both sides
+    derive it from the agreed key (:mod:`repro.access.records`), so the
+    grant only names the ticket and its lifetime.
+    """
+
+    ticket_id: str
+    expires_at: float   # server wall-clock (unix seconds)
+    lifetime_s: float
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ResumeRequest:
+    """Client -> server: open a secure channel from a live ticket.
+
+    Sent as the *first* frame where a :class:`Hello` would go.
+    ``client_nonce`` freshens the channel key schedule so records from
+    an earlier resumption of the same ticket never replay into this
+    one.
+    """
+
+    sender: str
+    ticket_id: str
+    client_nonce: bytes
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ResumeAccept:
+    """Server -> client: the resumption is live.
+
+    ``tag`` authenticates the server to the client: an HMAC over both
+    nonces and the channel id under a key only a holder of the ticket's
+    resumption secret can derive — a server that never saw the agreed
+    key cannot produce it.
+    """
+
+    sender: str
+    channel_id: str
+    server_nonce: bytes
+    tag: bytes
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class RecordFrame:
+    """Either direction: one sealed record of the secure channel.
+
+    ``seq`` is the per-direction record counter (explicit, strictly
+    sequential — receivers reject replays and reorders outright);
+    ``ciphertext`` is the keystream-encrypted payload; ``tag`` is the
+    encrypt-then-MAC HMAC over the sequence number and ciphertext
+    under the direction's MAC key.
+    """
+
+    seq: int
+    ciphertext: bytes
+    tag: bytes
+
+
+@dataclass(frozen=True)
+class RevokeNotice:
+    """Client -> server: kill a ticket, authenticated out-of-channel.
+
+    Sent as a connection's first frame (no secure channel required —
+    a device that lost its session state must still be able to revoke).
+    ``tag`` is an HMAC over the ticket id under the ticket's dedicated
+    revocation key, so only a holder of the agreed key can revoke.
+    """
+
+    ticket_id: str
+    tag: bytes
+    version: int = PROTOCOL_VERSION
+
+
 # -- primitive writers / readers ---------------------------------------------
 
 
@@ -218,6 +311,10 @@ class _Writer:
 
     def u32(self, value: int) -> "_Writer":
         self._parts.append(struct.pack("!I", value))
+        return self
+
+    def u64(self, value: int) -> "_Writer":
+        self._parts.append(struct.pack("!Q", value))
         return self
 
     def f64(self, value: float) -> "_Writer":
@@ -295,6 +392,9 @@ class _Reader:
 
     def u32(self) -> int:
         return struct.unpack("!I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("!Q", self._take(8))[0]
 
     def f64(self) -> float:
         return struct.unpack("!d", self._take(8))[0]
@@ -560,6 +660,125 @@ def _decode_stats_response(payload: bytes) -> StatsResponse:
     return StatsResponse(payload_json=document, version=version)
 
 
+def _encode_ticket_grant(msg: TicketGrant) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.ticket_id)
+        .f64(msg.expires_at)
+        .f64(msg.lifetime_s)
+        .payload()
+    )
+
+
+def _decode_ticket_grant(payload: bytes) -> TicketGrant:
+    r = _Reader(payload)
+    version = r.u8()
+    ticket_id = r.string()
+    expires_at = r.f64()
+    lifetime_s = r.f64()
+    r.expect_end()
+    return TicketGrant(
+        ticket_id=ticket_id,
+        expires_at=expires_at,
+        lifetime_s=lifetime_s,
+        version=version,
+    )
+
+
+def _encode_resume_request(msg: ResumeRequest) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.sender)
+        .string(msg.ticket_id)
+        .blob8(msg.client_nonce)
+        .payload()
+    )
+
+
+def _decode_resume_request(payload: bytes) -> ResumeRequest:
+    r = _Reader(payload)
+    version = r.u8()
+    sender = r.string()
+    ticket_id = r.string()
+    client_nonce = r.blob8()
+    r.expect_end()
+    return ResumeRequest(
+        sender=sender,
+        ticket_id=ticket_id,
+        client_nonce=client_nonce,
+        version=version,
+    )
+
+
+def _encode_resume_accept(msg: ResumeAccept) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.sender)
+        .string(msg.channel_id)
+        .blob8(msg.server_nonce)
+        .blob8(msg.tag)
+        .payload()
+    )
+
+
+def _decode_resume_accept(payload: bytes) -> ResumeAccept:
+    r = _Reader(payload)
+    version = r.u8()
+    sender = r.string()
+    channel_id = r.string()
+    server_nonce = r.blob8()
+    tag = r.blob8()
+    r.expect_end()
+    return ResumeAccept(
+        sender=sender,
+        channel_id=channel_id,
+        server_nonce=server_nonce,
+        tag=tag,
+        version=version,
+    )
+
+
+def _encode_record(msg: RecordFrame) -> bytes:
+    return (
+        _Writer()
+        .u64(msg.seq)
+        .blob32(msg.ciphertext)
+        .blob8(msg.tag)
+        .payload()
+    )
+
+
+def _decode_record(payload: bytes) -> RecordFrame:
+    r = _Reader(payload)
+    seq = r.u64()
+    ciphertext = r.blob32()
+    tag = r.blob8()
+    r.expect_end()
+    return RecordFrame(seq=seq, ciphertext=ciphertext, tag=tag)
+
+
+def _encode_revoke_notice(msg: RevokeNotice) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.ticket_id)
+        .blob8(msg.tag)
+        .payload()
+    )
+
+
+def _decode_revoke_notice(payload: bytes) -> RevokeNotice:
+    r = _Reader(payload)
+    version = r.u8()
+    ticket_id = r.string()
+    tag = r.blob8()
+    r.expect_end()
+    return RevokeNotice(ticket_id=ticket_id, tag=tag, version=version)
+
+
 def _decode_error(payload: bytes) -> ErrorFrame:
     r = _Reader(payload)
     code = r.string()
@@ -583,6 +802,11 @@ _ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
     ErrorFrame: (FrameType.ERROR, _encode_error),
     StatsRequest: (FrameType.STATS_REQUEST, _encode_stats_request),
     StatsResponse: (FrameType.STATS_RESPONSE, _encode_stats_response),
+    TicketGrant: (FrameType.TICKET_GRANT, _encode_ticket_grant),
+    ResumeRequest: (FrameType.RESUME_REQUEST, _encode_resume_request),
+    ResumeAccept: (FrameType.RESUME_ACCEPT, _encode_resume_accept),
+    RecordFrame: (FrameType.RECORD, _encode_record),
+    RevokeNotice: (FrameType.REVOKE_NOTICE, _encode_revoke_notice),
 }
 
 _DECODERS: Dict[FrameType, Callable] = {
@@ -600,6 +824,11 @@ _DECODERS: Dict[FrameType, Callable] = {
     FrameType.ERROR: _decode_error,
     FrameType.STATS_REQUEST: _decode_stats_request,
     FrameType.STATS_RESPONSE: _decode_stats_response,
+    FrameType.TICKET_GRANT: _decode_ticket_grant,
+    FrameType.RESUME_REQUEST: _decode_resume_request,
+    FrameType.RESUME_ACCEPT: _decode_resume_accept,
+    FrameType.RECORD: _decode_record,
+    FrameType.REVOKE_NOTICE: _decode_revoke_notice,
 }
 
 

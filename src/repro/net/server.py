@@ -61,14 +61,20 @@ import threading
 import time
 from typing import Optional, Tuple
 
+from repro.access.channel import ServerAccessChannel, default_op_handler
+from repro.access.records import derive_resume_secret, verify_revocation_tag
+from repro.access.store import KeyStore
 from repro.crypto.hashes import hmac_verify
 from repro.errors import (
+    AccessError,
     ConnectionClosed,
     ConnectionTimeout,
     DeadlineExceeded,
     KeyAgreementFailure,
     ProtocolError,
+    RecordRejected,
     ServiceError,
+    TicketError,
     TransportError,
 )
 from repro.net.codec import (
@@ -79,10 +85,14 @@ from repro.net.codec import (
     ErrorFrame,
     FrameAssembler,
     Hello,
+    RecordFrame,
+    ResumeRequest,
+    RevokeNotice,
     RoundResult,
     SeedGrant,
     StatsRequest,
     StatsResponse,
+    TicketGrant,
     Verdict,
     decode_payload,
     encode_message,
@@ -112,6 +122,72 @@ from repro.utils.rng import child_rng
 
 _UNSET = object()
 _FRAME_HEADER_BYTES = struct.calcsize("!IB")
+
+
+def issue_ticket_grant(front_end, record, peer: str) -> Optional[TicketGrant]:
+    """Grant a resumption ticket for one successful agreement.
+
+    Shared by both front ends: when the session ended ``ESTABLISHED``
+    with a key on the record, derive the resumption secret
+    (:func:`derive_resume_secret` — the agreed key itself is never
+    stored), register it in the front end's :class:`KeyStore`, and
+    build the :class:`TicketGrant` to send ahead of the verdict.
+    Returns ``None`` for any non-resumable outcome.
+    """
+    key = getattr(record, "key", None)
+    if record.state is not SessionState.ESTABLISHED or key is None:
+        return None
+    ticket = front_end.key_store.issue(
+        derive_resume_secret(key.to_bytes()),
+        peer=peer,
+        metadata={"session_id": record.session_id},
+    )
+    front_end.metrics.counter("access.grants").inc()
+    front_end.events.emit(
+        "access_ticket_granted", peer=peer, ticket_id=ticket.ticket_id,
+        lifetime_s=ticket.lifetime_s,
+    )
+    return TicketGrant(
+        ticket_id=ticket.ticket_id,
+        expires_at=time.time() + ticket.lifetime_s,
+        lifetime_s=ticket.lifetime_s,
+    )
+
+
+def answer_revocation(front_end, notice: RevokeNotice):
+    """Decide one :class:`RevokeNotice`; returns the reply message.
+
+    Only a holder of the ticket's revocation key (derived from the
+    agreed key) can revoke; the reply is a ``RoundResult`` ack on
+    success and a typed :class:`ErrorFrame` otherwise.
+    """
+    metrics = front_end.metrics
+    ticket = front_end.key_store.peek(notice.ticket_id)
+    if ticket is None:
+        metrics.counter(
+            "access.revocations", labels={"outcome": "unknown"}
+        ).inc()
+        return ErrorFrame(
+            "ticket_unknown", f"no live ticket {notice.ticket_id}"
+        )
+    if not verify_revocation_tag(
+        ticket.resume_secret, ticket.ticket_id, notice.tag
+    ):
+        metrics.counter(
+            "access.revocations", labels={"outcome": "bad_tag"}
+        ).inc()
+        front_end.events.emit(
+            "access_revoke_rejected", ticket_id=notice.ticket_id,
+            reason="bad_tag",
+        )
+        return ErrorFrame(
+            "revoke_auth",
+            "revocation tag mismatch: peer does not hold the ticket key",
+        )
+    front_end.key_store.revoke(notice.ticket_id)
+    metrics.counter("access.revocations", labels={"outcome": "ok"}).inc()
+    front_end.events.emit("access_revoked", ticket_id=notice.ticket_id)
+    return RoundResult(success=True, reason="revoked")
 
 
 def backend_stats_response(front_end) -> StatsResponse:
@@ -304,6 +380,7 @@ _CLOSED = object()
 #: _ClientConn lifecycle.
 _HANDSHAKE = "handshake"
 _AGREEMENT = "agreement"
+_SECURE = "secure"
 _CLOSING = "closing"
 
 
@@ -344,6 +421,7 @@ class _ClientConn:
     __slots__ = (
         "server", "sock", "addr", "state", "assembler", "outbound",
         "inbox", "channel", "ticket", "deadline", "closed", "want_write",
+        "access", "peer",
     )
 
     def __init__(self, server: "WaveKeyTCPServer", sock, addr):
@@ -359,6 +437,8 @@ class _ClientConn:
         self.deadline = None
         self.closed = False
         self.want_write = False
+        self.access: Optional[ServerAccessChannel] = None
+        self.peer = ""
 
     @property
     def peername(self) -> str:
@@ -407,6 +487,9 @@ class WaveKeyTCPServer:
         verdict_grace_s: float = 10.0,
         max_outbound_bytes: int = 1 << 20,
         inbox_limit: int = 256,
+        key_store: Optional[KeyStore] = None,
+        op_handler=default_op_handler,
+        secure_idle_timeout_s: float = 30.0,
     ):
         self.access_server = access_server
         self.name = name
@@ -416,6 +499,14 @@ class WaveKeyTCPServer:
         self.verdict_grace_s = float(verdict_grace_s)
         self.max_outbound_bytes = int(max_outbound_bytes)
         self.inbox_limit = int(inbox_limit)
+        # explicit None-check: an empty KeyStore is falsy (__len__)
+        self.key_store = (
+            key_store
+            if key_store is not None
+            else KeyStore(metrics=access_server.metrics)
+        )
+        self.op_handler = op_handler
+        self.secure_idle_timeout_s = float(secure_idle_timeout_s)
         self._host = host
         self._port = port
         self._sock: Optional[socket.socket] = None
@@ -613,6 +704,8 @@ class WaveKeyTCPServer:
         )
         if conn.state == _HANDSHAKE:
             self._handle_hello(conn, message)
+        elif conn.state == _SECURE:
+            self._handle_secure_frame(conn, message)
         else:
             if conn.inbox.qsize() >= self.inbox_limit:
                 self.metrics.counter("net.server.inbox_shed").inc()
@@ -656,6 +749,13 @@ class WaveKeyTCPServer:
             self._enqueue(conn, backend_stats_response(self))
             self._close_after_flush(conn)
             return
+        if isinstance(message, ResumeRequest):
+            self._handle_resume(conn, message)
+            return
+        if isinstance(message, RevokeNotice):
+            self._enqueue(conn, answer_revocation(self, message))
+            self._close_after_flush(conn)
+            return
         if not isinstance(message, Hello):
             self._enqueue(conn, ErrorFrame(
                 "protocol",
@@ -678,6 +778,7 @@ class WaveKeyTCPServer:
             self._close_after_flush(conn)
             return
 
+        conn.peer = message.sender
         agreement = _NetAgreement(
             conn.channel, peer=message.sender, server_name=self.name
         )
@@ -728,6 +829,107 @@ class WaveKeyTCPServer:
             )
         )
 
+    def _handle_resume(self, conn: _ClientConn, message: ResumeRequest) -> None:
+        """First-frame ticket resumption: no gesture, no OT — straight
+        to a secure channel if the ticket is alive."""
+        if message.version != PROTOCOL_VERSION:
+            self._enqueue(conn, ErrorFrame(
+                "version",
+                f"server speaks protocol {PROTOCOL_VERSION}, "
+                f"client sent {message.version}",
+            ))
+            self._close_after_flush(conn)
+            return
+        try:
+            ticket = self.key_store.resume(message.ticket_id)
+            channel, accept = ServerAccessChannel.accept(
+                ticket,
+                message.client_nonce,
+                handler=self.op_handler,
+                metrics=self.metrics,
+                sender=self.name,
+            )
+        except TicketError as exc:
+            self.metrics.counter(
+                "access.resume", labels={"outcome": exc.wire_code}
+            ).inc()
+            self.events.emit(
+                "access_resume_rejected", peer=conn.peername,
+                ticket_id=message.ticket_id, code=exc.wire_code,
+            )
+            self._enqueue(conn, ErrorFrame(exc.wire_code, str(exc)))
+            self._close_after_flush(conn)
+            return
+        except AccessError as exc:
+            self._enqueue(conn, ErrorFrame("resume_invalid", str(exc)))
+            self._close_after_flush(conn)
+            return
+        conn.peer = message.sender
+        conn.access = channel
+        conn.state = _SECURE
+        self._arm_secure_idle(conn)
+        self.metrics.counter(
+            "access.resume", labels={"outcome": "ok"}
+        ).inc()
+        self.events.emit(
+            "access_resumed", peer=conn.peername,
+            ticket_id=ticket.ticket_id, channel_id=channel.channel_id,
+        )
+        self._enqueue(conn, accept)
+
+    def _arm_secure_idle(self, conn: _ClientConn) -> None:
+        if conn.deadline is not None:
+            conn.deadline.cancel()
+        conn.deadline = self.loop.call_later(
+            self.secure_idle_timeout_s,
+            lambda c=conn: self._secure_idle_timeout(c),
+        )
+
+    def _secure_idle_timeout(self, conn: _ClientConn) -> None:
+        if conn.closed or conn.state != _SECURE:
+            return
+        self.metrics.counter("access.idle_timeouts").inc()
+        self._enqueue(conn, ErrorFrame(
+            "timeout",
+            f"secure channel idle for {self.secure_idle_timeout_s:.1f}s",
+        ))
+        self._close_after_flush(conn)
+
+    def _handle_secure_frame(self, conn: _ClientConn, message) -> None:
+        """One inbound frame on an open secure channel (loop thread —
+        record crypto is a few HMACs, far below a loop tick)."""
+        if not isinstance(message, RecordFrame):
+            self._enqueue(conn, ErrorFrame(
+                "protocol",
+                f"expected RECORD, got {type(message).__name__}",
+            ))
+            self._close_after_flush(conn)
+            return
+        start = time.perf_counter()
+        try:
+            reply = conn.access.handle_record(message)
+        except RecordRejected as exc:
+            self.metrics.counter("access.records_rejected").inc()
+            self.events.emit(
+                "access_record_rejected", peer=conn.peername,
+                error=str(exc),
+            )
+            self._enqueue(conn, ErrorFrame("record_rejected", str(exc)))
+            self._close_after_flush(conn)
+            return
+        except AccessError as exc:
+            self._enqueue(conn, ErrorFrame("access", str(exc)))
+            self._close_after_flush(conn)
+            return
+        self.metrics.histogram("access.op_s").observe(
+            time.perf_counter() - start
+        )
+        if reply is None:  # orderly "bye"
+            self._close_conn(conn)
+            return
+        self._arm_secure_idle(conn)
+        self._enqueue(conn, reply)
+
     def _send_shed(self, conn: _ClientConn, record) -> None:
         # Structured load shedding, mapped to a wire error frame.
         rejection = record.rejection
@@ -751,6 +953,9 @@ class WaveKeyTCPServer:
         # never observe a stale sessions_served.
         self.sessions_served += 1
         self.metrics.counter("net.server.sessions").inc()
+        grant = issue_ticket_grant(self, record, conn.peer)
+        if grant is not None:
+            self._enqueue(conn, grant)
         self._enqueue(conn, Verdict(
             state=record.state.value,
             attempts=record.attempts,
@@ -882,6 +1087,9 @@ class ThreadedWaveKeyTCPServer:
         read_timeout_s: float = 10.0,
         handshake_timeout_s: float = 5.0,
         verdict_grace_s: float = 10.0,
+        key_store: Optional[KeyStore] = None,
+        op_handler=default_op_handler,
+        secure_idle_timeout_s: float = 30.0,
     ):
         self.access_server = access_server
         self.name = name
@@ -889,6 +1097,14 @@ class ThreadedWaveKeyTCPServer:
         self.read_timeout_s = float(read_timeout_s)
         self.handshake_timeout_s = float(handshake_timeout_s)
         self.verdict_grace_s = float(verdict_grace_s)
+        # explicit None-check: an empty KeyStore is falsy (__len__)
+        self.key_store = (
+            key_store
+            if key_store is not None
+            else KeyStore(metrics=access_server.metrics)
+        )
+        self.op_handler = op_handler
+        self.secure_idle_timeout_s = float(secure_idle_timeout_s)
         self._host = host
         self._port = port
         self._sock: Optional[socket.socket] = None
@@ -1011,6 +1227,12 @@ class ThreadedWaveKeyTCPServer:
             self.metrics.counter("net.server.stats_requests").inc()
             conn.send(backend_stats_response(self))
             return
+        if isinstance(hello, ResumeRequest):
+            self._converse_secure(conn, hello)
+            return
+        if isinstance(hello, RevokeNotice):
+            conn.send(answer_revocation(self, hello))
+            return
         if not isinstance(hello, Hello):
             conn.send(ErrorFrame(
                 "protocol",
@@ -1079,9 +1301,93 @@ class ThreadedWaveKeyTCPServer:
         with self._lock:
             self.sessions_served += 1
         self.metrics.counter("net.server.sessions").inc()
+        grant = issue_ticket_grant(self, record, hello.sender)
+        if grant is not None:
+            conn.send(grant)
         conn.send(Verdict(
             state=record.state.value,
             attempts=record.attempts,
             reason=record.failure_reason or "",
             session_id=record.session_id,
         ))
+
+    def _converse_secure(
+        self, conn: FrameConnection, request: ResumeRequest
+    ) -> None:
+        """Blocking secure-channel conversation (threaded parity with
+        the event-loop server's ``_SECURE`` state)."""
+        if request.version != PROTOCOL_VERSION:
+            conn.send(ErrorFrame(
+                "version",
+                f"server speaks protocol {PROTOCOL_VERSION}, "
+                f"client sent {request.version}",
+            ))
+            return
+        try:
+            ticket = self.key_store.resume(request.ticket_id)
+            channel, accept = ServerAccessChannel.accept(
+                ticket,
+                request.client_nonce,
+                handler=self.op_handler,
+                metrics=self.metrics,
+                sender=self.name,
+            )
+        except TicketError as exc:
+            self.metrics.counter(
+                "access.resume", labels={"outcome": exc.wire_code}
+            ).inc()
+            self.events.emit(
+                "access_resume_rejected", ticket_id=request.ticket_id,
+                code=exc.wire_code,
+            )
+            conn.send(ErrorFrame(exc.wire_code, str(exc)))
+            return
+        except AccessError as exc:
+            conn.send(ErrorFrame("resume_invalid", str(exc)))
+            return
+        self.metrics.counter(
+            "access.resume", labels={"outcome": "ok"}
+        ).inc()
+        self.events.emit(
+            "access_resumed", ticket_id=ticket.ticket_id,
+            channel_id=channel.channel_id,
+        )
+        conn.send(accept)
+        while True:
+            try:
+                message = conn.recv(timeout_s=self.secure_idle_timeout_s)
+            except ConnectionTimeout:
+                self.metrics.counter("access.idle_timeouts").inc()
+                conn.send(ErrorFrame(
+                    "timeout",
+                    "secure channel idle for "
+                    f"{self.secure_idle_timeout_s:.1f}s",
+                ))
+                return
+            except ConnectionClosed:
+                return
+            if not isinstance(message, RecordFrame):
+                conn.send(ErrorFrame(
+                    "protocol",
+                    f"expected RECORD, got {type(message).__name__}",
+                ))
+                return
+            start = time.perf_counter()
+            try:
+                reply = channel.handle_record(message)
+            except RecordRejected as exc:
+                self.metrics.counter("access.records_rejected").inc()
+                self.events.emit(
+                    "access_record_rejected", error=str(exc)
+                )
+                conn.send(ErrorFrame("record_rejected", str(exc)))
+                return
+            except AccessError as exc:
+                conn.send(ErrorFrame("access", str(exc)))
+                return
+            self.metrics.histogram("access.op_s").observe(
+                time.perf_counter() - start
+            )
+            if reply is None:  # orderly "bye"
+                return
+            conn.send(reply)

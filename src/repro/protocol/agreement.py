@@ -283,9 +283,22 @@ class AgreementParty:
             )
 
     def session_key(self) -> BitSequence:
-        """The agreed key, truncated to the requested ``l_k`` bits."""
+        """The agreed key, truncated to the requested ``l_k`` bits.
+
+        The reconciled material must cover the request: silently
+        returning fewer than ``key_length_bits`` bits would hand the
+        access layer a weaker key than the caller configured, so a
+        short ``final_key`` is a hard protocol error, not a truncation.
+        """
         if self.final_key is None:
             raise ProtocolError(f"{self.name}: agreement incomplete")
+        if self.config.key_length_bits > len(self.final_key):
+            raise ProtocolError(
+                f"{self.name}: reconciled key holds {len(self.final_key)} "
+                f"bits but key_length_bits requests "
+                f"{self.config.key_length_bits}; gather longer seeds or "
+                "lower the requested key length"
+            )
         return self.final_key[: self.config.key_length_bits]
 
 

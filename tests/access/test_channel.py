@@ -1,0 +1,146 @@
+"""Channel endpoint tests, transport-free: handshake authentication
+and the op dispatcher, with the client side driven via the raw
+:class:`RecordChannel` it would hold after ``complete_handshake``."""
+
+import pytest
+
+from repro.access.channel import (
+    ClientAccessChannel,
+    ServerAccessChannel,
+    decode_payload,
+    default_op_handler,
+    encode_op,
+    new_nonce,
+)
+from repro.access.records import derive_resume_secret
+from repro.access.store import Ticket
+from repro.errors import AccessError
+from repro.obs.metrics import MetricsRegistry
+
+SECRET = derive_resume_secret(b"\x33" * 32)
+
+
+def make_ticket(**overrides):
+    fields = dict(
+        ticket_id="ab" * 16,
+        resume_secret=SECRET,
+        peer="mobile",
+        issued_at=0.0,
+        expires_at=3600.0,
+        resumed=1,
+    )
+    fields.update(overrides)
+    return Ticket(**fields)
+
+
+def open_pair(handler=default_op_handler, metrics=None):
+    """Server channel + the client-side RecordChannel facing it."""
+    client_nonce = new_nonce()
+    server, accept_frame = ServerAccessChannel.accept(
+        make_ticket(), client_nonce, handler=handler, metrics=metrics
+    )
+    _, records = ClientAccessChannel.complete_handshake(
+        SECRET, client_nonce, accept_frame
+    )
+    return server, records
+
+
+class TestHandshake:
+    def test_accept_tag_verifies(self):
+        server, records = open_pair()
+        assert records.role == "client"
+        assert server.channel_id
+
+    def test_wrong_secret_rejected(self):
+        client_nonce = new_nonce()
+        _, accept_frame = ServerAccessChannel.accept(
+            make_ticket(), client_nonce
+        )
+        with pytest.raises(AccessError, match="tag mismatch"):
+            ClientAccessChannel.complete_handshake(
+                derive_resume_secret(b"\x44" * 32),
+                client_nonce,
+                accept_frame,
+            )
+
+    def test_wrong_client_nonce_rejected(self):
+        client_nonce = new_nonce()
+        _, accept_frame = ServerAccessChannel.accept(
+            make_ticket(), client_nonce
+        )
+        with pytest.raises(AccessError, match="tag mismatch"):
+            ClientAccessChannel.complete_handshake(
+                SECRET, new_nonce(), accept_frame
+            )
+
+    def test_channels_get_fresh_ids_and_nonces(self):
+        _, a = ServerAccessChannel.accept(make_ticket(), new_nonce())
+        _, b = ServerAccessChannel.accept(make_ticket(), new_nonce())
+        assert a.channel_id != b.channel_id
+        assert a.server_nonce != b.server_nonce
+
+
+class TestOps:
+    def roundtrip(self, server, records, op, **fields):
+        reply = server.handle_record(records.seal(encode_op(op, **fields)))
+        return decode_payload(records.open_record(reply))
+
+    def test_query(self):
+        server, records = open_pair()
+        result = self.roundtrip(server, records, "query", target="door")
+        assert result == {
+            "ok": True, "peer": "mobile", "target": "door",
+            "allowed": True, "resumed": 1,
+        }
+
+    def test_open_actuates(self):
+        server, records = open_pair()
+        result = self.roundtrip(server, records, "open", target="lab")
+        assert result["ok"] and result["opened"]
+        assert result["target"] == "lab"
+
+    def test_ping(self):
+        server, records = open_pair()
+        assert self.roundtrip(server, records, "ping")["pong"] is True
+
+    def test_unknown_op(self):
+        server, records = open_pair()
+        result = self.roundtrip(server, records, "levitate")
+        assert result["ok"] is False
+
+    def test_bye_finishes_channel(self):
+        server, records = open_pair()
+        assert server.handle_record(records.seal(encode_op("bye"))) is None
+        assert server.finished
+
+    def test_custom_handler(self):
+        def handler(payload, ticket):
+            return {"ok": True, "echo": payload.get("x"), "who": ticket.peer}
+
+        server, records = open_pair(handler=handler)
+        result = self.roundtrip(server, records, "query", x=42)
+        assert result == {"ok": True, "echo": 42, "who": "mobile"}
+
+    def test_ops_metrics(self):
+        metrics = MetricsRegistry()
+        server, records = open_pair(metrics=metrics)
+        self.roundtrip(server, records, "query")
+        self.roundtrip(server, records, "nonsense")
+        counters = metrics.snapshot()["counters"]
+        assert counters['access.ops{op="query",role="server"}'] == 1
+        assert counters['access.ops{op="unknown",role="server"}'] == 1
+        assert server.ops_served == 2
+
+
+class TestPayloadCodec:
+    def test_encode_decode_roundtrip(self):
+        payload = decode_payload(encode_op("query", target="dóor", n=3))
+        assert payload == {"op": "query", "target": "dóor", "n": 3}
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(AccessError, match="malformed"):
+            decode_payload(b"\xff\xfe not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(AccessError, match="JSON object"):
+            decode_payload(b"[1, 2]")

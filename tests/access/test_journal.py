@@ -1,0 +1,179 @@
+"""Journal persistence tests: replay, torn tails, compaction, and the
+store's crash-recovery contract."""
+
+import json
+import os
+
+import pytest
+
+from repro.access.journal import JOURNAL_VERSION, JournalCorrupt, TicketJournal
+from repro.access.store import KeyStore
+from repro.errors import AccessError, TicketRevoked, TicketUnknown
+
+SECRET = b"\x22" * 32
+
+
+def make_journal(tmp_path, **kwargs):
+    kwargs.setdefault("compact_after", 16)
+    return TicketJournal(str(tmp_path / "tickets.journal"), **kwargs)
+
+
+class TestAppendReplay:
+    def test_append_then_replay(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append("issue", {"ticket_id": "t1"})
+        journal.append("revoke", {"ticket_id": "t1", "at": 5.0})
+        journal.close()
+
+        snapshot, entries = make_journal(tmp_path).replay()
+        assert snapshot is None
+        assert [e["op"] for e in entries] == ["issue", "revoke"]
+        assert all(e["v"] == JOURNAL_VERSION for e in entries)
+
+    def test_append_requires_open(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with pytest.raises(AccessError, match="not open"):
+            journal.append("issue", {"ticket_id": "t"})
+
+    def test_unknown_op_rejected(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        with pytest.raises(AccessError):
+            journal.append("upgrade", {})
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        assert make_journal(tmp_path).replay() == (None, [])
+
+    def test_compact_after_floor(self, tmp_path):
+        with pytest.raises(AccessError):
+            make_journal(tmp_path, compact_after=2)
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_dropped(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.append("issue", {"ticket_id": "t1"})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"op":"rev')  # crash mid-append
+
+        _, entries = make_journal(tmp_path).replay()
+        assert [e["ticket_id"] for e in entries] == ["t1"]
+
+    def test_damage_before_tail_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        path = journal.path
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"v":1,"op":"issue","ticket_id":"t"}\n')
+        with pytest.raises(JournalCorrupt):
+            journal.replay()
+
+    def test_invalid_op_line_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write('{"v":1,"op":"sideload"}\n')
+            fh.write('{"v":1,"op":"issue","ticket_id":"t"}\n')
+        with pytest.raises(JournalCorrupt):
+            journal.replay()
+
+    def test_corrupt_snapshot_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with open(journal.snapshot_path, "w", encoding="utf-8") as fh:
+            fh.write("{broken")
+        with pytest.raises(JournalCorrupt):
+            journal.replay()
+
+    def test_wrong_snapshot_version_raises(self, tmp_path):
+        journal = make_journal(tmp_path)
+        with open(journal.snapshot_path, "w", encoding="utf-8") as fh:
+            json.dump({"v": 999, "tickets": []}, fh)
+        with pytest.raises(JournalCorrupt):
+            journal.replay()
+
+
+class TestCompaction:
+    def test_compact_snapshots_then_truncates(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        for i in range(20):
+            journal.append("issue", {"ticket_id": f"t{i}"})
+        assert journal.needs_compaction()
+        journal.compact({"tickets": [], "revoked": [["t9", 1.0]]})
+        assert journal.pending_lines == 0
+
+        snapshot, entries = make_journal(tmp_path).replay()
+        assert snapshot["revoked"] == [["t9", 1.0]]
+        assert entries == []
+
+    def test_log_usable_after_compaction(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.open()
+        journal.compact({"tickets": [], "revoked": []})
+        journal.append("issue", {"ticket_id": "after"})
+        journal.close()
+        snapshot, entries = make_journal(tmp_path).replay()
+        assert snapshot is not None
+        assert [e["ticket_id"] for e in entries] == ["after"]
+
+
+class TestStoreRecovery:
+    """The contract the access-smoke CI job exercises over real
+    sockets, pinned here at the store level."""
+
+    def test_live_and_revoked_survive_restart(self, tmp_path):
+        journal = make_journal(tmp_path)
+        store = KeyStore(ttl_s=3600.0, journal=journal)
+        assert store.recover() == 0
+        live = store.issue(SECRET, peer="mobile", metadata={"s": "1"})
+        dead = store.issue(SECRET, peer="mobile")
+        store.resume(live.ticket_id)
+        store.revoke(dead.ticket_id)
+        store.close()
+
+        reborn = KeyStore(ttl_s=3600.0, journal=make_journal(tmp_path))
+        assert reborn.recover() == 1
+        resumed = reborn.resume(live.ticket_id)
+        assert resumed.resume_secret == SECRET
+        assert resumed.resumed == 2  # touch entries replayed too
+        assert resumed.metadata == {"s": "1"}
+        with pytest.raises(TicketRevoked):
+            reborn.resume(dead.ticket_id)
+
+    def test_eviction_survives_restart(self, tmp_path):
+        store = KeyStore(
+            max_tickets=1, journal=make_journal(tmp_path)
+        )
+        store.recover()
+        evicted = store.issue(SECRET, peer="m")
+        kept = store.issue(SECRET, peer="m")
+        store.close()
+
+        reborn = KeyStore(max_tickets=1, journal=make_journal(tmp_path))
+        assert reborn.recover() == 1
+        assert reborn.peek(kept.ticket_id) is not None
+        with pytest.raises(TicketUnknown):
+            reborn.resume(evicted.ticket_id)
+
+    def test_compaction_preserves_recovery(self, tmp_path):
+        store = KeyStore(journal=make_journal(tmp_path))
+        store.recover()
+        tickets = [store.issue(SECRET, peer="m") for _ in range(10)]
+        store.revoke(tickets[0].ticket_id)
+        for _ in range(5):
+            store.resume(tickets[1].ticket_id)  # crosses compact_after=16
+        assert store.journal.pending_lines == 0  # compaction fired
+        store.close()
+
+        reborn = KeyStore(journal=make_journal(tmp_path))
+        assert reborn.recover() == 9
+        with pytest.raises(TicketRevoked):
+            reborn.resume(tickets[0].ticket_id)
+        assert reborn.resume(tickets[1].ticket_id).resumed == 6
+
+    def test_recover_requires_journal(self):
+        with pytest.raises(AccessError):
+            KeyStore().recover()

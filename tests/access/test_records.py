@@ -1,0 +1,225 @@
+"""Record-layer tests: key schedule, sealing, strict sequencing.
+
+Everything here is transport-free — two :class:`RecordChannel`
+endpoints sharing derived keys, with adversarial records injected
+directly.
+"""
+
+import struct
+
+import pytest
+
+from repro.access.records import (
+    CLIENT,
+    SERVER,
+    KEY_BYTES,
+    MAX_RECORD_PLAINTEXT,
+    RecordChannel,
+    confirm_tag,
+    derive_channel_keys,
+    derive_resume_secret,
+    derive_revocation_key,
+    revocation_tag,
+    verify_revocation_tag,
+)
+from repro.errors import AccessError, ConfigurationError, RecordRejected
+from repro.net.codec import RecordFrame
+
+AGREED = b"\x42" * 32
+C_NONCE = bytes(range(16))
+S_NONCE = bytes(reversed(range(16)))
+
+
+def channel_pair(agreed=AGREED, c_nonce=C_NONCE, s_nonce=S_NONCE):
+    secret = derive_resume_secret(agreed)
+    keys = derive_channel_keys(secret, c_nonce, s_nonce)
+    return RecordChannel(keys, CLIENT), RecordChannel(keys, SERVER)
+
+
+class TestKeySchedule:
+    def test_resume_secret_deterministic_and_distinct(self):
+        assert derive_resume_secret(AGREED) == derive_resume_secret(AGREED)
+        assert derive_resume_secret(AGREED) != derive_resume_secret(
+            b"\x43" * 32
+        )
+        assert len(derive_resume_secret(AGREED)) == KEY_BYTES
+
+    def test_resume_secret_differs_from_agreed_key(self):
+        assert derive_resume_secret(AGREED) != AGREED
+
+    def test_short_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_resume_secret(b"short")
+
+    def test_all_working_keys_distinct(self):
+        secret = derive_resume_secret(AGREED)
+        keys = derive_channel_keys(secret, C_NONCE, S_NONCE)
+        material = {
+            keys.enc_c2s, keys.enc_s2c, keys.mac_c2s, keys.mac_s2c,
+            keys.confirm, secret, derive_revocation_key(secret),
+        }
+        assert len(material) == 7
+
+    def test_nonces_freshen_keys(self):
+        secret = derive_resume_secret(AGREED)
+        a = derive_channel_keys(secret, C_NONCE, S_NONCE)
+        b = derive_channel_keys(secret, bytes(16), S_NONCE)
+        c = derive_channel_keys(secret, C_NONCE, bytes(16))
+        assert a.enc_c2s != b.enc_c2s
+        assert a.enc_c2s != c.enc_c2s
+
+    def test_short_nonce_rejected(self):
+        secret = derive_resume_secret(AGREED)
+        with pytest.raises(ConfigurationError):
+            derive_channel_keys(secret, b"\x00" * 7, S_NONCE)
+
+    def test_confirm_tag_binds_every_input(self):
+        secret = derive_resume_secret(AGREED)
+        keys = derive_channel_keys(secret, C_NONCE, S_NONCE)
+        base = confirm_tag(keys, "chan", C_NONCE, S_NONCE)
+        assert base != confirm_tag(keys, "chan2", C_NONCE, S_NONCE)
+        assert base != confirm_tag(keys, "chan", S_NONCE, C_NONCE)
+
+    def test_revocation_tag_roundtrip(self):
+        secret = derive_resume_secret(AGREED)
+        tag = revocation_tag(secret, "t1")
+        assert verify_revocation_tag(secret, "t1", tag)
+        assert not verify_revocation_tag(secret, "t2", tag)
+        assert not verify_revocation_tag(
+            derive_resume_secret(b"\x43" * 32), "t1", tag
+        )
+
+
+class TestSealOpen:
+    def test_roundtrip_both_directions(self):
+        client, server = channel_pair()
+        assert server.open_record(client.seal(b"hello")) == b"hello"
+        assert client.open_record(server.seal(b"world")) == b"world"
+
+    def test_ciphertext_hides_plaintext(self):
+        client, _ = channel_pair()
+        record = client.seal(b"secret payload")
+        assert b"secret" not in record.ciphertext
+
+    def test_empty_plaintext(self):
+        client, server = channel_pair()
+        assert server.open_record(client.seal(b"")) == b""
+
+    def test_sequence_advances(self):
+        client, server = channel_pair()
+        for i in range(5):
+            record = client.seal(f"msg{i}".encode())
+            assert record.seq == i
+            assert server.open_record(record) == f"msg{i}".encode()
+        assert client.send_seq == 5
+        assert server.recv_seq == 5
+
+    def test_same_plaintext_distinct_ciphertexts(self):
+        """Per-record keystreams: repeated plaintexts never leak
+        equality on the wire."""
+        client, _ = channel_pair()
+        a = client.seal(b"open the door")
+        b = client.seal(b"open the door")
+        assert a.ciphertext != b.ciphertext
+
+    def test_oversized_plaintext_rejected(self):
+        client, _ = channel_pair()
+        with pytest.raises(AccessError):
+            client.seal(b"\x00" * (MAX_RECORD_PLAINTEXT + 1))
+
+    def test_unknown_role_rejected(self):
+        secret = derive_resume_secret(AGREED)
+        keys = derive_channel_keys(secret, C_NONCE, S_NONCE)
+        with pytest.raises(ConfigurationError):
+            RecordChannel(keys, "observer")
+
+
+class TestRejection:
+    def test_replay_poisons_channel(self):
+        client, server = channel_pair()
+        record = client.seal(b"once")
+        server.open_record(record)
+        with pytest.raises(RecordRejected, match="replayed"):
+            server.open_record(record)
+        assert server.poisoned
+        with pytest.raises(AccessError, match="poisoned"):
+            server.open_record(client.seal(b"after"))
+
+    def test_gap_rejected(self):
+        client, server = channel_pair()
+        client.seal(b"skipped")
+        with pytest.raises(RecordRejected, match="gapped"):
+            server.open_record(client.seal(b"second"))
+
+    def test_reorder_rejected(self):
+        client, server = channel_pair()
+        first = client.seal(b"first")
+        second = client.seal(b"second")
+        with pytest.raises(RecordRejected, match="gapped"):
+            server.open_record(second)
+        del first
+
+    def test_tampered_ciphertext_rejected(self):
+        client, server = channel_pair()
+        record = client.seal(b"genuine")
+        forged = RecordFrame(
+            seq=record.seq,
+            ciphertext=bytes([record.ciphertext[0] ^ 1])
+            + record.ciphertext[1:],
+            tag=record.tag,
+        )
+        with pytest.raises(RecordRejected, match="authentication"):
+            server.open_record(forged)
+        assert server.poisoned
+
+    def test_tampered_seq_rejected_by_mac(self):
+        """The tag covers the sequence number: renumbering a captured
+        record fails authentication, not merely the counter check."""
+        client, server = channel_pair()
+        record = client.seal(b"genuine")
+        forged = RecordFrame(
+            seq=record.seq + 1, ciphertext=record.ciphertext, tag=record.tag
+        )
+        with pytest.raises(RecordRejected, match="authentication"):
+            server.open_record(forged)
+
+    def test_reflection_rejected(self):
+        """A client record bounced back at the client fails: the
+        directions use distinct MAC keys."""
+        client, _ = channel_pair()
+        record = client.seal(b"to server")
+        with pytest.raises(RecordRejected, match="authentication"):
+            client.open_record(record)
+
+    def test_cross_resumption_isolation(self):
+        """Records from one resumption never verify in another — the
+        nonces freshen the keys."""
+        client_a, _ = channel_pair(s_nonce=b"\x01" * 16)
+        _, server_b = channel_pair(s_nonce=b"\x02" * 16)
+        with pytest.raises(RecordRejected, match="authentication"):
+            server_b.open_record(client_a.seal(b"stale session"))
+
+    def test_poisoned_channel_refuses_to_seal(self):
+        client, server = channel_pair()
+        record = client.seal(b"x")
+        server.open_record(record)
+        with pytest.raises(RecordRejected):
+            server.open_record(record)
+        with pytest.raises(AccessError, match="poisoned"):
+            server.seal(b"reply")
+
+
+class TestKeystreamStructure:
+    def test_per_record_context_is_the_sequence_number(self):
+        """Pin the layout: record ``seq`` feeds hkdf as an 8-byte
+        big-endian context, so keystreams across records are the
+        prefix-free family tested in tests/crypto/test_hashes.py."""
+        from repro.crypto.hashes import hkdf_stream
+
+        client, _ = channel_pair()
+        plaintext = b"\x00" * 24
+        record = client.seal(plaintext)
+        expected = hkdf_stream(
+            client._enc_send, len(plaintext), struct.pack("!Q", record.seq)
+        )
+        assert record.ciphertext == expected  # XOR with zero plaintext

@@ -1,0 +1,183 @@
+"""KeyStore lifecycle tests: TTL, revocation, LRU, typed errors."""
+
+import pytest
+
+from repro.access.store import (
+    DEFAULT_MAX_TICKETS,
+    MAX_TOMBSTONES,
+    KeyStore,
+    Ticket,
+    new_ticket_id,
+)
+from repro.errors import (
+    AccessError,
+    TicketExpired,
+    TicketRevoked,
+    TicketUnknown,
+)
+from repro.obs.metrics import MetricsRegistry
+
+SECRET = b"\x11" * 32
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_store(**kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return KeyStore(**kwargs)
+
+
+class TestIssueResume:
+    def test_issue_then_resume(self):
+        store = make_store(ttl_s=60.0)
+        ticket = store.issue(SECRET, peer="mobile")
+        assert len(ticket.ticket_id) == 32
+        resumed = store.resume(ticket.ticket_id)
+        assert resumed.resumed == 1
+        assert resumed.resume_secret == SECRET
+        assert store.resume(ticket.ticket_id).resumed == 2
+
+    def test_ticket_ids_unguessable_length(self):
+        assert new_ticket_id() != new_ticket_id()
+        assert len(bytes.fromhex(new_ticket_id())) == 16
+
+    def test_unknown_ticket(self):
+        store = make_store()
+        with pytest.raises(TicketUnknown):
+            store.resume("deadbeef" * 4)
+
+    def test_validation(self):
+        with pytest.raises(AccessError):
+            KeyStore(ttl_s=0)
+        with pytest.raises(AccessError):
+            KeyStore(max_tickets=0)
+        store = make_store()
+        with pytest.raises(AccessError):
+            store.issue(SECRET, peer="m", ttl_s=-1)
+
+
+class TestTTL:
+    def test_expiry(self):
+        clock = FakeClock()
+        store = make_store(ttl_s=10.0, clock=clock)
+        ticket = store.issue(SECRET, peer="mobile")
+        clock.advance(9.999)
+        assert store.resume(ticket.ticket_id).resumed == 1
+        clock.advance(0.001)
+        with pytest.raises(TicketExpired):
+            store.resume(ticket.ticket_id)
+        # after expiry the id is gone entirely
+        with pytest.raises(TicketUnknown):
+            store.resume(ticket.ticket_id)
+
+    def test_per_ticket_ttl_override(self):
+        clock = FakeClock()
+        store = make_store(ttl_s=1000.0, clock=clock)
+        short = store.issue(SECRET, peer="m", ttl_s=5.0)
+        long = store.issue(SECRET, peer="m")
+        clock.advance(6.0)
+        with pytest.raises(TicketExpired):
+            store.resume(short.ticket_id)
+        assert store.resume(long.ticket_id).resumed == 1
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        store = make_store(ttl_s=10.0, clock=clock)
+        for _ in range(3):
+            store.issue(SECRET, peer="m")
+        clock.advance(11.0)
+        survivor = store.issue(SECRET, peer="m")
+        assert store.purge_expired() == 3
+        assert len(store) == 1
+        assert store.peek(survivor.ticket_id) is not None
+
+
+class TestRevocation:
+    def test_revoke_live_ticket(self):
+        store = make_store()
+        ticket = store.issue(SECRET, peer="mobile")
+        assert store.revoke(ticket.ticket_id) is True
+        with pytest.raises(TicketRevoked):
+            store.resume(ticket.ticket_id)
+
+    def test_revoked_beats_expired(self):
+        clock = FakeClock()
+        store = make_store(ttl_s=10.0, clock=clock)
+        ticket = store.issue(SECRET, peer="m")
+        store.revoke(ticket.ticket_id)
+        clock.advance(100.0)
+        with pytest.raises(TicketRevoked):
+            store.resume(ticket.ticket_id)
+
+    def test_revoking_unknown_id_still_tombstones(self):
+        store = make_store()
+        assert store.revoke("feedface" * 4) is False
+        with pytest.raises(TicketRevoked):
+            store.resume("feedface" * 4)
+
+    def test_tombstone_cap(self):
+        store = make_store()
+        for i in range(MAX_TOMBSTONES + 10):
+            store.revoke(f"{i:032x}")
+        assert store.stats()["revoked"] == MAX_TOMBSTONES
+
+
+class TestLRU:
+    def test_cap_evicts_least_recently_resumed(self):
+        store = make_store(max_tickets=2)
+        first = store.issue(SECRET, peer="m")
+        second = store.issue(SECRET, peer="m")
+        # refresh `first`: now `second` is the LRU victim
+        store.resume(first.ticket_id)
+        third = store.issue(SECRET, peer="m")
+        assert store.peek(second.ticket_id) is None
+        assert store.peek(first.ticket_id) is not None
+        assert store.peek(third.ticket_id) is not None
+        with pytest.raises(TicketUnknown):
+            store.resume(second.ticket_id)
+
+    def test_default_cap(self):
+        assert KeyStore().max_tickets == DEFAULT_MAX_TICKETS
+
+
+class TestStateRoundtrip:
+    def test_ticket_state_roundtrip(self):
+        ticket = Ticket(
+            ticket_id="ab" * 16,
+            resume_secret=SECRET,
+            peer="mobile-é",
+            issued_at=1.5,
+            expires_at=61.5,
+            resumed=3,
+            metadata={"session_id": "s01"},
+        )
+        assert Ticket.from_state(ticket.to_state()) == ticket
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(AccessError):
+            Ticket.from_state({"ticket_id": "x"})
+
+
+class TestMetrics:
+    def test_counters_and_gauges(self):
+        metrics = MetricsRegistry()
+        store = make_store(metrics=metrics)
+        ticket = store.issue(SECRET, peer="m")
+        store.resume(ticket.ticket_id)
+        store.revoke(ticket.ticket_id)
+        counters = metrics.snapshot()["counters"]
+        assert counters['access.store.events{event="issue"}'] == 1
+        assert counters['access.store.events{event="resume"}'] == 1
+        assert counters['access.store.events{event="revoke"}'] == 1
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["access.store.live"] == 0
+        assert gauges["access.store.tombstones"] == 1

@@ -13,8 +13,11 @@ from repro.cluster import (
     WaveKeyGateway,
     fetch_stats,
 )
+from repro.errors import TicketRevoked, TicketUnknown
 from repro.net import NetClientConfig, WaveKeyNetClient
 from repro.net.server import ThreadedWaveKeyTCPServer
+
+from tests.cluster.conftest import Fleet
 
 FAST_PROBES = dict(
     probe_interval_s=0.2,
@@ -74,6 +77,78 @@ class TestRouting:
             assert "unavailable" in result.failure_reason
             snapshot = gateway.metrics.snapshot()
             assert snapshot["counters"].get("cluster.route.errors", 0) >= 1
+
+
+class TestAccessRouting:
+    """ResumeRequest / RevokeNotice route by ticket identity on the
+    ring — not by the Hello-style sender#seed key."""
+
+    def test_resume_and_revoke_through_single_backend_gateway(
+        self, tiny_bundle
+    ):
+        fleet = Fleet(tiny_bundle, 1)
+        try:
+            with WaveKeyGateway(
+                fleet.addresses, health_checks=False, connect_timeout_s=2.0
+            ) as gateway:
+                host, port = gateway.address
+                client = WaveKeyNetClient(
+                    host, port, NetClientConfig(max_retries=1)
+                )
+                result = client.establish(rng_seed=9)
+                assert result.success and result.ticket is not None
+
+                with client.open_channel(result.ticket) as channel:
+                    assert channel.request("query")["allowed"] is True
+                assert client.revoke(result.ticket) is True
+                with pytest.raises(TicketRevoked):
+                    client.open_channel(result.ticket)
+
+                counters = gateway.metrics.snapshot()["counters"]
+                assert counters[
+                    'cluster.route.access{kind="resume"}'
+                ] == 2
+                assert counters[
+                    'cluster.route.access{kind="revoke"}'
+                ] == 1
+        finally:
+            fleet.close()
+
+    def test_resume_routing_is_ring_faithful(self, fleet):
+        """Across a 3-backend fleet, a resume lands exactly where the
+        ring sends ``ticket#<id>``: the issuer answers it, any other
+        backend truthfully reports the ticket unknown."""
+        reference = ShardRing(fleet.addresses)
+        seed = 23
+        with WaveKeyGateway(fleet.addresses, **FAST_PROBES) as gateway:
+            host, port = gateway.address
+            client = WaveKeyNetClient(
+                host, port, NetClientConfig(max_retries=1)
+            )
+            result = client.establish(rng_seed=seed)
+            assert result.success and result.ticket is not None
+            ticket = result.ticket
+
+            issuer = reference.lookup(f"mobile#{seed}")
+            target = reference.lookup(f"ticket#{ticket.ticket_id}")
+            if target == issuer:
+                with client.open_channel(ticket) as channel:
+                    assert channel.request("ping")["pong"] is True
+            else:
+                # No ticket replication yet (ROADMAP): a non-issuer
+                # backend answers with the typed unknown error, the
+                # client's cue to fall back to full establishment.
+                with pytest.raises(TicketUnknown):
+                    client.open_channel(ticket)
+                fallback = client.establish(rng_seed=seed)
+                assert fallback.success
+
+            counters = gateway.metrics.snapshot()["counters"]
+            assert counters['cluster.route.access{kind="resume"}'] == 1
+            routed = counters.get(
+                f'cluster.sessions.routed{{backend="{target}"}}', 0
+            )
+            assert routed >= 1, "resume must dial the ring owner"
 
 
 class TestFleetStats:

@@ -20,12 +20,18 @@ from repro.net.codec import (
     ConfirmAck,
     ErrorFrame,
     Frame,
+    FrameAssembler,
     FrameType,
     Hello,
+    RecordFrame,
+    ResumeAccept,
+    ResumeRequest,
+    RevokeNotice,
     RoundResult,
     SeedGrant,
     StatsRequest,
     StatsResponse,
+    TicketGrant,
     Verdict,
     decode_payload,
     encode_message,
@@ -109,6 +115,23 @@ def sample_messages():
             payload_json='{"role": "backend", "snapshot": '
                          '{"counters": {"né": 3}}}'
         ),
+        TicketGrant(
+            ticket_id="a" * 32, expires_at=1.75e9, lifetime_s=3600.0
+        ),
+        ResumeRequest(
+            sender="mobile", ticket_id="b" * 32,
+            client_nonce=bytes(range(16)),
+        ),
+        ResumeAccept(
+            sender="server", channel_id="c" * 32,
+            server_nonce=bytes(16), tag=bytes(range(32)),
+        ),
+        RecordFrame(seq=0, ciphertext=b"", tag=bytes(32)),
+        RecordFrame(
+            seq=(1 << 64) - 1, ciphertext=bytes(range(256)) * 4,
+            tag=bytes(reversed(range(32))),
+        ),
+        RevokeNotice(ticket_id="d" * 32, tag=bytes(32)),
     ]
 
 
@@ -220,3 +243,77 @@ def test_header_constant_matches_layout():
     frame = encode_message(ConfirmAck(ok=True, tag=b""))
     data = frame_to_bytes(frame)
     assert len(data) == HEADER_BYTES + len(frame.payload)
+
+
+# -- frame-size boundary: exactly-at-limit accepted, limit+1 rejected --------
+
+
+def _record_with_payload_bytes(total_payload: int) -> RecordFrame:
+    """A RecordFrame whose *encoded* payload is exactly ``total_payload``
+    bytes, computed from the encoder itself so the test tracks any
+    future layout change."""
+    base = len(encode_message(
+        RecordFrame(seq=0, ciphertext=b"", tag=bytes(32))
+    ).payload)
+    assert total_payload >= base
+    return RecordFrame(
+        seq=0, ciphertext=bytes(total_payload - base), tag=bytes(32)
+    )
+
+
+def test_frame_exactly_at_limit_accepted():
+    message = _record_with_payload_bytes(DEFAULT_MAX_FRAME_BYTES)
+    frame = encode_message(message)
+    assert len(frame.payload) == DEFAULT_MAX_FRAME_BYTES
+    decoded = decode_payload(
+        read_frame(_reader_for(frame_to_bytes(frame)))
+    )
+    assert decoded == message
+
+
+def test_frame_one_over_limit_rejected():
+    frame = encode_message(
+        _record_with_payload_bytes(DEFAULT_MAX_FRAME_BYTES + 1)
+    )
+    with pytest.raises(FrameTooLarge):
+        read_frame(_reader_for(frame_to_bytes(frame)))
+
+
+def test_assembler_boundary_matches_read_frame():
+    """The streaming assembler enforces the identical boundary: the
+    at-limit frame parses, one byte more poisons the stream."""
+    at_limit = encode_message(
+        _record_with_payload_bytes(DEFAULT_MAX_FRAME_BYTES)
+    )
+    assembler = FrameAssembler()
+    assembler.feed(frame_to_bytes(at_limit))
+    parsed = assembler.next_frame()
+    assert parsed is not None and parsed.payload == at_limit.payload
+
+    over = encode_message(
+        _record_with_payload_bytes(DEFAULT_MAX_FRAME_BYTES + 1)
+    )
+    assembler = FrameAssembler()
+    assembler.feed(frame_to_bytes(over))
+    with pytest.raises(FrameTooLarge):
+        assembler.next_frame()
+    assert assembler.broken
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        ResumeRequest(sender="m", ticket_id="t" * 32,
+                      client_nonce=bytes(16)),
+        RevokeNotice(ticket_id="t" * 32, tag=bytes(32)),
+        TicketGrant(ticket_id="t" * 32, expires_at=0.0, lifetime_s=1.0),
+        ResumeAccept(sender="s", channel_id="c" * 32,
+                     server_nonce=bytes(16), tag=bytes(32)),
+    ],
+    ids=lambda m: type(m).__name__,
+)
+def test_access_frames_fit_well_under_limit(message):
+    """Control-plane access frames are small: none should come within
+    an order of magnitude of the frame cap."""
+    frame = encode_message(message)
+    assert len(frame.payload) < DEFAULT_MAX_FRAME_BYTES // 1024

@@ -204,6 +204,16 @@ class TestPartyApiMisuse:
         with pytest.raises(ProtocolError):
             mobile.session_key()
 
+    def test_session_key_rejects_short_reconciled_key(self):
+        # A reconciled key shorter than the requested l_k must be a
+        # hard error, never a silently weaker key.
+        mobile, _, _ = make_parties()
+        mobile.final_key = BitSequence.random(
+            64, np.random.default_rng(11)
+        )
+        with pytest.raises(ProtocolError, match="key_length_bits"):
+            mobile.session_key()
+
     def test_receive_wrong_batch_size(self):
         mobile, server, config = make_parties()
         announce_m = mobile.craft_announce()

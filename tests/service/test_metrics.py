@@ -141,6 +141,22 @@ class TestDeprecatedShim:
         assert shim.MetricsRegistry is repro.obs.metrics.MetricsRegistry
         assert shim.EventLog is repro.obs.events.EventLog
 
+    def test_import_emits_deprecation_warning(self):
+        # The warning fires at import time; drop the cached module so
+        # a fresh import re-executes the shim body.
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.service.metrics", None)
+        try:
+            with pytest.warns(
+                DeprecationWarning, match="import from repro.obs"
+            ):
+                importlib.import_module("repro.service.metrics")
+        finally:
+            # Leave a cached module behind for any later importer.
+            importlib.import_module("repro.service.metrics")
+
 
 class TestMetricsRegistry:
     def test_counter_and_histogram_are_memoized(self):
