@@ -75,3 +75,99 @@ def test_disabled_instrumentation_overhead_is_negligible(bundle, matrices):
         f"disabled instrumentation costs {overhead * 100:.1f}% "
         f"(budget: 5%)"
     )
+
+
+# -- distributed tracing + telemetry scraping on the session path ------------
+
+
+SESSIONS = 6
+
+
+def _fixed_acquire(request, rng):
+    gen = np.random.default_rng(request.rng_seed)
+    a_matrix = gen.normal(size=(200, 3))
+    r_matrix = np.stack(
+        [
+            gen.uniform(-np.pi, np.pi, 400),
+            np.abs(gen.normal(size=400)) + 0.5,
+        ],
+        axis=1,
+    )
+    return a_matrix, r_matrix
+
+
+def _pin_seeds(server, seed):
+    server._imu_batcher.batch_fn = lambda items: [seed for _ in items]
+    server._rf_batcher.batch_fn = lambda items: [seed for _ in items]
+
+
+def _min_session_s(bundle, n, traced: bool) -> float:
+    """Min per-session wall time over ``n`` loopback establishments.
+
+    ``traced=True`` is the full tentpole pipeline: client root spans
+    with wire-propagated context, a server tracer feeding a
+    :class:`TelemetryBuffer` on a fast flush timer, and one
+    ``drain=True`` telemetry scrape per session (far more often than
+    the gateway's probe cadence would)."""
+    from repro.cluster.stats import fetch_telemetry
+    from repro.net import NetClientConfig, WaveKeyNetClient, WaveKeyTCPServer
+    from repro.obs import TelemetryBuffer, Tracer
+    from repro.service import ServiceConfig, WaveKeyAccessServer
+    from repro.utils.bits import BitSequence
+
+    seed = BitSequence.random(32, np.random.default_rng(40_003))
+    server_tracer = Tracer() if traced else None
+    with WaveKeyAccessServer(
+        bundle,
+        ServiceConfig(workers=2, queue_capacity=2 * n),
+        acquire_fn=_fixed_acquire,
+        tracer=server_tracer,
+    ) as server:
+        _pin_seeds(server, seed)
+        telemetry = (
+            TelemetryBuffer(
+                "backend", tracer=server_tracer, events=server.events
+            )
+            if traced else None
+        )
+        with WaveKeyTCPServer(
+            server, telemetry=telemetry, telemetry_flush_interval_s=0.05
+        ) as tcp:
+            config = NetClientConfig(read_timeout_s=30.0)
+            best = float("inf")
+            for i in range(n):
+                client_tracer = Tracer(enabled=traced)
+                client = WaveKeyNetClient(
+                    *tcp.address, config, tracer=client_tracer
+                )
+                start = time.perf_counter()
+                result = client.establish(rng_seed=3000 + i)
+                if traced:
+                    fetch_telemetry(*tcp.address, drain=True)
+                best = min(best, time.perf_counter() - start)
+                assert result.success
+    return best
+
+
+def test_tracing_and_scrape_overhead_on_loopback_sessions(bundle):
+    """The tentpole's runtime cost contract: wire trace context, span
+    recording across the worker-pool handoff, the telemetry flush
+    timer, AND a per-session drain scrape together must cost <5% of a
+    loopback establishment (which OT group arithmetic dominates)."""
+    n = SESSIONS
+    # warm-up one session per variant, then measure interleaved-ish
+    _min_session_s(bundle, 1, traced=False)
+    bare_s = _min_session_s(bundle, n, traced=False)
+    traced_s = _min_session_s(bundle, n, traced=True)
+    overhead = traced_s / bare_s - 1.0
+    print(
+        f"\nloopback establishment: bare {bare_s * 1000:.1f} ms, "
+        f"traced+scraped {traced_s * 1000:.1f} ms, "
+        f"overhead {overhead * 100:+.2f}% (n={n}, min estimator)"
+    )
+    # 5% relative budget plus 10 ms absolute slack so a sub-200 ms
+    # session on a noisy CI box cannot flake the pin
+    assert traced_s < bare_s * 1.05 + 0.010, (
+        f"tracing+scrape costs {overhead * 100:.1f}% per session "
+        f"(budget: 5%)"
+    )

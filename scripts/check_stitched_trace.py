@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""CI assertion for the obs-smoke job: one stitched cross-process trace.
+
+Reads a ``repro obs trace --stitch`` rendering and a Prometheus
+exposition, then checks the tentpole acceptance criteria:
+
+1. exactly ONE trace id has spans from all three services — client,
+   gateway, and at least one backend — i.e. the wire-propagated
+   context joined one session's spans across three processes;
+2. the fleet exposition carries at least one tail exemplar
+   (``# {trace_id="..."}``) and the resumed session's exemplar
+   resolves to that stitched trace.
+
+Exit code 0 on success; a diagnostic plus exit 1 otherwise.
+
+Usage: check_stitched_trace.py STITCHED_TXT FLEET_PROM
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+
+def cross_process_traces(text: str) -> list:
+    """Trace ids whose rendered block names all three services."""
+    blocks = re.split(r"^trace (\S+)$", text, flags=re.M)
+    full = []
+    for tid, body in zip(blocks[1::2], blocks[2::2]):
+        if ("@client" in body and "@gateway" in body
+                and "@backend:" in body):
+            full.append(tid)
+    return full
+
+
+def exemplar_trace_ids(prom: str) -> list:
+    return re.findall(r'# \{trace_id="([^"]+)"\}', prom)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    stitched = open(argv[1], encoding="utf-8").read()
+    prom = open(argv[2], encoding="utf-8").read()
+
+    full = cross_process_traces(stitched)
+    print(f"traces spanning client+gateway+backend: {full}")
+    if len(full) != 1:
+        print(
+            f"::error::expected exactly one cross-process trace, "
+            f"found {len(full)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    exemplars = sorted(set(exemplar_trace_ids(prom)))
+    print(f"tail exemplar trace ids in fleet exposition: {exemplars}")
+    if not exemplars:
+        print("::error::no tail exemplars in fleet exposition",
+              file=sys.stderr)
+        return 1
+    if full[0] not in exemplars:
+        print(
+            f"::error::exemplar trace ids {exemplars} do not include "
+            f"the stitched cross-process trace {full[0]}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: trace {full[0]} stitched across three processes and "
+          f"resolvable from its latency exemplar")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

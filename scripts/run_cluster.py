@@ -64,6 +64,10 @@ def main() -> int:
                         help="seconds to run (0 = until SIGINT)")
     parser.add_argument("--startup-timeout", type=float, default=60.0,
                         help="seconds to wait for each child's address")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="run every process with --telemetry so "
+                             "distributed traces can be stitched with "
+                             "`repro obs trace --stitch`")
     args = parser.parse_args()
     if args.backends < 1:
         parser.error("--backends must be >= 1")
@@ -75,14 +79,14 @@ def main() -> int:
         addresses = []
         for index in range(args.backends):
             port_file = os.path.join(state_dir, f"backend-{index}.addr")
-            proc = subprocess.Popen(
-                [sys.executable, "-m", "repro", "serve",
-                 "--listen", "127.0.0.1:0",
-                 "--port-file", port_file,
-                 "--sessions", "0",
-                 "--workers", str(args.workers)],
-                env=env, cwd=REPO_ROOT,
-            )
+            backend_cmd = [sys.executable, "-m", "repro", "serve",
+                           "--listen", "127.0.0.1:0",
+                           "--port-file", port_file,
+                           "--sessions", "0",
+                           "--workers", str(args.workers)]
+            if args.telemetry:
+                backend_cmd.append("--telemetry")
+            proc = subprocess.Popen(backend_cmd, env=env, cwd=REPO_ROOT)
             children.append(proc)
             bound = _wait_for_port_file(
                 port_file, args.startup_timeout, proc
@@ -96,6 +100,8 @@ def main() -> int:
         gateway_cmd = [sys.executable, "-m", "repro", "cluster", "serve",
                        "--listen", "127.0.0.1:0",
                        "--port-file", gateway_port_file]
+        if args.telemetry:
+            gateway_cmd.append("--telemetry")
         for bound in addresses:
             gateway_cmd += ["--backend", bound]
         gateway = subprocess.Popen(gateway_cmd, env=env, cwd=REPO_ROOT)

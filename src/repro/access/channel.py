@@ -143,6 +143,12 @@ class ServerAccessChannel:
         self.metrics = metrics
         self.finished = False
         self.ops_served = 0
+        #: distributed-trace parent (a TraceContext) and tracer, set by
+        #: the front end after a resume carrying wire trace context;
+        #: ``access.op`` spans nest under the parent so the resumed
+        #: channel's work lands in the client's stitched trace.
+        self.trace_parent = None
+        self.tracer = None
 
     @classmethod
     def accept(
@@ -187,7 +193,9 @@ class ServerAccessChannel:
         surface a typed wire error and drop the connection — the
         channel is poisoned).
         """
-        tracer = get_default_tracer()
+        tracer = self.tracer if self.tracer is not None else (
+            get_default_tracer()
+        )
         plaintext = self.records.open_record(record)
         payload = decode_payload(plaintext)
         op = str(payload.get("op", ""))
@@ -195,7 +203,16 @@ class ServerAccessChannel:
         if op == "bye":
             self.finished = True
             return None
-        with tracer.span("access.op", op=op, channel=self.channel_id):
+        if self.trace_parent is not None:
+            op_span = tracer.span(
+                "access.op", parent=self.trace_parent,
+                op=op, channel=self.channel_id,
+            )
+        else:  # no wire context: inherit the thread's active span
+            op_span = tracer.span(
+                "access.op", op=op, channel=self.channel_id
+            )
+        with op_span:
             result = self.handler(payload, self.ticket)
         self.ops_served += 1
         return self.records.seal(

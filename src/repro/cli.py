@@ -171,6 +171,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="with --listen, resumption-ticket lifetime "
                             "(default 3600)")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="with --listen, trace every session and "
+                            "answer TELEMETRY_REQUEST scrapes with "
+                            "buffered spans and events")
 
     access = sub.add_parser(
         "access",
@@ -187,6 +191,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="client identity presented to the server")
         p.add_argument("--metrics-out", metavar="FILE", default=None,
                        help="dump the client metrics snapshot as JSON")
+        p.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="export the client's span trace as JSONL "
+                            "(stitchable with --stitch)")
         if with_target:
             p.add_argument("--target", default="door",
                            help="resource the op addresses")
@@ -251,6 +258,10 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster_serve.add_argument("--metrics-out", metavar="FILE", default=None,
                                help="dump the merged fleet snapshot as "
                                     "JSON on exit")
+    cluster_serve.add_argument("--telemetry", action="store_true",
+                               help="trace route/splice per session, scrape "
+                                    "backend telemetry on the probe cadence, "
+                                    "and answer TELEMETRY_REQUEST scrapes")
     cluster_metrics = cluster_sub.add_parser(
         "metrics",
         help="scrape a front end and render its metrics snapshot",
@@ -268,10 +279,20 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_trace = obs_sub.add_parser(
         "trace", help="render a JSONL trace file as span trees"
     )
-    obs_trace.add_argument("path", help="trace file from --trace-out")
+    obs_trace.add_argument("path", nargs="?", default=None,
+                           help="trace file from --trace-out (optional "
+                                "with --stitch)")
     obs_trace.add_argument("--session", default=None,
                            help="only render the trace containing this "
                                 "session id")
+    obs_trace.add_argument("--stitch", nargs="+", default=None,
+                           metavar="HOST:PORT",
+                           help="scrape these front ends' telemetry and "
+                                "stitch their spans (plus any local trace "
+                                "file) into cross-process trees")
+    obs_trace.add_argument("--drain", action="store_true",
+                           help="with --stitch, clear each scraped buffer "
+                                "(spans are collected exactly once)")
     obs_metrics = obs_sub.add_parser(
         "metrics",
         help="render a metrics snapshot as Prometheus-style text",
@@ -548,14 +569,30 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
         else ThreadedWaveKeyTCPServer
     )
     tracer = _obs_session(args)
+    if getattr(args, "telemetry", False) and tracer is None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
         profiler = (
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None
         )
+        telemetry = None
+        if getattr(args, "telemetry", False):
+            from repro.obs import TelemetryBuffer
+
+            telemetry = TelemetryBuffer(
+                "backend", tracer=tracer, events=server.events
+            )
         key_store = _build_key_store(args, server, out)
-        with front_end(server, host, port, key_store=key_store) as tcp:
+        with front_end(
+            server, host, port, key_store=key_store, telemetry=telemetry
+        ) as tcp:
             bound = f"{tcp.address[0]}:{tcp.address[1]}"
+            if telemetry is not None:
+                # The bound port is the service identity clients see.
+                telemetry.service = f"backend:{tcp.address[1]}"
             print(f"listening on {bound}", file=out, flush=True)
             if args.port_file:
                 _write_port_file(args.port_file, bound)
@@ -624,8 +661,14 @@ def _cmd_access(args, out) -> int:
 
     host, port = _parse_hostport(args.connect)
     metrics = MetricsRegistry()
+    tracer = None
+    if getattr(args, "trace_out", None):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     client = WaveKeyNetClient(
-        host, port, NetClientConfig(name=args.name), metrics=metrics
+        host, port, NetClientConfig(name=args.name), metrics=metrics,
+        tracer=tracer,
     )
 
     def finish(rc: int) -> int:
@@ -633,6 +676,9 @@ def _cmd_access(args, out) -> int:
             with open(args.metrics_out, "w", encoding="utf-8") as fh:
                 json.dump(metrics.snapshot(), fh, indent=2, default=str)
             print(f"metrics snapshot -> {args.metrics_out}", file=out)
+        if tracer is not None:
+            count = tracer.export_jsonl(args.trace_out)
+            print(f"trace: {count} spans -> {args.trace_out}", file=out)
         return rc
 
     if args.access_command == "grant":
@@ -678,6 +724,12 @@ def _cmd_cluster_serve(args, out) -> int:
     from repro.cluster import REBALANCE_EVENT, WaveKeyGateway
 
     host, port = _parse_hostport(args.listen)
+    tracer = telemetry = None
+    if getattr(args, "telemetry", False):
+        from repro.obs import TelemetryBuffer, Tracer
+
+        tracer = Tracer()
+        telemetry = TelemetryBuffer("gateway", tracer=tracer)
     gateway = WaveKeyGateway(
         args.backend,
         host,
@@ -685,7 +737,11 @@ def _cmd_cluster_serve(args, out) -> int:
         replicas=args.replicas,
         probe_interval_s=args.probe_interval,
         spill_inflight=args.spill_inflight,
+        tracer=tracer,
+        telemetry=telemetry,
     )
+    if telemetry is not None:
+        telemetry.events = gateway.events
     with gateway:
         bound = f"{gateway.address[0]}:{gateway.address[1]}"
         print(f"gateway on {bound} over {len(args.backend)} backend(s)",
@@ -866,6 +922,12 @@ def _cmd_loadgen(args, out) -> int:
 def _cmd_obs_trace(args, out) -> int:
     from repro.obs import format_trace_tree, load_trace_jsonl
 
+    if args.stitch:
+        return _cmd_obs_trace_stitch(args, out)
+    if not args.path:
+        print("error: a trace file or --stitch HOST:PORT is required",
+              file=out)
+        return 2
     spans = load_trace_jsonl(args.path)
     if args.session is not None:
         keep = {
@@ -877,6 +939,50 @@ def _cmd_obs_trace(args, out) -> int:
             print(f"no spans for session {args.session!r}", file=out)
             return 1
     print(format_trace_tree(spans), file=out)
+    return 0
+
+
+def _cmd_obs_trace_stitch(args, out) -> int:
+    """Scrape telemetry from live front ends and render the stitched
+    cross-process traces (``repro obs trace --stitch HOST:PORT ...``)."""
+    from repro.cluster import fetch_telemetry
+    from repro.obs import (
+        format_stitched,
+        load_trace_jsonl,
+        stitch,
+        trace_ids,
+    )
+
+    documents = []
+    for endpoint in args.stitch:
+        host, port = _parse_hostport(endpoint)
+        try:
+            document = fetch_telemetry(host, port, drain=args.drain)
+        except WaveKeyError as exc:
+            print(f"error: scrape {endpoint}: {exc}", file=out)
+            return 3
+        documents.append(document)
+        print(f"scraped {endpoint}: {len(document.get('spans', []))} "
+              f"span(s) from {document.get('service', '?')}", file=out)
+    extra = load_trace_jsonl(args.path) if args.path else []
+    stitched = stitch(documents, extra_spans=extra, extra_service="client")
+    if args.session is not None:
+        keep = {
+            str(s.get("trace_id")) for s in stitched["spans"]
+            if (s.get("attributes") or {}).get("session_id") == args.session
+        }
+        stitched["spans"] = [
+            s for s in stitched["spans"]
+            if str(s.get("trace_id")) in keep
+        ]
+        if not stitched["spans"]:
+            print(f"no spans for session {args.session!r}", file=out)
+            return 1
+    count = len(stitched["spans"])
+    traces = trace_ids(stitched["spans"])
+    print(f"stitched {count} span(s) across {len(traces)} trace(s)",
+          file=out)
+    print(format_stitched(stitched), file=out)
     return 0
 
 

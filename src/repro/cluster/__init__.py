@@ -35,7 +35,7 @@ from repro.cluster.gateway import (
     WaveKeyGateway,
 )
 from repro.cluster.ring import ShardRing, ring_hash
-from repro.cluster.stats import fetch_stats
+from repro.cluster.stats import fetch_stats, fetch_telemetry
 
 __all__ = [
     "REBALANCE_EVENT",
@@ -43,5 +43,6 @@ __all__ = [
     "ShardRing",
     "WaveKeyGateway",
     "fetch_stats",
+    "fetch_telemetry",
     "ring_hash",
 ]

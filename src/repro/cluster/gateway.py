@@ -56,6 +56,8 @@ from repro.net.codec import (
     RevokeNotice,
     StatsRequest,
     StatsResponse,
+    TelemetryRequest,
+    TelemetryResponse,
     Verdict,
     decode_payload,
     encode_message,
@@ -63,14 +65,16 @@ from repro.net.codec import (
 )
 from repro.net.connection import SEND_CLOSED, OutboundBuffer
 from repro.net.eventloop import EVENT_READ, EVENT_WRITE, EventLoop
+from repro.obs.collect import TELEMETRY_SCHEMA
 from repro.obs.events import EventLog
 from repro.obs.metrics import (
     MetricsRegistry,
     latency_buckets,
     merge_snapshots,
 )
+from repro.obs.tracing import parent_from_context, resolve_tracer
 from repro.cluster.ring import ShardRing
-from repro.cluster.stats import fetch_stats
+from repro.cluster.stats import fetch_stats, fetch_telemetry
 
 #: Event kind emitted on every ring-membership change.
 REBALANCE_EVENT = "cluster.ring.rebalance"
@@ -126,7 +130,7 @@ class _GatewaySession:
         "hello_bytes", "tried", "c2s_assembler", "s2c_assembler",
         "to_backend", "to_client", "client_eof", "backend_eof",
         "closing", "closed", "dial_timer", "session_timer", "routed_at",
-        "counted",
+        "counted", "trace_parent", "route_span", "splice_span",
     )
 
     def __init__(self, client_sock, max_frame_bytes: int, max_pending: int):
@@ -149,6 +153,9 @@ class _GatewaySession:
         self.session_timer = None
         self.routed_at = 0.0
         self.counted = False  # True once in_flight was incremented
+        self.trace_parent = None  # TraceContext from the client's hello
+        self.route_span = None    # cluster.route (hello -> backend dialed)
+        self.splice_span = None   # cluster.splice (dialed -> close)
 
 
 class WaveKeyGateway:
@@ -176,6 +183,8 @@ class WaveKeyGateway:
         health_checks: bool = True,
         metrics: MetricsRegistry = None,
         events: EventLog = None,
+        tracer=None,
+        telemetry=None,
     ):
         addresses = [_parse_backend(spec) for spec in backends]
         if not addresses:
@@ -183,6 +192,8 @@ class WaveKeyGateway:
         self.name = name
         self.metrics = metrics or MetricsRegistry()
         self.events = events or EventLog()
+        self.tracer = tracer
+        self.telemetry = telemetry
         self.connect_timeout_s = float(connect_timeout_s)
         self.handshake_timeout_s = float(handshake_timeout_s)
         self.session_timeout_s = float(session_timeout_s)
@@ -311,6 +322,26 @@ class WaveKeyGateway:
             "snapshot": self.fleet_snapshot(),
         }
 
+    def telemetry_document(self, drain: bool = False) -> dict:
+        """The JSON document served for a gateway-directed
+        TelemetryRequest: the gateway's own route/splice spans plus
+        every span its prober drained from the backends — one scrape
+        of the gateway suffices to stitch the whole fleet."""
+        if self.telemetry is None:
+            return {
+                "schema": TELEMETRY_SCHEMA,
+                "role": "gateway",
+                "service": self.name,
+                "spans": [],
+                "events": [],
+                "dropped_spans": 0,
+                "dropped_events": 0,
+            }
+        self.telemetry.flush()
+        document = self.telemetry.document(drain=drain)
+        document["role"] = "gateway"
+        return document
+
     # -- ring membership (loop thread) -------------------------------------
 
     def _join(self, backend: BackendState, reason: str) -> None:
@@ -379,7 +410,37 @@ class WaveKeyGateway:
                 if not self._running:
                     return
                 self.loop.call_soon(self._on_probe_result, key, document)
+                if self.telemetry is not None and document is not None:
+                    # Piggyback the trace scrape on the health cadence;
+                    # drain so every backend span is collected exactly
+                    # once into the gateway's fleet buffer.
+                    try:
+                        scraped = fetch_telemetry(
+                            host, port, drain=True,
+                            timeout_s=self.probe_timeout_s,
+                        )
+                    except Exception:
+                        scraped = None
+                    if not self._running:
+                        return
+                    if scraped is not None:
+                        self.loop.call_soon(
+                            self._on_telemetry_result, key, scraped
+                        )
             self._probe_stop.wait(self.probe_interval_s)
+
+    def _on_telemetry_result(self, key: str, document: dict) -> None:
+        if self.telemetry is None:
+            return
+        spans = document.get("spans") or []
+        if spans:
+            self.metrics.counter(
+                "cluster.telemetry.spans_scraped",
+                labels={"backend": key},
+            ).inc(len(spans))
+        service = str(document.get("service") or key)
+        self.telemetry.add_spans(spans, service=service)
+        self.telemetry.add_events(document.get("events") or [])
 
     def _on_probe_result(self, key: str, document: Optional[dict]) -> None:
         backend = self._backends.get(key)
@@ -540,6 +601,19 @@ class WaveKeyGateway:
             ))
             self._finish_after_flush(session)
             return
+        if isinstance(message, TelemetryRequest):
+            self.metrics.counter("cluster.telemetry_requests").inc()
+            reply = TelemetryResponse(
+                payload_json=json.dumps(
+                    self.telemetry_document(drain=message.drain),
+                    default=str,
+                )
+            )
+            self._send_to_client(session, frame_to_bytes(
+                encode_message(reply)
+            ))
+            self._finish_after_flush(session)
+            return
         if isinstance(message, (ResumeRequest, RevokeNotice)):
             # Ticket-identity routing: every operation on one ticket —
             # the resumption that uses it and the revocation that kills
@@ -565,6 +639,17 @@ class WaveKeyGateway:
                 f"expected HELLO, got {type(message).__name__}",
             )
             return
+        session.trace_parent = parent_from_context(
+            getattr(message, "trace_context", None)
+        )
+        tracer = resolve_tracer(self.tracer)
+        if tracer.enabled:
+            session.route_span = tracer.start_span(
+                "cluster.route",
+                parent=session.trace_parent,
+                route_key=session.route_key,
+                kind=type(message).__name__.lower(),
+            )
         session.hello_bytes = frame_to_bytes(frame)
         session.state = "dial"
         self._start_dial(session)
@@ -642,6 +727,17 @@ class WaveKeyGateway:
         self.metrics.gauge(
             "cluster.backend.in_flight", labels={"backend": backend.key}
         ).set(backend.in_flight)
+        tracer = resolve_tracer(self.tracer)
+        if session.route_span is not None:
+            session.route_span.set_attribute("backend", backend.key)
+            tracer.finish_span(session.route_span)
+            session.route_span = None
+        if tracer.enabled:
+            session.splice_span = tracer.start_span(
+                "cluster.splice",
+                parent=session.trace_parent,
+                backend=backend.key,
+            )
         session.state = "splice"
         session.routed_at = time.monotonic()
         if session.session_timer is not None:
@@ -877,6 +973,14 @@ class WaveKeyGateway:
         if session.closed:
             return
         session.closed = True
+        tracer = resolve_tracer(self.tracer)
+        if session.route_span is not None:
+            # The session never reached a backend: the route failed.
+            tracer.finish_span(session.route_span, status="error")
+            session.route_span = None
+        if session.splice_span is not None:
+            tracer.finish_span(session.splice_span)
+            session.splice_span = None
         for timer in (session.dial_timer, session.session_timer):
             if timer is not None:
                 timer.cancel()

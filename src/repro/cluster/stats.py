@@ -24,7 +24,13 @@ from __future__ import annotations
 import json
 
 from repro.errors import ProtocolError
-from repro.net.codec import DEFAULT_MAX_FRAME_BYTES, StatsRequest, StatsResponse
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    StatsRequest,
+    StatsResponse,
+    TelemetryRequest,
+    TelemetryResponse,
+)
 from repro.net.connection import connect
 from repro.obs.metrics import normalize_snapshot
 
@@ -75,4 +81,51 @@ def fetch_stats(
             entry.get("snapshot"), dict
         ):
             normalize_snapshot(entry["snapshot"])
+    return document
+
+
+def fetch_telemetry(
+    host: str,
+    port: int,
+    *,
+    drain: bool = False,
+    timeout_s: float = 5.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict:
+    """Fetch one telemetry document (finished spans + recent events)
+    from a WaveKey front end.
+
+    The distributed-tracing sibling of :func:`fetch_stats`: a
+    :class:`TelemetryRequest` as the connection's first frame is
+    answered with the responder's :class:`TelemetryResponse` and the
+    connection closes.  ``drain=True`` clears the responder's buffer —
+    the gateway's periodic scrape uses it so every span is collected
+    exactly once; ad-hoc CLI peeks leave the buffer intact.
+    """
+    conn = connect(
+        host,
+        port,
+        timeout_s=timeout_s,
+        read_timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    try:
+        conn.send(TelemetryRequest(drain=drain))
+        reply = conn.recv(timeout_s=timeout_s)
+    finally:
+        conn.close()
+    if not isinstance(reply, TelemetryResponse):
+        raise ProtocolError(
+            f"expected TELEMETRY_RESPONSE, got {type(reply).__name__}"
+        )
+    try:
+        document = json.loads(reply.payload_json)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"telemetry payload is not JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("telemetry payload is not a JSON object")
+    document.setdefault("spans", [])
+    document.setdefault("events", [])
     return document

@@ -61,7 +61,7 @@ from repro.net.codec import (
 )
 from repro.net.connection import FrameConnection, connect
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import Tracer, resolve_tracer
+from repro.obs.tracing import Tracer, current_context, resolve_tracer
 from repro.protocol.agreement import AgreementParty, KeyAgreementConfig
 from repro.protocol.messages import (
     ConfirmationResponse,
@@ -331,6 +331,7 @@ class WaveKeyNetClient:
                     sender=config.name,
                     ticket_id=ticket.ticket_id,
                     client_nonce=client_nonce,
+                    trace_context=current_context(service=config.name),
                 ))
                 answer = conn.recv()
                 if isinstance(answer, ErrorFrame):
@@ -436,8 +437,11 @@ class WaveKeyNetClient:
                 raise _ConnectFailed(exc) from exc
         try:
             with tracer.span("net.hello"):
+                # Propagate the active trace (the span just opened, or
+                # any caller-held one) so the server continues it.
                 conn.send(Hello(
                     sender=config.name, rng_seed=rng_seed, dynamic=dynamic,
+                    trace_context=current_context(service=config.name),
                 ))
                 answer = conn.recv()
             if isinstance(answer, ErrorFrame):

@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.crypto.ot import OTCiphertexts
 from repro.errors import DecodeError, FrameTooLarge, ProtocolError
+from repro.obs.tracing import TraceContext
 from repro.protocol.messages import (
     ConfirmationResponse,
     OTAnnounce,
@@ -81,6 +82,8 @@ class FrameType(enum.IntEnum):
     ERROR = 0x30
     STATS_REQUEST = 0x40
     STATS_RESPONSE = 0x41
+    TELEMETRY_REQUEST = 0x42
+    TELEMETRY_RESPONSE = 0x43
     TICKET_GRANT = 0x50
     RESUME_REQUEST = 0x51
     RESUME_ACCEPT = 0x52
@@ -98,14 +101,49 @@ class Frame(NamedTuple):
 # -- session-control messages -------------------------------------------------
 
 
+def _trace_context_wire_bytes(context: Optional[TraceContext]) -> int:
+    """Encoded size of the optional trace-context tail (0 when absent:
+    context-less frames are byte-identical to the pre-trace wire)."""
+    if context is None:
+        return 0
+    return (
+        1  # presence/format marker
+        + 2 + len(context.trace_id.encode("utf-8"))
+        + 2 + len(context.span_id.encode("utf-8"))
+        + 1  # sampled flag
+        + 2 + len(context.service.encode("utf-8"))
+    )
+
+
 @dataclass(frozen=True)
 class Hello:
-    """Client -> server: open a session (the wire's AccessRequest)."""
+    """Client -> server: open a session (the wire's AccessRequest).
+
+    ``trace_context`` (optional) carries the client's distributed
+    trace: when present, every hop — gateway splice, backend worker
+    pool — parents its spans under the client's root instead of
+    minting a new trace.  Encoded as a trailing optional block, so a
+    context-less Hello is byte-identical to the pre-trace wire format
+    and old peers interoperate cleanly.
+    """
 
     sender: str
     rng_seed: int
     dynamic: bool = False
     version: int = PROTOCOL_VERSION
+    trace_context: Optional[TraceContext] = None
+
+    def wire_size_bytes(self) -> int:
+        """Exact encoded payload size (codec reconciliation)."""
+        seed = int(self.rng_seed)
+        seed_bytes = max(1, (seed.bit_length() + 7) // 8)
+        return (
+            1  # version
+            + 2 + len(self.sender.encode("utf-8"))
+            + 2 + seed_bytes
+            + 1  # dynamic flag
+            + _trace_context_wire_bytes(self.trace_context)
+        )
 
 
 @dataclass(frozen=True)
@@ -205,6 +243,40 @@ class StatsResponse:
     version: int = PROTOCOL_VERSION
 
 
+@dataclass(frozen=True)
+class TelemetryRequest:
+    """Client -> server: ask for buffered telemetry instead of opening
+    a session.
+
+    Sent as the *first* frame where a :class:`Hello` would go; the
+    server answers with one :class:`TelemetryResponse` and closes.
+    The response carries the server's bounded ring of finished span
+    trees and recent events (:class:`repro.obs.collect.TelemetryBuffer`)
+    — the raw material the trace stitcher
+    (``repro obs trace --stitch``) joins across processes by trace_id.
+    ``drain=True`` additionally clears the server's buffer, so a
+    periodic scraper sees each span exactly once; the default peek
+    leaves the buffer intact for concurrent readers.
+    """
+
+    drain: bool = False
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class TelemetryResponse:
+    """Server -> client: one JSON telemetry document.
+
+    JSON for the same reason :class:`StatsResponse` is: the payload is
+    an open-ended document (``service`` identity, span dicts, event
+    dicts, drop counters) that evolves faster than the wire protocol
+    should.
+    """
+
+    payload_json: str
+    version: int = PROTOCOL_VERSION
+
+
 # -- access-layer messages (repro.access) -------------------------------------
 
 
@@ -233,13 +305,26 @@ class ResumeRequest:
     Sent as the *first* frame where a :class:`Hello` would go.
     ``client_nonce`` freshens the channel key schedule so records from
     an earlier resumption of the same ticket never replay into this
-    one.
+    one.  ``trace_context`` propagates the client's distributed trace
+    exactly as on :class:`Hello` (optional trailing block; absent ==
+    byte-identical to the pre-trace format).
     """
 
     sender: str
     ticket_id: str
     client_nonce: bytes
     version: int = PROTOCOL_VERSION
+    trace_context: Optional[TraceContext] = None
+
+    def wire_size_bytes(self) -> int:
+        """Exact encoded payload size (codec reconciliation)."""
+        return (
+            1  # version
+            + 2 + len(self.sender.encode("utf-8"))
+            + 2 + len(self.ticket_id.encode("utf-8"))
+            + 1 + len(self.client_nonce)
+            + _trace_context_wire_bytes(self.trace_context)
+        )
 
 
 @dataclass(frozen=True)
@@ -429,6 +514,11 @@ class _Reader:
         except Exception as exc:  # ShapeError and friends
             raise DecodeError(f"invalid bit sequence: {exc}")
 
+    @property
+    def remaining(self) -> int:
+        """Unconsumed bytes — gates optional trailing blocks."""
+        return len(self._data) - self._pos
+
     def expect_end(self) -> None:
         if self._pos != len(self._data):
             raise DecodeError(
@@ -511,15 +601,61 @@ def _decode_confirmation(payload: bytes) -> ConfirmationResponse:
     return ConfirmationResponse(sender=sender, tag=tag)
 
 
-def _encode_hello(msg: Hello) -> bytes:
+#: Format marker opening the optional trace-context tail; a second
+#: format would get a new marker value rather than a version bump.
+_TRACE_CONTEXT_MARKER = 0x01
+
+
+def _write_trace_context(
+    w: _Writer, context: Optional[TraceContext]
+) -> _Writer:
+    """Append the optional trace-context block; absent contexts write
+    nothing, keeping the frame byte-identical to the pre-trace wire."""
+    if context is None:
+        return w
     return (
+        w.u8(_TRACE_CONTEXT_MARKER)
+        .string(context.trace_id)
+        .string(context.span_id)
+        .u8(1 if context.sampled else 0)
+        .string(context.service)
+    )
+
+
+def _read_trace_context(r: _Reader) -> Optional[TraceContext]:
+    """Consume the optional trace-context tail if present.
+
+    A pre-trace peer never sends it (``remaining == 0`` -> ``None``);
+    an unknown marker is a decode error, not silently misparsed fields.
+    """
+    if r.remaining == 0:
+        return None
+    marker = r.u8()
+    if marker != _TRACE_CONTEXT_MARKER:
+        raise DecodeError(
+            f"unknown trace-context marker 0x{marker:02x}"
+        )
+    trace_id = r.string()
+    span_id = r.string()
+    sampled = bool(r.u8())
+    service = r.string()
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=sampled,
+        service=service,
+    )
+
+
+def _encode_hello(msg: Hello) -> bytes:
+    w = (
         _Writer()
         .u8(msg.version)
         .string(msg.sender)
         .uint(msg.rng_seed)
         .u8(1 if msg.dynamic else 0)
-        .payload()
     )
+    return _write_trace_context(w, msg.trace_context).payload()
 
 
 def _decode_hello(payload: bytes) -> Hello:
@@ -528,9 +664,14 @@ def _decode_hello(payload: bytes) -> Hello:
     sender = r.string()
     rng_seed = r.uint()
     dynamic = bool(r.u8())
+    trace_context = _read_trace_context(r)
     r.expect_end()
     return Hello(
-        sender=sender, rng_seed=rng_seed, dynamic=dynamic, version=version
+        sender=sender,
+        rng_seed=rng_seed,
+        dynamic=dynamic,
+        version=version,
+        trace_context=trace_context,
     )
 
 
@@ -660,6 +801,39 @@ def _decode_stats_response(payload: bytes) -> StatsResponse:
     return StatsResponse(payload_json=document, version=version)
 
 
+def _encode_telemetry_request(msg: TelemetryRequest) -> bytes:
+    return _Writer().u8(msg.version).u8(1 if msg.drain else 0).payload()
+
+
+def _decode_telemetry_request(payload: bytes) -> TelemetryRequest:
+    r = _Reader(payload)
+    version = r.u8()
+    drain = bool(r.u8())
+    r.expect_end()
+    return TelemetryRequest(drain=drain, version=version)
+
+
+def _encode_telemetry_response(msg: TelemetryResponse) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .blob32(msg.payload_json.encode("utf-8"))
+        .payload()
+    )
+
+
+def _decode_telemetry_response(payload: bytes) -> TelemetryResponse:
+    r = _Reader(payload)
+    version = r.u8()
+    data = r.blob32()
+    r.expect_end()
+    try:
+        document = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"invalid utf-8 in telemetry document: {exc}")
+    return TelemetryResponse(payload_json=document, version=version)
+
+
 def _encode_ticket_grant(msg: TicketGrant) -> bytes:
     return (
         _Writer()
@@ -687,14 +861,14 @@ def _decode_ticket_grant(payload: bytes) -> TicketGrant:
 
 
 def _encode_resume_request(msg: ResumeRequest) -> bytes:
-    return (
+    w = (
         _Writer()
         .u8(msg.version)
         .string(msg.sender)
         .string(msg.ticket_id)
         .blob8(msg.client_nonce)
-        .payload()
     )
+    return _write_trace_context(w, msg.trace_context).payload()
 
 
 def _decode_resume_request(payload: bytes) -> ResumeRequest:
@@ -703,12 +877,14 @@ def _decode_resume_request(payload: bytes) -> ResumeRequest:
     sender = r.string()
     ticket_id = r.string()
     client_nonce = r.blob8()
+    trace_context = _read_trace_context(r)
     r.expect_end()
     return ResumeRequest(
         sender=sender,
         ticket_id=ticket_id,
         client_nonce=client_nonce,
         version=version,
+        trace_context=trace_context,
     )
 
 
@@ -802,6 +978,12 @@ _ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
     ErrorFrame: (FrameType.ERROR, _encode_error),
     StatsRequest: (FrameType.STATS_REQUEST, _encode_stats_request),
     StatsResponse: (FrameType.STATS_RESPONSE, _encode_stats_response),
+    TelemetryRequest: (
+        FrameType.TELEMETRY_REQUEST, _encode_telemetry_request
+    ),
+    TelemetryResponse: (
+        FrameType.TELEMETRY_RESPONSE, _encode_telemetry_response
+    ),
     TicketGrant: (FrameType.TICKET_GRANT, _encode_ticket_grant),
     ResumeRequest: (FrameType.RESUME_REQUEST, _encode_resume_request),
     ResumeAccept: (FrameType.RESUME_ACCEPT, _encode_resume_accept),
@@ -824,6 +1006,8 @@ _DECODERS: Dict[FrameType, Callable] = {
     FrameType.ERROR: _decode_error,
     FrameType.STATS_REQUEST: _decode_stats_request,
     FrameType.STATS_RESPONSE: _decode_stats_response,
+    FrameType.TELEMETRY_REQUEST: _decode_telemetry_request,
+    FrameType.TELEMETRY_RESPONSE: _decode_telemetry_response,
     FrameType.TICKET_GRANT: _decode_ticket_grant,
     FrameType.RESUME_REQUEST: _decode_resume_request,
     FrameType.RESUME_ACCEPT: _decode_resume_accept,

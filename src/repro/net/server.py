@@ -92,6 +92,8 @@ from repro.net.codec import (
     SeedGrant,
     StatsRequest,
     StatsResponse,
+    TelemetryRequest,
+    TelemetryResponse,
     TicketGrant,
     Verdict,
     decode_payload,
@@ -107,7 +109,7 @@ from repro.net.connection import (
 )
 from repro.net.eventloop import EVENT_READ, EVENT_WRITE, EventLoop
 from repro.obs.metrics import byte_buckets
-from repro.obs.tracing import resolve_tracer
+from repro.obs.tracing import parent_from_context, resolve_tracer
 from repro.protocol.agreement import AgreementParty, KeyAgreementOutcome
 from repro.protocol.messages import (
     OTAnnounce,
@@ -210,6 +212,37 @@ def backend_stats_response(front_end) -> StatsResponse:
         "snapshot": access.metrics.snapshot(),
     }
     return StatsResponse(payload_json=json.dumps(document, default=str))
+
+
+def backend_telemetry_response(
+    front_end, drain: bool = False
+) -> TelemetryResponse:
+    """The wire telemetry document for one backend front end.
+
+    Answered in place of an :class:`Accept` when a peer's first frame
+    is a :class:`TelemetryRequest` — the distributed-trace scrape.
+    Flushes the front end's :class:`~repro.obs.collect.TelemetryBuffer`
+    (finished spans + recent events, stamped with the service identity)
+    and serializes its document; ``drain`` clears the buffer so a
+    periodic scraper sees each span exactly once.  Front ends without a
+    buffer answer an empty document so scrapers need no special-casing.
+    """
+    telemetry = front_end.telemetry
+    if telemetry is None:
+        document = {
+            "schema": "repro.telemetry/1",
+            "service": front_end.name,
+            "spans": [],
+            "events": [],
+            "dropped_spans": 0,
+            "dropped_events": 0,
+        }
+    else:
+        telemetry.flush()
+        document = telemetry.document(drain=drain)
+    return TelemetryResponse(
+        payload_json=json.dumps(document, default=str)
+    )
 
 
 class _NetAgreement:
@@ -421,7 +454,7 @@ class _ClientConn:
     __slots__ = (
         "server", "sock", "addr", "state", "assembler", "outbound",
         "inbox", "channel", "ticket", "deadline", "closed", "want_write",
-        "access", "peer",
+        "access", "peer", "hello_at", "trace_parent",
     )
 
     def __init__(self, server: "WaveKeyTCPServer", sock, addr):
@@ -439,6 +472,8 @@ class _ClientConn:
         self.want_write = False
         self.access: Optional[ServerAccessChannel] = None
         self.peer = ""
+        self.hello_at: Optional[float] = None
+        self.trace_parent = None
 
     @property
     def peername(self) -> str:
@@ -490,6 +525,8 @@ class WaveKeyTCPServer:
         key_store: Optional[KeyStore] = None,
         op_handler=default_op_handler,
         secure_idle_timeout_s: float = 30.0,
+        telemetry=None,
+        telemetry_flush_interval_s: float = 1.0,
     ):
         self.access_server = access_server
         self.name = name
@@ -507,6 +544,9 @@ class WaveKeyTCPServer:
         )
         self.op_handler = op_handler
         self.secure_idle_timeout_s = float(secure_idle_timeout_s)
+        self.telemetry = telemetry
+        self.telemetry_flush_interval_s = float(telemetry_flush_interval_s)
+        self._telemetry_deadline = None
         self._host = host
         self._port = port
         self._sock: Optional[socket.socket] = None
@@ -544,11 +584,24 @@ class WaveKeyTCPServer:
         self.loop.call_soon(
             self.loop.register, sock, EVENT_READ, self._on_listener_ready
         )
+        if self.telemetry is not None:
+            # Periodic flush keeps the tracer's own span bound from
+            # filling between scrapes; armed on the loop thread because
+            # call_later is loop-thread-only.
+            self.loop.call_soon(self._telemetry_flush_tick)
         self.events.emit(
             "net_listening", host=self.address[0], port=self.address[1],
             mode="event-loop",
         )
         return self
+
+    def _telemetry_flush_tick(self) -> None:
+        if not self._running or self.telemetry is None:
+            return
+        self.telemetry.flush()
+        self._telemetry_deadline = self.loop.call_later(
+            self.telemetry_flush_interval_s, self._telemetry_flush_tick
+        )
 
     def stop(self) -> None:
         if not self._running:
@@ -562,6 +615,8 @@ class WaveKeyTCPServer:
 
     def _shutdown_on_loop(self, done: threading.Event) -> None:
         try:
+            if self._telemetry_deadline is not None:
+                self._telemetry_deadline.cancel()
             self.loop.unregister(self._sock)
             self._sock.close()
             for conn in list(self._conns):
@@ -749,6 +804,13 @@ class WaveKeyTCPServer:
             self._enqueue(conn, backend_stats_response(self))
             self._close_after_flush(conn)
             return
+        if isinstance(message, TelemetryRequest):
+            self.metrics.counter("net.server.telemetry_requests").inc()
+            self._enqueue(
+                conn, backend_telemetry_response(self, drain=message.drain)
+            )
+            self._close_after_flush(conn)
+            return
         if isinstance(message, ResumeRequest):
             self._handle_resume(conn, message)
             return
@@ -779,6 +841,8 @@ class WaveKeyTCPServer:
             return
 
         conn.peer = message.sender
+        conn.hello_at = time.monotonic()
+        conn.trace_parent = parent_from_context(message.trace_context)
         agreement = _NetAgreement(
             conn.channel, peer=message.sender, server_name=self.name
         )
@@ -786,6 +850,7 @@ class WaveKeyTCPServer:
             rng_seed=message.rng_seed,
             dynamic=message.dynamic,
             agreement_fn=agreement,
+            trace_context=conn.trace_parent,
         )
         try:
             ticket = self.access_server.submit(request)
@@ -832,6 +897,8 @@ class WaveKeyTCPServer:
     def _handle_resume(self, conn: _ClientConn, message: ResumeRequest) -> None:
         """First-frame ticket resumption: no gesture, no OT — straight
         to a secure channel if the ticket is alive."""
+        resume_start = time.monotonic()
+        parent = parent_from_context(message.trace_context)
         if message.version != PROTOCOL_VERSION:
             self._enqueue(conn, ErrorFrame(
                 "version",
@@ -840,15 +907,20 @@ class WaveKeyTCPServer:
             ))
             self._close_after_flush(conn)
             return
+        tracer = resolve_tracer(self.access_server.tracer)
         try:
-            ticket = self.key_store.resume(message.ticket_id)
-            channel, accept = ServerAccessChannel.accept(
-                ticket,
-                message.client_nonce,
-                handler=self.op_handler,
-                metrics=self.metrics,
-                sender=self.name,
-            )
+            with tracer.span(
+                "access.resume.accept", parent=parent,
+                peer=message.sender, ticket_id=message.ticket_id,
+            ):
+                ticket = self.key_store.resume(message.ticket_id)
+                channel, accept = ServerAccessChannel.accept(
+                    ticket,
+                    message.client_nonce,
+                    handler=self.op_handler,
+                    metrics=self.metrics,
+                    sender=self.name,
+                )
         except TicketError as exc:
             self.metrics.counter(
                 "access.resume", labels={"outcome": exc.wire_code}
@@ -866,11 +938,18 @@ class WaveKeyTCPServer:
             return
         conn.peer = message.sender
         conn.access = channel
+        conn.trace_parent = parent
+        channel.trace_parent = parent
+        channel.tracer = tracer
         conn.state = _SECURE
         self._arm_secure_idle(conn)
         self.metrics.counter(
             "access.resume", labels={"outcome": "ok"}
         ).inc()
+        self.metrics.histogram("access.resume.latency").observe(
+            time.monotonic() - resume_start,
+            trace_id=parent.trace_id if parent is not None else None,
+        )
         self.events.emit(
             "access_resumed", peer=conn.peername,
             ticket_id=ticket.ticket_id, channel_id=channel.channel_id,
@@ -953,6 +1032,17 @@ class WaveKeyTCPServer:
         # never observe a stale sessions_served.
         self.sessions_served += 1
         self.metrics.counter("net.server.sessions").inc()
+        if conn.hello_at is not None:
+            trace_id = (
+                conn.trace_parent.trace_id
+                if conn.trace_parent is not None
+                else getattr(
+                    getattr(record, "trace", None), "trace_id", None
+                )
+            )
+            self.metrics.histogram("net.session.latency").observe(
+                time.monotonic() - conn.hello_at, trace_id=trace_id
+            )
         grant = issue_ticket_grant(self, record, conn.peer)
         if grant is not None:
             self._enqueue(conn, grant)
@@ -1090,6 +1180,8 @@ class ThreadedWaveKeyTCPServer:
         key_store: Optional[KeyStore] = None,
         op_handler=default_op_handler,
         secure_idle_timeout_s: float = 30.0,
+        telemetry=None,
+        telemetry_flush_interval_s: float = 1.0,
     ):
         self.access_server = access_server
         self.name = name
@@ -1105,6 +1197,9 @@ class ThreadedWaveKeyTCPServer:
         )
         self.op_handler = op_handler
         self.secure_idle_timeout_s = float(secure_idle_timeout_s)
+        self.telemetry = telemetry
+        self.telemetry_flush_interval_s = float(telemetry_flush_interval_s)
+        self._telemetry_deadline = None
         self._host = host
         self._port = port
         self._sock: Optional[socket.socket] = None
@@ -1227,6 +1322,10 @@ class ThreadedWaveKeyTCPServer:
             self.metrics.counter("net.server.stats_requests").inc()
             conn.send(backend_stats_response(self))
             return
+        if isinstance(hello, TelemetryRequest):
+            self.metrics.counter("net.server.telemetry_requests").inc()
+            conn.send(backend_telemetry_response(self, drain=hello.drain))
+            return
         if isinstance(hello, ResumeRequest):
             self._converse_secure(conn, hello)
             return
@@ -1252,6 +1351,8 @@ class ThreadedWaveKeyTCPServer:
             ))
             return
 
+        hello_at = time.monotonic()
+        trace_parent = parent_from_context(hello.trace_context)
         agreement = _NetAgreement(
             conn, peer=hello.sender, server_name=self.name
         )
@@ -1259,6 +1360,7 @@ class ThreadedWaveKeyTCPServer:
             rng_seed=hello.rng_seed,
             dynamic=hello.dynamic,
             agreement_fn=agreement,
+            trace_context=trace_parent,
         )
         try:
             ticket = self.access_server.submit(request)
@@ -1301,6 +1403,16 @@ class ThreadedWaveKeyTCPServer:
         with self._lock:
             self.sessions_served += 1
         self.metrics.counter("net.server.sessions").inc()
+        self.metrics.histogram("net.session.latency").observe(
+            time.monotonic() - hello_at,
+            trace_id=(
+                trace_parent.trace_id
+                if trace_parent is not None
+                else getattr(
+                    getattr(record, "trace", None), "trace_id", None
+                )
+            ),
+        )
         grant = issue_ticket_grant(self, record, hello.sender)
         if grant is not None:
             conn.send(grant)
@@ -1316,6 +1428,8 @@ class ThreadedWaveKeyTCPServer:
     ) -> None:
         """Blocking secure-channel conversation (threaded parity with
         the event-loop server's ``_SECURE`` state)."""
+        resume_start = time.monotonic()
+        parent = parent_from_context(request.trace_context)
         if request.version != PROTOCOL_VERSION:
             conn.send(ErrorFrame(
                 "version",
@@ -1323,15 +1437,20 @@ class ThreadedWaveKeyTCPServer:
                 f"client sent {request.version}",
             ))
             return
+        tracer = resolve_tracer(self.access_server.tracer)
         try:
-            ticket = self.key_store.resume(request.ticket_id)
-            channel, accept = ServerAccessChannel.accept(
-                ticket,
-                request.client_nonce,
-                handler=self.op_handler,
-                metrics=self.metrics,
-                sender=self.name,
-            )
+            with tracer.span(
+                "access.resume.accept", parent=parent,
+                peer=request.sender, ticket_id=request.ticket_id,
+            ):
+                ticket = self.key_store.resume(request.ticket_id)
+                channel, accept = ServerAccessChannel.accept(
+                    ticket,
+                    request.client_nonce,
+                    handler=self.op_handler,
+                    metrics=self.metrics,
+                    sender=self.name,
+                )
         except TicketError as exc:
             self.metrics.counter(
                 "access.resume", labels={"outcome": exc.wire_code}
@@ -1345,9 +1464,15 @@ class ThreadedWaveKeyTCPServer:
         except AccessError as exc:
             conn.send(ErrorFrame("resume_invalid", str(exc)))
             return
+        channel.trace_parent = parent
+        channel.tracer = tracer
         self.metrics.counter(
             "access.resume", labels={"outcome": "ok"}
         ).inc()
+        self.metrics.histogram("access.resume.latency").observe(
+            time.monotonic() - resume_start,
+            trace_id=parent.trace_id if parent is not None else None,
+        )
         self.events.emit(
             "access_resumed", ticket_id=ticket.ticket_id,
             channel_id=channel.channel_id,

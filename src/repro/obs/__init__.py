@@ -24,8 +24,19 @@ Quick start::
     print(format_trace_tree(tracer.finished_spans()))
 """
 
+from repro.obs.collect import (
+    TELEMETRY_SCHEMA,
+    TelemetryBuffer,
+    event_to_dict,
+    filter_trace,
+    format_stitched,
+    hop_breakdown,
+    stitch,
+    trace_ids,
+)
 from repro.obs.events import EventLog, ServiceEvent
 from repro.obs.metrics import (
+    EXEMPLAR_PERCENTILE,
     Counter,
     Gauge,
     Histogram,
@@ -42,12 +53,15 @@ from repro.obs.profiling import LayerProfiler, LayerStats, flop_estimate
 from repro.obs.tracing import (
     NULL_TRACER,
     Span,
+    TraceContext,
     Tracer,
+    current_context,
     current_span,
     current_tracer,
     format_trace_tree,
     get_default_tracer,
     load_trace_jsonl,
+    parent_from_context,
     resolve_tracer,
     set_default_tracer,
     use_default_tracer,
@@ -55,9 +69,21 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "EXEMPLAR_PERCENTILE",
     "EventLog",
     "Gauge",
     "Histogram",
+    "TELEMETRY_SCHEMA",
+    "TelemetryBuffer",
+    "TraceContext",
+    "current_context",
+    "event_to_dict",
+    "filter_trace",
+    "format_stitched",
+    "hop_breakdown",
+    "parent_from_context",
+    "stitch",
+    "trace_ids",
     "LayerProfiler",
     "LayerStats",
     "MetricsRegistry",

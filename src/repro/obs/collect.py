@@ -1,0 +1,429 @@
+"""Fleet telemetry collection: buffering, stitching, rendering.
+
+Distributed tracing (:class:`repro.obs.tracing.TraceContext` riding the
+``Hello``/``ResumeRequest`` wire frames) means one session's spans are
+scattered across three processes — client, gateway, backend.  This
+module is the pipeline that puts them back together:
+
+* :class:`TelemetryBuffer` — the per-process bounded ring a server
+  keeps its finished spans and recent events in.  A periodic event-loop
+  timer (or any scrape) calls :meth:`TelemetryBuffer.flush` to drain
+  the process tracer into the ring, stamping every span with the
+  process's *service* identity; the ring is what a
+  ``TelemetryRequest`` wire frame is answered from.
+* :func:`stitch` — merge telemetry documents from many processes (plus
+  any locally exported spans), de-duplicating spans by their globally
+  unique ids, grouped and joined by ``trace_id``.
+* :func:`format_stitched` — one ASCII tree per trace with per-hop
+  service annotations, correlated events folded under their spans, and
+  a cross-hop latency breakdown table answering "where did this slow
+  session spend its time?".
+
+Span timestamps are process-local monotonic clocks: durations are
+comparable across hops, absolute starts are not.  The renderer
+therefore orders and budgets by *duration*, never by cross-process
+start times.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EventLog, ServiceEvent
+from repro.obs.tracing import Span, Tracer
+
+#: Document schema tag so scrapers can reject foreign payloads.
+TELEMETRY_SCHEMA = "repro.telemetry/1"
+
+
+def event_to_dict(event: ServiceEvent, service: str = "") -> Dict[str, object]:
+    """A :class:`ServiceEvent` as a portable telemetry dict."""
+    return {
+        "seq": event.seq,
+        "t_s": event.t_s,
+        "kind": event.kind,
+        "session_id": event.session_id,
+        "fields": dict(event.fields),
+        "trace_id": event.trace_id,
+        "span_id": event.span_id,
+        "service": service,
+    }
+
+
+class TelemetryBuffer:
+    """Bounded ring of finished spans + recent events for one process.
+
+    ``flush()`` drains the attached tracer (consuming its finished
+    spans, so the tracer's own ``max_spans`` bound never fills between
+    scrapes) and copies any new events from the attached
+    :class:`EventLog`; servers call it from a periodic event-loop timer
+    and immediately before answering a ``TelemetryRequest``.
+    ``document()`` is the JSON-ready payload of a
+    ``TelemetryResponse``; with ``drain=True`` the buffer is cleared so
+    a periodic scraper (the gateway) sees each span exactly once.
+
+    ``add_spans``/``add_events`` accept pre-stamped dicts from *other*
+    services — the gateway funnels scraped backend telemetry into its
+    own buffer, making one scrape of the gateway sufficient to stitch
+    the whole fleet.
+    """
+
+    def __init__(
+        self,
+        service: str,
+        tracer: Optional[Tracer] = None,
+        events: Optional[EventLog] = None,
+        max_spans: int = 4096,
+        max_events: int = 2048,
+    ):
+        if max_spans < 1 or max_events < 1:
+            raise ConfigurationError(
+                "telemetry buffer capacities must be >= 1"
+            )
+        self.service = str(service)
+        self.tracer = tracer
+        self.events = events
+        self._spans: "deque[Dict[str, object]]" = deque(maxlen=max_spans)
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=max_events)
+        self._dropped_spans = 0
+        self._dropped_events = 0
+        self._last_event_seq = -1
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    @property
+    def dropped_spans(self) -> int:
+        with self._lock:
+            return self._dropped_spans
+
+    def add_spans(
+        self,
+        spans: Iterable[Dict[str, object]],
+        service: str = None,
+    ) -> int:
+        """Append span dicts, stamping ``service`` where absent;
+        returns the number appended."""
+        count = 0
+        with self._lock:
+            for span in spans:
+                span = dict(span)
+                if not span.get("service"):
+                    span["service"] = (
+                        service if service is not None else self.service
+                    )
+                if len(self._spans) == self._spans.maxlen:
+                    self._dropped_spans += 1
+                self._spans.append(span)
+                count += 1
+        return count
+
+    def add_events(self, events: Iterable[Dict[str, object]]) -> int:
+        count = 0
+        with self._lock:
+            for event in events:
+                event = dict(event)
+                if not event.get("service"):
+                    event["service"] = self.service
+                if len(self._events) == self._events.maxlen:
+                    self._dropped_events += 1
+                self._events.append(event)
+                count += 1
+        return count
+
+    def flush(self) -> int:
+        """Drain the attached tracer and event log into the ring;
+        returns the number of spans collected."""
+        collected = 0
+        if self.tracer is not None and self.tracer.enabled:
+            spans = self.tracer.finished_spans()
+            if spans:
+                self.tracer.reset()
+                collected = self.add_spans(
+                    [span.to_dict() for span in spans]
+                )
+        if self.events is not None:
+            fresh = [
+                event_to_dict(e, self.service)
+                for e in self.events.query()
+                if e.seq > self._last_event_seq
+            ]
+            if fresh:
+                self._last_event_seq = fresh[-1]["seq"]
+                self.add_events(fresh)
+        return collected
+
+    def document(self, drain: bool = False) -> Dict[str, object]:
+        """The JSON-ready telemetry payload (call :meth:`flush` first
+        to include the tracer's latest finished spans)."""
+        with self._lock:
+            doc = {
+                "schema": TELEMETRY_SCHEMA,
+                "service": self.service,
+                "spans": list(self._spans),
+                "events": list(self._events),
+                "dropped_spans": self._dropped_spans,
+                "dropped_events": self._dropped_events,
+            }
+            if drain:
+                self._spans.clear()
+                self._events.clear()
+            return doc
+
+
+# -- stitching ---------------------------------------------------------------
+
+
+def stitch(
+    documents: Sequence[Dict[str, object]],
+    extra_spans: Sequence[Dict[str, object]] = (),
+    extra_service: str = "local",
+) -> Dict[str, object]:
+    """Merge telemetry documents from many processes into one span set.
+
+    Spans are de-duplicated by their globally unique ``span_id`` (a
+    gateway's buffer may hold backend spans a direct backend scrape
+    also returned), events by ``(service, seq)``.  ``extra_spans``
+    admits locally loaded spans (a client's ``--trace-out`` JSONL),
+    stamped ``extra_service`` when they carry no service of their own.
+    Returns ``{"spans": [...], "events": [...], "services": [...]}``.
+    """
+    spans: Dict[str, Dict[str, object]] = {}
+    events: Dict[object, Dict[str, object]] = {}
+    services: List[str] = []
+
+    def admit_span(span: Dict[str, object], fallback_service: str) -> None:
+        span = dict(span)
+        if not span.get("service"):
+            span["service"] = fallback_service
+        spans.setdefault(str(span.get("span_id")), span)
+
+    for doc in documents:
+        service = str(doc.get("service", ""))
+        if service and service not in services:
+            services.append(service)
+        for span in doc.get("spans", []):
+            admit_span(span, service)
+        for event in doc.get("events", []):
+            key = (event.get("service", service), event.get("seq"))
+            events.setdefault(key, dict(event))
+    for span in extra_spans:
+        span = span.to_dict() if isinstance(span, Span) else span
+        admit_span(span, extra_service)
+        service = spans[str(span.get("span_id"))]["service"]
+        if service and service not in services:
+            services.append(service)
+    return {
+        "spans": list(spans.values()),
+        "events": list(events.values()),
+        "services": services,
+    }
+
+
+def trace_ids(spans: Sequence[Dict[str, object]]) -> List[str]:
+    """Distinct trace ids, in first-appearance order."""
+    seen: List[str] = []
+    for span in spans:
+        tid = str(span.get("trace_id"))
+        if tid not in seen:
+            seen.append(tid)
+    return seen
+
+
+def filter_trace(
+    stitched: Dict[str, object], trace_id: str
+) -> Dict[str, object]:
+    """The subset of a stitched result belonging to one trace."""
+    return {
+        "spans": [
+            s for s in stitched["spans"]
+            if str(s.get("trace_id")) == trace_id
+        ],
+        "events": [
+            e for e in stitched["events"]
+            if e.get("trace_id") == trace_id
+        ],
+        "services": stitched.get("services", []),
+    }
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _duration_ms(span: Dict[str, object]) -> Optional[float]:
+    duration = span.get("duration_s")
+    if duration is None:
+        start, end = span.get("start_s"), span.get("end_s")
+        if start is None or end is None:
+            return None
+        duration = float(end) - float(start)
+    return 1000.0 * float(duration)
+
+
+def _format_attrs(span: Dict[str, object]) -> str:
+    shown = {
+        k: v
+        for k, v in (span.get("attributes") or {}).items()
+        if not isinstance(v, (dict, list, tuple))
+    }
+    if not shown:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+    return f"  [{body}]"
+
+
+def hop_breakdown(
+    spans: Sequence[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Per-hop latency rows for one trace's spans.
+
+    A *hop* is a service's local root: a span whose parent is missing
+    or lives in a different service — the point where the trace
+    crossed a process boundary.  ``share`` is the hop's duration as a
+    fraction of the trace root's (the client's end-to-end time) when
+    the root is finished.
+    """
+    by_id = {str(s.get("span_id")): s for s in spans}
+    root_ms: Optional[float] = None
+    for span in spans:
+        if span.get("parent_id") is None:
+            root_ms = _duration_ms(span)
+            break
+    rows: List[Dict[str, object]] = []
+    for span in spans:
+        parent = by_id.get(str(span.get("parent_id")))
+        is_hop = (
+            span.get("parent_id") is None
+            or parent is None
+            or parent.get("service") != span.get("service")
+        )
+        if not is_hop:
+            continue
+        duration = _duration_ms(span)
+        rows.append({
+            "service": span.get("service", ""),
+            "span": span.get("name", ""),
+            "duration_ms": duration,
+            "share": (
+                duration / root_ms
+                if duration is not None and root_ms
+                else None
+            ),
+        })
+    rows.sort(
+        key=lambda r: -(r["duration_ms"] or 0.0)
+    )
+    return rows
+
+
+def format_stitched(stitched: Dict[str, object]) -> str:
+    """Render a stitched multi-process result: one ASCII tree per
+    trace (per-hop ``@service`` annotations, correlated events folded
+    under their spans) followed by the cross-hop latency breakdown."""
+    spans = stitched.get("spans", [])
+    if not spans:
+        return "(no spans)"
+    events_by_span: Dict[str, List[Dict[str, object]]] = {}
+    for event in stitched.get("events", []):
+        if event.get("span_id"):
+            events_by_span.setdefault(
+                str(event["span_id"]), []
+            ).append(event)
+
+    lines: List[str] = []
+    for tid in trace_ids(spans):
+        trace_spans = [
+            s for s in spans if str(s.get("trace_id")) == tid
+        ]
+        by_id = {str(s.get("span_id")): s for s in trace_spans}
+        children: Dict[Optional[str], List[Dict[str, object]]] = {}
+        roots: List[Dict[str, object]] = []
+        for span in trace_spans:
+            parent = span.get("parent_id")
+            if parent is not None and str(parent) in by_id:
+                children.setdefault(str(parent), []).append(span)
+            else:
+                roots.append(span)
+
+        def order_key(span: Dict[str, object]):
+            # Same-service siblings order by their shared monotonic
+            # clock; cross-service ties break deterministically by
+            # (service, name) — absolute starts don't compare across
+            # processes.
+            return (
+                str(span.get("service", "")),
+                float(span.get("start_s") or 0.0),
+                str(span.get("name", "")),
+            )
+
+        for sibling_list in children.values():
+            sibling_list.sort(key=order_key)
+        roots.sort(key=order_key)
+
+        def line_for(span: Dict[str, object]) -> str:
+            duration = _duration_ms(span)
+            timing = (
+                "(open)" if duration is None else f"({duration:.2f} ms)"
+            )
+            status = span.get("status", "ok")
+            flag = "" if status == "ok" else f" !{status}"
+            service = span.get("service", "")
+            tag = f" @{service}" if service else ""
+            return (
+                f"{span.get('name')} {timing}{tag}{flag}"
+                f"{_format_attrs(span)}"
+            )
+
+        def walk(span: Dict[str, object], prefix: str, last: bool) -> None:
+            connector = "└─ " if last else "├─ "
+            lines.append(f"{prefix}{connector}{line_for(span)}")
+            child_prefix = prefix + ("   " if last else "│  ")
+            kids = children.get(str(span.get("span_id")), [])
+            folded = events_by_span.get(str(span.get("span_id")), [])
+            for event in folded:
+                fields = event.get("fields") or {}
+                body = " ".join(
+                    f"{k}={v}" for k, v in sorted(fields.items())
+                    if not isinstance(v, (dict, list, tuple))
+                )
+                suffix = f"  [{body}]" if body else ""
+                bar = "   " if not kids else "│  "
+                lines.append(
+                    f"{child_prefix}{bar}· event {event.get('kind')}"
+                    f"{suffix}"
+                )
+            for i, kid in enumerate(kids):
+                walk(kid, child_prefix, i == len(kids) - 1)
+
+        lines.append(f"trace {tid}")
+        for i, root in enumerate(roots):
+            walk(root, "", i == len(roots) - 1)
+
+        rows = hop_breakdown(trace_spans)
+        if rows:
+            lines.append("")
+            lines.append("  cross-hop latency breakdown:")
+            lines.append(
+                f"  {'service':20s} {'span':24s} "
+                f"{'duration':>12s} {'share':>7s}"
+            )
+            for row in rows:
+                duration = row["duration_ms"]
+                dur = "open" if duration is None else f"{duration:.2f} ms"
+                share = (
+                    f"{100 * row['share']:.0f}%"
+                    if row["share"] is not None else "-"
+                )
+                lines.append(
+                    f"  {row['service'][:20]:20s} {row['span'][:24]:24s} "
+                    f"{dur:>12s} {share:>7s}"
+                )
+        lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -5,6 +5,11 @@ shed — is one :class:`ServiceEvent`.  The log is a bounded ring: at
 capacity the *oldest* event is evicted so the log always holds the most
 recent window of activity, with :attr:`EventLog.dropped` counting the
 evictions.  ``query()`` returns events in emission order.
+
+Events emitted while a tracing span is active on the emitting thread
+automatically carry that span's ``trace_id``/``span_id``, so the
+distributed-trace stitcher (:mod:`repro.obs.collect`) can fold
+correlated events into the rendered span tree.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.tracing import current_span
 
 
 @dataclass(frozen=True)
@@ -28,6 +34,9 @@ class ServiceEvent:
     kind: str
     session_id: Optional[str] = None
     fields: Dict[str, object] = field(default_factory=dict)
+    #: the active span at emission time, when there was one
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
 
 class EventLog:
@@ -50,12 +59,15 @@ class EventLog:
         self._lock = threading.Lock()
 
     def emit(self, kind: str, session_id: str = None, **fields) -> None:
+        span = current_span()
         event = ServiceEvent(
             seq=next(self._seq),
             t_s=time.monotonic() - self._origin,
             kind=kind,
             session_id=session_id,
             fields=fields,
+            trace_id=span.trace_id if span is not None else None,
+            span_id=span.span_id if span is not None else None,
         )
         with self._lock:
             if len(self._events) == self.capacity:

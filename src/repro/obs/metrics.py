@@ -16,6 +16,15 @@ service layer and the core pipeline share one registry:
 holding the requested rank (rather than reporting the bucket's upper
 edge) and reports the true observed maximum for ranks that land in the
 overflow bucket.
+
+Histograms additionally retain one **tail exemplar** per series: an
+observation passed with a ``trace_id`` that lands at or above the
+series' configured percentile (:data:`EXEMPLAR_PERCENTILE` by default)
+keeps that trace id alongside its value — highest value wins.  The
+exemplar rides snapshots, survives :func:`merge_snapshots` (highest
+value across the fleet wins), and surfaces in the Prometheus
+exposition as an OpenMetrics-style ``# {trace_id="..."}`` annotation,
+so a tail-latency spike links directly to its distributed trace.
 """
 
 from __future__ import annotations
@@ -26,6 +35,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 
 Labels = Optional[Dict[str, str]]
+
+#: Default tail percentile above which a traced observation is retained
+#: as the series' exemplar.
+EXEMPLAR_PERCENTILE = 0.99
 
 
 def _series_key(name: str, labels: Labels) -> str:
@@ -122,6 +135,7 @@ class Histogram:
         name: str,
         bounds: Sequence[float] = None,
         labels: Labels = None,
+        exemplar_percentile: float = EXEMPLAR_PERCENTILE,
     ):
         self.name = name
         self.labels: Dict[str, str] = dict(labels or {})
@@ -132,14 +146,23 @@ class Histogram:
             raise ConfigurationError(
                 f"{name}: histogram bounds must be ascending and non-empty"
             )
+        if not (0.0 < exemplar_percentile <= 1.0):
+            raise ConfigurationError(
+                f"{name}: exemplar_percentile must be in (0, 1]"
+            )
+        self.exemplar_percentile = float(exemplar_percentile)
         self._counts = [0] * (len(self.bounds) + 1)
         self._total = 0.0
         self._count = 0
         self._min: Optional[float] = None
         self._max: Optional[float] = None
+        self._exemplar: Optional[Dict[str, object]] = None
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str = None) -> None:
+        """Record ``value``; with ``trace_id``, a tail observation (at
+        or above :attr:`exemplar_percentile`) is retained as the
+        series' exemplar — highest value wins."""
         value = float(value)
         index = len(self.bounds)
         for i, bound in enumerate(self.bounds):
@@ -152,6 +175,17 @@ class Histogram:
             self._count += 1
             self._min = value if self._min is None else min(self._min, value)
             self._max = value if self._max is None else max(self._max, value)
+            if trace_id and (
+                self._exemplar is None
+                or value >= self._exemplar["value"]
+            ):
+                threshold = self._percentile_locked(
+                    self.exemplar_percentile
+                )
+                if value >= threshold:
+                    self._exemplar = {
+                        "value": value, "trace_id": str(trace_id),
+                    }
 
     @property
     def count(self) -> int:
@@ -173,32 +207,41 @@ class Histogram:
         if not (0.0 < q <= 1.0):
             raise ConfigurationError(f"{self.name}: quantile must be in (0, 1]")
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            for i, n in enumerate(self._counts):
-                if cumulative + n >= rank and n > 0:
-                    if i == len(self.bounds):
-                        # Overflow bucket: the only honest point estimate
-                        # is the true observed maximum.
-                        return self._max
-                    lower = self.bounds[i - 1] if i > 0 else 0.0
-                    upper = self.bounds[i]
-                    estimate = lower + (rank - cumulative) / n * (
-                        upper - lower
-                    )
-                    if self._min is not None:
-                        estimate = max(estimate, self._min)
-                    if self._max is not None:
-                        estimate = min(estimate, self._max)
-                    return estimate
-                cumulative += n
-            return self._max if self._max is not None else 0.0
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for i, n in enumerate(self._counts):
+            if cumulative + n >= rank and n > 0:
+                if i == len(self.bounds):
+                    # Overflow bucket: the only honest point estimate
+                    # is the true observed maximum.
+                    return self._max
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                estimate = lower + (rank - cumulative) / n * (
+                    upper - lower
+                )
+                if self._min is not None:
+                    estimate = max(estimate, self._min)
+                if self._max is not None:
+                    estimate = min(estimate, self._max)
+                return estimate
+            cumulative += n
+        return self._max if self._max is not None else 0.0
+
+    @property
+    def exemplar(self) -> Optional[Dict[str, object]]:
+        """The retained tail exemplar (``{"value", "trace_id"}``)."""
+        with self._lock:
+            return dict(self._exemplar) if self._exemplar else None
 
     def snapshot(self) -> Dict[str, object]:
         with self._lock:
-            return {
+            snap = {
                 "count": self._count,
                 "total": self._total,
                 "mean": self._total / self._count if self._count else 0.0,
@@ -207,6 +250,9 @@ class Histogram:
                 "buckets": dict(zip(self.bounds, self._counts)),
                 "overflow": self._counts[-1],
             }
+            if self._exemplar is not None:
+                snap["exemplar"] = dict(self._exemplar)
+            return snap
 
 
 class MetricsRegistry:
@@ -238,11 +284,15 @@ class MetricsRegistry:
         name: str,
         bounds: Sequence[float] = None,
         labels: Labels = None,
+        exemplar_percentile: float = EXEMPLAR_PERCENTILE,
     ) -> Histogram:
         key = _series_key(name, labels)
         with self._lock:
             if key not in self._histograms:
-                self._histograms[key] = Histogram(name, bounds, labels)
+                self._histograms[key] = Histogram(
+                    name, bounds, labels,
+                    exemplar_percentile=exemplar_percentile,
+                )
             return self._histograms[key]
 
     def snapshot(self) -> Dict[str, object]:
@@ -338,7 +388,7 @@ def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
         for key, hist in snap.get("histograms", {}).items():
             into = merged["histograms"].get(key)
             if into is None:
-                merged["histograms"][key] = {
+                into = {
                     "count": hist["count"],
                     "total": hist["total"],
                     "mean": hist["mean"],
@@ -347,6 +397,9 @@ def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
                     "buckets": dict(hist["buckets"]),
                     "overflow": hist["overflow"],
                 }
+                if hist.get("exemplar"):
+                    into["exemplar"] = dict(hist["exemplar"])
+                merged["histograms"][key] = into
                 continue
             if set(into["buckets"]) != set(hist["buckets"]):
                 raise ConfigurationError(
@@ -364,6 +417,15 @@ def merge_snapshots(*snapshots: Dict[str, object]) -> Dict[str, object]:
             maxes = [m for m in (into["max"], hist["max"]) if m is not None]
             into["min"] = min(mins) if mins else None
             into["max"] = max(maxes) if maxes else None
+            # One exemplar per series fleet-wide: the worst (highest
+            # valued) traced tail observation wins.
+            exemplars = [
+                e for e in (into.get("exemplar"), hist.get("exemplar")) if e
+            ]
+            if exemplars:
+                into["exemplar"] = dict(
+                    max(exemplars, key=lambda e: e["value"])
+                )
     if gauges:
         merged["gauges"] = gauges
     return merged
@@ -416,14 +478,32 @@ def render_prometheus(snapshot: Dict[str, object]) -> str:
         hist = snapshot["histograms"][key]
         name, labels = _split_series_key(key)
         declare(name, "histogram")
+        exemplar = hist.get("exemplar")
+
+        def exemplar_suffix(edge) -> str:
+            # OpenMetrics-style exemplar annotation on the bucket that
+            # contains the retained tail observation.
+            if not exemplar:
+                return ""
+            value = exemplar["value"]
+            if edge != "+Inf" and value > edge:
+                return ""
+            return (
+                f' # {{trace_id="{exemplar["trace_id"]}"}} {value}'
+            )
+
         cumulative = 0
+        annotated = False
         for edge in sorted(hist["buckets"]):
             cumulative += hist["buckets"][edge]
             le = _merge_label_block(labels, f'le="{edge}"')
-            lines.append(f"{name}_bucket{le} {cumulative}")
+            suffix = "" if annotated else exemplar_suffix(edge)
+            annotated = annotated or bool(suffix)
+            lines.append(f"{name}_bucket{le} {cumulative}{suffix}")
         cumulative += hist["overflow"]
         le = _merge_label_block(labels, 'le="+Inf"')
-        lines.append(f"{name}_bucket{le} {cumulative}")
+        suffix = "" if annotated else exemplar_suffix("+Inf")
+        lines.append(f"{name}_bucket{le} {cumulative}{suffix}")
         lines.append(f"{name}_sum{labels} {hist['total']}")
         lines.append(f"{name}_count{labels} {hist['count']}")
     return "\n".join(lines) + ("\n" if lines else "")

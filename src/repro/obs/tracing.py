@@ -22,12 +22,22 @@ singleton whose spans are free no-ops.
 Traces export as JSONL (one span per line) and render as ASCII trees
 via :func:`format_trace_tree` — the artifact the ``repro obs trace``
 CLI command prints.
+
+Traces also cross *process* boundaries: :class:`TraceContext` is the
+portable (trace_id, parent span_id, sampled, service) tuple a client
+injects into its ``Hello``/``ResumeRequest`` wire frames and a server
+extracts on the far side.  A ``TraceContext`` is accepted anywhere a
+``parent=`` span is (it duck-types ``trace_id``/``span_id``), so the
+receiving process continues the caller's trace instead of minting its
+own root.  To keep ids collision-free across processes, every tracer
+salts its ids with a random per-instance tag.
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -117,6 +127,63 @@ class _NullSpan:
 
 
 NULL_SPAN = _NullSpan()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable cross-process slice of an active span.
+
+    Carried as an optional field on ``Hello``/``ResumeRequest`` wire
+    frames: ``trace_id`` names the distributed trace, ``span_id`` the
+    sender's span the receiver should parent under, ``sampled`` whether
+    the sender is actually recording (an unsampled context is ignored),
+    and ``service`` the sender's service identity (annotation only —
+    never affects parentage).  Duck-types as a ``parent=`` argument to
+    :meth:`Tracer.start_span`.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+    service: str = ""
+
+    def __bool__(self) -> bool:
+        return bool(self.trace_id and self.span_id)
+
+    @property
+    def usable(self) -> bool:
+        """True when a receiver should parent work under this context."""
+        return self.sampled and bool(self)
+
+    @classmethod
+    def from_span(
+        cls, span, service: str = ""
+    ) -> Optional["TraceContext"]:
+        """The context describing ``span``, or ``None`` for null/absent
+        spans (a disabled tracer propagates nothing)."""
+        if span is None or span is NULL_SPAN or isinstance(span, _NullSpan):
+            return None
+        return cls(
+            trace_id=span.trace_id,
+            span_id=span.span_id,
+            sampled=True,
+            service=service,
+        )
+
+
+def current_context(service: str = "") -> Optional[TraceContext]:
+    """The :class:`TraceContext` of this thread's innermost active
+    span, ready to inject into an outgoing frame; ``None`` when no
+    span is active (nothing to propagate)."""
+    return TraceContext.from_span(current_span(), service=service)
+
+
+def parent_from_context(context) -> Optional[TraceContext]:
+    """Normalize an extracted wire context into a ``parent=`` value:
+    the context itself when usable, else ``None`` (mint a new root)."""
+    if isinstance(context, TraceContext) and context.usable:
+        return context
+    return None
 
 # One process-wide active-span stack per thread.  Entries are
 # ``(tracer, span)`` so nested code can recover both.
@@ -224,6 +291,10 @@ class Tracer:
         self.max_spans = int(max_spans)
         self._spans: List[Span] = []
         self._dropped = 0
+        # Random per-tracer salt: ids stay unique across the processes
+        # of a distributed trace, so stitching by trace_id never merges
+        # unrelated traces and parent links never collide.
+        self._tag = os.urandom(3).hex()
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._lock = threading.Lock()
@@ -241,14 +312,14 @@ class Tracer:
             parent, _NullSpan
         ):
             parent_id = None
-            trace_id = f"t{next(self._trace_ids):04d}"
+            trace_id = f"t{self._tag}-{next(self._trace_ids):04d}"
         else:
             parent_id = parent.span_id
             trace_id = parent.trace_id
         return Span(
             name=name,
             trace_id=trace_id,
-            span_id=f"s{next(self._span_ids):06d}",
+            span_id=f"s{self._tag}-{next(self._span_ids):06d}",
             parent_id=parent_id,
             start_s=time.monotonic(),
             attributes=dict(attributes),

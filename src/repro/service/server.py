@@ -206,8 +206,11 @@ class WaveKeyAccessServer:
             record.timings["admitted_at"] = time.monotonic()
             tracer = self._tracer()
             if tracer.enabled:
+                # Parent on the caller's distributed trace context when
+                # the request carried one; a fresh root otherwise.
                 record.trace = tracer.start_span(
-                    "session", parent=None,
+                    "session",
+                    parent=getattr(request, "trace_context", None),
                     session_id=record.session_id,
                 )
             self._pending += 1

@@ -82,6 +82,9 @@ class AccessRequest:
     (same signature as the server-wide one) replaces the in-process
     two-party agreement for this session only — the network front end
     uses it to run the exchange over the client's connection.
+    ``trace_context`` (a :class:`repro.obs.tracing.TraceContext`
+    extracted from the wire, or ``None``) parents the session's root
+    span on the caller's distributed trace.
     """
 
     rng_seed: int
@@ -91,6 +94,7 @@ class AccessRequest:
     environment: object = None
     dynamic: bool = False
     agreement_fn: object = None
+    trace_context: object = None
     session_id: str = field(default_factory=_next_session_id)
 
 

@@ -31,6 +31,8 @@ from repro.net.codec import (
     SeedGrant,
     StatsRequest,
     StatsResponse,
+    TelemetryRequest,
+    TelemetryResponse,
     TicketGrant,
     Verdict,
     decode_payload,
@@ -46,6 +48,7 @@ from repro.protocol.messages import (
     OTResponse,
     ReconciliationChallenge,
 )
+from repro.obs.tracing import TraceContext
 from repro.utils.bits import BitSequence
 
 
@@ -317,3 +320,119 @@ def test_access_frames_fit_well_under_limit(message):
     an order of magnitude of the frame cap."""
     frame = encode_message(message)
     assert len(frame.payload) < DEFAULT_MAX_FRAME_BYTES // 1024
+
+
+# -- trace-context tail: backward compatibility and telemetry frames ---------
+
+
+SAMPLE_CONTEXT = TraceContext(
+    trace_id="t0ffee-0001",
+    span_id="s0ffee-000042",
+    sampled=True,
+    service="mobile-é",
+)
+
+
+def _traceable_messages(context):
+    return [
+        Hello(sender="mobile", rng_seed=17, trace_context=context),
+        ResumeRequest(
+            sender="mobile", ticket_id="b" * 32,
+            client_nonce=bytes(range(16)), trace_context=context,
+        ),
+    ]
+
+
+@pytest.mark.parametrize(
+    "message", _traceable_messages(SAMPLE_CONTEXT),
+    ids=lambda m: type(m).__name__,
+)
+def test_trace_context_roundtrips(message):
+    decoded = roundtrip(message)
+    assert decoded == message
+    assert decoded.trace_context == SAMPLE_CONTEXT
+
+
+@pytest.mark.parametrize(
+    "message", _traceable_messages(None), ids=lambda m: type(m).__name__
+)
+def test_contextless_encoding_is_byte_identical_to_pre_trace(message):
+    """A peer that never sets ``trace_context`` produces exactly the
+    old wire bytes: no marker, no empty strings, nothing."""
+    with_context = dataclasses_replace(message, SAMPLE_CONTEXT)
+    bare = encode_message(message).payload
+    traced = encode_message(with_context).payload
+    assert traced.startswith(bare), "tail must be strictly appended"
+    assert len(traced) > len(bare)
+    # the bare payload ends where the old format ended: decoding it
+    # yields trace_context=None (old peer -> new decoder interop)
+    assert decode_payload(encode_message(message)).trace_context is None
+
+
+def dataclasses_replace(message, context):
+    import dataclasses
+
+    return dataclasses.replace(message, trace_context=context)
+
+
+@pytest.mark.parametrize(
+    "message",
+    _traceable_messages(SAMPLE_CONTEXT) + _traceable_messages(None),
+    ids=lambda m: (
+        f"{type(m).__name__}-"
+        f"{'traced' if m.trace_context else 'bare'}"
+    ),
+)
+def test_trace_context_wire_size_reconciles(message):
+    """``wire_size_bytes`` stays exact with and without the tail."""
+    assert len(encode_message(message).payload) == message.wire_size_bytes()
+
+
+def test_unknown_trace_marker_raises_decode_error():
+    frame = encode_message(Hello(sender="m", rng_seed=1))
+    with pytest.raises(DecodeError, match="trace-context marker"):
+        decode_payload(Frame(frame.type, frame.payload + b"\x7f"))
+
+
+def test_truncated_trace_context_raises_decode_error():
+    frame = encode_message(
+        Hello(sender="m", rng_seed=1, trace_context=SAMPLE_CONTEXT)
+    )
+    for cut in range(len(frame.payload) - 1,
+                     len(frame.payload) - 8, -1):
+        with pytest.raises(DecodeError):
+            decode_payload(Frame(frame.type, frame.payload[:cut]))
+
+
+@pytest.mark.parametrize(
+    "message",
+    [
+        TelemetryRequest(),
+        TelemetryRequest(drain=True),
+        TelemetryResponse(payload_json="{}"),
+        TelemetryResponse(
+            payload_json='{"schema": "repro.telemetry/1", '
+                         '"service": "backend-é", "spans": []}'
+        ),
+    ],
+    ids=["peek", "drain", "empty-doc", "utf8-doc"],
+)
+def test_telemetry_frames_roundtrip(message):
+    assert roundtrip(message) == message
+
+
+def test_telemetry_response_rejects_bad_utf8():
+    # u8 version + blob32(u32 length + body) with an invalid utf-8 body
+    broken = bytes([PROTOCOL_VERSION]) + b"\x00\x00\x00\x02\xff\xfe"
+    with pytest.raises(DecodeError, match="utf-8"):
+        decode_payload(Frame(FrameType.TELEMETRY_RESPONSE, broken))
+
+
+def test_telemetry_frame_types_are_distinct():
+    assert encode_message(TelemetryRequest()).type == (
+        FrameType.TELEMETRY_REQUEST
+    )
+    assert encode_message(
+        TelemetryResponse(payload_json="{}")
+    ).type == FrameType.TELEMETRY_RESPONSE
+    assert FrameType.TELEMETRY_REQUEST != FrameType.STATS_REQUEST

@@ -1,0 +1,349 @@
+"""Telemetry pipeline tests: buffering, stitching, rendering.
+
+Exercises :mod:`repro.obs.collect` end to end in-process: the
+per-service :class:`TelemetryBuffer` ring (tracer/event-log draining,
+capacity bounds, drain-exactly-once), multi-document :func:`stitch`
+de-duplication, the cross-hop latency breakdown, and the ASCII tree
+renderer that joins a client/gateway/backend trace back together.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.collect import (
+    TELEMETRY_SCHEMA,
+    TelemetryBuffer,
+    event_to_dict,
+    filter_trace,
+    format_stitched,
+    hop_breakdown,
+    stitch,
+    trace_ids,
+)
+from repro.obs.events import EventLog
+from repro.obs.tracing import Span, Tracer
+
+
+def make_span(
+    span_id,
+    name="op",
+    trace_id="t-1",
+    parent_id=None,
+    service="",
+    start_s=0.0,
+    duration_s=0.010,
+    status="ok",
+    **attrs,
+):
+    """A finished span dict shaped like ``Span.to_dict()``."""
+    end_s = None if duration_s is None else start_s + duration_s
+    return {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_s": start_s,
+        "end_s": end_s,
+        "duration_s": duration_s,
+        "status": status,
+        "attributes": dict(attrs),
+        "service": service,
+    }
+
+
+def three_service_trace():
+    """The canonical stitched shape: client root, gateway route+splice,
+    backend session subtree — one trace, three services, monotonic
+    clocks that do NOT agree across processes."""
+    return [
+        make_span("s-c1", name="net.establish", service="client",
+                  start_s=100.0, duration_s=0.340),
+        make_span("s-c2", name="net.hello", service="client",
+                  parent_id="s-c1", start_s=100.01, duration_s=0.335),
+        make_span("s-g1", name="cluster.route", service="gateway",
+                  parent_id="s-c2", start_s=5.0, duration_s=0.0002),
+        make_span("s-g2", name="cluster.splice", service="gateway",
+                  parent_id="s-c2", start_s=5.0005, duration_s=0.337),
+        make_span("s-b1", name="session", service="backend:1",
+                  parent_id="s-c2", start_s=900.0, duration_s=0.330),
+        make_span("s-b2", name="net.agreement", service="backend:1",
+                  parent_id="s-b1", start_s=900.02, duration_s=0.300),
+    ]
+
+
+# -- TelemetryBuffer ---------------------------------------------------------
+
+
+def test_buffer_rejects_bad_capacity():
+    with pytest.raises(ConfigurationError):
+        TelemetryBuffer("svc", max_spans=0)
+    with pytest.raises(ConfigurationError):
+        TelemetryBuffer("svc", max_events=0)
+
+
+def test_flush_drains_tracer_and_stamps_service():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    buffer = TelemetryBuffer("backend:7", tracer=tracer)
+    assert buffer.flush() == 2
+    # the tracer was consumed: a second flush finds nothing new
+    assert buffer.flush() == 0
+    doc = buffer.document()
+    assert doc["schema"] == TELEMETRY_SCHEMA
+    assert doc["service"] == "backend:7"
+    assert {s["name"] for s in doc["spans"]} == {"outer", "inner"}
+    assert all(s["service"] == "backend:7" for s in doc["spans"])
+
+
+def test_flush_event_seq_watermark():
+    """Each event is collected exactly once across repeated flushes."""
+    events = EventLog()
+    events.emit("session.established", session_id="s1")
+    buffer = TelemetryBuffer("svc", events=events)
+    buffer.flush()
+    events.emit("session.closed", session_id="s1")
+    buffer.flush()
+    buffer.flush()
+    doc = buffer.document()
+    assert [e["kind"] for e in doc["events"]] == [
+        "session.established", "session.closed",
+    ]
+
+
+def test_document_drain_is_exactly_once():
+    buffer = TelemetryBuffer("svc")
+    buffer.add_spans([make_span("s-1")])
+    first = buffer.document(drain=True)
+    assert len(first["spans"]) == 1
+    assert buffer.document()["spans"] == []
+    # peek (the default) leaves the ring intact
+    buffer.add_spans([make_span("s-2")])
+    buffer.document()
+    assert len(buffer.document()["spans"]) == 1
+
+
+def test_add_spans_preserves_existing_service_stamp():
+    """The gateway funnel must not overwrite a backend's identity."""
+    buffer = TelemetryBuffer("gateway")
+    buffer.add_spans(
+        [make_span("s-1", service="backend:1"), make_span("s-2")],
+        service="backend:2",
+    )
+    services = {
+        s["span_id"]: s["service"] for s in buffer.document()["spans"]
+    }
+    assert services == {"s-1": "backend:1", "s-2": "backend:2"}
+
+
+def test_span_ring_bounds_and_drop_counter():
+    buffer = TelemetryBuffer("svc", max_spans=3)
+    buffer.add_spans(make_span(f"s-{i}") for i in range(5))
+    assert len(buffer) == 3
+    assert buffer.dropped_spans == 2
+    doc = buffer.document()
+    assert doc["dropped_spans"] == 2
+    # oldest evicted: the ring keeps the most recent spans
+    assert [s["span_id"] for s in doc["spans"]] == ["s-2", "s-3", "s-4"]
+
+
+def test_event_to_dict_carries_trace_correlation():
+    tracer = Tracer()
+    events = EventLog()
+    with tracer.span("work") as span:
+        events.emit("session.established", session_id="s9", peer="mobile")
+    (event,) = events.query()
+    payload = event_to_dict(event, "svc")
+    assert payload["trace_id"] == span.trace_id
+    assert payload["span_id"] == span.span_id
+    assert payload["service"] == "svc"
+    assert payload["fields"] == {"peer": "mobile"}
+
+
+# -- stitch ------------------------------------------------------------------
+
+
+def test_stitch_dedupes_spans_by_id():
+    """A gateway scrape and a direct backend scrape may both return
+    the same backend span; the stitcher keeps exactly one copy."""
+    backend_span = make_span("s-b1", service="backend:1")
+    gateway_doc = {
+        "service": "gateway",
+        "spans": [make_span("s-g1"), dict(backend_span)],
+        "events": [],
+    }
+    backend_doc = {
+        "service": "backend:1",
+        "spans": [dict(backend_span)],
+        "events": [],
+    }
+    stitched = stitch([gateway_doc, backend_doc])
+    assert sorted(s["span_id"] for s in stitched["spans"]) == [
+        "s-b1", "s-g1",
+    ]
+    assert stitched["services"] == ["gateway", "backend:1"]
+
+
+def test_stitch_dedupes_events_by_service_and_seq():
+    event = {"seq": 3, "kind": "session.closed", "service": "backend:1",
+             "span_id": None, "trace_id": None}
+    doc_a = {"service": "gateway", "spans": [], "events": [dict(event)]}
+    doc_b = {"service": "backend:1", "spans": [], "events": [dict(event)]}
+    stitched = stitch([doc_a, doc_b])
+    assert len(stitched["events"]) == 1
+    # same seq from a different service is a different event
+    other = dict(event, service="backend:2")
+    stitched = stitch([doc_a, {"service": "backend:2", "spans": [],
+                               "events": [other]}])
+    assert len(stitched["events"]) == 2
+
+
+def test_stitch_admits_span_objects_as_extra_spans():
+    """``--trace-out`` JSONL loads as Span objects; they join the
+    stitched set stamped with the extra service."""
+    span = Span(name="net.establish", trace_id="t-1", span_id="s-c1",
+                parent_id=None, start_s=0.0, end_s=0.4)
+    stitched = stitch([], extra_spans=[span], extra_service="client")
+    (rendered,) = stitched["spans"]
+    assert rendered["service"] == "client"
+    assert "client" in stitched["services"]
+
+
+def test_trace_ids_and_filter_trace():
+    spans = three_service_trace() + [
+        make_span("s-x1", trace_id="t-2", service="client")
+    ]
+    stitched = stitch(
+        [{"service": "all", "spans": spans, "events": []}]
+    )
+    assert trace_ids(stitched["spans"]) == ["t-1", "t-2"]
+    only = filter_trace(stitched, "t-2")
+    assert [s["span_id"] for s in only["spans"]] == ["s-x1"]
+
+
+# -- hop breakdown -----------------------------------------------------------
+
+
+def test_hop_breakdown_identifies_service_boundaries():
+    rows = hop_breakdown(three_service_trace())
+    hops = {(r["service"], r["span"]) for r in rows}
+    # client root + both gateway spans (parent lives client-side) +
+    # the backend's local root; net.hello/net.agreement are same-
+    # service children, not hops
+    assert hops == {
+        ("client", "net.establish"),
+        ("gateway", "cluster.route"),
+        ("gateway", "cluster.splice"),
+        ("backend:1", "session"),
+    }
+    # sorted by duration, root first
+    assert rows[0]["span"] == "net.establish"
+    assert rows[0]["share"] == pytest.approx(1.0)
+    splice = next(r for r in rows if r["span"] == "cluster.splice")
+    assert splice["share"] == pytest.approx(0.337 / 0.340, rel=1e-6)
+
+
+def test_hop_breakdown_orphan_parent_counts_as_hop():
+    """A span whose parent was never scraped is still a hop row —
+    partial fleets degrade to per-fragment accounting, not KeyErrors."""
+    rows = hop_breakdown([
+        make_span("s-1", parent_id="s-missing", service="backend:1"),
+    ])
+    assert len(rows) == 1
+    assert rows[0]["share"] is None  # no finished root to budget against
+
+
+def test_hop_breakdown_open_span_has_no_duration():
+    rows = hop_breakdown([
+        make_span("s-1", service="client", duration_s=None),
+    ])
+    assert rows[0]["duration_ms"] is None
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def stitched_three_service(events=()):
+    return stitch([{
+        "service": "all",
+        "spans": three_service_trace(),
+        "events": list(events),
+    }])
+
+
+def test_format_stitched_tree_shape():
+    text = format_stitched(stitched_three_service())
+    lines = text.splitlines()
+    assert lines[0] == "trace t-1"
+    assert "└─ net.establish (340.00 ms) @client" in lines[1]
+    # gateway + backend spans nest under the client's net.hello
+    hello_index = next(
+        i for i, line in enumerate(lines) if "net.hello" in line
+    )
+    nested = "\n".join(lines[hello_index:])
+    assert "├─ session (330.00 ms) @backend:1" in nested
+    assert "└─ cluster.splice (337.00 ms) @gateway" in nested
+    # breakdown table trails the tree
+    assert "cross-hop latency breakdown:" in text
+    assert "cluster.splice" in text.split("breakdown:")[1]
+    assert "99%" in text.split("breakdown:")[1]
+
+
+def test_format_stitched_folds_events_under_spans():
+    event = {"seq": 0, "kind": "session.established", "service": "all",
+             "trace_id": "t-1", "span_id": "s-b1",
+             "fields": {"peer": "mobile"}}
+    text = format_stitched(stitched_three_service([event]))
+    assert "· event session.established  [peer=mobile]" in text
+    # the folded line sits under the backend session span
+    session_line, event_line = (
+        next(i for i, l in enumerate(text.splitlines()) if marker in l)
+        for marker in ("session (", "· event")
+    )
+    assert event_line > session_line
+
+
+def test_format_stitched_flags_errors_and_open_spans():
+    spans = [
+        make_span("s-1", name="access.resume", service="client",
+                  status="error", error="no live ticket"),
+        make_span("s-2", name="net.round", service="client",
+                  parent_id="s-1", duration_s=None),
+    ]
+    text = format_stitched(
+        stitch([{"service": "all", "spans": spans, "events": []}])
+    )
+    assert "!error" in text
+    assert "[error=no live ticket]" in text
+    assert "(open)" in text
+
+
+def test_format_stitched_multiple_roots_connectors():
+    """Only the final orphan root gets the terminal connector."""
+    spans = [
+        make_span("s-1", name="a", service="x"),
+        make_span("s-2", name="b", service="y"),
+    ]
+    text = format_stitched(
+        stitch([{"service": "all", "spans": spans, "events": []}])
+    )
+    lines = [l for l in text.splitlines() if "─" in l]
+    assert lines[0].startswith("├─ ")
+    assert lines[1].startswith("└─ ")
+
+
+def test_format_stitched_renders_one_tree_per_trace():
+    spans = three_service_trace() + [
+        make_span("s-x1", name="access.resume", trace_id="t-2",
+                  service="client")
+    ]
+    text = format_stitched(
+        stitch([{"service": "all", "spans": spans, "events": []}])
+    )
+    assert "trace t-1" in text
+    assert "trace t-2" in text
+
+
+def test_format_stitched_empty():
+    assert format_stitched({"spans": [], "events": []}) == "(no spans)"

@@ -261,3 +261,108 @@ class TestInterpolatedPercentiles:
         hist.observe(0.5)
         hist.observe(123.0)
         assert hist.percentile(0.99) == pytest.approx(123.0)
+
+
+class TestExemplars:
+    def test_untraced_observations_never_become_exemplars(self):
+        hist = Histogram("h", bounds=(1.0,))
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.exemplar is None
+
+    def test_tail_observation_is_retained_with_trace(self):
+        hist = Histogram("h", bounds=(1.0,), exemplar_percentile=0.9)
+        for v in range(1, 100):
+            hist.observe(float(v))
+        hist.observe(250.0, trace_id="t-slow")
+        assert hist.exemplar == {"value": 250.0, "trace_id": "t-slow"}
+
+    def test_below_percentile_observation_is_not_retained(self):
+        hist = Histogram("h", bounds=(100.0,), exemplar_percentile=0.99)
+        for v in range(1, 100):
+            hist.observe(float(v))
+        hist.observe(2.0, trace_id="t-fast")  # far below p99
+        assert hist.exemplar is None
+
+    def test_highest_traced_value_wins(self):
+        hist = Histogram("h", bounds=(1.0,), exemplar_percentile=0.5)
+        hist.observe(10.0, trace_id="t-a")
+        hist.observe(30.0, trace_id="t-b")
+        hist.observe(20.0, trace_id="t-c")  # smaller: ignored
+        assert hist.exemplar == {"value": 30.0, "trace_id": "t-b"}
+
+    def test_snapshot_carries_exemplar(self):
+        hist = Histogram("h", bounds=(1.0,), exemplar_percentile=0.5)
+        hist.observe(10.0, trace_id="t-a")
+        snap = hist.snapshot()
+        assert snap["exemplar"] == {"value": 10.0, "trace_id": "t-a"}
+        # and stays absent when never set
+        assert "exemplar" not in Histogram("h", bounds=(1.0,)).snapshot()
+
+    def test_merge_keeps_highest_valued_exemplar_per_series(self):
+        """Fleet merge: the worst traced tail observation wins."""
+        fast = MetricsRegistry()
+        fast.histogram("net.session.latency", bounds=(1.0,),
+                       exemplar_percentile=0.5).observe(
+            0.2, trace_id="t-fast")
+        slow = MetricsRegistry()
+        slow.histogram("net.session.latency", bounds=(1.0,),
+                       exemplar_percentile=0.5).observe(
+            0.9, trace_id="t-slow")
+        for order in ((fast, slow), (slow, fast)):
+            merged = merge_snapshots(*(r.snapshot() for r in order))
+            exemplar = merged["histograms"]["net.session.latency"][
+                "exemplar"]
+            assert exemplar == {"value": 0.9, "trace_id": "t-slow"}
+
+    def test_merge_tolerates_exemplar_on_one_side_only(self):
+        bare = MetricsRegistry()
+        bare.histogram("h", bounds=(1.0,)).observe(0.5)
+        traced = MetricsRegistry()
+        traced.histogram("h", bounds=(1.0,),
+                         exemplar_percentile=0.5).observe(
+            0.7, trace_id="t-x")
+        merged = merge_snapshots(bare.snapshot(), traced.snapshot())
+        assert merged["histograms"]["h"]["exemplar"]["trace_id"] == "t-x"
+        neither = merge_snapshots(bare.snapshot(), bare.snapshot())
+        assert "exemplar" not in neither["histograms"]["h"]
+
+    def test_merged_snapshot_percentiles_still_interpolate(self):
+        """Exemplar bookkeeping must not disturb merged percentile
+        math: the merged estimate matches one registry holding all
+        observations."""
+        bounds = tuple(float(b) for b in range(10, 101, 10))
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        union = MetricsRegistry()
+        for v in range(1, 101):
+            target = left if v % 2 else right
+            target.histogram("h", bounds=bounds).observe(
+                float(v), trace_id=f"t-{v}")
+            union.histogram("h", bounds=bounds).observe(float(v))
+        merged = merge_snapshots(left.snapshot(), right.snapshot())
+        for q in (0.5, 0.9, 0.99):
+            assert snapshot_percentile(
+                merged["histograms"]["h"], q
+            ) == pytest.approx(union.histogram("h", bounds=bounds)
+                               .percentile(q))
+
+    def test_render_prometheus_exemplar_suffix(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "access.resume.latency", bounds=(0.1, 1.0),
+            exemplar_percentile=0.5,
+        )
+        hist.observe(0.05)
+        hist.observe(0.8, trace_id="t-slow")
+        text = render_prometheus(registry.snapshot())
+        # annotation rides the first cumulative bucket containing the
+        # exemplar value, OpenMetrics style, exactly once
+        assert ('access_resume_latency_bucket{le="1.0"} 2 '
+                '# {trace_id="t-slow"} 0.8') in text
+        assert text.count("t-slow") == 1
+        # exemplar-free series render without annotations
+        bare = MetricsRegistry()
+        bare.histogram("h", bounds=(1.0,)).observe(0.5)
+        assert "#" not in render_prometheus(bare.snapshot()).replace(
+            "# TYPE", "")
