@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Replication smoke: a backend dies and its tickets keep working.
+
+Scenario (all in one process so the fleet survives a deliberate kill,
+unlike ``run_cluster.py`` whose child monitor tears everything down):
+
+1. three replicating backends come up behind a gateway with the
+   replication ferry on;
+2. a client establishes through the gateway and is granted a ticket
+   on whichever backend the session hashed to (the *issuer*);
+3. once the ferry has spread the grant to every backend, the issuer
+   is killed and ejected from the ring;
+4. the client resumes through the gateway — the session lands on a
+   surviving backend and must succeed *without* re-establishment;
+5. the client revokes through the gateway, and every surviving
+   backend must then reject the ticket as revoked.
+
+Exit 0 only if every step held.  ``--out DIR`` writes the merged
+fleet ``replica.*`` / ``cluster.replica.*`` metrics as JSON for the
+CI artifact.
+
+Run:  PYTHONPATH=src python scripts/replica_smoke.py --out artifacts/
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    ),
+)
+
+from repro.access.store import KeyStore  # noqa: E402
+from repro.cluster.gateway import WaveKeyGateway  # noqa: E402
+from repro.core.pretrained import load_default_bundle  # noqa: E402
+from repro.errors import TicketRevoked, WaveKeyError  # noqa: E402
+from repro.net.client import WaveKeyNetClient  # noqa: E402
+from repro.net.server import WaveKeyTCPServer  # noqa: E402
+from repro.replica import Replicator  # noqa: E402
+from repro.service import ServiceConfig, WaveKeyAccessServer  # noqa: E402
+
+
+def _await(check, timeout_s: float, what: str):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        result = check()
+        if result:
+            return result
+        time.sleep(0.05)
+    raise RuntimeError(f"timed out after {timeout_s}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="directory for the merged replica metrics "
+                             "artifact")
+    parser.add_argument("--backends", type=int, default=3)
+    parser.add_argument("--ferry-interval", type=float, default=0.2,
+                        help="gateway replication-ferry cadence")
+    args = parser.parse_args()
+
+    bundle = load_default_bundle()
+    fleet = []  # (access, server, replicator)
+    gateway = None
+    killed = None
+    try:
+        for _ in range(args.backends):
+            access = WaveKeyAccessServer(
+                bundle, ServiceConfig(workers=2)
+            ).start()
+            store = KeyStore(ttl_s=600.0, metrics=access.metrics)
+            # Static peers stay empty: the gateway ferry is the only
+            # replication path, which is exactly what this smoke tests.
+            replicator = Replicator(store, anti_entropy_interval_s=30.0)
+            server = WaveKeyTCPServer(
+                access, "127.0.0.1", 0,
+                key_store=store, replicator=replicator,
+            ).start()
+            fleet.append((access, server, replicator))
+        addresses = [
+            f"{server.address[0]}:{server.address[1]}"
+            for _, server, _ in fleet
+        ]
+        gateway = WaveKeyGateway(
+            addresses,
+            probe_interval_s=0.2,
+            replication_interval_s=args.ferry_interval,
+        ).start()
+        print(f"fleet: {addresses} behind "
+              f"{gateway.address[0]}:{gateway.address[1]}", flush=True)
+
+        client = WaveKeyNetClient(*gateway.address)
+        # Agreement verdicts are stochastic: retry seeds until one
+        # establishment succeeds and a ticket is granted.
+        ticket = None
+        for seed in range(7, 27):
+            result = client.establish(rng_seed=seed)
+            if result.success and result.ticket is not None:
+                ticket = result.ticket
+                break
+        if ticket is None:
+            print("::error::no establishment succeeded in 20 seeds")
+            return 1
+        print(f"granted ticket {ticket.ticket_id}", flush=True)
+
+        issuer = next(
+            i for i, (_, server, _) in enumerate(fleet)
+            if server.key_store.peek(ticket.ticket_id) is not None
+        )
+        _await(
+            lambda: all(
+                server.key_store.peek(ticket.ticket_id) is not None
+                for _, server, _ in fleet
+            ),
+            timeout_s=10.0,
+            what="the ferry to spread the grant to every backend",
+        )
+        print(f"grant replicated to all {len(fleet)} backends "
+              f"(issuer: backend[{issuer}])", flush=True)
+
+        killed = issuer
+        fleet[issuer][1].stop()
+        _await(
+            lambda: not any(
+                b.in_ring
+                for b in gateway.backend_states().values()
+                if b.key == addresses[issuer]
+            ),
+            timeout_s=10.0,
+            what="the gateway to eject the killed issuer",
+        )
+        print(f"backend[{issuer}] killed and ejected", flush=True)
+
+        # The resume must land on a survivor and succeed — open_channel
+        # raises on any failure, so reaching echo IS the assertion that
+        # no re-establishment happened.
+        channel = client.open_channel(ticket)
+        channel.request("query", target="door")
+        channel.close()
+        print("resume via gateway succeeded on a surviving backend",
+              flush=True)
+
+        client.revoke(ticket)
+        for i, (_, server, _) in enumerate(fleet):
+            if i == killed:
+                continue
+            def rejected(srv=server):
+                try:
+                    srv.key_store.resume(ticket.ticket_id)
+                except TicketRevoked:
+                    return True
+                except WaveKeyError:
+                    return False
+                return False
+            _await(
+                lambda check=rejected: check(),
+                timeout_s=10.0,
+                what=f"backend[{i}] to reject the revoked ticket",
+            )
+        print("revocation rejected by every surviving backend", flush=True)
+
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            merged = gateway.fleet_snapshot()
+            replica_counters = {
+                name: value
+                for name, value in merged.get("counters", {}).items()
+                if "replica" in name
+            }
+            artifact = {
+                "counters": replica_counters,
+                "gauges": {
+                    name: value
+                    for name, value in merged.get("gauges", {}).items()
+                    if "replica" in name
+                },
+                "replication": gateway.fleet_document().get("replication"),
+            }
+            path = os.path.join(args.out, "replica-metrics.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2, default=str)
+            print(f"replica metrics -> {path}", flush=True)
+            if not replica_counters:
+                print("::error::no replica.* counters in the fleet "
+                      "snapshot")
+                return 1
+        print("replica smoke OK", flush=True)
+        return 0
+    finally:
+        if gateway is not None:
+            gateway.stop()
+        for i, (access, server, _) in enumerate(fleet):
+            if i != killed:
+                server.stop()
+            access.stop()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

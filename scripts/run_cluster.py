@@ -68,6 +68,13 @@ def main() -> int:
                         help="run every process with --telemetry so "
                              "distributed traces can be stitched with "
                              "`repro obs trace --stitch`")
+    parser.add_argument("--replicate", action="store_true",
+                        help="replicate ticket state: backends run "
+                             "--replicate and the gateway ferries "
+                             "entries every --replication-interval")
+    parser.add_argument("--replication-interval", type=float, default=0.5,
+                        help="gateway ferry cadence in seconds "
+                             "(with --replicate)")
     args = parser.parse_args()
     if args.backends < 1:
         parser.error("--backends must be >= 1")
@@ -86,6 +93,8 @@ def main() -> int:
                            "--workers", str(args.workers)]
             if args.telemetry:
                 backend_cmd.append("--telemetry")
+            if args.replicate:
+                backend_cmd.append("--replicate")
             proc = subprocess.Popen(backend_cmd, env=env, cwd=REPO_ROOT)
             children.append(proc)
             bound = _wait_for_port_file(
@@ -102,6 +111,9 @@ def main() -> int:
                        "--port-file", gateway_port_file]
         if args.telemetry:
             gateway_cmd.append("--telemetry")
+        if args.replicate:
+            gateway_cmd += ["--replication-interval",
+                            str(args.replication_interval)]
         for bound in addresses:
             gateway_cmd += ["--backend", bound]
         gateway = subprocess.Popen(gateway_cmd, env=env, cwd=REPO_ROOT)

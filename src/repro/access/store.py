@@ -9,6 +9,15 @@ resume_secret)`` plus lifecycle metadata; the store enforces:
 * **revocation** — :meth:`revoke` kills a ticket immediately and
   leaves a tombstone, so the id keeps answering
   :class:`TicketRevoked` (not ``unknown``) even after restart;
+  tombstones are pruned by age once no ticket they could guard can
+  still be live (older than the largest lifetime ever issued), so a
+  revoke-heavy workload does not grow the snapshot forever;
+* **replication hooks** — an optional :attr:`listener` observes every
+  local mutation (:mod:`repro.replica` records them in its log), and
+  :meth:`adopt` / :meth:`apply_remote_revoke` / :meth:`discard` apply
+  entries replicated from peers without re-announcing them, enforcing
+  the same ``revoked > expired > unknown`` precedence — a grant never
+  resurrects a tombstoned id, whatever order entries arrive in;
 * **LRU cap** — at most ``max_tickets`` live tickets; issuing past
   the cap evicts the least-recently-resumed ticket;
 * **persistence** — every mutation lands in the
@@ -117,17 +126,35 @@ class KeyStore:
         journal: Optional[TicketJournal] = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: Optional[MetricsRegistry] = None,
+        tombstone_ttl_s: Optional[float] = None,
     ):
         if ttl_s <= 0:
             raise AccessError("ttl_s must be positive")
         if max_tickets < 1:
             raise AccessError("max_tickets must be >= 1")
+        if tombstone_ttl_s is not None and tombstone_ttl_s <= 0:
+            raise AccessError("tombstone_ttl_s must be positive")
         self.ttl_s = float(ttl_s)
         self.max_tickets = int(max_tickets)
         self.journal = journal
         self._clock = clock
         self._metrics = metrics
         self._lock = threading.Lock()
+        # Explicit tombstone retention; None derives it from the max
+        # ticket lifetime ever issued (once that has elapsed, any
+        # ticket a tombstone could shadow is expired anyway, so the
+        # rejection merely degrades from "revoked" to "unknown").
+        self.tombstone_ttl_s = (
+            float(tombstone_ttl_s) if tombstone_ttl_s is not None else None
+        )
+        self._max_lifetime_s = self.ttl_s
+        # Local-mutation observer (op, ticket_id, ticket-or-None);
+        # attached by repro.replica to feed its replication log.
+        # Remote applies (adopt/apply_remote_revoke/discard) do NOT
+        # notify — replicated entries must not echo back as new ones.
+        self.listener: Optional[
+            Callable[[str, str, Optional[Ticket]], None]
+        ] = None
         # recency order: oldest-resumed first (LRU eviction victim).
         self._tickets: "OrderedDict[str, Ticket]" = OrderedDict()
         # id -> revocation time; survives restart via the journal.
@@ -147,6 +174,22 @@ class KeyStore:
             self._metrics.gauge("access.store.tombstones").set(
                 len(self._revoked)
             )
+
+    def _notify(self, op: str, ticket_id: str, ticket: Optional[Ticket]) -> None:
+        """Announce one *local* mutation to the attached listener.
+
+        Replication must never be able to fail an issuance or a
+        revocation — the listener only records the entry in an
+        in-memory log, and any surprise it throws is swallowed here
+        (and counted) rather than propagated to the caller.
+        """
+        listener = self.listener
+        if listener is None:
+            return
+        try:
+            listener(op, ticket_id, ticket)
+        except Exception:  # noqa: BLE001 — replication is best-effort
+            self._count("listener_error")
 
     # -- journal plumbing ---------------------------------------------
 
@@ -202,7 +245,13 @@ class KeyStore:
             self.journal.append(op, payload)
 
     def _state(self) -> Dict[str, object]:
-        """Snapshot-able live state (lock held)."""
+        """Snapshot-able live state (lock held).
+
+        Prunes aged tombstones first, so snapshot compaction is the
+        moment a revoke-heavy workload's tombstones stop riding the
+        snapshot forever.
+        """
+        self._trim_tombstones()
         return {
             "tickets": [t.to_state() for t in self._tickets.values()],
             "revoked": [[tid, when] for tid, when in self._revoked.items()],
@@ -215,9 +264,38 @@ class KeyStore:
             self.journal.compact(state)
             self._count("compact")
 
+    def _tombstone_retention_s(self) -> float:
+        if self.tombstone_ttl_s is not None:
+            return self.tombstone_ttl_s
+        return self._max_lifetime_s
+
     def _trim_tombstones(self) -> None:
+        """Bound the tombstone set by count *and* age (lock held).
+
+        Age pruning drops tombstones older than the retention window:
+        every ticket such a tombstone could still shadow has expired,
+        so a resumption attempt degrades from ``revoked`` to the
+        equally-fatal ``unknown``.  ``_revoked`` is insertion-ordered
+        and revocation times are monotone, so pruning pops from the
+        front.  Entries replayed from a journal carry a previous
+        process's monotonic clock; those compare as "in the future"
+        and are simply retained until the count cap claims them.
+        """
+        pruned = 0
         while len(self._revoked) > MAX_TOMBSTONES:
             self._revoked.popitem(last=False)
+            pruned += 1
+        horizon = self._clock() - self._tombstone_retention_s()
+        while self._revoked:
+            tid, when = next(iter(self._revoked.items()))
+            if when > horizon:
+                break
+            del self._revoked[tid]
+            pruned += 1
+        if pruned and self._metrics is not None:
+            self._metrics.counter("access.store.tombstones_pruned").inc(
+                pruned
+            )
 
     # -- lifecycle operations -----------------------------------------
 
@@ -244,6 +322,8 @@ class KeyStore:
         evicted: List[str] = []
         with self._lock:
             self._tickets[ticket.ticket_id] = ticket
+            if lifetime > self._max_lifetime_s:
+                self._max_lifetime_s = lifetime
             while len(self._tickets) > self.max_tickets:
                 victim, _ = self._tickets.popitem(last=False)
                 evicted.append(victim)
@@ -253,6 +333,7 @@ class KeyStore:
             self._journal_append("evict", {"ticket_id": victim})
             self._count("evict")
         self._count("issue")
+        self._notify("grant", ticket.ticket_id, ticket)
         self._maybe_compact()
         return ticket
 
@@ -283,6 +364,7 @@ class KeyStore:
         if expired:
             self._journal_append("expire", {"ticket_id": ticket_id})
             self._count("resume_expired")
+            self._notify("expire", ticket_id, None)
             raise TicketExpired(f"ticket {ticket_id} expired")
         self._journal_append(
             "touch", {"ticket_id": ticket_id, "resumed": ticket.resumed}
@@ -302,6 +384,12 @@ class KeyStore:
         Revoking an unknown/expired id still records the tombstone —
         a revocation must win any race with resumption.
         """
+        was_live = self._revoke(ticket_id)
+        self._notify("revoke", ticket_id, None)
+        self._maybe_compact()
+        return was_live
+
+    def _revoke(self, ticket_id: str) -> bool:
         now = self._clock()
         with self._lock:
             was_live = self._tickets.pop(ticket_id, None) is not None
@@ -310,7 +398,6 @@ class KeyStore:
             self._update_gauges()
         self._journal_append("revoke", {"ticket_id": ticket_id, "at": now})
         self._count("revoke")
-        self._maybe_compact()
         return was_live
 
     def purge_expired(self) -> int:
@@ -328,9 +415,84 @@ class KeyStore:
         for tid in dead:
             self._journal_append("expire", {"ticket_id": tid})
             self._count("expire")
+            self._notify("expire", tid, None)
         if dead:
             self._maybe_compact()
         return len(dead)
+
+    # -- replicated-entry application ---------------------------------
+
+    def now(self) -> float:
+        """The store's clock reading (injectable in tests) — used by
+        :mod:`repro.replica` to compute a ticket's remaining life."""
+        return self._clock()
+
+    def adopt(self, ticket: Ticket) -> str:
+        """Insert a ticket replicated from a peer; returns the outcome.
+
+        Enforces ``revoked > expired > unknown`` precedence at the
+        insertion boundary: a tombstoned id is never resurrected
+        (``"revoked"``), a ticket past its expiry is not admitted
+        (``"expired"``), and an id already live here is left alone
+        (``"duplicate"`` — replays and re-deliveries are no-ops).
+        Does NOT notify the listener: replicated entries already live
+        in the log under their origin and must not echo as new ones.
+        """
+        evicted: List[str] = []
+        with self._lock:
+            if ticket.ticket_id in self._revoked:
+                outcome = "revoked"
+            elif self._clock() >= ticket.expires_at:
+                outcome = "expired"
+            elif ticket.ticket_id in self._tickets:
+                outcome = "duplicate"
+            else:
+                outcome = "adopted"
+                self._tickets[ticket.ticket_id] = ticket
+                if ticket.lifetime_s > self._max_lifetime_s:
+                    self._max_lifetime_s = ticket.lifetime_s
+                while len(self._tickets) > self.max_tickets:
+                    victim, _ = self._tickets.popitem(last=False)
+                    evicted.append(victim)
+                self._update_gauges()
+        if outcome == "adopted":
+            self._journal_append("issue", ticket.to_state())
+            for victim in evicted:
+                self._journal_append("evict", {"ticket_id": victim})
+                self._count("evict")
+            self._count("adopt")
+            self._maybe_compact()
+        return outcome
+
+    def apply_remote_revoke(self, ticket_id: str) -> bool:
+        """Apply a revocation replicated from a peer.
+
+        Same semantics as :meth:`revoke` — the tombstone is recorded
+        even for an id never seen here, so a revoke entry arriving
+        before its grant still wins — but the listener is not
+        notified (no echo).
+        """
+        was_live = self._revoke(ticket_id)
+        self._count("adopt_revoke")
+        self._maybe_compact()
+        return was_live
+
+    def discard(self, ticket_id: str) -> bool:
+        """Drop a ticket replicated peers saw expire; no tombstone.
+
+        Expiry is reproducible from ``expires_at`` on every replica,
+        so this is an eager cleanup, not a safety mechanism; an
+        unknown id is a no-op.  The listener is not notified.
+        """
+        with self._lock:
+            was_live = self._tickets.pop(ticket_id, None) is not None
+            if was_live:
+                self._update_gauges()
+        if was_live:
+            self._journal_append("expire", {"ticket_id": ticket_id})
+            self._count("adopt_expire")
+            self._maybe_compact()
+        return was_live
 
     # -- introspection ------------------------------------------------
 

@@ -175,6 +175,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="with --listen, trace every session and "
                             "answer TELEMETRY_REQUEST scrapes with "
                             "buffered spans and events")
+    serve.add_argument("--replicate", action="store_true",
+                       help="with --listen, replicate ticket state: "
+                            "answer REPL_* exchanges and push local "
+                            "grants/revocations to peers")
+    serve.add_argument("--peer", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="with --replicate, a peer backend to "
+                            "anti-entropy with directly (repeat per "
+                            "peer; omit when a gateway ferries)")
+    serve.add_argument("--replication-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="with --replicate, seconds between "
+                            "anti-entropy rounds (default 0.5)")
 
     access = sub.add_parser(
         "access",
@@ -262,6 +275,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="trace route/splice per session, scrape "
                                     "backend telemetry on the probe cadence, "
                                     "and answer TELEMETRY_REQUEST scrapes")
+    cluster_serve.add_argument("--replication-interval", type=float,
+                               default=None, metavar="SECONDS",
+                               help="ferry ticket-replication entries "
+                                    "between backends every SECONDS "
+                                    "(off unless set; backends need "
+                                    "--replicate)")
     cluster_metrics = cluster_sub.add_parser(
         "metrics",
         help="scrape a front end and render its metrics snapshot",
@@ -271,6 +290,22 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster_metrics.add_argument("--json", metavar="FILE", default=None,
                                  help="also dump the raw stats document "
                                       "as JSON")
+
+    replica = sub.add_parser(
+        "replica", help="inspect ticket-state replication"
+    )
+    replica_sub = replica.add_subparsers(dest="replica_command",
+                                         required=True)
+    replica_status = replica_sub.add_parser(
+        "status",
+        help="scrape a backend's (or gateway relay's) replication "
+             "digest and entry count",
+    )
+    replica_status.add_argument("target", metavar="HOST:PORT",
+                                help="replicating backend or gateway")
+    replica_status.add_argument("--json", metavar="FILE", default=None,
+                                help="also dump the raw status document "
+                                     "as JSON")
 
     obs = sub.add_parser(
         "obs", help="inspect exported traces and metric snapshots"
@@ -586,13 +621,33 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
                 "backend", tracer=tracer, events=server.events
             )
         key_store = _build_key_store(args, server, out)
+        replicator = None
+        if getattr(args, "replicate", False):
+            from repro.access import KeyStore
+            from repro.replica import Replicator
+
+            if key_store is None:
+                # Replication needs the front end and the replicator
+                # to share one store; materialise the default here.
+                key_store = KeyStore(metrics=server.metrics)
+            replicator = Replicator(
+                key_store,
+                peers=args.peer or (),
+                anti_entropy_interval_s=args.replication_interval,
+                tracer=tracer,
+            )
         with front_end(
-            server, host, port, key_store=key_store, telemetry=telemetry
+            server, host, port, key_store=key_store, telemetry=telemetry,
+            replicator=replicator,
         ) as tcp:
             bound = f"{tcp.address[0]}:{tcp.address[1]}"
             if telemetry is not None:
                 # The bound port is the service identity clients see.
                 telemetry.service = f"backend:{tcp.address[1]}"
+            if replicator is not None:
+                print(f"replicating as {replicator.origin} "
+                      f"({len(replicator.peers)} static peer(s))",
+                      file=out, flush=True)
             print(f"listening on {bound}", file=out, flush=True)
             if args.port_file:
                 _write_port_file(args.port_file, bound)
@@ -739,6 +794,7 @@ def _cmd_cluster_serve(args, out) -> int:
         spill_inflight=args.spill_inflight,
         tracer=tracer,
         telemetry=telemetry,
+        replication_interval_s=args.replication_interval,
     )
     if telemetry is not None:
         telemetry.events = gateway.events
@@ -802,6 +858,29 @@ def _cmd_cluster_metrics(args, out) -> int:
     snapshot = document.get("snapshot")
     if isinstance(snapshot, dict):
         print(render_prometheus(snapshot), file=out)
+    return 0
+
+
+def _cmd_replica_status(args, out) -> int:
+    from repro.replica import fetch_replica_status
+
+    host, port = _parse_hostport(args.target)
+    document = fetch_replica_status(host, port)
+    role = document.get("role", "backend")
+    print(f"{role} {document.get('origin', '?')} at {host}:{port}",
+          file=out)
+    print(f"entries held: {document.get('entries', 0)}", file=out)
+    digest = document.get("digest") or {}
+    if digest:
+        print("high-water digest:", file=out)
+        for origin in sorted(digest):
+            print(f"  {origin:40s} seq {digest[origin]}", file=out)
+    else:
+        print("high-water digest: (empty)", file=out)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, default=str)
+        print(f"status document -> {args.json}", file=out)
     return 0
 
 
@@ -1015,6 +1094,8 @@ def main(argv=None, out=None) -> int:
             if args.cluster_command == "serve":
                 return _cmd_cluster_serve(args, out)
             return _cmd_cluster_metrics(args, out)
+        if args.command == "replica":
+            return _cmd_replica_status(args, out)
         if args.command == "obs":
             if args.obs_command == "trace":
                 return _cmd_obs_trace(args, out)

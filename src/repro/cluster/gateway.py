@@ -31,9 +31,16 @@ successful probe re-admits them.  Every membership change emits a
 ``cluster.ring.rebalance`` event into the gateway's
 :class:`repro.obs.EventLog` and bumps ``cluster.ring.rebalances``.
 
+With ``replication_interval_s`` set, the prober thread doubles as a
+**replication ferry**: each interval it pulls every backend's
+ticket-replication delta into a relay :class:`ReplicationLog` (never
+applied — the gateway holds no tickets) and pushes each backend the
+entries it lacks, so grants and revocations reach every backend within
+one ferry round without backends knowing each other's addresses.
+
 State rules: all :class:`BackendState` and session mutation happens on
 the loop thread; the prober reports its verdicts via
-:meth:`EventLoop.call_soon`.
+:meth:`EventLoop.call_soon`; the relay log is prober-thread-only.
 """
 
 from __future__ import annotations
@@ -52,6 +59,9 @@ from repro.net.codec import (
     FrameAssembler,
     FrameType,
     Hello,
+    ReplDigest,
+    ReplPull,
+    ReplPush,
     ResumeRequest,
     RevokeNotice,
     StatsRequest,
@@ -75,6 +85,8 @@ from repro.obs.metrics import (
 from repro.obs.tracing import parent_from_context, resolve_tracer
 from repro.cluster.ring import ShardRing
 from repro.cluster.stats import fetch_stats, fetch_telemetry
+from repro.replica.log import ReplicationLog
+from repro.replica.peer import pull_entries, push_entries
 
 #: Event kind emitted on every ring-membership change.
 REBALANCE_EVENT = "cluster.ring.rebalance"
@@ -127,10 +139,10 @@ class _GatewaySession:
 
     __slots__ = (
         "client_sock", "backend_sock", "backend", "state", "route_key",
-        "hello_bytes", "tried", "c2s_assembler", "s2c_assembler",
-        "to_backend", "to_client", "client_eof", "backend_eof",
-        "closing", "closed", "dial_timer", "session_timer", "routed_at",
-        "counted", "trace_parent", "route_span", "splice_span",
+        "access_kind", "hello_bytes", "tried", "c2s_assembler",
+        "s2c_assembler", "to_backend", "to_client", "client_eof",
+        "backend_eof", "closing", "closed", "dial_timer", "session_timer",
+        "routed_at", "counted", "trace_parent", "route_span", "splice_span",
     )
 
     def __init__(self, client_sock, max_frame_bytes: int, max_pending: int):
@@ -139,6 +151,7 @@ class _GatewaySession:
         self.backend: Optional[BackendState] = None
         self.state = "hello"
         self.route_key = ""
+        self.access_kind = ""  # "resume"/"revoke" for ticket sessions
         self.hello_bytes = b""
         self.tried: Set[str] = set()
         self.c2s_assembler = FrameAssembler(max_frame_bytes)
@@ -185,6 +198,7 @@ class WaveKeyGateway:
         events: EventLog = None,
         tracer=None,
         telemetry=None,
+        replication_interval_s: Optional[float] = None,
     ):
         addresses = [_parse_backend(spec) for spec in backends]
         if not addresses:
@@ -206,6 +220,21 @@ class WaveKeyGateway:
         self.max_frame_bytes = int(max_frame_bytes)
         self.max_outbound_bytes = int(max_outbound_bytes)
         self.health_checks = bool(health_checks)
+        if replication_interval_s is not None and replication_interval_s <= 0:
+            raise ConfigurationError(
+                "replication_interval_s must be positive"
+            )
+        self.replication_interval_s = replication_interval_s
+        # Relay log (no store): the ferry holds entries it never
+        # applies, so backends need no static peer lists — each
+        # replication round pulls every backend's delta into the relay
+        # and pushes each backend the relay entries it lacks.
+        self._relay_log: Optional[ReplicationLog] = None
+        if replication_interval_s is not None:
+            self._relay_log = ReplicationLog(
+                f"gateway/{name}", metrics=self.metrics
+            )
+        self._next_ferry_at = 0.0  # prober-thread only (monotonic)
         self._listen_host = host
         self._listen_port = int(port)
         self._backends: Dict[str, BackendState] = {}
@@ -313,7 +342,7 @@ class WaveKeyGateway:
                 "share": round(self._ring.share(key), 6),
                 "info": dict(backend.info),
             })
-        return {
+        document = {
             "role": "gateway",
             "name": self.name,
             "sessions_served": self.sessions_routed,
@@ -321,6 +350,12 @@ class WaveKeyGateway:
             "backends": entries,
             "snapshot": self.fleet_snapshot(),
         }
+        if self._relay_log is not None:
+            document["replication"] = {
+                "interval_s": self.replication_interval_s,
+                **self._relay_log.status(),
+            }
+        return document
 
     def telemetry_document(self, drain: bool = False) -> dict:
         """The JSON document served for a gateway-directed
@@ -427,7 +462,73 @@ class WaveKeyGateway:
                         self.loop.call_soon(
                             self._on_telemetry_result, key, scraped
                         )
+            if self._relay_log is not None:
+                now = time.monotonic()
+                if now >= self._next_ferry_at:
+                    self._ferry_replication()
+                    self._next_ferry_at = now + self.replication_interval_s
             self._probe_stop.wait(self.probe_interval_s)
+
+    def _ferry_replication(self) -> None:
+        """One replication round over the fleet (prober thread).
+
+        Phase 1 pulls every backend's delta into the relay log; phase 2
+        pushes each backend the relay entries *it* lacks (its digest
+        was learned in phase 1).  Any entry the relay has ever seen
+        therefore reaches every live backend within one round, and a
+        backend that was down simply catches up on its next round —
+        no backend needs to know any other backend's address.
+        """
+        relay = self._relay_log
+        digests: Dict[str, Dict[str, int]] = {}
+        for key, backend in list(self._backends.items()):
+            host, port = backend.address
+            try:
+                docs, remote_digest = pull_entries(
+                    host, port,
+                    sender=relay.origin,
+                    digest=relay.digest(),
+                    timeout_s=self.probe_timeout_s,
+                )
+            except Exception:
+                self.metrics.counter(
+                    "cluster.replica.ferry_errors",
+                    labels={"backend": key, "phase": "pull"},
+                ).inc()
+                continue
+            digests[key] = remote_digest
+            if docs:
+                outcomes = relay.ingest_documents(docs)
+                self.metrics.counter(
+                    "cluster.replica.ferried",
+                    labels={"direction": "pulled"},
+                ).inc(outcomes["new"])
+        for key, remote_digest in digests.items():
+            backend = self._backends.get(key)
+            if backend is None:
+                continue
+            to_send = relay.missing_for(remote_digest)
+            if not to_send:
+                continue
+            host, port = backend.address
+            try:
+                push_entries(
+                    host, port,
+                    sender=relay.origin,
+                    entries=to_send,
+                    timeout_s=self.probe_timeout_s,
+                )
+            except Exception:
+                self.metrics.counter(
+                    "cluster.replica.ferry_errors",
+                    labels={"backend": key, "phase": "push"},
+                ).inc()
+                continue
+            self.metrics.counter(
+                "cluster.replica.ferried",
+                labels={"direction": "pushed"},
+            ).inc(len(to_send))
+        self.metrics.counter("cluster.replica.ferry_rounds").inc()
 
     def _on_telemetry_result(self, key: str, document: dict) -> None:
         if self.telemetry is None:
@@ -614,22 +715,30 @@ class WaveKeyGateway:
             ))
             self._finish_after_flush(session)
             return
+        if isinstance(message, (ReplDigest, ReplPull, ReplPush)):
+            # The gateway is not a replica, but it answers the status
+            # probe (``repro replica status GATEWAY``) with its relay
+            # log's view; PULL/PUSH must target a backend directly.
+            self._answer_replication(session, message)
+            return
         if isinstance(message, (ResumeRequest, RevokeNotice)):
             # Ticket-identity routing: every operation on one ticket —
             # the resumption that uses it and the revocation that kills
-            # it — hashes to the same backend, so a single-issuer fleet
-            # stays consistent without gateway-side ticket state.  A
-            # resume landing on a non-issuer backend (post-rebalance,
-            # or a multi-backend fleet without ticket replication —
-            # see ROADMAP) earns a typed ``ticket_unknown`` error and
-            # the client falls back to full establishment.
+            # it — hashes to the same backend, so even a fleet without
+            # replication stays consistent while membership holds.
+            # With replication on (``--replication-interval``) any
+            # backend can honour the resume, so a miss on the routed
+            # backend — post-rebalance, or an entry still in flight —
+            # is a counted fallback (``cluster.route.resume_fallback``)
+            # rather than a hard design limit; the client still falls
+            # back to full establishment on ``ticket_unknown``.
             session.route_key = f"ticket#{message.ticket_id}"
+            session.access_kind = (
+                "resume" if isinstance(message, ResumeRequest) else "revoke"
+            )
             self.metrics.counter(
                 "cluster.route.access",
-                labels={
-                    "kind": "resume"
-                    if isinstance(message, ResumeRequest) else "revoke"
-                },
+                labels={"kind": session.access_kind},
             ).inc()
         elif isinstance(message, Hello):
             session.route_key = f"{message.sender}#{message.rng_seed}"
@@ -653,6 +762,33 @@ class WaveKeyGateway:
         session.hello_bytes = frame_to_bytes(frame)
         session.state = "dial"
         self._start_dial(session)
+
+    def _answer_replication(self, session: _GatewaySession, message) -> None:
+        if isinstance(message, ReplDigest):
+            if self._relay_log is None:
+                reply = ErrorFrame(
+                    "replication_disabled",
+                    f"gateway {self.name} has no replication ferry "
+                    "(start with replication_interval_s)",
+                )
+            else:
+                document = self._relay_log.status()
+                document["role"] = "gateway"
+                reply = ReplDigest(
+                    sender=f"gateway/{self.name}",
+                    payload_json=json.dumps(document),
+                )
+            self.metrics.counter("cluster.replica.status_requests").inc()
+        else:
+            reply = ErrorFrame(
+                "replication_misdirected",
+                "the gateway ferries entries itself; send REPL_PULL/"
+                "REPL_PUSH to a backend",
+            )
+        self._send_to_client(session, frame_to_bytes(
+            encode_message(reply)
+        ))
+        self._finish_after_flush(session)
 
     # -- backend dial (loop thread) ----------------------------------------
 
@@ -886,6 +1022,23 @@ class WaveKeyGateway:
                 self.metrics.counter(
                     "cluster.shed.observed", labels={"backend": backend.key}
                 ).inc()
+            elif (
+                isinstance(error, ErrorFrame)
+                and error.code == "ticket_unknown"
+                and session.access_kind == "resume"
+            ):
+                # The routed backend could not honour the resume — the
+                # client now falls back to full establishment.  With
+                # replication on this counts propagation misses; with
+                # it off, every post-rebalance resume lands here.
+                self.metrics.counter(
+                    "cluster.route.resume_fallback",
+                    labels={"backend": backend.key},
+                ).inc()
+                self.events.emit(
+                    "cluster_resume_fallback", backend=backend.key,
+                    route_key=session.route_key,
+                )
 
     def _splice_broken(self, session: _GatewaySession, where: str) -> None:
         self.metrics.counter(

@@ -141,3 +141,12 @@ class RecordRejected(AccessError):
     numbers, and oversized plaintexts.  A channel that raises this is
     poisoned: both ends tear the connection down rather than resync.
     """
+
+
+class ReplicationError(AccessError):
+    """A ticket-replication log entry or exchange is invalid.
+
+    Raised by :mod:`repro.replica` for malformed entry documents,
+    content-address mismatches (a tampered or corrupted entry), and
+    structurally invalid digest vectors received from a peer.
+    """

@@ -59,6 +59,9 @@ from repro.net.codec import (
     FrameAssembler,
     FrameType,
     RecordFrame,
+    ReplDigest,
+    ReplPull,
+    ReplPush,
     ResumeAccept,
     ResumeRequest,
     RevokeNotice,
@@ -100,6 +103,9 @@ __all__ = [
     "NetClientConfig",
     "OutboundBuffer",
     "RecordFrame",
+    "ReplDigest",
+    "ReplPull",
+    "ReplPush",
     "ResumeAccept",
     "ResumeRequest",
     "RevokeNotice",

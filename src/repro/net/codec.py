@@ -20,7 +20,10 @@ Two message families share the framing:
   verdict, and structured error frames;
 * the **access-layer frames** (:mod:`repro.access`) — resumption
   ticket grant, resume request/accept, sealed channel records, and
-  authenticated revocation notices.
+  authenticated revocation notices;
+* the **replication frames** (:mod:`repro.replica`) — digest
+  exchange, missing-suffix pull, and entry push carrying JSON
+  documents of content-addressed ticket-state log entries.
 
 Encoded sizes are reconciled with the latency model: for every protocol
 dataclass, ``len(payload) == msg.wire_size_bytes() + framing_overhead``
@@ -89,6 +92,9 @@ class FrameType(enum.IntEnum):
     RESUME_ACCEPT = 0x52
     RECORD = 0x53
     REVOKE_NOTICE = 0x54
+    REPL_DIGEST = 0x60
+    REPL_PULL = 0x61
+    REPL_PUSH = 0x62
 
 
 class Frame(NamedTuple):
@@ -372,6 +378,61 @@ class RevokeNotice:
 
     ticket_id: str
     tag: bytes
+    version: int = PROTOCOL_VERSION
+
+
+# -- replication messages (repro.replica) -------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplDigest:
+    """Either direction: one replication digest document.
+
+    Sent as a connection's *first* frame it asks "where do you stand?":
+    the receiver answers with its own :class:`ReplDigest` and closes.
+    Also sent as the acknowledgement to a :class:`ReplPush`, carrying
+    the receiver's post-ingest digest so the pusher learns what stuck.
+    The payload is JSON (same argument as :class:`StatsResponse`): a
+    per-origin high-water vector is an open-ended document that grows
+    with fleet membership, not a fixed binary schema.
+    """
+
+    sender: str
+    payload_json: str
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ReplPull:
+    """Either direction: "send me every entry my digest lacks".
+
+    Sent as a connection's first frame with the requester's digest in
+    the JSON payload; the receiver answers with one :class:`ReplPush`
+    carrying only the missing per-origin suffixes (plus its own digest)
+    and closes.  This is the anti-entropy catch-up path — a rebooted
+    backend pulls the world's delta, never the world.
+    """
+
+    sender: str
+    payload_json: str
+    version: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ReplPush:
+    """Either direction: a batch of replication log entries.
+
+    Sent as a connection's first frame (eager push of fresh grants and
+    revocations, or the gateway ferrying entries between backends) the
+    receiver ingests every entry and acks with a :class:`ReplDigest`;
+    sent as the answer to a :class:`ReplPull` it carries the requested
+    suffix.  Entries are content-addressed JSON documents — the
+    receiver recomputes each entry id and drops tampered or duplicate
+    entries without poisoning the rest of the batch.
+    """
+
+    sender: str
+    payload_json: str
     version: int = PROTOCOL_VERSION
 
 
@@ -963,6 +1024,41 @@ def _decode_error(payload: bytes) -> ErrorFrame:
     return ErrorFrame(code=code, detail=detail)
 
 
+def _encode_repl(msg) -> bytes:
+    return (
+        _Writer()
+        .u8(msg.version)
+        .string(msg.sender)
+        .blob32(msg.payload_json.encode("utf-8"))
+        .payload()
+    )
+
+
+def _decode_repl(payload: bytes, cls):
+    r = _Reader(payload)
+    version = r.u8()
+    sender = r.string()
+    data = r.blob32()
+    r.expect_end()
+    try:
+        document = data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise DecodeError(f"invalid utf-8 in replication document: {exc}")
+    return cls(sender=sender, payload_json=document, version=version)
+
+
+def _decode_repl_digest(payload: bytes) -> ReplDigest:
+    return _decode_repl(payload, ReplDigest)
+
+
+def _decode_repl_pull(payload: bytes) -> ReplPull:
+    return _decode_repl(payload, ReplPull)
+
+
+def _decode_repl_push(payload: bytes) -> ReplPush:
+    return _decode_repl(payload, ReplPush)
+
+
 _ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
     OTAnnounce: (FrameType.OT_ANNOUNCE, _encode_announce_like),
     OTResponse: (FrameType.OT_RESPONSE, _encode_announce_like),
@@ -989,6 +1085,9 @@ _ENCODERS: Dict[type, Tuple[FrameType, Callable]] = {
     ResumeAccept: (FrameType.RESUME_ACCEPT, _encode_resume_accept),
     RecordFrame: (FrameType.RECORD, _encode_record),
     RevokeNotice: (FrameType.REVOKE_NOTICE, _encode_revoke_notice),
+    ReplDigest: (FrameType.REPL_DIGEST, _encode_repl),
+    ReplPull: (FrameType.REPL_PULL, _encode_repl),
+    ReplPush: (FrameType.REPL_PUSH, _encode_repl),
 }
 
 _DECODERS: Dict[FrameType, Callable] = {
@@ -1013,6 +1112,9 @@ _DECODERS: Dict[FrameType, Callable] = {
     FrameType.RESUME_ACCEPT: _decode_resume_accept,
     FrameType.RECORD: _decode_record,
     FrameType.REVOKE_NOTICE: _decode_revoke_notice,
+    FrameType.REPL_DIGEST: _decode_repl_digest,
+    FrameType.REPL_PULL: _decode_repl_pull,
+    FrameType.REPL_PUSH: _decode_repl_push,
 }
 
 

@@ -75,6 +75,7 @@ from repro.errors import (
     RecordRejected,
     ServiceError,
     TicketError,
+    TicketUnknown,
     TransportError,
 )
 from repro.net.codec import (
@@ -86,6 +87,9 @@ from repro.net.codec import (
     FrameAssembler,
     Hello,
     RecordFrame,
+    ReplDigest,
+    ReplPull,
+    ReplPush,
     ResumeRequest,
     RevokeNotice,
     RoundResult,
@@ -190,6 +194,26 @@ def answer_revocation(front_end, notice: RevokeNotice):
     metrics.counter("access.revocations", labels={"outcome": "ok"}).inc()
     front_end.events.emit("access_revoked", ticket_id=notice.ticket_id)
     return RoundResult(success=True, reason="revoked")
+
+
+def answer_replication(front_end, message):
+    """Decide one ``REPL_*`` first-frame; returns the reply message.
+
+    Shared by both front ends: delegates to the attached
+    :class:`~repro.replica.replicator.Replicator` (non-blocking), or
+    refuses with a typed ``replication_disabled`` error so a
+    misdirected peer learns immediately rather than timing out.
+    """
+    replicator = getattr(front_end, "replicator", None)
+    if replicator is None:
+        front_end.metrics.counter(
+            "replica.requests", labels={"outcome": "disabled"}
+        ).inc()
+        return ErrorFrame(
+            "replication_disabled",
+            f"backend {front_end.name} does not replicate ticket state",
+        )
+    return replicator.handle(message)
 
 
 def backend_stats_response(front_end) -> StatsResponse:
@@ -527,6 +551,7 @@ class WaveKeyTCPServer:
         secure_idle_timeout_s: float = 30.0,
         telemetry=None,
         telemetry_flush_interval_s: float = 1.0,
+        replicator=None,
     ):
         self.access_server = access_server
         self.name = name
@@ -542,6 +567,7 @@ class WaveKeyTCPServer:
             if key_store is not None
             else KeyStore(metrics=access_server.metrics)
         )
+        self.replicator = replicator
         self.op_handler = op_handler
         self.secure_idle_timeout_s = float(secure_idle_timeout_s)
         self.telemetry = telemetry
@@ -589,6 +615,10 @@ class WaveKeyTCPServer:
             # filling between scrapes; armed on the loop thread because
             # call_later is loop-thread-only.
             self.loop.call_soon(self._telemetry_flush_tick)
+        if self.replicator is not None:
+            # The replicator's fleet identity is the bound address, so
+            # attachment waits for the listen socket.
+            self.replicator.attach(self)
         self.events.emit(
             "net_listening", host=self.address[0], port=self.address[1],
             mode="event-loop",
@@ -607,6 +637,8 @@ class WaveKeyTCPServer:
         if not self._running:
             return
         self._running = False
+        if self.replicator is not None:
+            self.replicator.stop()
         done = threading.Event()
         self.loop.call_soon(self._shutdown_on_loop, done)
         done.wait(timeout=5.0)
@@ -818,6 +850,10 @@ class WaveKeyTCPServer:
             self._enqueue(conn, answer_revocation(self, message))
             self._close_after_flush(conn)
             return
+        if isinstance(message, (ReplDigest, ReplPull, ReplPush)):
+            self._enqueue(conn, answer_replication(self, message))
+            self._close_after_flush(conn)
+            return
         if not isinstance(message, Hello):
             self._enqueue(conn, ErrorFrame(
                 "protocol",
@@ -925,6 +961,11 @@ class WaveKeyTCPServer:
             self.metrics.counter(
                 "access.resume", labels={"outcome": exc.wire_code}
             ).inc()
+            if self.replicator is not None and isinstance(exc, TicketUnknown):
+                # With replication on, every live grant should have
+                # reached us — an unknown ticket is a replication miss
+                # (entry still in flight, or issuer died before push).
+                self.metrics.counter("replica.resume.miss").inc()
             self.events.emit(
                 "access_resume_rejected", peer=conn.peername,
                 ticket_id=message.ticket_id, code=exc.wire_code,
@@ -1182,6 +1223,7 @@ class ThreadedWaveKeyTCPServer:
         secure_idle_timeout_s: float = 30.0,
         telemetry=None,
         telemetry_flush_interval_s: float = 1.0,
+        replicator=None,
     ):
         self.access_server = access_server
         self.name = name
@@ -1195,6 +1237,7 @@ class ThreadedWaveKeyTCPServer:
             if key_store is not None
             else KeyStore(metrics=access_server.metrics)
         )
+        self.replicator = replicator
         self.op_handler = op_handler
         self.secure_idle_timeout_s = float(secure_idle_timeout_s)
         self.telemetry = telemetry
@@ -1235,6 +1278,8 @@ class ThreadedWaveKeyTCPServer:
             target=self._accept_loop, name="wavekey-net-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.replicator is not None:
+            self.replicator.attach(self)
         self.events.emit(
             "net_listening", host=self.address[0], port=self.address[1],
             mode="threaded",
@@ -1245,6 +1290,8 @@ class ThreadedWaveKeyTCPServer:
         if not self._running:
             return
         self._running = False
+        if self.replicator is not None:
+            self.replicator.stop()
         try:
             self._sock.close()
         except OSError:
@@ -1331,6 +1378,9 @@ class ThreadedWaveKeyTCPServer:
             return
         if isinstance(hello, RevokeNotice):
             conn.send(answer_revocation(self, hello))
+            return
+        if isinstance(hello, (ReplDigest, ReplPull, ReplPush)):
+            conn.send(answer_replication(self, hello))
             return
         if not isinstance(hello, Hello):
             conn.send(ErrorFrame(
@@ -1455,6 +1505,8 @@ class ThreadedWaveKeyTCPServer:
             self.metrics.counter(
                 "access.resume", labels={"outcome": exc.wire_code}
             ).inc()
+            if self.replicator is not None and isinstance(exc, TicketUnknown):
+                self.metrics.counter("replica.resume.miss").inc()
             self.events.emit(
                 "access_resume_rejected", ticket_id=request.ticket_id,
                 code=exc.wire_code,

@@ -1,0 +1,62 @@
+"""repro.replica — fleet-wide ticket-state replication.
+
+Makes any backend able to honour a resume and every backend reject a
+revoked ticket, regardless of which backend issued or revoked it:
+
+* :mod:`repro.replica.log` — per-backend append-only replication log:
+  every local grant/revoke/expire becomes a content-addressed
+  :class:`ReplEntry` under a monotonic per-origin sequence; incoming
+  entries are verified, deduplicated, and applied to the
+  :class:`~repro.access.store.KeyStore` under revoked > expired >
+  unknown precedence, so a revocation wins regardless of arrival
+  order;
+* :mod:`repro.replica.peer` — the one-round-trip wire exchanges
+  (``REPL_PULL`` / ``REPL_PUSH`` / ``REPL_DIGEST``) riding the
+  existing framed TCP front ends;
+* :mod:`repro.replica.replicator` — the per-backend engine: eager push
+  of grants to the ticket's ring owner and revocations to all peers,
+  plus periodic digest-based anti-entropy so rebooted or partitioned
+  backends converge by pulling only the per-origin suffixes they lack.
+
+Fleets behind a gateway need no static peer lists: the gateway's
+health-probe loop ferries entries between backends each replication
+interval.
+
+Quick start (two in-process backends)::
+
+    from repro.access import KeyStore
+    from repro.replica import Replicator
+
+    a, b = KeyStore(), KeyStore()
+    ra = Replicator(a).start(self_key="127.0.0.1:7001")
+    rb = Replicator(b).start(self_key="127.0.0.1:7002")
+    ra.set_peers(["127.0.0.1:7002"])      # direct-mesh wiring
+    # ... grants on `a` now replicate; see Replicator.sync_with().
+"""
+
+from repro.replica.log import (
+    ENTRY_OPS,
+    ReplEntry,
+    ReplicationLog,
+    compute_entry_id,
+    parse_digest,
+)
+from repro.replica.peer import (
+    fetch_replica_status,
+    pull_entries,
+    push_entries,
+)
+from repro.replica.replicator import Replicator, new_epoch
+
+__all__ = [
+    "ENTRY_OPS",
+    "ReplEntry",
+    "ReplicationLog",
+    "Replicator",
+    "compute_entry_id",
+    "fetch_replica_status",
+    "new_epoch",
+    "parse_digest",
+    "pull_entries",
+    "push_entries",
+]

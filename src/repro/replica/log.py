@@ -1,0 +1,404 @@
+"""Append-only replication log of ticket-state mutations.
+
+Every replicating backend keeps one :class:`ReplicationLog`: a
+per-origin, monotonically-sequenced record of the ``grant`` /
+``revoke`` / ``expire`` mutations its :class:`~repro.access.store.KeyStore`
+performed locally, plus every entry learned from peers.  The log is
+the unit of convergence — two backends whose logs hold the same
+entries hold the same ticket state, because entry application is
+deterministic and order-independent:
+
+* **content-addressed entries** — an entry id is a BLAKE2b hash over
+  the canonical JSON of ``(origin, seq, op, ticket_id, payload)``, so
+  duplicates are suppressed by identity and a tampered or corrupted
+  entry fails :meth:`ReplEntry.from_doc` instead of poisoning a store;
+* **per-origin high-water digests** — :meth:`ReplicationLog.digest`
+  summarises the log as ``{origin: highest contiguous seq}``; a peer
+  compares digests and sends only the missing suffix
+  (:meth:`missing_for`), so anti-entropy cost scales with the delta,
+  not the world;
+* **precedence-safe application** — entries are applied through the
+  store's remote-apply surface (:meth:`KeyStore.adopt` /
+  :meth:`KeyStore.apply_remote_revoke` / :meth:`KeyStore.discard`),
+  which enforces ``revoked > expired > unknown``: a revoke entry
+  arriving before its grant tombstones the id and the late grant is
+  refused, whatever the delivery order.
+
+Clock note: tickets internally live on a per-process (possibly
+monotonic) clock, so absolute expiries do not travel.  A grant entry
+carries ``expires_unix`` (wall clock at append time plus remaining
+life); the applying replica rebases onto its own store clock with the
+remaining wall-clock life, which converges to within propagation delay
+— and any drift is bounded by the origin's own ``expire`` entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.access.store import KeyStore, Ticket
+from repro.errors import ReplicationError
+from repro.obs.metrics import MetricsRegistry
+
+#: Mutation kinds a replication entry may carry.
+ENTRY_OPS = ("grant", "revoke", "expire")
+
+#: Entry-id digest size (hex doubles it: 32 chars).
+_ID_BYTES = 16
+
+
+def compute_entry_id(
+    origin: str, seq: int, op: str, ticket_id: str, payload: Dict[str, object]
+) -> str:
+    """Content address of one entry: BLAKE2b over canonical JSON."""
+    canonical = json.dumps(
+        {
+            "origin": origin,
+            "seq": seq,
+            "op": op,
+            "ticket_id": ticket_id,
+            "payload": payload,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=_ID_BYTES
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class ReplEntry:
+    """One immutable replication log entry.
+
+    ``origin`` names the log instance that appended it (address plus a
+    per-process epoch, so a rebooted backend restarts a fresh origin
+    and can never collide with its own pre-crash sequence numbers);
+    ``seq`` is 1-based and strictly monotonic per origin.
+    """
+
+    origin: str
+    seq: int
+    op: str
+    ticket_id: str
+    payload: Dict[str, object]
+    entry_id: str
+
+    def to_doc(self) -> Dict[str, object]:
+        """Wire form (JSON-serializable)."""
+        return {
+            "origin": self.origin,
+            "seq": self.seq,
+            "op": self.op,
+            "ticket_id": self.ticket_id,
+            "payload": dict(self.payload),
+            "id": self.entry_id,
+        }
+
+    @staticmethod
+    def from_doc(doc: Dict[str, object]) -> "ReplEntry":
+        """Parse and *verify* one wire document.
+
+        Recomputes the content address — an entry whose id does not
+        match its content (tampering, corruption, or a buggy peer) is
+        rejected with :class:`ReplicationError`.
+        """
+        if not isinstance(doc, dict):
+            raise ReplicationError("replication entry is not an object")
+        try:
+            origin = str(doc["origin"])
+            seq = int(doc["seq"])
+            op = str(doc["op"])
+            ticket_id = str(doc["ticket_id"])
+            payload = dict(doc["payload"])
+            entry_id = str(doc["id"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"malformed replication entry: {exc}"
+            ) from exc
+        if op not in ENTRY_OPS:
+            raise ReplicationError(f"unknown replication op {op!r}")
+        if seq < 1:
+            raise ReplicationError(f"entry seq must be >= 1, got {seq}")
+        expected = compute_entry_id(origin, seq, op, ticket_id, payload)
+        if entry_id != expected:
+            raise ReplicationError(
+                f"entry id mismatch for {origin}#{seq}: "
+                f"got {entry_id}, content hashes to {expected}"
+            )
+        return ReplEntry(
+            origin=origin,
+            seq=seq,
+            op=op,
+            ticket_id=ticket_id,
+            payload=payload,
+            entry_id=entry_id,
+        )
+
+
+def parse_digest(document: object) -> Dict[str, int]:
+    """Validate a peer's digest vector ``{origin: high_water}``."""
+    if not isinstance(document, dict):
+        raise ReplicationError("digest is not an object")
+    digest: Dict[str, int] = {}
+    for origin, high in document.items():
+        try:
+            value = int(high)
+        except (TypeError, ValueError) as exc:
+            raise ReplicationError(
+                f"digest value for {origin!r} is not an integer"
+            ) from exc
+        if value < 0:
+            raise ReplicationError(
+                f"digest value for {origin!r} is negative"
+            )
+        digest[str(origin)] = value
+    return digest
+
+
+class ReplicationLog:
+    """Per-backend replication log over one (optional) key store.
+
+    With a ``store`` attached, freshly-ingested remote entries are
+    applied to it; without one the log is a pure relay (the gateway's
+    ferry holds entries it never applies).  Thread-safe: local appends
+    run on server worker threads, ingest on the event-loop thread, and
+    digest reads on the anti-entropy thread.
+    """
+
+    def __init__(
+        self,
+        origin: str,
+        store: Optional[KeyStore] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        wall_clock: Callable[[], float] = time.time,
+    ):
+        if not origin:
+            raise ReplicationError("replication origin must be non-empty")
+        self.origin = str(origin)
+        self.store = store
+        self._metrics = metrics
+        self._wall_clock = wall_clock
+        self._lock = threading.RLock()
+        self._entries: Dict[str, Dict[int, ReplEntry]] = {}
+        self._next_seq = 1
+
+    # -- metrics -------------------------------------------------------
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                name, labels=labels or None
+            ).inc()
+
+    def _update_gauge(self) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("replica.log.entries").set(
+                self.entries_held()
+            )
+
+    # -- local appends -------------------------------------------------
+
+    def record_local(
+        self, op: str, ticket_id: str, ticket: Optional[Ticket]
+    ) -> ReplEntry:
+        """Append one local store mutation (listener-shaped).
+
+        ``grant`` entries carry the full replicable ticket state —
+        resumption secret included, since any backend honouring the
+        resume must be able to re-derive the channel keys — with the
+        expiry translated to wall clock (``expires_unix``).
+        """
+        if op == "grant":
+            if ticket is None:
+                raise ReplicationError("grant entry needs its ticket")
+            remaining = ticket.expires_at - (
+                self.store.now() if self.store is not None
+                else ticket.issued_at
+            )
+            payload: Dict[str, object] = {
+                "resume_secret": ticket.resume_secret.hex(),
+                "peer": ticket.peer,
+                "lifetime_s": ticket.lifetime_s,
+                "expires_unix": self._wall_clock() + max(0.0, remaining),
+                "metadata": dict(ticket.metadata),
+            }
+        elif op == "revoke":
+            payload = {"at_unix": self._wall_clock()}
+        elif op == "expire":
+            payload = {}
+        else:
+            raise ReplicationError(f"unknown replication op {op!r}")
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+            entry = ReplEntry(
+                origin=self.origin,
+                seq=seq,
+                op=op,
+                ticket_id=str(ticket_id),
+                payload=payload,
+                entry_id=compute_entry_id(
+                    self.origin, seq, op, str(ticket_id), payload
+                ),
+            )
+            self._entries.setdefault(self.origin, {})[seq] = entry
+        self._count("replica.log.appends", op=op)
+        self._update_gauge()
+        return entry
+
+    # -- remote ingest -------------------------------------------------
+
+    def ingest(self, entry: ReplEntry) -> str:
+        """Record one peer entry; returns the outcome label.
+
+        * ``"new"`` — first sighting: recorded and (when a store is
+          attached) applied;
+        * ``"duplicate"`` — already held, byte-identical: dropped;
+        * ``"conflict"`` — a *different* entry claims the same
+          ``(origin, seq)`` slot.  First write wins; with
+          epoch-qualified origins this only happens under tampering,
+          so the imposter is dropped and counted.
+
+        Out-of-order arrival is fine: entries are stored sparsely (the
+        digest only advances over the contiguous prefix, so gaps are
+        re-pulled by anti-entropy) and application is precedence-safe.
+        """
+        with self._lock:
+            per_origin = self._entries.setdefault(entry.origin, {})
+            existing = per_origin.get(entry.seq)
+            if existing is not None:
+                outcome = (
+                    "duplicate"
+                    if existing.entry_id == entry.entry_id
+                    else "conflict"
+                )
+                self._count("replica.ingest", outcome=outcome)
+                return outcome
+            per_origin[entry.seq] = entry
+            if entry.origin == self.origin and entry.seq >= self._next_seq:
+                # Our own (rebooted-instance) entries echoed back must
+                # never let a future local append reuse their seq.
+                self._next_seq = entry.seq + 1
+        self._count("replica.ingest", outcome="new")
+        self._update_gauge()
+        if self.store is not None:
+            self._apply(entry)
+        return "new"
+
+    def ingest_documents(self, docs: List[dict]) -> Dict[str, int]:
+        """Ingest a wire batch; returns outcome counts.
+
+        A malformed or tampered document is counted (``"invalid"``)
+        and skipped — one bad entry never poisons the batch.
+        """
+        outcomes = {"new": 0, "duplicate": 0, "conflict": 0, "invalid": 0}
+        for doc in docs:
+            try:
+                entry = ReplEntry.from_doc(doc)
+            except ReplicationError:
+                outcomes["invalid"] += 1
+                self._count("replica.ingest", outcome="invalid")
+                continue
+            outcomes[self.ingest(entry)] += 1
+        return outcomes
+
+    def _apply(self, entry: ReplEntry) -> None:
+        """Apply one remote entry to the attached store."""
+        store = self.store
+        if entry.op == "grant":
+            try:
+                secret = bytes.fromhex(str(entry.payload["resume_secret"]))
+                expires_unix = float(entry.payload["expires_unix"])
+                peer = str(entry.payload.get("peer", ""))
+                metadata = {
+                    str(k): str(v)
+                    for k, v in dict(
+                        entry.payload.get("metadata") or {}
+                    ).items()
+                }
+            except (KeyError, TypeError, ValueError):
+                self._count("replica.apply", op="grant", outcome="invalid")
+                return
+            remaining = expires_unix - self._wall_clock()
+            if remaining <= 0:
+                self._count("replica.apply", op="grant", outcome="stale")
+                return
+            now = store.now()
+            outcome = store.adopt(
+                Ticket(
+                    ticket_id=entry.ticket_id,
+                    resume_secret=secret,
+                    peer=peer,
+                    issued_at=now,
+                    expires_at=now + remaining,
+                    metadata=metadata,
+                )
+            )
+            self._count("replica.apply", op="grant", outcome=outcome)
+        elif entry.op == "revoke":
+            was_live = store.apply_remote_revoke(entry.ticket_id)
+            self._count(
+                "replica.apply",
+                op="revoke",
+                outcome="revoked_live" if was_live else "tombstoned",
+            )
+        elif entry.op == "expire":
+            was_live = store.discard(entry.ticket_id)
+            self._count(
+                "replica.apply",
+                op="expire",
+                outcome="discarded" if was_live else "noop",
+            )
+
+    # -- digests and suffix queries ------------------------------------
+
+    def digest(self) -> Dict[str, int]:
+        """Per-origin high-water vector (contiguous from seq 1)."""
+        with self._lock:
+            digest: Dict[str, int] = {}
+            for origin, entries in self._entries.items():
+                high = 0
+                while (high + 1) in entries:
+                    high += 1
+                if high:
+                    digest[origin] = high
+            return digest
+
+    def missing_for(self, remote_digest: Dict[str, int]) -> List[ReplEntry]:
+        """Entries the remote digest lacks, in per-origin seq order.
+
+        Only the suffix beyond the remote's high-water is sent —
+        sparsely-held entries above a local gap are included too (the
+        receiver stores them sparsely, same as we do).
+        """
+        missing: List[ReplEntry] = []
+        with self._lock:
+            for origin, entries in self._entries.items():
+                floor = int(remote_digest.get(origin, 0))
+                missing.extend(
+                    entries[seq]
+                    for seq in sorted(entries)
+                    if seq > floor
+                )
+        return missing
+
+    # -- introspection -------------------------------------------------
+
+    def entries_held(self) -> int:
+        with self._lock:
+            return sum(len(e) for e in self._entries.values())
+
+    def status(self) -> Dict[str, object]:
+        """JSON-ready summary: identity, digest, entry count."""
+        return {
+            "origin": self.origin,
+            "digest": self.digest(),
+            "entries": self.entries_held(),
+        }

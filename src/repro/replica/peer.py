@@ -1,0 +1,170 @@
+"""Peer protocol: one-round-trip replication exchanges.
+
+The replication wire rides the existing event-loop front ends the same
+way the stats scrape does (:mod:`repro.cluster.stats`): a replication
+frame sent as a connection's *first* frame is answered with exactly one
+reply and the connection closes.  Three exchanges exist:
+
+* :func:`pull_entries` — ``REPL_PULL`` carrying my digest; the peer
+  answers ``REPL_PUSH`` with only the per-origin suffixes I lack, plus
+  its own digest (so the caller can push back what the *peer* lacks);
+* :func:`push_entries` — ``REPL_PUSH`` carrying a batch of entries;
+  the peer ingests and acks with ``REPL_DIGEST`` (its updated
+  high-water vector);
+* :func:`fetch_replica_status` — ``REPL_DIGEST`` with an empty vector;
+  the peer answers ``REPL_DIGEST`` describing where it stands (the
+  ``repro replica status`` CLI, and a cheap liveness check for the
+  replication layer specifically).
+
+All payloads are JSON documents; digest vectors are validated with
+:func:`repro.replica.log.parse_digest` before use.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ReplicationError
+from repro.net.codec import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ErrorFrame,
+    ReplDigest,
+    ReplPull,
+    ReplPush,
+)
+from repro.net.connection import connect
+from repro.replica.log import ReplEntry, parse_digest
+
+
+def _exchange(
+    host: str,
+    port: int,
+    message,
+    *,
+    timeout_s: float,
+    max_frame_bytes: int,
+):
+    conn = connect(
+        host,
+        port,
+        timeout_s=timeout_s,
+        read_timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    try:
+        conn.send(message)
+        return conn.recv(timeout_s=timeout_s)
+    finally:
+        conn.close()
+
+
+def _parse_document(reply) -> dict:
+    if isinstance(reply, ErrorFrame):
+        raise ReplicationError(
+            f"peer refused replication exchange: {reply.code} "
+            f"({reply.detail})"
+        )
+    try:
+        document = json.loads(reply.payload_json)
+    except (AttributeError, ValueError) as exc:
+        raise ProtocolError(
+            f"replication payload is not JSON: {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ProtocolError("replication payload is not a JSON object")
+    return document
+
+
+def pull_entries(
+    host: str,
+    port: int,
+    *,
+    sender: str,
+    digest: Dict[str, int],
+    timeout_s: float = 2.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[List[dict], Dict[str, int]]:
+    """Ask a peer for every entry ``digest`` lacks.
+
+    Returns ``(entry_documents, peer_digest)`` — the documents are the
+    raw wire dicts (the caller's log verifies content addresses during
+    ingest), the digest is validated here.
+    """
+    reply = _exchange(
+        host,
+        port,
+        ReplPull(sender=sender, payload_json=json.dumps({"digest": digest})),
+        timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    if not isinstance(reply, (ReplPush, ErrorFrame)):
+        raise ProtocolError(
+            f"expected REPL_PUSH, got {type(reply).__name__}"
+        )
+    document = _parse_document(reply)
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ProtocolError("replication pull reply has no entry list")
+    return entries, parse_digest(document.get("digest") or {})
+
+
+def push_entries(
+    host: str,
+    port: int,
+    *,
+    sender: str,
+    entries: List[ReplEntry],
+    timeout_s: float = 2.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Dict[str, int]:
+    """Push a batch of entries to a peer; returns its post-ingest
+    digest (the ack — the pusher learns immediately what stuck)."""
+    reply = _exchange(
+        host,
+        port,
+        ReplPush(
+            sender=sender,
+            payload_json=json.dumps(
+                {"entries": [entry.to_doc() for entry in entries]}
+            ),
+        ),
+        timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    if not isinstance(reply, (ReplDigest, ErrorFrame)):
+        raise ProtocolError(
+            f"expected REPL_DIGEST, got {type(reply).__name__}"
+        )
+    document = _parse_document(reply)
+    return parse_digest(document.get("digest") or {})
+
+
+def fetch_replica_status(
+    host: str,
+    port: int,
+    *,
+    sender: str = "status-probe",
+    timeout_s: float = 2.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict:
+    """Fetch a front end's replication status document.
+
+    Returns the raw JSON document: ``origin``, ``digest`` (validated),
+    and ``entries``.  Raises :class:`ReplicationError` when the target
+    does not replicate (typed ``replication_disabled`` refusal).
+    """
+    reply = _exchange(
+        host,
+        port,
+        ReplDigest(sender=sender, payload_json=json.dumps({"digest": {}})),
+        timeout_s=timeout_s,
+        max_frame_bytes=max_frame_bytes,
+    )
+    if not isinstance(reply, (ReplDigest, ErrorFrame)):
+        raise ProtocolError(
+            f"expected REPL_DIGEST, got {type(reply).__name__}"
+        )
+    document = _parse_document(reply)
+    document["digest"] = parse_digest(document.get("digest") or {})
+    return document

@@ -1,0 +1,393 @@
+"""The backend-side replication engine.
+
+One :class:`Replicator` per replicating front end.  It owns the
+backend's :class:`~repro.replica.log.ReplicationLog`, observes the
+:class:`~repro.access.store.KeyStore` through its listener hook, and
+moves entries with two complementary mechanisms:
+
+* **eager push** (latency path) — every local grant is pushed, off the
+  request path on a dedicated worker thread, to the ticket's *ring
+  owner* (the backend a gateway would route the resume to — same hash,
+  same virtual-node count), so ring-faithful resumes succeed on the
+  first anti-entropy-free attempt; every local revocation is pushed to
+  *all* peers, because a revocation racing its own propagation is a
+  security hole, not a staleness bug;
+* **anti-entropy** (convergence path) — a scheduler thread
+  periodically exchanges digests with one peer (round-robin): pull the
+  per-origin suffixes we lack, then push the suffixes the peer lacks.
+  Every entry eventually reaches every backend regardless of which
+  eager pushes were lost, and a rebooted backend catches up by digest
+  delta without replaying the world.
+
+Backends without a static peer list (``serve --replicate`` behind a
+gateway) still converge: the gateway's health-probe loop ferries
+digests and entries between backends each replication interval
+(:class:`repro.cluster.gateway.WaveKeyGateway`).
+
+The front end answers incoming ``REPL_*`` frames by delegating to
+:meth:`Replicator.handle`, which never blocks — ingest is in-memory
+log recording plus O(1) store mutations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.access.store import KeyStore, Ticket
+from repro.errors import ConfigurationError, ReplicationError, WaveKeyError
+from repro.net.codec import ErrorFrame, ReplDigest, ReplPull, ReplPush
+from repro.obs.tracing import resolve_tracer
+from repro.replica.log import ReplicationLog, parse_digest
+from repro.replica.peer import pull_entries, push_entries
+
+
+def _parse_address(spec: str) -> Tuple[str, int]:
+    host, _, port = str(spec).rpartition(":")
+    if not host or not port.isdigit():
+        raise ConfigurationError(
+            f"replication peer must be HOST:PORT, got {spec!r}"
+        )
+    return host, int(port)
+
+
+def new_epoch() -> str:
+    """Per-process origin qualifier: a rebooted backend starts a new
+    origin, so its fresh sequence numbers can never collide with
+    entries peers already hold from its previous life."""
+    return os.urandom(4).hex()
+
+
+class Replicator:
+    """Ticket-state replication for one backend front end.
+
+    Constructed before the server (the server takes it as
+    ``replicator=``); :meth:`attach` is called by ``start()`` once the
+    listen address — the backend's fleet identity — is known.  Peers
+    may be empty (gateway-ferried fleets) and can be set later
+    (:meth:`set_peers`) once the rest of an in-process fleet is up.
+    """
+
+    def __init__(
+        self,
+        store: KeyStore,
+        *,
+        peers: Iterable[str] = (),
+        origin: Optional[str] = None,
+        anti_entropy_interval_s: float = 0.5,
+        push_timeout_s: float = 2.0,
+        ring_replicas: int = 64,
+        metrics=None,
+        events=None,
+        tracer=None,
+        wall_clock=time.time,
+    ):
+        if anti_entropy_interval_s <= 0:
+            raise ConfigurationError(
+                "anti_entropy_interval_s must be positive"
+            )
+        self.store = store
+        self.metrics = metrics
+        self.events = events
+        self.tracer = tracer
+        self.anti_entropy_interval_s = float(anti_entropy_interval_s)
+        self.push_timeout_s = float(push_timeout_s)
+        self.ring_replicas = int(ring_replicas)
+        self._wall_clock = wall_clock
+        self._explicit_origin = origin
+        self.origin: Optional[str] = origin
+        self.self_key: Optional[str] = None
+        self.log: Optional[ReplicationLog] = None
+        self._peers_lock = threading.Lock()
+        self._peers: List[str] = [str(p) for p in peers]
+        self._ring = None  # rebuilt lazily when membership changes
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._stop = threading.Event()
+        self._push_thread: Optional[threading.Thread] = None
+        self._ae_thread: Optional[threading.Thread] = None
+        self._ae_index = 0
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def attach(self, front_end) -> "Replicator":
+        """Bind to a started front end: identity, metrics, threads."""
+        host, port = front_end.address
+        if self.metrics is None:
+            self.metrics = front_end.metrics
+        if self.events is None:
+            self.events = front_end.events
+        return self.start(self_key=f"{host}:{port}")
+
+    def start(self, *, self_key: str) -> "Replicator":
+        """Start the engine under the given fleet identity."""
+        if self._started:
+            return self
+        self.self_key = str(self_key)
+        if self.origin is None:
+            self.origin = f"{self.self_key}/{new_epoch()}"
+        self.log = ReplicationLog(
+            self.origin,
+            self.store,
+            metrics=self.metrics,
+            wall_clock=self._wall_clock,
+        )
+        self.store.listener = self._on_store_event
+        self._stop.clear()
+        self._push_thread = threading.Thread(
+            target=self._push_forever,
+            name=f"wavekey-repl-push-{self.self_key}",
+            daemon=True,
+        )
+        self._push_thread.start()
+        self._ae_thread = threading.Thread(
+            target=self._anti_entropy_forever,
+            name=f"wavekey-repl-ae-{self.self_key}",
+            daemon=True,
+        )
+        self._ae_thread.start()
+        self._started = True
+        if self.events is not None:
+            self.events.emit(
+                "replica_started", origin=self.origin,
+                peers=len(self._peers),
+            )
+        return self
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self._started = False
+        self._stop.set()
+        self._outbox.put(None)  # wake the push worker
+        if self._push_thread is not None:
+            self._push_thread.join(timeout=5.0)
+        if self._ae_thread is not None:
+            self._ae_thread.join(timeout=5.0)
+        if self.store.listener == self._on_store_event:
+            self.store.listener = None
+
+    def set_peers(self, peers: Iterable[str]) -> None:
+        """Replace the peer list (addresses ``HOST:PORT``).
+
+        In-process fleets start all backends first, then tell each
+        about the others; the ring used for eager-push ownership is
+        rebuilt on next use.
+        """
+        with self._peers_lock:
+            self._peers = [str(p) for p in peers if str(p) != self.self_key]
+            self._ring = None
+
+    @property
+    def peers(self) -> List[str]:
+        with self._peers_lock:
+            return list(self._peers)
+
+    # -- store listener (request threads) ------------------------------
+
+    def _on_store_event(
+        self, op: str, ticket_id: str, ticket: Optional[Ticket]
+    ) -> None:
+        entry = self.log.record_local(op, ticket_id, ticket)
+        if not self._stop.is_set():
+            self._outbox.put(entry)
+
+    # -- eager push (worker thread) ------------------------------------
+
+    def _ring_owner(self, route_key: str) -> Optional[str]:
+        """The backend a gateway would route ``route_key`` to."""
+        with self._peers_lock:
+            if not self._peers:
+                return None
+            if self._ring is None:
+                from repro.cluster.ring import ShardRing
+
+                ring = ShardRing(replicas=self.ring_replicas)
+                for key in self._peers + [self.self_key]:
+                    ring.add(key)
+                self._ring = ring
+            return self._ring.lookup(route_key)
+
+    def _eager_targets(self, entry) -> List[str]:
+        if entry.op == "grant":
+            owner = self._ring_owner(f"ticket#{entry.ticket_id}")
+            if owner is None or owner == self.self_key:
+                return []
+            return [owner]
+        if entry.op == "revoke":
+            return self.peers
+        return []  # expiry is reproducible everywhere; no rush
+
+    def _push_forever(self) -> None:
+        while not self._stop.is_set():
+            try:
+                entry = self._outbox.get(timeout=0.2)
+            except queue.Empty:
+                continue
+            if entry is None:
+                continue
+            # Drain the burst so one connection carries a whole batch.
+            burst = [entry]
+            while True:
+                try:
+                    extra = self._outbox.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is not None:
+                    burst.append(extra)
+            by_target: Dict[str, list] = {}
+            for item in burst:
+                for target in self._eager_targets(item):
+                    by_target.setdefault(target, []).append(item)
+            for target, entries in by_target.items():
+                self._push_to(target, entries, kind="eager")
+
+    def _push_to(self, target: str, entries: list, *, kind: str) -> bool:
+        host, port = _parse_address(target)
+        try:
+            push_entries(
+                host,
+                port,
+                sender=self.origin,
+                entries=entries,
+                timeout_s=self.push_timeout_s,
+            )
+        except WaveKeyError:
+            self._count(
+                "replica.push.sent", kind=kind, result="error"
+            )
+            return False
+        except OSError:
+            self._count(
+                "replica.push.sent", kind=kind, result="error"
+            )
+            return False
+        self._count("replica.push.sent", kind=kind, result="ok")
+        return True
+
+    # -- anti-entropy (scheduler thread) -------------------------------
+
+    def _anti_entropy_forever(self) -> None:
+        while not self._stop.wait(self.anti_entropy_interval_s):
+            peer = self._next_peer()
+            if peer is None:
+                continue
+            tracer = resolve_tracer(self.tracer)
+            with tracer.span(
+                "replica.anti_entropy", peer=peer, origin=self.origin
+            ):
+                ok = self.sync_with(peer)
+            self._count(
+                "replica.anti_entropy.rounds",
+                result="ok" if ok else "error",
+            )
+
+    def _next_peer(self) -> Optional[str]:
+        with self._peers_lock:
+            if not self._peers:
+                return None
+            peer = self._peers[self._ae_index % len(self._peers)]
+            self._ae_index += 1
+            return peer
+
+    def sync_with(self, peer: str) -> bool:
+        """One bidirectional anti-entropy round with ``peer``.
+
+        Pull the suffixes we lack (their digest rides the reply), then
+        push the suffixes the peer lacks.  Returns ``False`` on any
+        transport/protocol failure — the next round retries.
+        """
+        host, port = _parse_address(peer)
+        try:
+            docs, remote_digest = pull_entries(
+                host,
+                port,
+                sender=self.origin,
+                digest=self.log.digest(),
+                timeout_s=self.push_timeout_s,
+            )
+            if docs:
+                self.log.ingest_documents(docs)
+            to_send = self.log.missing_for(remote_digest)
+            if to_send:
+                push_entries(
+                    host,
+                    port,
+                    sender=self.origin,
+                    entries=to_send,
+                    timeout_s=self.push_timeout_s,
+                )
+        except (WaveKeyError, OSError):
+            self._count("replica.peer.errors", peer=peer)
+            return False
+        return True
+
+    # -- incoming frames (front-end dispatch) --------------------------
+
+    def handle(self, message):
+        """Answer one ``REPL_*`` first-frame; returns the reply.
+
+        Non-blocking (in-memory log + O(1) store ops) so the
+        event-loop front end may call it on the loop thread.
+        """
+        try:
+            document = json.loads(message.payload_json)
+            if not isinstance(document, dict):
+                raise ReplicationError("payload is not a JSON object")
+            if isinstance(message, ReplDigest):
+                return self._digest_reply()
+            if isinstance(message, ReplPull):
+                digest = parse_digest(document.get("digest") or {})
+                missing = self.log.missing_for(digest)
+                self._count("replica.pull.served")
+                return ReplPush(
+                    sender=self.origin,
+                    payload_json=json.dumps({
+                        "entries": [e.to_doc() for e in missing],
+                        "digest": self.log.digest(),
+                    }),
+                )
+            if isinstance(message, ReplPush):
+                entries = document.get("entries")
+                if not isinstance(entries, list):
+                    raise ReplicationError("push carries no entry list")
+                outcomes = self.log.ingest_documents(entries)
+                self._count("replica.push.received")
+                if self.events is not None and outcomes["new"]:
+                    self.events.emit(
+                        "replica_ingested", sender=message.sender,
+                        new=outcomes["new"],
+                    )
+                return self._digest_reply()
+        except (ReplicationError, ValueError) as exc:
+            self._count("replica.requests", outcome="invalid")
+            return ErrorFrame("replication_invalid", str(exc))
+        return ErrorFrame(
+            "replication_invalid",
+            f"unexpected replication frame {type(message).__name__}",
+        )
+
+    def _digest_reply(self) -> ReplDigest:
+        return ReplDigest(
+            sender=self.origin,
+            payload_json=json.dumps(self.status()),
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-ready engine status (also the REPL_DIGEST payload)."""
+        return {
+            "origin": self.origin,
+            "digest": self.log.digest() if self.log is not None else {},
+            "entries": self.log.entries_held() if self.log else 0,
+            "peers": self.peers,
+        }
+
+    def _count(self, name: str, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, labels=labels or None).inc()

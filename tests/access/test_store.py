@@ -131,6 +131,90 @@ class TestRevocation:
         assert store.stats()["revoked"] == MAX_TOMBSTONES
 
 
+class TestTombstonePruning:
+    """Revoke-heavy load must not grow the tombstone set forever:
+    tombstones older than the largest lifetime ever issued guard only
+    expired tickets and are pruned by age (the rejection degrades from
+    ``revoked`` to the equally-fatal ``unknown``)."""
+
+    def test_aged_tombstones_pruned_under_revoke_heavy_load(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        store = make_store(ttl_s=10.0, clock=clock, metrics=metrics)
+        for i in range(500):
+            store.revoke(f"{i:032x}")
+            clock.advance(0.01)
+        assert store.stats()["revoked"] == 500
+        # once the max lifetime has elapsed, no ticket those
+        # tombstones could shadow can still be live
+        clock.advance(15.0)
+        store.revoke("ff" * 16)
+        assert store.stats()["revoked"] == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["access.store.tombstones_pruned"] == 500
+
+    def test_explicit_tombstone_ttl(self):
+        clock = FakeClock()
+        store = make_store(
+            ttl_s=1000.0, clock=clock, tombstone_ttl_s=5.0
+        )
+        ticket = store.issue(SECRET, peer="m")
+        store.revoke(ticket.ticket_id)
+        clock.advance(4.0)
+        with pytest.raises(TicketRevoked):
+            store.resume(ticket.ticket_id)
+        clock.advance(2.0)
+        store.revoke("aa" * 16)  # any revoke triggers the age sweep
+        with pytest.raises(TicketUnknown):
+            store.resume(ticket.ticket_id)
+        assert store.stats()["revoked"] == 1
+        with pytest.raises(AccessError):
+            KeyStore(tombstone_ttl_s=0)
+
+    def test_retention_tracks_longest_issued_lifetime(self):
+        clock = FakeClock()
+        store = make_store(ttl_s=10.0, clock=clock)
+        store.issue(SECRET, peer="m", ttl_s=100.0)  # stretch retention
+        store.revoke("bb" * 16)
+        clock.advance(50.0)  # past ttl_s, inside the longest lifetime
+        store.revoke("cc" * 16)
+        assert store.stats()["revoked"] == 2, "pruned too eagerly"
+        clock.advance(101.0)
+        store.revoke("dd" * 16)
+        assert store.stats()["revoked"] == 1
+
+    def test_snapshot_compaction_drops_aged_tombstones(self, tmp_path):
+        from repro.access.journal import TicketJournal
+
+        clock = FakeClock()
+        path = str(tmp_path / "tickets.journal")
+        store = KeyStore(
+            ttl_s=10.0,
+            clock=clock,
+            journal=TicketJournal(path, compact_after=64),
+        )
+        store.recover()
+        for i in range(60):
+            store.revoke(f"{i:032x}")
+        clock.advance(20.0)
+        # enough appends to cross compact_after: the snapshot written
+        # by compaction must carry only unexpired tombstones
+        for i in range(60, 70):
+            store.revoke(f"{i:032x}")
+        store.close()
+
+        recovered = KeyStore(
+            ttl_s=10.0,
+            clock=clock,
+            journal=TicketJournal(path, compact_after=64),
+        )
+        recovered.recover()
+        assert recovered.stats()["revoked"] <= 10
+        recovered.close()
+
+
 class TestLRU:
     def test_cap_evicts_least_recently_resumed(self):
         store = make_store(max_tickets=2)

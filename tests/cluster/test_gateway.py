@@ -114,6 +114,49 @@ class TestAccessRouting:
         finally:
             fleet.close()
 
+    def test_resume_miss_counts_as_fallback(self, tiny_bundle):
+        """A resume the routed backend cannot honour must surface as
+        ``cluster.route.resume_fallback`` plus its event — the signal
+        operators watch to size replication intervals."""
+        from repro.net import ClientTicket
+
+        fleet = Fleet(tiny_bundle, 1)
+        backend = fleet.addresses[0]
+        try:
+            with WaveKeyGateway(
+                fleet.addresses, health_checks=False, connect_timeout_s=2.0
+            ) as gateway:
+                host, port = gateway.address
+                client = WaveKeyNetClient(
+                    host, port, NetClientConfig(max_retries=1)
+                )
+                bogus = ClientTicket(
+                    ticket_id="00" * 16,
+                    resume_secret=b"\x07" * 32,
+                    expires_at=0.0,
+                    lifetime_s=60.0,
+                )
+                with pytest.raises(TicketUnknown):
+                    client.open_channel(bogus)
+                counters = gateway.metrics.snapshot()["counters"]
+                assert counters[
+                    f'cluster.route.resume_fallback{{backend="{backend}"}}'
+                ] == 1
+                events = gateway.events.query(
+                    kind="cluster_resume_fallback"
+                )
+                assert events and events[-1].fields["backend"] == backend
+                # a revoke miss is the same wire error but NOT a
+                # resume fallback — only resumes gate re-establishment
+                with pytest.raises(TicketUnknown):
+                    client.revoke(bogus)
+                counters = gateway.metrics.snapshot()["counters"]
+                assert counters[
+                    f'cluster.route.resume_fallback{{backend="{backend}"}}'
+                ] == 1
+        finally:
+            fleet.close()
+
     def test_resume_routing_is_ring_faithful(self, fleet):
         """Across a 3-backend fleet, a resume lands exactly where the
         ring sends ``ticket#<id>``: the issuer answers it, any other
@@ -135,11 +178,16 @@ class TestAccessRouting:
                 with client.open_channel(ticket) as channel:
                     assert channel.request("ping")["pong"] is True
             else:
-                # No ticket replication yet (ROADMAP): a non-issuer
+                # This fleet does not replicate ticket state (see
+                # tests/replica for fleets that do): a non-issuer
                 # backend answers with the typed unknown error, the
                 # client's cue to fall back to full establishment.
                 with pytest.raises(TicketUnknown):
                     client.open_channel(ticket)
+                fallback_counters = gateway.metrics.snapshot()["counters"]
+                assert fallback_counters[
+                    f'cluster.route.resume_fallback{{backend="{target}"}}'
+                ] == 1
                 fallback = client.establish(rng_seed=seed)
                 assert fallback.success
 

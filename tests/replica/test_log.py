@@ -1,0 +1,307 @@
+"""ReplicationLog unit tests.
+
+Content-addressed entries, ingest outcomes (new / duplicate / conflict
+/ invalid), per-origin high-water digests, and precedence-safe
+application against a :class:`KeyStore` — including the delivery-order
+edge cases the wire cannot rule out: out-of-order pushes, duplicate
+redelivery, and a revocation arriving before its grant."""
+
+import pytest
+
+from repro.access.store import KeyStore
+from repro.errors import (
+    ReplicationError,
+    TicketExpired,
+    TicketRevoked,
+    TicketUnknown,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.replica import (
+    ReplEntry,
+    ReplicationLog,
+    compute_entry_id,
+    parse_digest,
+)
+
+SECRET = b"\x22" * 32
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_entry(origin, seq, op, ticket_id, payload=None):
+    payload = dict(payload or {})
+    return ReplEntry(
+        origin=origin,
+        seq=seq,
+        op=op,
+        ticket_id=ticket_id,
+        payload=payload,
+        entry_id=compute_entry_id(origin, seq, op, ticket_id, payload),
+    )
+
+
+def grant_payload(expires_unix, *, secret=SECRET, lifetime=60.0):
+    return {
+        "resume_secret": secret.hex(),
+        "peer": "mobile",
+        "lifetime_s": lifetime,
+        "expires_unix": expires_unix,
+        "metadata": {},
+    }
+
+
+def make_node(*, store_now=1000.0, wall_now=5000.0, origin="b"):
+    """A store on its own (monotonic-style) clock plus a log whose
+    wall clock is deliberately offset from it — the rebasing tests
+    only pass if the two are never conflated."""
+    store_clock = FakeClock(store_now)
+    wall_clock = FakeClock(wall_now)
+    store = KeyStore(ttl_s=600.0, clock=store_clock)
+    log = ReplicationLog(origin, store, wall_clock=wall_clock)
+    return store, log, store_clock, wall_clock
+
+
+class TestEntryIdentity:
+    def test_doc_roundtrip(self):
+        entry = make_entry("a/1", 1, "grant", "t1", grant_payload(9.0))
+        assert ReplEntry.from_doc(entry.to_doc()) == entry
+
+    def test_tampered_payload_rejected(self):
+        entry = make_entry("a/1", 1, "grant", "t1", grant_payload(9.0))
+        doc = entry.to_doc()
+        doc["payload"]["expires_unix"] = 1e12  # stretch the lifetime
+        with pytest.raises(ReplicationError, match="id mismatch"):
+            ReplEntry.from_doc(doc)
+
+    def test_tampered_ticket_id_rejected(self):
+        doc = make_entry("a/1", 1, "revoke", "t1").to_doc()
+        doc["ticket_id"] = "t2"
+        with pytest.raises(ReplicationError, match="id mismatch"):
+            ReplEntry.from_doc(doc)
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.pop("origin"),
+            lambda d: d.update(op="grante"),
+            lambda d: d.update(seq=0),
+            lambda d: d.update(payload=None),
+        ],
+    )
+    def test_malformed_documents_rejected(self, mutate):
+        doc = make_entry("a/1", 1, "expire", "t1").to_doc()
+        mutate(doc)
+        with pytest.raises(ReplicationError):
+            ReplEntry.from_doc(doc)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplEntry.from_doc(["not", "a", "doc"])
+
+
+class TestIngest:
+    def test_out_of_order_arrival_is_stored_and_applied(self):
+        store, log, _, wall = make_node()
+        entries = [
+            make_entry("a/1", seq, "grant", f"t{seq}",
+                       grant_payload(wall.now + 60.0))
+            for seq in (1, 2, 3)
+        ]
+        # seq 3 lands first: held sparsely, applied immediately, but
+        # the digest must not advance over the gap.
+        assert log.ingest(entries[2]) == "new"
+        assert store.peek("t3") is not None
+        assert log.digest() == {}
+        assert log.ingest(entries[0]) == "new"
+        assert log.digest() == {"a/1": 1}
+        assert log.ingest(entries[1]) == "new"
+        assert log.digest() == {"a/1": 3}
+        for seq in (1, 2, 3):
+            assert store.resume(f"t{seq}").resumed == 1
+
+    def test_duplicate_redelivery_is_suppressed(self):
+        store, log, _, wall = make_node()
+        entry = make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        )
+        assert log.ingest(entry) == "new"
+        assert log.ingest(entry) == "duplicate"
+        assert log.entries_held() == 1
+        # the duplicate was not re-applied: resumed count untouched
+        assert store.resume("t1").resumed == 1
+
+    def test_conflicting_entry_first_write_wins(self):
+        _, log, _, wall = make_node()
+        first = make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        )
+        imposter = make_entry("a/1", 1, "revoke", "t1")
+        assert log.ingest(first) == "new"
+        assert log.ingest(imposter) == "conflict"
+        assert log.missing_for({}) == [first]
+
+    def test_own_origin_echo_bumps_next_seq(self):
+        store, log, _, _ = make_node(origin="b/9")
+        echoed = make_entry("b/9", 5, "revoke", "t-old")
+        assert log.ingest(echoed) == "new"
+        ticket = store.issue(SECRET, peer="m")
+        entry = log.record_local("grant", ticket.ticket_id, ticket)
+        # without the bump the local append would reuse seq <= 5
+        assert entry.seq == 6
+        assert log.digest() == {}  # 1..4 missing, nothing contiguous
+
+    def test_invalid_document_does_not_poison_the_batch(self):
+        store, log, _, wall = make_node()
+        good = make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        )
+        bad = good.to_doc()
+        bad["seq"] = 2  # id no longer matches
+        outcomes = log.ingest_documents([bad, good.to_doc()])
+        assert outcomes == {
+            "new": 1, "duplicate": 0, "conflict": 0, "invalid": 1,
+        }
+        assert store.peek("t1") is not None
+
+
+class TestApplication:
+    def test_grant_rebases_onto_the_local_store_clock(self):
+        store, log, store_clock, wall = make_node(
+            store_now=1000.0, wall_now=5000.0
+        )
+        log.ingest(make_entry(
+            "a/1", 1, "grant", "t1",
+            grant_payload(wall.now + 40.0, lifetime=60.0),
+        ))
+        adopted = store.peek("t1")
+        assert adopted is not None
+        # remaining wall-clock life (40 s), measured from *our* clock
+        assert adopted.expires_at == pytest.approx(1040.0)
+        store_clock.advance(39.0)
+        assert store.resume("t1").resume_secret == SECRET
+        store_clock.advance(2.0)
+        with pytest.raises(TicketExpired):
+            store.resume("t1")
+
+    def test_stale_grant_is_skipped(self):
+        store, log, _, wall = make_node()
+        metrics = MetricsRegistry()
+        log._metrics = metrics
+        log.ingest(make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now - 1.0)
+        ))
+        assert store.peek("t1") is None
+        counters = metrics.snapshot()["counters"]
+        assert counters[
+            'replica.apply{op="grant",outcome="stale"}'
+        ] == 1
+
+    def test_revoke_before_grant_still_wins(self):
+        store, log, _, wall = make_node()
+        # the origin granted (seq 1) then revoked (seq 2), but the
+        # entries arrive inverted — precedence must hold regardless
+        log.ingest(make_entry("a/1", 2, "revoke", "t1"))
+        log.ingest(make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        ))
+        assert store.peek("t1") is None
+        with pytest.raises(TicketRevoked):
+            store.resume("t1")
+
+    def test_expire_discards_without_tombstone(self):
+        store, log, _, wall = make_node()
+        log.ingest(make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        ))
+        log.ingest(make_entry("a/1", 2, "expire", "t1"))
+        assert store.peek("t1") is None
+        with pytest.raises(TicketUnknown):  # not revoked: no tombstone
+            store.resume("t1")
+
+    def test_relay_log_never_applies(self):
+        _, _, _, wall = make_node()
+        relay = ReplicationLog("gateway/g")  # no store attached
+        entry = make_entry(
+            "a/1", 1, "grant", "t1", grant_payload(wall.now + 60.0)
+        )
+        assert relay.ingest(entry) == "new"
+        assert relay.entries_held() == 1
+
+
+class TestDigestExchange:
+    def test_missing_for_sends_only_the_suffix(self):
+        _, log, _, wall = make_node()
+        entries = [
+            make_entry("a/1", seq, "grant", f"t{seq}",
+                       grant_payload(wall.now + 60.0))
+            for seq in (1, 2, 3)
+        ]
+        for entry in entries:
+            log.ingest(entry)
+        assert log.missing_for({"a/1": 3}) == []
+        assert log.missing_for({"a/1": 1}) == entries[1:]
+        assert log.missing_for({}) == entries
+
+    def test_record_local_feeds_missing_for(self):
+        store_clock = FakeClock(1000.0)
+        store = KeyStore(ttl_s=600.0, clock=store_clock)
+        log = ReplicationLog(
+            "a/1", store, wall_clock=FakeClock(5000.0)
+        )
+        ticket = store.issue(SECRET, peer="mobile")
+        entry = log.record_local("grant", ticket.ticket_id, ticket)
+        assert entry.payload["resume_secret"] == SECRET.hex()
+        assert entry.payload["expires_unix"] == pytest.approx(5600.0)
+        assert log.digest() == {"a/1": 1}
+        assert log.missing_for({}) == [entry]
+
+    def test_two_logs_converge_by_digest_delta(self):
+        a_store, a_log, _, _ = make_node(origin="a/1")
+        b_store, b_log, _, _ = make_node(origin="b/1")
+        a_log.store = a_store
+        ticket = a_store.issue(SECRET, peer="m")
+        a_log.record_local("grant", ticket.ticket_id, ticket)
+        a_store.revoke(ticket.ticket_id)
+        a_log.record_local("revoke", ticket.ticket_id, None)
+
+        delta = a_log.missing_for(b_log.digest())
+        b_log.ingest_documents([e.to_doc() for e in delta])
+        assert b_log.digest() == a_log.digest()
+        with pytest.raises(TicketRevoked):
+            b_store.resume(ticket.ticket_id)
+        # a second exchange has nothing left to ship
+        assert a_log.missing_for(b_log.digest()) == []
+
+    def test_parse_digest_validation(self):
+        assert parse_digest({"a": 3, "b": "7"}) == {"a": 3, "b": 7}
+        with pytest.raises(ReplicationError):
+            parse_digest(["a"])
+        with pytest.raises(ReplicationError):
+            parse_digest({"a": -1})
+        with pytest.raises(ReplicationError):
+            parse_digest({"a": "many"})
+
+
+class TestRecordLocalValidation:
+    def test_grant_requires_its_ticket(self):
+        _, log, _, _ = make_node()
+        with pytest.raises(ReplicationError):
+            log.record_local("grant", "t1", None)
+
+    def test_unknown_op_rejected(self):
+        _, log, _, _ = make_node()
+        with pytest.raises(ReplicationError):
+            log.record_local("merge", "t1", None)
+
+    def test_empty_origin_rejected(self):
+        with pytest.raises(ReplicationError):
+            ReplicationLog("")

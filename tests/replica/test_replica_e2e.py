@@ -1,0 +1,131 @@
+"""Replication end-to-end over real sockets.
+
+A three-backend mesh (no gateway — the direct anti-entropy path): a
+ticket granted on one backend must resume on every other, a revocation
+issued anywhere must be rejected everywhere, and a rebooted backend
+must catch up from its peers.  Timing here only uses generous
+timeouts; the "within 2 rounds" latency claim is measured by
+``benchmarks/test_replica_convergence.py``."""
+
+import time
+
+import pytest
+
+from repro.errors import TicketRevoked, TicketUnknown
+from repro.net import ClientTicket, NetClientConfig, WaveKeyNetClient
+from repro.replica import fetch_replica_status
+
+CLIENT_CFG = NetClientConfig(
+    read_timeout_s=5.0, max_retries=1, backoff_initial_s=0.01
+)
+
+
+def wait_for(predicate, timeout_s=8.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def client_for(address, **kwargs):
+    host, _, port = address.rpartition(":")
+    return WaveKeyNetClient(host, int(port), CLIENT_CFG, **kwargs)
+
+
+def establish_on(fleet, index, rng_seed=11):
+    client = client_for(fleet.addresses[index])
+    result = client.establish(rng_seed=rng_seed)
+    assert result.success, result.failure_reason
+    assert result.ticket is not None, "no TicketGrant arrived"
+    return client, result.ticket
+
+
+def grant_everywhere(fleet, ticket, timeout_s=8.0):
+    assert wait_for(
+        lambda: all(
+            fleet.store(i).peek(ticket.ticket_id) is not None
+            for i in range(len(fleet.backends))
+            if fleet.backends[i] is not None
+        ),
+        timeout_s=timeout_s,
+    ), "anti-entropy did not spread the grant to every backend"
+
+
+def test_any_backend_honours_the_resume(replicated_fleet):
+    _, ticket = establish_on(replicated_fleet, 0)
+    grant_everywhere(replicated_fleet, ticket)
+    # resume against each NON-issuer backend over a fresh connection:
+    # the replicated secret must derive working channel keys
+    for index in (1, 2):
+        other = client_for(replicated_fleet.addresses[index])
+        with other.open_channel(ticket) as channel:
+            assert channel.request("ping")["pong"] is True
+
+
+def test_revocation_issued_anywhere_rejects_everywhere(replicated_fleet):
+    issuer_client, ticket = establish_on(replicated_fleet, 0)
+    grant_everywhere(replicated_fleet, ticket)
+    # revoke on a backend that merely *adopted* the grant
+    assert client_for(replicated_fleet.addresses[2]).revoke(ticket)
+
+    def revoked_on(index):
+        try:
+            replicated_fleet.store(index).resume(ticket.ticket_id)
+        except TicketRevoked:
+            return True
+        except Exception:
+            return False
+        return False
+
+    for index in (0, 1):
+        assert wait_for(lambda i=index: revoked_on(i)), (
+            f"backend[{index}] still honours the revoked ticket"
+        )
+    with pytest.raises(TicketRevoked):
+        issuer_client.open_channel(ticket)
+
+
+def test_rebooted_backend_catches_up(replicated_fleet):
+    _, ticket = establish_on(replicated_fleet, 0)
+    grant_everywhere(replicated_fleet, ticket)
+    address = replicated_fleet.kill(2)
+    replicated_fleet.rewire()
+    replicated_fleet.revive(2, address)
+    # the revived process starts an empty store under a fresh origin;
+    # one digest pull must hand it the whole suffix
+    assert wait_for(
+        lambda: replicated_fleet.store(2).peek(ticket.ticket_id)
+        is not None,
+        timeout_s=10.0,
+    ), "rejoined backend never caught up"
+    with client_for(replicated_fleet.addresses[2]).open_channel(
+        ticket
+    ) as channel:
+        assert channel.request("ping")["pong"] is True
+
+
+def test_resume_miss_is_counted(replicated_fleet):
+    bogus = ClientTicket(
+        ticket_id="00" * 16,
+        resume_secret=b"\x07" * 32,
+        expires_at=0.0,
+        lifetime_s=60.0,
+    )
+    client = client_for(replicated_fleet.addresses[0])
+    with pytest.raises(TicketUnknown):
+        client.open_channel(bogus)
+    access = replicated_fleet.backends[0][0]
+    counters = access.metrics.snapshot()["counters"]
+    assert counters["replica.resume.miss"] == 1
+
+
+def test_status_probe_over_the_wire(replicated_fleet):
+    store = replicated_fleet.store(0)
+    store.issue(b"\x44" * 32, peer="m")
+    host, _, port = replicated_fleet.addresses[0].rpartition(":")
+    document = fetch_replica_status(host, int(port))
+    assert document["origin"].startswith(replicated_fleet.addresses[0])
+    assert document["entries"] >= 1
+    assert set(document["peers"]) == set(replicated_fleet.addresses[1:])
