@@ -136,6 +136,13 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-attempts", type=int, default=3)
         p.add_argument("--session-deadline", type=float, default=30.0,
                        help="wall-clock budget per session in seconds")
+        p.add_argument("--ot-pool-depth", type=int, default=256,
+                       help="warm OT material pool depth per kind "
+                            "(0 disables the pool)")
+        p.add_argument("--ot-pool-refill", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="idle poll interval of the OT pool's "
+                            "background refill worker")
         p.add_argument("--seed", type=int, default=7)
 
     serve = sub.add_parser(
@@ -523,6 +530,8 @@ def _service_config(args):
         max_batch_wait_s=args.batch_wait_ms / 1000.0,
         max_attempts=args.max_attempts,
         session_deadline_s=args.session_deadline,
+        ot_pool_depth=args.ot_pool_depth,
+        ot_pool_refill_s=args.ot_pool_refill,
     )
 
 
@@ -535,6 +544,9 @@ def _print_service_header(config, bundle, out) -> None:
     print(f"  max attempts     : {config.max_attempts}", file=out)
     print(f"  session deadline : {config.session_deadline_s:.1f} s",
           file=out)
+    pool = (f"depth {config.ot_pool_depth}"
+            if config.ot_pool_depth > 0 else "disabled")
+    print(f"  OT pool          : {pool}", file=out)
     print(f"  bundle eta       : {bundle.eta:.4f}", file=out)
 
 

@@ -8,6 +8,10 @@ implemented from scratch on the Python standard library + numpy:
 * :mod:`repro.crypto.ot` — the computationally efficient 1-out-of-2
   Oblivious Transfer of Chou & Orlandi (paper Fig. 3), with the batched
   variant the protocol uses to combine all instances into three messages.
+* :mod:`repro.crypto.pool` — warm OT material: single-use sender/receiver
+  exponent tuples precomputed off the hot path by a watermark-driven
+  background refill worker, so the request path only pays the per-peer
+  variable-base exponentiations.
 * :mod:`repro.crypto.gf2` / :mod:`repro.crypto.bch` — GF(2^m) arithmetic
   and binary BCH codes (Berlekamp-Massey + Chien search).
 * :mod:`repro.crypto.ecc` — the code-offset secure sketch built on BCH
@@ -18,6 +22,7 @@ implemented from scratch on the Python standard library + numpy:
 
 from repro.crypto.numbers import (
     DHGroup,
+    FixedBaseComb,
     RFC3526_GROUP_1536,
     RFC3526_GROUP_2048,
     WAVEKEY_GROUP_512,
@@ -25,10 +30,17 @@ from repro.crypto.numbers import (
     is_probable_prime,
 )
 from repro.crypto.hashes import hash_group_element, hkdf_stream, hmac_digest
+from repro.crypto.pool import (
+    OTMaterialPool,
+    ReceiverMaterial,
+    SenderMaterial,
+)
 from repro.crypto.symmetric import xor_cipher
 from repro.crypto.ot import (
     OTReceiver,
     OTSender,
+    batch_announce,
+    batch_respond,
     run_batch_ot,
 )
 from repro.crypto.gf2 import GF2m
@@ -39,6 +51,7 @@ from repro.crypto.segment_sketch import SegmentSecureSketch
 
 __all__ = [
     "DHGroup",
+    "FixedBaseComb",
     "RFC3526_GROUP_1536",
     "RFC3526_GROUP_2048",
     "WAVEKEY_GROUP_512",
@@ -50,6 +63,11 @@ __all__ = [
     "xor_cipher",
     "OTSender",
     "OTReceiver",
+    "OTMaterialPool",
+    "SenderMaterial",
+    "ReceiverMaterial",
+    "batch_announce",
+    "batch_respond",
     "run_batch_ot",
     "GF2m",
     "BCHCode",

@@ -18,7 +18,7 @@ information bits are zero; those positions are simply never transmitted.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 import numpy as np
 
@@ -70,7 +70,7 @@ class BCHCode:
     coefficients) and parity last, matching systematic encoding.
     """
 
-    def __init__(self, m: int, t: int, length: int = None):
+    def __init__(self, m: int, t: int, length: Optional[int] = None):
         if t < 1:
             raise ConfigurationError(f"t must be >= 1, got {t}")
         self.field = GF2m(m)

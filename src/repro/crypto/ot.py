@@ -14,15 +14,33 @@ the paper presents:
 The batched helpers run ``l_s`` independent instances and concatenate
 their wire messages, which is how the protocol compresses all instances
 into the three messages ``M_A``, ``M_B``, ``M_E`` of Fig. 4.
+
+Fast path (two layers, both falling back to the naive arithmetic):
+
+* the fixed-base exponentiations ``g^a`` / ``g^b`` run through the
+  per-group :class:`~repro.crypto.numbers.FixedBaseComb` tables, and
+  the sender's second key collapses to one multiplication via the
+  precomputed factor ``M_a^{-a}`` (``(M_b / M_a)^a = M_b^a *
+  M_a^{-a}``);
+* both tuples can be drawn ready-made from an
+  :class:`~repro.crypto.pool.OTMaterialPool` (the ``material=``
+  arguments and the pool-aware batch helpers), leaving only the
+  per-peer variable-base exponentiations on the request path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.crypto.hashes import hash_group_element
 from repro.crypto.numbers import DHGroup
+from repro.crypto.pool import (
+    OTMaterialPool,
+    ReceiverMaterial,
+    SenderMaterial,
+    sender_k1_factor,
+)
 from repro.crypto.symmetric import xor_cipher
 from repro.errors import CryptoError, ProtocolError
 from repro.utils.rng import ensure_rng
@@ -42,13 +60,35 @@ class OTSender:
     def __init__(self, group: DHGroup, rng=None):
         self.group = group
         self._rng = ensure_rng(rng)
-        self._a: int = None
-        self._m_a: int = None
+        self._a: Optional[int] = None
+        self._m_a: Optional[int] = None
+        self._k1_factor: Optional[int] = None
 
-    def announce(self) -> int:
-        """Phase 1: draw ``a`` and return ``M_a = g^a``."""
-        self._a = self.group.random_exponent(self._rng)
-        self._m_a = self.group.power(self._a)
+    def announce(
+        self, material: Optional[SenderMaterial] = None
+    ) -> int:
+        """Phase 1: draw ``a`` and return ``M_a = g^a``.
+
+        With pooled ``material`` the tuple was precomputed off the hot
+        path; claiming it enforces single use.
+        """
+        if material is not None:
+            material.claim(self.group)
+            self._a = material.a
+            self._m_a = material.m_a
+            self._k1_factor = material.k1_factor
+        else:
+            self._a = self.group.random_exponent(self._rng)
+            self._m_a = self.group.power(self._a)
+            # One extra comb exponentiation here converts encrypt()'s
+            # second key from (inverse + pow) into one multiplication.
+            # Without the comb the trade is a wash, so the naive clone
+            # keeps the reference division-based arithmetic.
+            self._k1_factor = (
+                sender_k1_factor(self.group, self._a)
+                if self.group.comb_enabled
+                else None
+            )
         return self._m_a
 
     def encrypt(
@@ -61,10 +101,18 @@ class OTSender:
             raise ProtocolError("receiver message outside the group")
         if len(secret0) != len(secret1):
             raise CryptoError("OT secrets must have equal length")
-        k0 = hash_group_element(pow(m_b, self._a, self.group.prime))
-        k1 = hash_group_element(
-            pow(self.group.div(m_b, self._m_a), self._a, self.group.prime)
-        )
+        prime = self.group.prime
+        k0_element = pow(m_b, self._a, prime)
+        if self._k1_factor is not None:
+            # (M_b / M_a)^a == M_b^a * M_a^{-a}, with M_a^{-a}
+            # precomputed at announce/pool time.
+            k1_element = k0_element * self._k1_factor % prime
+        else:
+            k1_element = pow(
+                self.group.div(m_b, self._m_a), self._a, prime
+            )
+        k0 = hash_group_element(k0_element)
+        k1 = hash_group_element(k1_element)
         return OTCiphertexts(
             e0=xor_cipher(secret0, k0, b"ot0"),
             e1=xor_cipher(secret1, k1, b"ot1"),
@@ -77,20 +125,30 @@ class OTReceiver:
     def __init__(self, group: DHGroup, rng=None):
         self.group = group
         self._rng = ensure_rng(rng)
-        self._b: int = None
-        self._choice: int = None
-        self._m_a: int = None
+        self._b: Optional[int] = None
+        self._choice: Optional[int] = None
+        self._m_a: Optional[int] = None
 
-    def respond(self, m_a: int, choice: int) -> int:
+    def respond(
+        self,
+        m_a: int,
+        choice: int,
+        material: Optional[ReceiverMaterial] = None,
+    ) -> int:
         """Phase 2: answer ``M_a`` with ``M_b`` crafted for ``choice``."""
         if choice not in (0, 1):
             raise ProtocolError(f"OT choice must be 0 or 1, got {choice}")
         if not self.group.contains(m_a):
             raise ProtocolError("sender message outside the group")
-        self._b = self.group.random_exponent(self._rng)
+        if material is not None:
+            material.claim(self.group)
+            self._b = material.b
+            m_b = material.g_b
+        else:
+            self._b = self.group.random_exponent(self._rng)
+            m_b = self.group.power(self._b)
         self._choice = choice
         self._m_a = m_a
-        m_b = self.group.power(self._b)
         if choice == 1:
             m_b = self.group.mul(m_a, m_b)
         return m_b
@@ -107,29 +165,88 @@ class OTReceiver:
         return xor_cipher(cipher, key, context)
 
 
+# -- pool-aware batched helpers ------------------------------------------------
+
+
+def batch_announce(
+    senders: Sequence[OTSender],
+    pool: Optional[OTMaterialPool] = None,
+) -> List[int]:
+    """Announce all ``senders``, drawing warm tuples from ``pool``.
+
+    The pool hands back at most what it holds; the remainder is
+    computed inline (each shortfall already counted as a pool miss),
+    so exhaustion degrades gracefully instead of erroring.
+    """
+    if not senders:
+        return []
+    materials: Sequence[Optional[SenderMaterial]] = ()
+    if pool is not None:
+        materials = pool.take_senders(senders[0].group, len(senders))
+    return [
+        sender.announce(materials[i] if i < len(materials) else None)
+        for i, sender in enumerate(senders)
+    ]
+
+
+def batch_respond(
+    receivers: Sequence[OTReceiver],
+    elements: Sequence[int],
+    choices: Sequence[int],
+    pool: Optional[OTMaterialPool] = None,
+) -> List[int]:
+    """Respond to a batch of announces, drawing warm tuples from ``pool``."""
+    if len(receivers) != len(elements) or len(receivers) != len(choices):
+        raise ProtocolError(
+            "batch_respond requires one announce element and one choice "
+            "per receiver"
+        )
+    if not receivers:
+        return []
+    materials: Sequence[Optional[ReceiverMaterial]] = ()
+    if pool is not None:
+        materials = pool.take_receivers(receivers[0].group, len(receivers))
+    return [
+        receiver.respond(
+            element,
+            int(choice),
+            materials[i] if i < len(materials) else None,
+        )
+        for i, (receiver, element, choice) in enumerate(
+            zip(receivers, elements, choices)
+        )
+    ]
+
+
 def run_batch_ot(
     group: DHGroup,
     secret_pairs: Sequence[Tuple[bytes, bytes]],
     choices: Sequence[int],
     sender_rng=None,
     receiver_rng=None,
+    pool: Optional[OTMaterialPool] = None,
 ) -> List[bytes]:
     """Run ``len(secret_pairs)`` OT instances end to end (test helper).
 
     The production protocol in :mod:`repro.protocol.agreement` drives the
     same :class:`OTSender`/:class:`OTReceiver` objects through explicit
     wire messages; this helper exists for direct unit testing of the
-    primitive and for documentation.
+    primitive and for documentation.  A ``pool`` exercises the same warm
+    material fast path the protocol uses.
     """
     if len(secret_pairs) != len(choices):
         raise ProtocolError("one choice bit per secret pair is required")
     sender_rng = ensure_rng(sender_rng)
     receiver_rng = ensure_rng(receiver_rng)
+    senders = [OTSender(group, sender_rng) for _ in secret_pairs]
+    receivers = [OTReceiver(group, receiver_rng) for _ in secret_pairs]
+    announces = batch_announce(senders, pool)
+    responses = batch_respond(receivers, announces, choices, pool)
     outputs: List[bytes] = []
-    for (secret0, secret1), choice in zip(secret_pairs, choices):
-        sender = OTSender(group, sender_rng)
-        receiver = OTReceiver(group, receiver_rng)
-        m_a = sender.announce()
-        m_b = receiver.respond(m_a, int(choice))
-        outputs.append(receiver.decrypt(sender.encrypt(m_b, secret0, secret1)))
+    for sender, receiver, m_b, (secret0, secret1) in zip(
+        senders, receivers, responses, secret_pairs
+    ):
+        outputs.append(
+            receiver.decrypt(sender.encrypt(m_b, secret0, secret1))
+        )
     return outputs

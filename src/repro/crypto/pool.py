@@ -1,0 +1,360 @@
+"""Warm OT material: precomputed exponent pairs, refilled off the hot path.
+
+Every WaveKey establishment runs ``l_s`` (~100) Chou-Orlandi OT
+instances in each direction, and each instance begins with a fixed-base
+exponentiation nothing about the peer influences: the sender's
+``M_a = g^a`` and the receiver's ``g^b``.  Both are therefore
+*precomputable* — the "simplest OT" structure the paper relies on makes
+the sender's ``(a, M_a)`` reusable-ahead-of-time as long as each tuple
+is consumed exactly once.
+
+:class:`OTMaterialPool` keeps bounded per-group stocks of
+
+* :class:`SenderMaterial` — ``(a, M_a, k1_factor)`` where ``k1_factor =
+  M_a^{-a} = g^{-a^2}`` lets the sender derive its second OT key with
+  one modular multiplication instead of a modular inverse plus a full
+  exponentiation (``(M_b / M_a)^a = M_b^a * M_a^{-a}``);
+* :class:`ReceiverMaterial` — ``(b, g^b)``.
+
+A background refill thread tops stocks up to their high watermark
+whenever a take drains them below the low watermark, so the request
+path performs only the per-peer *variable-base* exponentiations.  An
+empty stock is never an error: takes simply return fewer tuples than
+asked and the caller computes the remainder inline (counted as
+``crypto.pool.miss``) — pool exhaustion degrades to exactly the
+pre-pool cost, it never fails a session.
+
+Material is single-use by construction: :meth:`~SenderMaterial.claim`
+flips a consumed flag and raises :class:`~repro.errors.CryptoError` on
+any second claim, so one tuple can never key two sessions (reusing an
+OT exponent across sessions would let a peer correlate them).
+
+Observability: ``crypto.pool.hit`` / ``crypto.pool.miss`` /
+``crypto.pool.produced`` counters and ``crypto.pool.depth`` gauges are
+labeled by material ``kind`` (and ``group``); refills record a
+``crypto.pool.refill_s`` histogram and run under a
+``crypto.pool.refill`` span so exhaustion shows up in traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.crypto.numbers import DHGroup
+from repro.errors import ConfigurationError, CryptoError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer, resolve_tracer
+from repro.utils.rng import ensure_rng
+
+#: Residues produced per lock window during a refill, so a refill
+#: never starves takers (or the GIL) for long stretches.
+_REFILL_CHUNK = 16
+
+
+def sender_k1_factor(group: DHGroup, a: int) -> int:
+    """``M_a^{-a} = g^{-a^2} mod p`` for a sender exponent ``a``.
+
+    Computed via the *fixed-base* path (the exponent is reduced mod
+    ``p - 1``, Fermat), so deriving it costs one comb exponentiation —
+    cheap at material-creation time, and it converts the sender's
+    second OT key from ``inverse + pow`` into a single multiplication
+    on the hot path.
+    """
+    return group.power((-a * a) % (group.prime - 1))
+
+
+class SenderMaterial:
+    """One precomputed, single-use sender tuple ``(a, M_a, k1_factor)``."""
+
+    __slots__ = ("group", "a", "m_a", "k1_factor", "_consumed")
+
+    def __init__(self, group: DHGroup, a: int, m_a: int, k1_factor: int):
+        self.group = group
+        self.a = a
+        self.m_a = m_a
+        self.k1_factor = k1_factor
+        self._consumed = False
+
+    def claim(self, group: DHGroup) -> None:
+        """Mark consumed; reuse or cross-group use is a hard error."""
+        if group != self.group:
+            raise CryptoError(
+                f"OT material for group {self.group.name!r} used with "
+                f"group {group.name!r}"
+            )
+        if self._consumed:
+            raise CryptoError(
+                "OT sender material reused: each (a, M_a) tuple keys "
+                "exactly one session"
+            )
+        self._consumed = True
+
+
+class ReceiverMaterial:
+    """One precomputed, single-use receiver tuple ``(b, g^b)``."""
+
+    __slots__ = ("group", "b", "g_b", "_consumed")
+
+    def __init__(self, group: DHGroup, b: int, g_b: int):
+        self.group = group
+        self.b = b
+        self.g_b = g_b
+        self._consumed = False
+
+    def claim(self, group: DHGroup) -> None:
+        """Mark consumed; reuse or cross-group use is a hard error."""
+        if group != self.group:
+            raise CryptoError(
+                f"OT material for group {self.group.name!r} used with "
+                f"group {group.name!r}"
+            )
+        if self._consumed:
+            raise CryptoError(
+                "OT receiver material reused: each (b, g^b) tuple keys "
+                "exactly one session"
+            )
+        self._consumed = True
+
+
+class _GroupStock:
+    """Per-group double stock (sender + receiver) with one lock."""
+
+    __slots__ = ("group", "senders", "receivers", "lock")
+
+    def __init__(self, group: DHGroup):
+        self.group = group
+        self.senders: Deque[SenderMaterial] = deque()
+        self.receivers: Deque[ReceiverMaterial] = deque()
+        self.lock = threading.Lock()
+
+
+class OTMaterialPool:
+    """Bounded, background-refilled stocks of precomputed OT material.
+
+    Parameters
+    ----------
+    depth:
+        High watermark: target number of tuples of *each* kind held per
+        group.
+    low_watermark:
+        Refill trigger: when a take leaves a stock below this depth the
+        refill thread is woken.  Defaults to ``depth // 2``.
+    refill_interval_s:
+        Idle poll period of the refill thread (it is also woken
+        immediately on watermark breach).
+    rng:
+        Injectable randomness (int seed / numpy Generator / None) so
+        tests can pin the produced exponents.
+    """
+
+    def __init__(
+        self,
+        depth: int = 256,
+        low_watermark: Optional[int] = None,
+        refill_interval_s: float = 0.05,
+        rng=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        if depth < 1:
+            raise ConfigurationError("pool depth must be >= 1")
+        if low_watermark is None:
+            low_watermark = depth // 2
+        if not (0 <= low_watermark < depth):
+            raise ConfigurationError(
+                "low_watermark must be in [0, depth)"
+            )
+        if refill_interval_s <= 0:
+            raise ConfigurationError("refill_interval_s must be > 0")
+        self.depth = depth
+        self.low_watermark = low_watermark
+        self.refill_interval_s = refill_interval_s
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
+        self._rng = ensure_rng(rng)
+        self._rng_lock = threading.Lock()
+        self._stocks: Dict[DHGroup, _GroupStock] = {}
+        self._stocks_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "OTMaterialPool":
+        """Launch the background refill worker (idempotent)."""
+        if self._running:
+            return self
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._refill_loop, name="ot-pool-refill", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the refill worker; takes keep working (as misses)."""
+        if not self._running:
+            return
+        self._running = False
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "OTMaterialPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- stocks ------------------------------------------------------------
+
+    def register(self, group: DHGroup) -> None:
+        """Key a stock for ``group`` (refilled from the next cycle on)."""
+        self._stock(group)
+        self._wake.set()
+
+    def _stock(self, group: DHGroup) -> _GroupStock:
+        stock = self._stocks.get(group)
+        if stock is None:
+            with self._stocks_lock:
+                stock = self._stocks.get(group)
+                if stock is None:
+                    stock = _GroupStock(group)
+                    self._stocks[group] = stock
+        return stock
+
+    def depths(self, group: DHGroup) -> Tuple[int, int]:
+        """Current ``(sender, receiver)`` stock depth for ``group``."""
+        stock = self._stock(group)
+        with stock.lock:
+            return len(stock.senders), len(stock.receivers)
+
+    # -- takes (hot path) --------------------------------------------------
+
+    def take_senders(self, group: DHGroup, n: int) -> List[SenderMaterial]:
+        """Pop up to ``n`` sender tuples; shortfalls are counted misses."""
+        return self._take(group, n, "sender")
+
+    def take_receivers(
+        self, group: DHGroup, n: int
+    ) -> List[ReceiverMaterial]:
+        """Pop up to ``n`` receiver tuples; shortfalls are counted misses."""
+        return self._take(group, n, "receiver")
+
+    def _take(self, group: DHGroup, n: int, kind: str) -> list:
+        if n < 0:
+            raise ConfigurationError("take count must be >= 0")
+        stock = self._stock(group)
+        queue = stock.senders if kind == "sender" else stock.receivers
+        taken: list = []
+        with stock.lock:
+            while queue and len(taken) < n:
+                taken.append(queue.popleft())
+            depth = len(queue)
+        hits, misses = len(taken), n - len(taken)
+        if hits:
+            self.metrics.counter(
+                "crypto.pool.hit", labels={"kind": kind}
+            ).inc(hits)
+        if misses:
+            self.metrics.counter(
+                "crypto.pool.miss", labels={"kind": kind}
+            ).inc(misses)
+        self._set_depth(group, kind, depth)
+        if depth < self.low_watermark:
+            self._wake.set()
+        return taken
+
+    def _set_depth(self, group: DHGroup, kind: str, depth: int) -> None:
+        self.metrics.gauge(
+            "crypto.pool.depth", labels={"kind": kind, "group": group.name}
+        ).set(depth)
+
+    # -- production (off the hot path) -------------------------------------
+
+    def _make_sender(self, group: DHGroup, rng) -> SenderMaterial:
+        a = group.random_exponent(rng)
+        return SenderMaterial(
+            group, a, group.power(a), sender_k1_factor(group, a)
+        )
+
+    def _make_receiver(self, group: DHGroup, rng) -> ReceiverMaterial:
+        b = group.random_exponent(rng)
+        return ReceiverMaterial(group, b, group.power(b))
+
+    def fill(self, group: Optional[DHGroup] = None) -> int:
+        """Synchronously top every (or one) stock up to ``depth``.
+
+        Returns the number of tuples produced.  Production happens in
+        chunks of :data:`_REFILL_CHUNK` outside the stock lock so a
+        concurrent take is never blocked behind a long refill.
+        """
+        if group is not None:
+            stocks = [self._stock(group)]
+        else:
+            with self._stocks_lock:
+                stocks = list(self._stocks.values())
+        produced_total = 0
+        for stock in stocks:
+            produced = self._fill_stock(stock)
+            produced_total += produced
+        return produced_total
+
+    def _fill_stock(self, stock: _GroupStock) -> int:
+        group = stock.group
+        produced = {"sender": 0, "receiver": 0}
+        start = time.monotonic()
+        while True:
+            with stock.lock:
+                want_s = self.depth - len(stock.senders)
+                want_r = self.depth - len(stock.receivers)
+            if want_s <= 0 and want_r <= 0:
+                break
+            batch_s: List[SenderMaterial] = []
+            batch_r: List[ReceiverMaterial] = []
+            with self._rng_lock:
+                for _ in range(min(want_s, _REFILL_CHUNK)):
+                    batch_s.append(self._make_sender(group, self._rng))
+                for _ in range(min(want_r, _REFILL_CHUNK)):
+                    batch_r.append(self._make_receiver(group, self._rng))
+            with stock.lock:
+                stock.senders.extend(batch_s)
+                stock.receivers.extend(batch_r)
+                depth_s = len(stock.senders)
+                depth_r = len(stock.receivers)
+            produced["sender"] += len(batch_s)
+            produced["receiver"] += len(batch_r)
+            self._set_depth(group, "sender", depth_s)
+            self._set_depth(group, "receiver", depth_r)
+        total = produced["sender"] + produced["receiver"]
+        if total:
+            elapsed = time.monotonic() - start
+            self.metrics.histogram("crypto.pool.refill_s").observe(elapsed)
+            for kind, count in produced.items():
+                if count:
+                    self.metrics.counter(
+                        "crypto.pool.produced", labels={"kind": kind}
+                    ).inc(count)
+            tracer = resolve_tracer(self.tracer)
+            if tracer.enabled:
+                tracer.record_span(
+                    "crypto.pool.refill",
+                    start_s=start,
+                    end_s=start + elapsed,
+                    group=group.name,
+                    produced=total,
+                )
+        return total
+
+    def _refill_loop(self) -> None:
+        while self._running:
+            self._wake.wait(self.refill_interval_s)
+            self._wake.clear()
+            if not self._running:
+                return
+            self.fill()

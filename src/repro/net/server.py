@@ -288,10 +288,11 @@ class _NetAgreement:
     #: lets real crafting time (including contention) bill the clock.
     hold_compute_lock = False
 
-    def __init__(self, conn, peer: str, server_name: str):
+    def __init__(self, conn, peer: str, server_name: str, pool=None):
         self.conn = conn
         self.peer = peer
         self.server_name = server_name
+        self.pool = pool
         self.attempt = 0
 
     def _expect(self, message_type):
@@ -322,6 +323,7 @@ class _NetAgreement:
             config,
             rng=child_rng(rng, "party"),
             own_sequences_first=False,
+            pool=self.pool,
         )
 
         def fail(reason: str) -> KeyAgreementOutcome:
@@ -880,7 +882,8 @@ class WaveKeyTCPServer:
         conn.hello_at = time.monotonic()
         conn.trace_parent = parent_from_context(message.trace_context)
         agreement = _NetAgreement(
-            conn.channel, peer=message.sender, server_name=self.name
+            conn.channel, peer=message.sender, server_name=self.name,
+            pool=self.access_server.ot_pool,
         )
         request = AccessRequest(
             rng_seed=message.rng_seed,
@@ -1404,7 +1407,8 @@ class ThreadedWaveKeyTCPServer:
         hello_at = time.monotonic()
         trace_parent = parent_from_context(hello.trace_context)
         agreement = _NetAgreement(
-            conn, peer=hello.sender, server_name=self.name
+            conn, peer=hello.sender, server_name=self.name,
+            pool=self.access_server.ot_pool,
         )
         request = AccessRequest(
             rng_seed=hello.rng_seed,

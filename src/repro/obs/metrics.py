@@ -25,6 +25,15 @@ exemplar rides snapshots, survives :func:`merge_snapshots` (highest
 value across the fleet wins), and surfaces in the Prometheus
 exposition as an OpenMetrics-style ``# {trace_id="..."}`` annotation,
 so a tail-latency spike links directly to its distributed trace.
+
+Well-known series families registered by the stack include the
+service-layer ``service.*`` counters/latencies, per-encoder
+``pipeline.*`` series, and the warm-OT-pool family emitted by
+:class:`repro.crypto.pool.OTMaterialPool`: ``crypto.pool.hit`` /
+``crypto.pool.miss`` counters labeled by material kind,
+``crypto.pool.depth`` gauges labeled by kind and group, the
+``crypto.pool.produced`` counter, and the ``crypto.pool.refill_s``
+histogram timing each background refill pass.
 """
 
 from __future__ import annotations

@@ -28,7 +28,14 @@ import numpy as np
 from repro.crypto.segment_sketch import SegmentSecureSketch
 from repro.crypto.hashes import hmac_digest, hmac_verify
 from repro.crypto.numbers import DHGroup, WAVEKEY_GROUP_512
-from repro.crypto.ot import OTCiphertexts, OTReceiver, OTSender
+from repro.crypto.ot import (
+    OTCiphertexts,
+    OTReceiver,
+    OTSender,
+    batch_announce,
+    batch_respond,
+)
+from repro.crypto.pool import OTMaterialPool
 from repro.errors import (
     ConfigurationError,
     DeadlineExceeded,
@@ -115,12 +122,17 @@ class AgreementParty:
         config: KeyAgreementConfig,
         rng=None,
         own_sequences_first: bool = True,
+        pool: Optional[OTMaterialPool] = None,
     ):
         if len(seed) < 2:
             raise ConfigurationError("key-seed too short")
         self.name = name
         self.seed = seed
         self.config = config
+        # Warm OT material: announce/respond draw precomputed
+        # (exponent, power) tuples instead of exponentiating inline;
+        # an exhausted (or absent) pool falls back to inline compute.
+        self.pool = pool
         # Fig. 4 fixes the segment order as (x_i || y_i) on BOTH sides:
         # the mobile device's own pairs are the x's (own first), the
         # server's own pairs are the y's (own second).
@@ -156,7 +168,7 @@ class AgreementParty:
         """``M_A``: announce all OT instances this party sends."""
         return OTAnnounce(
             sender=self.name,
-            elements=tuple(s.announce() for s in self._senders),
+            elements=tuple(batch_announce(self._senders, self.pool)),
         )
 
     def craft_ciphertexts(self, response: OTResponse) -> OTCiphertextBatch:
@@ -187,9 +199,11 @@ class AgreementParty:
                 f"{len(announce.elements)}"
             )
         elements = tuple(
-            receiver.respond(element, int(self.seed[i]))
-            for i, (receiver, element) in enumerate(
-                zip(self._receivers, announce.elements)
+            batch_respond(
+                self._receivers,
+                announce.elements,
+                [int(self.seed[i]) for i in range(self.l_s)],
+                self.pool,
             )
         )
         return OTResponse(sender=self.name, elements=elements)
@@ -330,6 +344,7 @@ def run_key_agreement(
     clock: ProtocolClock = None,
     rng=None,
     tracer: Tracer = None,
+    pool: OTMaterialPool = None,
 ) -> KeyAgreementOutcome:
     """Execute the Fig. 4 protocol between two simulated endpoints.
 
@@ -345,6 +360,11 @@ def run_key_agreement(
     with one child per protocol stage — ``ot.announce`` through
     ``reconcile.confirm`` — carrying both wall-clock and simulated
     protocol-timeline durations.
+
+    ``pool`` supplies both simulated endpoints with warm OT material
+    (sender ``(a, M_a)`` and receiver ``(b, g^b)`` tuples precomputed
+    off the hot path); an exhausted pool falls back to inline
+    exponentiation per instance, never to failure.
     """
     if len(seed_mobile) != len(seed_server):
         raise ConfigurationError("key-seeds must have equal length")
@@ -355,11 +375,11 @@ def run_key_agreement(
 
     mobile = AgreementParty(
         "mobile", seed_mobile, config, child_rng(rng, "mobile"),
-        own_sequences_first=True,
+        own_sequences_first=True, pool=pool,
     )
     server = AgreementParty(
         "server", seed_server, config, child_rng(rng, "server"),
-        own_sequences_first=False,
+        own_sequences_first=False, pool=pool,
     )
     mismatch = seed_mobile.hamming_distance(seed_server)
 
@@ -483,6 +503,12 @@ def run_key_agreement(
         elapsed_s=clock.now,
         seed_mismatch_bits=mismatch,
     )
+
+
+#: Capability marker for the access server: injected agreement_fns that
+#: understand the ``pool=`` keyword advertise it the same way, so the
+#: server only forwards its pool to functions that can take it.
+run_key_agreement.accepts_ot_pool = True
 
 
 class _StageSpan:

@@ -12,6 +12,7 @@ only governs *how* sessions are scheduled, never the cryptography.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -45,6 +46,18 @@ class ServiceConfig:
     session_deadline_s:
         Wall-clock budget per session measured from admission; exceeded
         budgets end the session as TIMED_OUT at the next checkpoint.
+    ot_pool_depth:
+        High watermark of the warm OT material pool: precomputed
+        sender/receiver exponent tuples held per kind for the agreement
+        group (:class:`repro.crypto.pool.OTMaterialPool`).  ``0``
+        disables the pool entirely — every OT instance exponentiates
+        inline, as the protocol always still can.
+    ot_pool_low_watermark:
+        Refill trigger depth; ``None`` means ``ot_pool_depth // 2``.
+    ot_pool_refill_s:
+        Idle poll interval of the pool's background refill worker (the
+        worker is additionally woken immediately whenever a take
+        drains a stock below the low watermark).
     """
 
     workers: int = 2
@@ -54,6 +67,9 @@ class ServiceConfig:
     max_attempts: int = 3
     retry_on_timeout: bool = False
     session_deadline_s: float = 30.0
+    ot_pool_depth: int = 256
+    ot_pool_low_watermark: Optional[int] = None
+    ot_pool_refill_s: float = 0.05
 
     def __post_init__(self):
         if self.workers < 1:
@@ -68,3 +84,13 @@ class ServiceConfig:
             raise ConfigurationError("max_attempts must be >= 1")
         if self.session_deadline_s <= 0:
             raise ConfigurationError("session_deadline_s must be > 0")
+        if self.ot_pool_depth < 0:
+            raise ConfigurationError("ot_pool_depth must be >= 0")
+        if self.ot_pool_low_watermark is not None and not (
+            0 <= self.ot_pool_low_watermark < max(self.ot_pool_depth, 1)
+        ):
+            raise ConfigurationError(
+                "ot_pool_low_watermark must be in [0, ot_pool_depth)"
+            )
+        if self.ot_pool_refill_s <= 0:
+            raise ConfigurationError("ot_pool_refill_s must be > 0")

@@ -33,6 +33,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.models import WaveKeyModelBundle
 from repro.core.pipeline import KeySeedPipeline
+from repro.crypto.pool import OTMaterialPool
 from repro.datasets.generation import generate_sample
 from repro.errors import ServiceError, SimulationError
 from repro.gesture import default_volunteers, sample_gesture
@@ -100,6 +101,20 @@ class WaveKeyAccessServer:
         self.transport_factory = transport_factory
         self._acquire_fn = acquire_fn or self._acquire
         self._agreement_fn = agreement_fn or run_key_agreement
+        # Warm OT material, produced off the request path by the pool's
+        # refill worker.  Only agreement functions that advertise
+        # ``accepts_ot_pool`` receive it — injected test doubles and
+        # older callables keep their exact signatures.
+        self.ot_pool: Optional[OTMaterialPool] = None
+        if self.config.ot_pool_depth > 0:
+            self.ot_pool = OTMaterialPool(
+                depth=self.config.ot_pool_depth,
+                low_watermark=self.config.ot_pool_low_watermark,
+                refill_interval_s=self.config.ot_pool_refill_s,
+                metrics=self.metrics,
+                tracer=tracer,
+            )
+            self.ot_pool.register(self.agreement_config.group)
 
         self.events = EventLog()
         self.sessions = SessionManager(self.metrics, self.events)
@@ -146,6 +161,8 @@ class WaveKeyAccessServer:
         self._running = True
         self._imu_batcher.start()
         self._rf_batcher.start()
+        if self.ot_pool is not None:
+            self.ot_pool.start()
         for i in range(self.config.workers):
             worker = threading.Thread(
                 target=self._worker_loop, name=f"wavekey-worker-{i}",
@@ -172,6 +189,8 @@ class WaveKeyAccessServer:
         self._workers = []
         self._imu_batcher.stop()
         self._rf_batcher.stop()
+        if self.ot_pool is not None:
+            self.ot_pool.stop()
         self.events.emit("server_stopped")
 
     def __enter__(self) -> "WaveKeyAccessServer":
@@ -421,6 +440,11 @@ class WaveKeyAccessServer:
             # runs, so run_key_agreement's own "agreement" span (and its
             # ot.*/reconcile children) nest under it via the active-span
             # stack — no tracer plumbing through injected agreement_fns.
+            agree_kwargs = {}
+            if self.ot_pool is not None and getattr(
+                agreement_fn, "accepts_ot_pool", False
+            ):
+                agree_kwargs["pool"] = self.ot_pool
             with stages.span("ot", parent=root, attempt=attempt) as ot_span:
                 with compute_lock:
                     outcome = agreement_fn(
@@ -430,6 +454,7 @@ class WaveKeyAccessServer:
                         transport=transport,
                         clock=clock,
                         rng=child_rng(rng, "agreement"),
+                        **agree_kwargs,
                     )
                 ot_span.set_attribute("success", outcome.success)
             agree_s = time.monotonic() - agree_start

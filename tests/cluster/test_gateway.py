@@ -213,6 +213,14 @@ class TestFleetStats:
                 state.snapshot is not None
                 for state in gateway.backend_states().values()
             ))
+            # Scrapes refresh on the probe cadence, and a session can
+            # finish faster than one probe interval — wait until the
+            # last admission has been folded into the fleet view.
+            assert wait_for(
+                lambda: fetch_stats(*gateway.address)["snapshot"][
+                    "counters"
+                ].get("service.admitted", 0) >= 3
+            )
             doc = fetch_stats(*gateway.address)
         assert doc["role"] == "gateway"
         assert doc["ring_size"] == 3

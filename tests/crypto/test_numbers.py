@@ -1,9 +1,12 @@
 """Tests for primality and DH groups."""
 
+import math
+
 import pytest
 
 from repro.crypto import (
     DHGroup,
+    FixedBaseComb,
     RFC3526_GROUP_1536,
     RFC3526_GROUP_2048,
     WAVEKEY_GROUP_512,
@@ -70,6 +73,89 @@ class TestDHGroup:
             DHGroup(prime=4, generator=2)
         with pytest.raises(CryptoError):
             DHGroup(prime=23, generator=23)
+
+
+class TestFixedBaseComb:
+    """The comb fast path must be bit-exact with built-in ``pow``."""
+
+    def test_cross_check_against_pow(self):
+        g = WAVEKEY_GROUP_512
+        comb = g.comb()
+        for seed in range(25):
+            e = g.with_exponent_bits(None).random_exponent(seed)
+            assert comb.power(e) == pow(g.generator, e, g.prime)
+
+    def test_boundary_exponents(self):
+        g = WAVEKEY_GROUP_512
+        comb = g.comb()
+        for e in (0, 1, 2, g.prime - 2, g.prime - 1, g.prime):
+            assert comb.power(e) == pow(g.generator, e, g.prime)
+
+    def test_out_of_table_exponents_fall_back(self):
+        comb = FixedBaseComb(5, 23, max_exponent_bits=8)
+        # Negative and oversized exponents bypass the table entirely.
+        assert comb.power(-3) == pow(5, -3, 23)
+        assert comb.power(1 << 40) == pow(5, 1 << 40, 23)
+
+    def test_window_sizes_agree(self):
+        g = generate_dh_group(96, rng=21)
+        e = g.with_exponent_bits(None).random_exponent(5)
+        expected = pow(g.generator, e, g.prime)
+        for window in (1, 4, 6, 8):
+            assert g.comb(window).power(e) == expected
+
+    def test_table_size_knob(self):
+        comb = FixedBaseComb(4, WAVEKEY_GROUP_512.prime, window=6)
+        assert comb.entries == math.ceil(512 / 6) * 64
+
+    def test_validation(self):
+        with pytest.raises(CryptoError):
+            FixedBaseComb(0, 23)
+        with pytest.raises(CryptoError):
+            FixedBaseComb(5, 23, window=0)
+        with pytest.raises(CryptoError):
+            FixedBaseComb(5, 23, window=17)
+
+    def test_group_power_routes_through_comb(self):
+        g = generate_dh_group(96, rng=22)
+        for seed in range(5):
+            e = g.random_exponent(seed)
+            assert g.power(e) == g.power_naive(e)
+
+    def test_comb_for_arbitrary_base(self):
+        g = generate_dh_group(96, rng=23)
+        base = g.power(12345)
+        comb = g.comb_for(base)
+        e = g.random_exponent(9)
+        assert comb.power(e) == pow(base, e, g.prime)
+
+
+class TestGroupPolicy:
+    def test_with_comb_clone_is_value_equal(self):
+        naive = WAVEKEY_GROUP_512.with_comb(False)
+        assert naive == WAVEKEY_GROUP_512
+        assert hash(naive) == hash(WAVEKEY_GROUP_512)
+        assert not naive.comb_enabled and WAVEKEY_GROUP_512.comb_enabled
+
+    def test_with_comb_window_validation(self):
+        with pytest.raises(CryptoError):
+            WAVEKEY_GROUP_512.with_comb(window=0)
+
+    def test_exponent_bits_policy(self):
+        assert WAVEKEY_GROUP_512.exponent_bits == 256
+        full = WAVEKEY_GROUP_512.with_exponent_bits(None)
+        assert full.exponent_bits is None
+        for seed in range(10):
+            e = WAVEKEY_GROUP_512.random_exponent(seed)
+            assert 1 <= e < (1 << 256)
+
+    def test_exponent_bits_validation(self):
+        with pytest.raises(CryptoError):
+            WAVEKEY_GROUP_512.with_exponent_bits(32)
+        # Full-width-or-wider "short" exponents coerce to None.
+        assert WAVEKEY_GROUP_512.with_exponent_bits(
+            4096
+        ).exponent_bits is None
 
 
 class TestGenerateGroup:

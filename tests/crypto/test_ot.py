@@ -86,6 +86,27 @@ class TestSingleInstance:
         with pytest.raises(ProtocolError):
             receiver.respond(group.prime, 0)
 
+    @pytest.mark.parametrize("bad", [0, -1, "prime", "prime_plus"])
+    def test_receiver_rejects_m_a_outside_group(self, group, bad):
+        """Every M_a outside [1, p) is rejected before any exponent is
+        spent — a malicious sender cannot force degenerate keys."""
+        m_a = {"prime": group.prime, "prime_plus": group.prime + 1}.get(
+            bad, bad
+        )
+        receiver = OTReceiver(group, rng=1)
+        with pytest.raises(ProtocolError):
+            receiver.respond(m_a, 0)
+
+    @pytest.mark.parametrize("bad", [0, -1, "prime", "prime_plus"])
+    def test_sender_rejects_m_b_outside_group(self, group, bad):
+        m_b = {"prime": group.prime, "prime_plus": group.prime + 1}.get(
+            bad, bad
+        )
+        sender = OTSender(group, rng=1)
+        sender.announce()
+        with pytest.raises(ProtocolError):
+            sender.encrypt(m_b, b"a", b"b")
+
 
 class TestBatch:
     def test_batch_selects_per_choice(self, group):

@@ -93,6 +93,42 @@ class TestSuccessfulAgreement:
         assert outcome.elapsed_s > 2.0
 
 
+class TestPooledAgreement:
+    def test_pool_capability_marker(self):
+        """The access server keys ``pool=`` forwarding off this marker;
+        injected test doubles without it keep their exact signatures."""
+        assert getattr(run_key_agreement, "accepts_ot_pool", False)
+
+    def test_pooled_run_succeeds_and_hits(self):
+        from repro.crypto import OTMaterialPool
+
+        config = make_config()
+        pool = OTMaterialPool(depth=128, rng=11)
+        pool.register(config.group)
+        pool.fill()
+        s_m, s_r = seeds_with_mismatches(36, 2)
+        outcome = run_key_agreement(s_m, s_r, config, rng=12, pool=pool)
+        assert outcome.success and outcome.keys_match
+        counters = pool.metrics.snapshot()["counters"]
+        assert counters['crypto.pool.hit{kind="sender"}'] > 0
+        assert counters['crypto.pool.hit{kind="receiver"}'] > 0
+
+    def test_exhausted_pool_still_succeeds(self):
+        """Pool exhaustion must degrade to inline compute, never fail
+        an agreement."""
+        from repro.crypto import OTMaterialPool
+
+        config = make_config()
+        pool = OTMaterialPool(depth=4, rng=13)
+        pool.register(config.group)
+        pool.fill()  # 4 tuples per kind vs 2 * 36 needed
+        s_m, s_r = seeds_with_mismatches(36, 0)
+        outcome = run_key_agreement(s_m, s_r, config, rng=14, pool=pool)
+        assert outcome.success and outcome.keys_match
+        counters = pool.metrics.snapshot()["counters"]
+        assert counters['crypto.pool.miss{kind="sender"}'] > 0
+
+
 class TestFailureModes:
     def test_seeds_beyond_eta_fail(self):
         s_m, s_r = seeds_with_mismatches(36, 18)

@@ -304,6 +304,61 @@ class TestLifecycle:
         with pytest.raises(ServiceError, match="not running"):
             server.submit(AccessRequest(rng_seed=1))
 
+    def test_ot_pool_lifecycle_follows_server(self, tiny_bundle):
+        server = make_server(
+            tiny_bundle,
+            ServiceConfig(workers=1, ot_pool_depth=4),
+            agreement_fn=lambda *a, **kw: ok_outcome(kw["clock"]),
+        )
+        assert server.ot_pool is not None
+        assert not server.ot_pool._running
+        with server:
+            assert server.ot_pool._running
+            deadline = time.monotonic() + 5.0
+            group = server.agreement_config.group
+            while server.ot_pool.depths(group) != (4, 4):
+                if time.monotonic() > deadline:
+                    pytest.fail("pool never refilled to depth")
+                time.sleep(0.01)
+        assert not server.ot_pool._running
+
+    def test_ot_pool_disabled_by_config(self, tiny_bundle):
+        server = make_server(
+            tiny_bundle, ServiceConfig(workers=1, ot_pool_depth=0)
+        )
+        assert server.ot_pool is None
+
+    def test_pool_kwarg_gated_on_capability_marker(self, tiny_bundle):
+        """Injected agreement functions that never heard of the pool
+        keep their exact signatures; opted-in functions receive it."""
+        seen = {}
+
+        def plain_fn(s_m, s_r, *, config, transport, clock, rng):
+            seen["plain"] = True
+            return ok_outcome(clock)
+
+        def pooled_fn(s_m, s_r, *, config, transport, clock, rng, pool):
+            seen["pool"] = pool
+            return ok_outcome(clock)
+
+        pooled_fn.accepts_ot_pool = True
+
+        server = make_server(
+            tiny_bundle,
+            ServiceConfig(workers=1, ot_pool_depth=4),
+            agreement_fn=plain_fn,
+        )
+        with server:
+            assert server.establish(
+                AccessRequest(rng_seed=1), timeout=30
+            ).success
+            server._agreement_fn = pooled_fn
+            assert server.establish(
+                AccessRequest(rng_seed=2), timeout=30
+            ).success
+        assert seen["plain"] is True
+        assert seen["pool"] is server.ot_pool
+
     def test_internal_errors_fail_the_session_not_the_worker(
         self, tiny_bundle
     ):
