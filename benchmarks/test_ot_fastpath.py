@@ -184,7 +184,9 @@ def test_e2e_establishment_gain(bundle):
     assert [r.success for r in fast_records] == [
         r.success for r in naive_records
     ]
-    assert counters.get('crypto.pool.hit{kind="sender"}', 0) > 0
+    assert counters.get(
+        'crypto.pool.hit{group="wavekey-512",kind="sender"}', 0
+    ) > 0
 
     gain = naive_s / fast_s
     print()
@@ -232,7 +234,9 @@ def test_pool_exhaustion_degrades_gracefully(bundle):
         seeds,
     )
 
-    misses = counters.get('crypto.pool.miss{kind="sender"}', 0)
+    misses = counters.get(
+        'crypto.pool.miss{group="wavekey-512",kind="sender"}', 0
+    )
     assert misses > 0, "depth-2 pool never missed — benchmark is broken"
     assert [r.success for r in starved_records] == [
         r.success for r in baseline_records

@@ -14,8 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.crypto.hashes import hash_group_element
-from repro.crypto.numbers import DHGroup
+from repro.crypto.group import Group
 from repro.crypto.symmetric import xor_cipher
 from repro.protocol.messages import (
     ConfirmationResponse,
@@ -32,7 +31,7 @@ from repro.utils.rng import ensure_rng
 class Eavesdropper:
     """Passive transcript collector + best-effort key-recovery attempt."""
 
-    group: DHGroup
+    group: Group
     transcript: List[Tuple[str, str, object]] = field(default_factory=list)
 
     def tap(self, sender: str, receiver: str, message) -> None:
@@ -86,8 +85,8 @@ class Eavesdropper:
                 # The adversary knows M_b but not a; it can only guess an
                 # exponent and pray.
                 guess = self.group.random_exponent(rng)
-                key = hash_group_element(
-                    pow(element, guess, self.group.prime)
+                key = self.group.hash_element(
+                    self.group.exp(self.group.decode_element(element), guess)
                 )
                 plain = xor_cipher(pair.e0, key, b"ot0")
                 parts.append(BitSequence.from_bytes(plain, segment_bits))

@@ -24,7 +24,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.crypto.hashes import hash_group_element
-from repro.crypto.numbers import DHGroup
+from repro.crypto.group import Group
 from repro.crypto.ot import OTCiphertexts
 from repro.crypto.symmetric import xor_cipher
 from repro.protocol.messages import (
@@ -39,7 +39,7 @@ from repro.utils.rng import ensure_rng
 class MitmAttacker:
     """Interceptor factory for :class:`SimulatedTransport`."""
 
-    group: DHGroup
+    group: Group
     strategy: str = "substitute_ciphertexts"
     relay_delay_s: float = 0.004
     rng: object = None
@@ -81,7 +81,7 @@ class MitmAttacker:
         for i in range(len(message.elements)):
             exponent = self.group.random_exponent(self.rng)
             self._exponents[(message.sender, i)] = exponent
-            forged.append(self.group.power(exponent))
+            forged.append(self.group.encode_element(self.group.power(exponent)))
         self.modified_messages += 1
         return OTAnnounce(sender=message.sender, elements=tuple(forged))
 

@@ -113,6 +113,10 @@ def _build_parser() -> argparse.ArgumentParser:
     establish.add_argument("--azimuth", type=float, default=0.0,
                            help="user azimuth in degrees")
     establish.add_argument("--key-bits", type=int, default=256)
+    establish.add_argument(
+        "--group", choices=("modp512", "curve25519"), default="modp512",
+        help="OT group: 512-bit MODP (wire-compatible default) or "
+             "Curve25519")
     establish.add_argument("--connect", metavar="HOST:PORT", default=None,
                            help="establish against a networked server "
                                 "instead of running in-process")
@@ -144,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="idle poll interval of the OT pool's "
                             "background refill worker")
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--group", choices=("modp512", "curve25519"),
+            default="modp512",
+            help="OT group: 512-bit MODP (wire-compatible default) or "
+                 "Curve25519")
 
     serve = sub.add_parser(
         "serve", help="run the concurrent access-control server"
@@ -388,8 +397,19 @@ def _parse_hostport(value: str):
     return host, int(port)
 
 
+def _resolved_group(args):
+    from repro.crypto.group import resolve_group
+
+    return resolve_group(getattr(args, "group", "modp512"))
+
+
+def _agreement_config(args, bundle) -> KeyAgreementConfig:
+    """Agreement config for a served command, honouring ``--group``."""
+    return KeyAgreementConfig(eta=bundle.eta, group=_resolved_group(args))
+
+
 def _cmd_establish_net(args, out) -> int:
-    from repro.net import WaveKeyNetClient
+    from repro.net import NetClientConfig, WaveKeyNetClient
     from repro.obs import use_default_tracer
     from repro.obs.metrics import MetricsRegistry
 
@@ -397,7 +417,8 @@ def _cmd_establish_net(args, out) -> int:
     metrics = MetricsRegistry()
     tracer = _obs_session(args)
     client = WaveKeyNetClient(
-        host, port, metrics=metrics, tracer=tracer
+        host, port, NetClientConfig(group=_resolved_group(args)),
+        metrics=metrics, tracer=tracer
     )
     with use_default_tracer(tracer):
         result = client.establish(args.seed, dynamic=args.dynamic)
@@ -427,7 +448,8 @@ def _cmd_establish(args, out) -> int:
             user_distance_m=args.distance, user_azimuth_deg=args.azimuth
         ),
         agreement_config=KeyAgreementConfig(
-            key_length_bits=args.key_bits, eta=bundle.eta
+            key_length_bits=args.key_bits, eta=bundle.eta,
+            group=_resolved_group(args),
         ),
     )
     system.pipeline.metrics = metrics
@@ -620,7 +642,10 @@ def _cmd_serve_net(args, config, bundle, out) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
-    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+    with WaveKeyAccessServer(
+        bundle, config, agreement_config=_agreement_config(args, bundle),
+        tracer=tracer,
+    ) as server:
         profiler = (
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None
@@ -698,7 +723,10 @@ def _cmd_serve(args, out) -> int:
     if args.listen:
         return _cmd_serve_net(args, config, bundle, out)
     tracer = _obs_session(args)
-    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+    with WaveKeyAccessServer(
+        bundle, config, agreement_config=_agreement_config(args, bundle),
+        tracer=tracer,
+    ) as server:
         profiler = (
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None
@@ -929,17 +957,20 @@ def _cmd_loadgen_net(args, out) -> int:
     import time
 
     from repro.errors import TransportError
-    from repro.net import WaveKeyNetClient
+    from repro.net import NetClientConfig, WaveKeyNetClient
     from repro.obs.metrics import MetricsRegistry
     from repro.utils.rng import derive_seed
 
     host, port = _parse_hostport(args.connect)
     metrics = MetricsRegistry()
+    client_config = NetClientConfig(group=_resolved_group(args))
     results = []
     lock = threading.Lock()
 
     def one(i: int) -> None:
-        client = WaveKeyNetClient(host, port, metrics=metrics)
+        client = WaveKeyNetClient(
+            host, port, client_config, metrics=metrics
+        )
         try:
             result = client.establish(
                 derive_seed(args.seed, "loadgen", i),
@@ -997,7 +1028,10 @@ def _cmd_loadgen(args, out) -> int:
     )
     _print_service_header(config, bundle, out)
     tracer = _obs_session(args)
-    with WaveKeyAccessServer(bundle, config, tracer=tracer) as server:
+    with WaveKeyAccessServer(
+        bundle, config, agreement_config=_agreement_config(args, bundle),
+        tracer=tracer,
+    ) as server:
         profiler = (
             server.pipeline.enable_profiling(tracer=tracer)
             if args.profile else None

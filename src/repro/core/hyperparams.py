@@ -35,7 +35,8 @@ from repro.core.training import (
     prepare_arrays,
     train_wavekey_models,
 )
-from repro.crypto.numbers import DHGroup, WAVEKEY_GROUP_512
+from repro.crypto.group import Group
+from repro.crypto.numbers import WAVEKEY_GROUP_512
 from repro.crypto.ot import OTSender
 from repro.datasets.generation import WaveKeyDataset
 from repro.errors import ConfigurationError
@@ -321,7 +322,7 @@ class TauMeasurement:
 def determine_tau(
     seed_length: int,
     n_trials: int = 50,
-    group: DHGroup = WAVEKEY_GROUP_512,
+    group: Group = WAVEKEY_GROUP_512,
     headroom: float = 1.2,
     rng=None,
 ) -> TauMeasurement:

@@ -3,8 +3,16 @@
 Everything the WaveKey key-agreement protocol (paper SIV-D) needs,
 implemented from scratch on the Python standard library + numpy:
 
+* :mod:`repro.crypto.group` — the abstract :class:`Group` interface the
+  OT stack is generic over, plus :func:`resolve_group` for name-based
+  selection (``modp512`` / ``curve25519``).
 * :mod:`repro.crypto.numbers` — Miller-Rabin primality, safe-prime /
   DH-group generation, and the RFC 3526 MODP groups used by default.
+* :mod:`repro.crypto.curve` — from-scratch Curve25519: the X25519
+  Montgomery ladder (RFC 7748) and the twisted-Edwards form whose point
+  addition the Chou-Orlandi OT needs.  Naming note: this module is the
+  *elliptic curve*; :mod:`repro.crypto.ecc` is the *error-correcting
+  code* reconciliation (the paper's "ECC" abbreviation), not curves.
 * :mod:`repro.crypto.ot` — the computationally efficient 1-out-of-2
   Oblivious Transfer of Chou & Orlandi (paper Fig. 3), with the batched
   variant the protocol uses to combine all instances into three messages.
@@ -20,6 +28,8 @@ implemented from scratch on the Python standard library + numpy:
   hashing, HMAC, and the hash-keystream cipher used for OT payloads.
 """
 
+from repro.crypto.group import GROUP_CHOICES, Group, resolve_group
+from repro.crypto.curve import CURVE25519_GROUP, Curve25519Group, x25519
 from repro.crypto.numbers import (
     DHGroup,
     FixedBaseComb,
@@ -50,6 +60,12 @@ from repro.crypto.rs import RSCode
 from repro.crypto.segment_sketch import SegmentSecureSketch
 
 __all__ = [
+    "Group",
+    "GROUP_CHOICES",
+    "resolve_group",
+    "CURVE25519_GROUP",
+    "Curve25519Group",
+    "x25519",
     "DHGroup",
     "FixedBaseComb",
     "RFC3526_GROUP_1536",

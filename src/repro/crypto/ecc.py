@@ -14,6 +14,10 @@ sketch):
 
 The sketch leaks at most ``n - k`` bits of ``K_M`` (the code redundancy)
 — accounted for by sizing the key material above the target entropy.
+
+Naming note: "ECC" here abbreviates *error-correcting code*, following
+the paper's terminology — it is unrelated to elliptic-curve
+cryptography, which lives in :mod:`repro.crypto.curve`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,140 @@
+"""The abstract group interface the OT stack is generic over.
+
+The Chou-Orlandi OT (paper Fig. 3) only needs a cyclic group with a
+fixed generator: announce is ``g^a``, the receiver's masked reply is
+``g^b`` or ``M_a * g^b``, and both key derivations are one variable-base
+exponentiation (plus, on the sender side, one division — or one
+multiplication by the precomputed ``M_a^{-a}``).  :class:`Group`
+captures exactly that contract so the same :class:`~repro.crypto.ot`
+machinery runs over the multiplicative MODP groups of
+:mod:`repro.crypto.numbers` *and* the Curve25519 group of
+:mod:`repro.crypto.curve` (where "multiplication" is point addition and
+"exponentiation" is scalar multiplication — the abstract operation
+names stay multiplicative to match the paper's notation).
+
+Group elements are opaque to callers: integers for MODP, Edwards
+points for the curve.  The wire and the key-derivation hash only ever
+see :meth:`Group.encode_element` bytes, and
+:meth:`Group.decode_element` is the single validation chokepoint for
+untrusted peer material (range / on-curve / small-order checks live
+there and in :meth:`Group.contains`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.hashes import hash_group_element
+from repro.errors import ConfigurationError
+
+
+class Group(ABC):
+    """A cyclic group with a fixed generator, written multiplicatively.
+
+    Implementations: :class:`~repro.crypto.numbers.DHGroup` (integers
+    mod a safe prime) and
+    :class:`~repro.crypto.curve.Curve25519Group` (the prime-order
+    subgroup of Curve25519 in twisted-Edwards form).
+    """
+
+    #: Stable identifier: names the group on the wire (``Hello``
+    #: negotiation), in metrics labels, and in the key-derivation
+    #: domain separation of :meth:`hash_element`.
+    name: str
+
+    # -- scalars -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def exponent_modulus(self) -> int:
+        """The modulus exponent arithmetic lives in (``p - 1`` for MODP
+        by Fermat, the subgroup order ``L`` for the curve)."""
+
+    @abstractmethod
+    def random_exponent(self, rng) -> int:
+        """Draw a secret exponent under this group's policy."""
+
+    # -- fixed-base exponentiation (the precomputable hot path) ------------
+
+    @property
+    @abstractmethod
+    def comb_enabled(self) -> bool:
+        """Whether :meth:`power` routes through a precomputed table."""
+
+    @abstractmethod
+    def power(self, exponent: int):
+        """``g^exponent`` via the fixed-base fast path."""
+
+    @abstractmethod
+    def power_naive(self, exponent: int):
+        """``g^exponent`` via the reference (table-free) arithmetic."""
+
+    # -- element arithmetic ------------------------------------------------
+
+    @abstractmethod
+    def exp(self, element, exponent: int):
+        """``element^exponent`` (variable base; no table)."""
+
+    @abstractmethod
+    def mul(self, a, b):
+        """The group operation (modular product / point addition)."""
+
+    @abstractmethod
+    def div(self, a, b):
+        """``a * b^{-1}`` (modular inverse / point subtraction)."""
+
+    @abstractmethod
+    def contains(self, element) -> bool:
+        """Whether ``element`` is an acceptable peer element (range /
+        on-curve / small-order checks)."""
+
+    # -- wire representation -----------------------------------------------
+
+    @abstractmethod
+    def encode_element(self, element) -> bytes:
+        """Canonical byte encoding (what the wire and the KDF see)."""
+
+    @abstractmethod
+    def decode_element(self, data: bytes):
+        """Parse untrusted peer bytes into a validated element.
+
+        Raises :class:`~repro.errors.ProtocolError` on anything that
+        is not the canonical encoding of an acceptable element.
+        """
+
+    # -- key derivation ----------------------------------------------------
+
+    def hash_element(self, element, context: bytes = b"wavekey-ot") -> bytes:
+        """Derive a 32-byte key from ``element`` (the ``H`` of Fig. 3).
+
+        Hashes the canonical encoding with the group id mixed into the
+        domain separation, so the same scalar relationship in two
+        different groups can never yield the same symmetric key.
+        """
+        return hash_group_element(
+            self.encode_element(element), context, group_id=self.name
+        )
+
+
+#: CLI spellings accepted by :func:`resolve_group`.
+GROUP_CHOICES = ("modp512", "curve25519")
+
+
+def resolve_group(name: str) -> Group:
+    """Map a CLI/wire group name to its module-level group instance.
+
+    Accepts the CLI spellings (``modp512``, ``curve25519``) and the
+    wire ids (``wavekey-512``, ``curve25519``).  Imports lazily so the
+    registry creates no module cycle with the implementations.
+    """
+    if name in ("modp512", "wavekey-512"):
+        from repro.crypto.numbers import WAVEKEY_GROUP_512
+
+        return WAVEKEY_GROUP_512
+    if name == "curve25519":
+        from repro.crypto.curve import CURVE25519_GROUP
+
+        return CURVE25519_GROUP
+    raise ConfigurationError(
+        f"unknown group {name!r} (choices: {', '.join(GROUP_CHOICES)})"
+    )

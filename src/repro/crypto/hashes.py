@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from typing import Union
 
 from repro.errors import CryptoError
 
@@ -21,13 +22,28 @@ def _int_to_bytes(value: int) -> bytes:
     return value.to_bytes(length, "big")
 
 
-def hash_group_element(element: int, context: bytes = b"wavekey-ot") -> bytes:
+def hash_group_element(
+    element: Union[int, bytes],
+    context: bytes = b"wavekey-ot",
+    group_id: str = "",
+) -> bytes:
     """Derive a 32-byte symmetric key from a group element (the ``H`` of
-    Fig. 3), domain-separated by ``context``."""
+    Fig. 3), domain-separated by ``context`` and ``group_id``.
+
+    ``element`` is the canonical encoding produced by
+    :meth:`~repro.crypto.group.Group.encode_element` (a bare int is
+    accepted and minimally big-endian encoded, for MODP callers).  A
+    non-empty ``group_id`` is mixed into the separation so the same
+    exponent relationship in two different groups can never derive the
+    same key; the empty default keeps the historical digest layout.
+    """
     h = hashlib.sha256()
     h.update(context)
+    if group_id:
+        h.update(b"|")
+        h.update(group_id.encode("ascii"))
     h.update(b"|")
-    h.update(_int_to_bytes(element))
+    h.update(element if isinstance(element, bytes) else _int_to_bytes(element))
     return h.digest()
 
 

@@ -17,7 +17,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import CryptoError
+from repro.crypto.group import Group
+from repro.errors import CryptoError, ProtocolError
 from repro.utils.rng import ensure_rng
 
 #: Default comb window width (bits per digit).  Chosen empirically for
@@ -158,7 +159,7 @@ class FixedBaseComb:
 
 
 @dataclass(frozen=True)
-class DHGroup:
+class DHGroup(Group):
     """A multiplicative group mod a safe prime, with a fixed generator.
 
     ``power`` (the fixed-base hot path: every OT announce/respond is a
@@ -306,6 +307,10 @@ class DHGroup:
         """
         return pow(self.generator, exponent, self.prime)
 
+    def exp(self, element: int, exponent: int) -> int:
+        """``element ** exponent mod prime`` (variable base)."""
+        return pow(element, exponent, self.prime)
+
     def mul(self, a: int, b: int) -> int:
         return (a * b) % self.prime
 
@@ -313,8 +318,28 @@ class DHGroup:
         """``a / b`` via the modular inverse of ``b``."""
         return (a * pow(b, -1, self.prime)) % self.prime
 
-    def contains(self, element: int) -> bool:
-        return 0 < element < self.prime
+    def contains(self, element) -> bool:
+        return isinstance(element, int) and 0 < element < self.prime
+
+    @property
+    def exponent_modulus(self) -> int:
+        """Exponents live mod ``p - 1`` (Fermat)."""
+        return self.prime - 1
+
+    def encode_element(self, element: int) -> bytes:
+        """Minimal big-endian bytes — the historical wire encoding."""
+        element = int(element)
+        if element < 0:
+            raise CryptoError("group elements are non-negative")
+        return element.to_bytes(max(1, (element.bit_length() + 7) // 8), "big")
+
+    def decode_element(self, data: bytes) -> int:
+        if not data:
+            raise ProtocolError("empty group element")
+        element = int.from_bytes(data, "big")
+        if not self.contains(element):
+            raise ProtocolError("element outside the group")
+        return element
 
 
 def generate_dh_group(bits: int, rng=None, max_tries: int = 100_000) -> DHGroup:

@@ -33,8 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.crypto.hashes import hash_group_element
-from repro.crypto.numbers import DHGroup
+from repro.crypto.group import Group
 from repro.crypto.pool import (
     OTMaterialPool,
     ReceiverMaterial,
@@ -57,16 +56,14 @@ class OTCiphertexts:
 class OTSender:
     """Sender role of one 1-out-of-2 OT instance."""
 
-    def __init__(self, group: DHGroup, rng=None):
+    def __init__(self, group: Group, rng=None):
         self.group = group
         self._rng = ensure_rng(rng)
         self._a: Optional[int] = None
-        self._m_a: Optional[int] = None
-        self._k1_factor: Optional[int] = None
+        self._m_a = None
+        self._k1_factor = None
 
-    def announce(
-        self, material: Optional[SenderMaterial] = None
-    ) -> int:
+    def announce(self, material: Optional[SenderMaterial] = None):
         """Phase 1: draw ``a`` and return ``M_a = g^a``.
 
         With pooled ``material`` the tuple was precomputed off the hot
@@ -91,9 +88,7 @@ class OTSender:
             )
         return self._m_a
 
-    def encrypt(
-        self, m_b: int, secret0: bytes, secret1: bytes
-    ) -> OTCiphertexts:
+    def encrypt(self, m_b, secret0: bytes, secret1: bytes) -> OTCiphertexts:
         """Phase 3: encrypt both secrets against the receiver's ``M_b``."""
         if self._a is None:
             raise ProtocolError("OTSender.encrypt before announce")
@@ -101,18 +96,17 @@ class OTSender:
             raise ProtocolError("receiver message outside the group")
         if len(secret0) != len(secret1):
             raise CryptoError("OT secrets must have equal length")
-        prime = self.group.prime
-        k0_element = pow(m_b, self._a, prime)
+        k0_element = self.group.exp(m_b, self._a)
         if self._k1_factor is not None:
             # (M_b / M_a)^a == M_b^a * M_a^{-a}, with M_a^{-a}
             # precomputed at announce/pool time.
-            k1_element = k0_element * self._k1_factor % prime
+            k1_element = self.group.mul(k0_element, self._k1_factor)
         else:
-            k1_element = pow(
-                self.group.div(m_b, self._m_a), self._a, prime
+            k1_element = self.group.exp(
+                self.group.div(m_b, self._m_a), self._a
             )
-        k0 = hash_group_element(k0_element)
-        k1 = hash_group_element(k1_element)
+        k0 = self.group.hash_element(k0_element)
+        k1 = self.group.hash_element(k1_element)
         return OTCiphertexts(
             e0=xor_cipher(secret0, k0, b"ot0"),
             e1=xor_cipher(secret1, k1, b"ot1"),
@@ -122,19 +116,19 @@ class OTSender:
 class OTReceiver:
     """Receiver role of one 1-out-of-2 OT instance."""
 
-    def __init__(self, group: DHGroup, rng=None):
+    def __init__(self, group: Group, rng=None):
         self.group = group
         self._rng = ensure_rng(rng)
         self._b: Optional[int] = None
         self._choice: Optional[int] = None
-        self._m_a: Optional[int] = None
+        self._m_a = None
 
     def respond(
         self,
-        m_a: int,
+        m_a,
         choice: int,
         material: Optional[ReceiverMaterial] = None,
-    ) -> int:
+    ):
         """Phase 2: answer ``M_a`` with ``M_b`` crafted for ``choice``."""
         if choice not in (0, 1):
             raise ProtocolError(f"OT choice must be 0 or 1, got {choice}")
@@ -157,8 +151,8 @@ class OTReceiver:
         """Phase 4: recover the selected secret."""
         if self._b is None:
             raise ProtocolError("OTReceiver.decrypt before respond")
-        key = hash_group_element(
-            pow(self._m_a, self._b, self.group.prime)
+        key = self.group.hash_element(
+            self.group.exp(self._m_a, self._b)
         )
         cipher = ciphertexts.e1 if self._choice else ciphertexts.e0
         context = b"ot1" if self._choice else b"ot0"
@@ -171,7 +165,7 @@ class OTReceiver:
 def batch_announce(
     senders: Sequence[OTSender],
     pool: Optional[OTMaterialPool] = None,
-) -> List[int]:
+) -> list:
     """Announce all ``senders``, drawing warm tuples from ``pool``.
 
     The pool hands back at most what it holds; the remainder is
@@ -191,10 +185,10 @@ def batch_announce(
 
 def batch_respond(
     receivers: Sequence[OTReceiver],
-    elements: Sequence[int],
+    elements: Sequence,
     choices: Sequence[int],
     pool: Optional[OTMaterialPool] = None,
-) -> List[int]:
+) -> list:
     """Respond to a batch of announces, drawing warm tuples from ``pool``."""
     if len(receivers) != len(elements) or len(receivers) != len(choices):
         raise ProtocolError(
@@ -219,7 +213,7 @@ def batch_respond(
 
 
 def run_batch_ot(
-    group: DHGroup,
+    group: Group,
     secret_pairs: Sequence[Tuple[bytes, bytes]],
     choices: Sequence[int],
     sender_rng=None,

@@ -31,8 +31,9 @@ OT exponent across sessions would let a peer correlate them).
 
 Observability: ``crypto.pool.hit`` / ``crypto.pool.miss`` /
 ``crypto.pool.produced`` counters and ``crypto.pool.depth`` gauges are
-labeled by material ``kind`` (and ``group``); refills record a
-``crypto.pool.refill_s`` histogram and run under a
+labeled by material ``kind`` and ``group``, so operators can tell the
+stocks apart when a server keeps both a MODP and a curve group warm;
+refills record a group-labeled ``crypto.pool.refill_s`` histogram and run under a
 ``crypto.pool.refill`` span so exhaustion shows up in traces.
 """
 
@@ -43,7 +44,7 @@ import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.crypto.numbers import DHGroup
+from repro.crypto.group import Group
 from repro.errors import ConfigurationError, CryptoError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer, resolve_tracer
@@ -54,16 +55,18 @@ from repro.utils.rng import ensure_rng
 _REFILL_CHUNK = 16
 
 
-def sender_k1_factor(group: DHGroup, a: int) -> int:
-    """``M_a^{-a} = g^{-a^2} mod p`` for a sender exponent ``a``.
+def sender_k1_factor(group: Group, a: int):
+    """``M_a^{-a} = g^{-a^2}`` for a sender exponent ``a``.
 
     Computed via the *fixed-base* path (the exponent is reduced mod
-    ``p - 1``, Fermat), so deriving it costs one comb exponentiation —
-    cheap at material-creation time, and it converts the sender's
-    second OT key from ``inverse + pow`` into a single multiplication
-    on the hot path.
+    :attr:`~repro.crypto.group.Group.exponent_modulus` — ``p - 1`` by
+    Fermat for MODP, the subgroup order ``L`` for the curve), so
+    deriving it costs one comb exponentiation — cheap at
+    material-creation time, and it converts the sender's second OT key
+    from ``inverse + exp`` into a single group multiplication on the
+    hot path.
     """
-    return group.power((-a * a) % (group.prime - 1))
+    return group.power((-a * a) % group.exponent_modulus)
 
 
 class SenderMaterial:
@@ -71,14 +74,14 @@ class SenderMaterial:
 
     __slots__ = ("group", "a", "m_a", "k1_factor", "_consumed")
 
-    def __init__(self, group: DHGroup, a: int, m_a: int, k1_factor: int):
+    def __init__(self, group: Group, a: int, m_a, k1_factor):
         self.group = group
         self.a = a
         self.m_a = m_a
         self.k1_factor = k1_factor
         self._consumed = False
 
-    def claim(self, group: DHGroup) -> None:
+    def claim(self, group: Group) -> None:
         """Mark consumed; reuse or cross-group use is a hard error."""
         if group != self.group:
             raise CryptoError(
@@ -98,13 +101,13 @@ class ReceiverMaterial:
 
     __slots__ = ("group", "b", "g_b", "_consumed")
 
-    def __init__(self, group: DHGroup, b: int, g_b: int):
+    def __init__(self, group: Group, b: int, g_b):
         self.group = group
         self.b = b
         self.g_b = g_b
         self._consumed = False
 
-    def claim(self, group: DHGroup) -> None:
+    def claim(self, group: Group) -> None:
         """Mark consumed; reuse or cross-group use is a hard error."""
         if group != self.group:
             raise CryptoError(
@@ -124,7 +127,7 @@ class _GroupStock:
 
     __slots__ = ("group", "senders", "receivers", "lock")
 
-    def __init__(self, group: DHGroup):
+    def __init__(self, group: Group):
         self.group = group
         self.senders: Deque[SenderMaterial] = deque()
         self.receivers: Deque[ReceiverMaterial] = deque()
@@ -176,7 +179,7 @@ class OTMaterialPool:
         self.tracer = tracer
         self._rng = ensure_rng(rng)
         self._rng_lock = threading.Lock()
-        self._stocks: Dict[DHGroup, _GroupStock] = {}
+        self._stocks: Dict[Group, _GroupStock] = {}
         self._stocks_lock = threading.Lock()
         self._wake = threading.Event()
         self._running = False
@@ -213,12 +216,12 @@ class OTMaterialPool:
 
     # -- stocks ------------------------------------------------------------
 
-    def register(self, group: DHGroup) -> None:
+    def register(self, group: Group) -> None:
         """Key a stock for ``group`` (refilled from the next cycle on)."""
         self._stock(group)
         self._wake.set()
 
-    def _stock(self, group: DHGroup) -> _GroupStock:
+    def _stock(self, group: Group) -> _GroupStock:
         stock = self._stocks.get(group)
         if stock is None:
             with self._stocks_lock:
@@ -228,7 +231,7 @@ class OTMaterialPool:
                     self._stocks[group] = stock
         return stock
 
-    def depths(self, group: DHGroup) -> Tuple[int, int]:
+    def depths(self, group: Group) -> Tuple[int, int]:
         """Current ``(sender, receiver)`` stock depth for ``group``."""
         stock = self._stock(group)
         with stock.lock:
@@ -236,17 +239,17 @@ class OTMaterialPool:
 
     # -- takes (hot path) --------------------------------------------------
 
-    def take_senders(self, group: DHGroup, n: int) -> List[SenderMaterial]:
+    def take_senders(self, group: Group, n: int) -> List[SenderMaterial]:
         """Pop up to ``n`` sender tuples; shortfalls are counted misses."""
         return self._take(group, n, "sender")
 
     def take_receivers(
-        self, group: DHGroup, n: int
+        self, group: Group, n: int
     ) -> List[ReceiverMaterial]:
         """Pop up to ``n`` receiver tuples; shortfalls are counted misses."""
         return self._take(group, n, "receiver")
 
-    def _take(self, group: DHGroup, n: int, kind: str) -> list:
+    def _take(self, group: Group, n: int, kind: str) -> list:
         if n < 0:
             raise ConfigurationError("take count must be >= 0")
         stock = self._stock(group)
@@ -257,37 +260,34 @@ class OTMaterialPool:
                 taken.append(queue.popleft())
             depth = len(queue)
         hits, misses = len(taken), n - len(taken)
+        labels = {"kind": kind, "group": group.name}
         if hits:
-            self.metrics.counter(
-                "crypto.pool.hit", labels={"kind": kind}
-            ).inc(hits)
+            self.metrics.counter("crypto.pool.hit", labels=labels).inc(hits)
         if misses:
-            self.metrics.counter(
-                "crypto.pool.miss", labels={"kind": kind}
-            ).inc(misses)
+            self.metrics.counter("crypto.pool.miss", labels=labels).inc(misses)
         self._set_depth(group, kind, depth)
         if depth < self.low_watermark:
             self._wake.set()
         return taken
 
-    def _set_depth(self, group: DHGroup, kind: str, depth: int) -> None:
+    def _set_depth(self, group: Group, kind: str, depth: int) -> None:
         self.metrics.gauge(
             "crypto.pool.depth", labels={"kind": kind, "group": group.name}
         ).set(depth)
 
     # -- production (off the hot path) -------------------------------------
 
-    def _make_sender(self, group: DHGroup, rng) -> SenderMaterial:
+    def _make_sender(self, group: Group, rng) -> SenderMaterial:
         a = group.random_exponent(rng)
         return SenderMaterial(
             group, a, group.power(a), sender_k1_factor(group, a)
         )
 
-    def _make_receiver(self, group: DHGroup, rng) -> ReceiverMaterial:
+    def _make_receiver(self, group: Group, rng) -> ReceiverMaterial:
         b = group.random_exponent(rng)
         return ReceiverMaterial(group, b, group.power(b))
 
-    def fill(self, group: Optional[DHGroup] = None) -> int:
+    def fill(self, group: Optional[Group] = None) -> int:
         """Synchronously top every (or one) stock up to ``depth``.
 
         Returns the number of tuples produced.  Production happens in
@@ -334,11 +334,14 @@ class OTMaterialPool:
         total = produced["sender"] + produced["receiver"]
         if total:
             elapsed = time.monotonic() - start
-            self.metrics.histogram("crypto.pool.refill_s").observe(elapsed)
+            self.metrics.histogram(
+                "crypto.pool.refill_s", labels={"group": group.name}
+            ).observe(elapsed)
             for kind, count in produced.items():
                 if count:
                     self.metrics.counter(
-                        "crypto.pool.produced", labels={"kind": kind}
+                        "crypto.pool.produced",
+                        labels={"kind": kind, "group": group.name},
                     ).inc(count)
             tracer = resolve_tracer(self.tracer)
             if tracer.enabled:

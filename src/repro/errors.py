@@ -73,6 +73,20 @@ class MessageDropped(TransportError, ProtocolError):
     """
 
 
+class GroupMismatch(ProtocolError):
+    """Client and server are configured for different OT groups.
+
+    The group is negotiated in the wire ``Hello`` (empty group id ==
+    the historical 512-bit MODP default); a server answering with a
+    ``group`` error frame refuses the session before any element
+    bytes are exchanged, and the client raises this instead of
+    retrying — a retry against the same server cannot succeed.
+    """
+
+    #: Wire error code carried in the ErrorFrame for this rejection.
+    wire_code = "group"
+
+
 class KeyAgreementFailure(ProtocolError):
     """The two parties could not converge on a common key.
 

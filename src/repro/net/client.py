@@ -31,11 +31,14 @@ from typing import List, Optional, Tuple
 
 from repro.access.channel import ClientAccessChannel, new_nonce
 from repro.access.records import derive_resume_secret, revocation_tag
+from repro.crypto.group import Group
 from repro.crypto.hashes import hmac_digest
+from repro.crypto.numbers import WAVEKEY_GROUP_512
 from repro.errors import (
     AccessError,
     ConfigurationError,
     ConnectionTimeout,
+    GroupMismatch,
     KeyAgreementFailure,
     ProtocolError,
     TicketError,
@@ -115,6 +118,7 @@ class NetClientConfig:
     backoff_max_s: float = 1.0
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     endpoints: Tuple[str, ...] = ()
+    group: Group = WAVEKEY_GROUP_512
 
     def __post_init__(self):
         if not self.name:
@@ -439,9 +443,16 @@ class WaveKeyNetClient:
             with tracer.span("net.hello"):
                 # Propagate the active trace (the span just opened, or
                 # any caller-held one) so the server continues it.
+                # The default group travels as an empty id so the Hello
+                # stays byte-identical to the pre-negotiation wire.
+                group_id = (
+                    "" if config.group == WAVEKEY_GROUP_512
+                    else config.group.name
+                )
                 conn.send(Hello(
                     sender=config.name, rng_seed=rng_seed, dynamic=dynamic,
                     trace_context=current_context(service=config.name),
+                    group_id=group_id,
                 ))
                 answer = conn.recv()
             if isinstance(answer, ErrorFrame):
@@ -457,7 +468,9 @@ class WaveKeyNetClient:
                 )
             accept = answer
             agreement_config = KeyAgreementConfig(
-                key_length_bits=accept.key_length_bits, eta=accept.eta
+                key_length_bits=accept.key_length_bits,
+                eta=accept.eta,
+                group=config.group,
             )
 
             rounds: List[RoundResult] = []
@@ -507,6 +520,10 @@ class WaveKeyNetClient:
                 failure_reason=f"{error.code}: {error.detail}",
                 rounds=rounds or [],
             )
+        if error.code == GroupMismatch.wire_code:
+            # Retrying against the same server cannot change its
+            # configured group, so surface the typed error immediately.
+            raise GroupMismatch(error.detail or "server rejected the group")
         raise ProtocolError(f"server error {error.code}: {error.detail}")
 
     def _verdict_result(

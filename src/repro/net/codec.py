@@ -32,10 +32,13 @@ element counts, per-element length prefixes) plus the 5-byte frame
 header — :func:`framing_overhead` computes it so tests can pin the
 identity exactly.
 
-Integers (OT group elements) are encoded as ``u16`` length plus the
-minimal big-endian byte string, matching the ``max(1, ...)`` minimal
-sizing that ``wire_size_bytes`` models; bit sequences are a ``u32`` bit
-count plus MSB-first packed bytes.
+OT group elements travel as ``u16`` length plus the group's canonical
+encoding — minimal big-endian bytes for MODP (byte-identical to the
+historical integer fields) and 32-byte compressed points for
+curve25519; the codec treats them as opaque and the negotiated group
+validates them.  Bare integers still use the same u16-length + minimal
+big-endian layout; bit sequences are a ``u32`` bit count plus MSB-first
+packed bytes.
 """
 
 from __future__ import annotations
@@ -131,6 +134,14 @@ class Hello:
     minting a new trace.  Encoded as a trailing optional block, so a
     context-less Hello is byte-identical to the pre-trace wire format
     and old peers interoperate cleanly.
+
+    ``group_id`` (optional) negotiates the OT group for the session:
+    empty means the historical default (the 512-bit MODP simulation
+    group), anything else names the group the client will run the
+    exchange in (e.g. ``curve25519``).  Same trailing-block encoding,
+    so default-group Hellos stay byte-identical to the old wire; a
+    server configured for a different group answers with a typed
+    ``group`` error frame instead of mis-decoding elements.
     """
 
     sender: str
@@ -138,17 +149,23 @@ class Hello:
     dynamic: bool = False
     version: int = PROTOCOL_VERSION
     trace_context: Optional[TraceContext] = None
+    group_id: str = ""
 
     def wire_size_bytes(self) -> int:
         """Exact encoded payload size (codec reconciliation)."""
         seed = int(self.rng_seed)
         seed_bytes = max(1, (seed.bit_length() + 7) // 8)
+        group_bytes = (
+            1 + 2 + len(self.group_id.encode("utf-8"))
+            if self.group_id else 0
+        )
         return (
             1  # version
             + 2 + len(self.sender.encode("utf-8"))
             + 2 + seed_bytes
             + 1  # dynamic flag
             + _trace_context_wire_bytes(self.trace_context)
+            + group_bytes
         )
 
 
@@ -593,14 +610,30 @@ class _Reader:
 def _encode_announce_like(msg) -> bytes:
     w = _Writer().string(msg.sender).u16(len(msg.elements))
     for element in msg.elements:
-        w.uint(element)
+        w.blob16(element)
     return w.payload()
+
+
+def _read_element(r: _Reader) -> bytes:
+    """One length-prefixed group element (opaque encoded bytes).
+
+    For MODP elements the bytes are the minimal big-endian integer the
+    old ``uint`` field carried — the frames are byte-identical — but
+    the codec no longer interprets them: validation happens where the
+    negotiated group decodes them.  An empty element can encode
+    nothing in any group, so it is rejected here like the empty
+    integer field always was.
+    """
+    data = r.blob16()
+    if not data:
+        raise DecodeError("empty group element field")
+    return data
 
 
 def _decode_announce(payload: bytes) -> OTAnnounce:
     r = _Reader(payload)
     sender = r.string()
-    elements = tuple(r.uint() for _ in range(r.u16()))
+    elements = tuple(_read_element(r) for _ in range(r.u16()))
     r.expect_end()
     return OTAnnounce(sender=sender, elements=elements)
 
@@ -608,7 +641,7 @@ def _decode_announce(payload: bytes) -> OTAnnounce:
 def _decode_response(payload: bytes) -> OTResponse:
     r = _Reader(payload)
     sender = r.string()
-    elements = tuple(r.uint() for _ in range(r.u16()))
+    elements = tuple(_read_element(r) for _ in range(r.u16()))
     r.expect_end()
     return OTResponse(sender=sender, elements=elements)
 
@@ -666,6 +699,10 @@ def _decode_confirmation(payload: bytes) -> ConfirmationResponse:
 #: format would get a new marker value rather than a version bump.
 _TRACE_CONTEXT_MARKER = 0x01
 
+#: Format marker opening the optional group-id tail block (Hello only):
+#: one codec string naming the negotiated OT group.
+_GROUP_ID_MARKER = 0x02
+
 
 def _write_trace_context(
     w: _Writer, context: Optional[TraceContext]
@@ -716,7 +753,10 @@ def _encode_hello(msg: Hello) -> bytes:
         .uint(msg.rng_seed)
         .u8(1 if msg.dynamic else 0)
     )
-    return _write_trace_context(w, msg.trace_context).payload()
+    _write_trace_context(w, msg.trace_context)
+    if msg.group_id:
+        w.u8(_GROUP_ID_MARKER).string(msg.group_id)
+    return w.payload()
 
 
 def _decode_hello(payload: bytes) -> Hello:
@@ -725,14 +765,38 @@ def _decode_hello(payload: bytes) -> Hello:
     sender = r.string()
     rng_seed = r.uint()
     dynamic = bool(r.u8())
-    trace_context = _read_trace_context(r)
-    r.expect_end()
+    # Optional trailing blocks, each at most once, any order: pre-trace
+    # peers send none, default-group peers omit the group block.
+    trace_context: Optional[TraceContext] = None
+    group_id = ""
+    while r.remaining:
+        marker = r.u8()
+        if marker == _TRACE_CONTEXT_MARKER:
+            if trace_context is not None:
+                raise DecodeError("duplicate trace-context block")
+            trace_context = TraceContext(
+                trace_id=r.string(),
+                span_id=r.string(),
+                sampled=bool(r.u8()),
+                service=r.string(),
+            )
+        elif marker == _GROUP_ID_MARKER:
+            if group_id:
+                raise DecodeError("duplicate group-id block")
+            group_id = r.string()
+            if not group_id:
+                raise DecodeError("empty group-id block")
+        else:
+            raise DecodeError(
+                f"unknown trace-context marker 0x{marker:02x}"
+            )
     return Hello(
         sender=sender,
         rng_seed=rng_seed,
         dynamic=dynamic,
         version=version,
         trace_context=trace_context,
+        group_id=group_id,
     )
 
 

@@ -65,11 +65,13 @@ from repro.access.channel import ServerAccessChannel, default_op_handler
 from repro.access.records import derive_resume_secret, verify_revocation_tag
 from repro.access.store import KeyStore
 from repro.crypto.hashes import hmac_verify
+from repro.crypto.numbers import WAVEKEY_GROUP_512
 from repro.errors import (
     AccessError,
     ConnectionClosed,
     ConnectionTimeout,
     DeadlineExceeded,
+    GroupMismatch,
     KeyAgreementFailure,
     ProtocolError,
     RecordRejected,
@@ -877,6 +879,16 @@ class WaveKeyTCPServer:
             ))
             self._close_after_flush(conn)
             return
+        served_group = self.access_server.agreement_config.group
+        requested_group = message.group_id or WAVEKEY_GROUP_512.name
+        if requested_group != served_group.name:
+            self._enqueue(conn, ErrorFrame(
+                GroupMismatch.wire_code,
+                f"server runs OT group {served_group.name!r}, "
+                f"client requested {requested_group!r}",
+            ))
+            self._close_after_flush(conn)
+            return
 
         conn.peer = message.sender
         conn.hello_at = time.monotonic()
@@ -1401,6 +1413,15 @@ class ThreadedWaveKeyTCPServer:
         if not hello.sender or hello.sender == self.name:
             conn.send(ErrorFrame(
                 "identity", f"invalid client identity {hello.sender!r}"
+            ))
+            return
+        served_group = self.access_server.agreement_config.group
+        requested_group = hello.group_id or WAVEKEY_GROUP_512.name
+        if requested_group != served_group.name:
+            conn.send(ErrorFrame(
+                GroupMismatch.wire_code,
+                f"server runs OT group {served_group.name!r}, "
+                f"client requested {requested_group!r}",
             ))
             return
 

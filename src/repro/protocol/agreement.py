@@ -27,7 +27,8 @@ import numpy as np
 
 from repro.crypto.segment_sketch import SegmentSecureSketch
 from repro.crypto.hashes import hmac_digest, hmac_verify
-from repro.crypto.numbers import DHGroup, WAVEKEY_GROUP_512
+from repro.crypto.group import Group
+from repro.crypto.numbers import WAVEKEY_GROUP_512
 from repro.crypto.ot import (
     OTCiphertexts,
     OTReceiver,
@@ -72,7 +73,7 @@ class KeyAgreementConfig:
     eta: float = 0.04
     tau_s: float = 0.12
     gesture_window_s: float = 2.0
-    group: DHGroup = WAVEKEY_GROUP_512
+    group: Group = WAVEKEY_GROUP_512
     nonce_bytes: int = 16
 
     def __post_init__(self):
@@ -166,9 +167,13 @@ class AgreementParty:
 
     def craft_announce(self) -> OTAnnounce:
         """``M_A``: announce all OT instances this party sends."""
+        group = self.config.group
         return OTAnnounce(
             sender=self.name,
-            elements=tuple(batch_announce(self._senders, self.pool)),
+            elements=tuple(
+                group.encode_element(e)
+                for e in batch_announce(self._senders, self.pool)
+            ),
         )
 
     def craft_ciphertexts(self, response: OTResponse) -> OTCiphertextBatch:
@@ -179,12 +184,20 @@ class AgreementParty:
                 f"{self.name}: expected {self.l_s} OT responses, got "
                 f"{len(response.elements)}"
             )
+        group = self.config.group
         pairs = []
         for sender, element, (x0, x1) in zip(
             self._senders, response.elements, self.sequence_pairs
         ):
+            # decode_element is the validation chokepoint for peer
+            # bytes: range/on-curve/small-order rejects surface here as
+            # ProtocolError and become failed outcomes, not crashes.
             pairs.append(
-                sender.encrypt(element, x0.to_bytes(), x1.to_bytes())
+                sender.encrypt(
+                    group.decode_element(element),
+                    x0.to_bytes(),
+                    x1.to_bytes(),
+                )
             )
         return OTCiphertextBatch(sender=self.name, pairs=tuple(pairs))
 
@@ -198,10 +211,12 @@ class AgreementParty:
                 f"{self.name}: expected {self.l_s} OT announces, got "
                 f"{len(announce.elements)}"
             )
+        group = self.config.group
         elements = tuple(
-            batch_respond(
+            group.encode_element(e)
+            for e in batch_respond(
                 self._receivers,
-                announce.elements,
+                [group.decode_element(e) for e in announce.elements],
                 [int(self.seed[i]) for i in range(self.l_s)],
                 self.pool,
             )

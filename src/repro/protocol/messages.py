@@ -36,19 +36,46 @@ def require_sender(message, expected: str):
     return message
 
 
+def _coerce_elements(elements: Tuple) -> Tuple[bytes, ...]:
+    """Normalize OT elements to their wire form (encoded bytes).
+
+    Group elements travel as opaque, group-defined encodings; a bare
+    int (the historical MODP form, still used directly by tests and
+    attack tooling) coerces to its minimal big-endian bytes, which is
+    byte-identical to the pre-generic wire encoding.
+    """
+    coerced = []
+    for element in elements:
+        if isinstance(element, bytes):
+            coerced.append(element)
+        elif isinstance(element, int):
+            if element < 0:
+                raise ProtocolError("group elements are non-negative")
+            coerced.append(
+                element.to_bytes(max(1, (element.bit_length() + 7) // 8),
+                                 "big")
+            )
+        else:
+            raise ProtocolError(
+                f"OT elements are bytes, got {type(element).__name__}"
+            )
+    return tuple(coerced)
+
+
 @dataclass(frozen=True)
 class OTAnnounce:
-    """``M_A``: the concatenated ``g^a_i`` of all OT instances."""
+    """``M_A``: the concatenated encoded ``g^a_i`` of all OT instances."""
 
     sender: str
-    elements: Tuple[int, ...]
+    elements: Tuple[bytes, ...]
 
     def __post_init__(self):
         if not self.elements:
             raise ProtocolError("empty OT announce")
+        object.__setattr__(self, "elements", _coerce_elements(self.elements))
 
     def wire_size_bytes(self) -> int:
-        return sum(max(1, (e.bit_length() + 7) // 8) for e in self.elements)
+        return sum(len(e) for e in self.elements)
 
 
 @dataclass(frozen=True)
@@ -56,14 +83,15 @@ class OTResponse:
     """``M_B``: the concatenated receiver responses ``n_i``."""
 
     sender: str
-    elements: Tuple[int, ...]
+    elements: Tuple[bytes, ...]
 
     def __post_init__(self):
         if not self.elements:
             raise ProtocolError("empty OT response")
+        object.__setattr__(self, "elements", _coerce_elements(self.elements))
 
     def wire_size_bytes(self) -> int:
-        return sum(max(1, (e.bit_length() + 7) // 8) for e in self.elements)
+        return sum(len(e) for e in self.elements)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,190 @@
+"""Curve25519 tests: RFC 7748 vectors, encoding hygiene, cross-checks.
+
+The ladder is pinned to the published test vectors (both §5.2 vectors
+plus the iterated one), the Edwards arithmetic is cross-checked against
+the ladder through the birational map, and the decoder's rejection
+paths — non-canonical, off-curve, small-order — are exercised with
+hand-built encodings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.curve import (
+    BASE_POINT,
+    CURVE25519_GROUP,
+    D,
+    EdwardsComb,
+    EdwardsPoint,
+    L,
+    P,
+    SQRT_M1,
+    X25519_BASE,
+    clamp_scalar,
+    decode_point,
+    scalar_mul,
+    scalar_mul_naive,
+    x25519,
+)
+from repro.errors import ProtocolError
+
+# RFC 7748 section 5.2, first test vector.
+VECTOR_1 = (
+    "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
+    "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
+    "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552",
+)
+
+# RFC 7748 section 5.2, second test vector.
+VECTOR_2 = (
+    "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d",
+    "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493",
+    "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957",
+)
+
+# RFC 7748 section 5.2, iterated vector: k = u = 9, then
+# (k, u) <- (X25519(k, u), k), checked after 1 and 1000 rounds.
+ITERATED_1 = (
+    "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+)
+ITERATED_1000 = (
+    "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+)
+
+
+class TestX25519Vectors:
+    @pytest.mark.parametrize("scalar,u,expected", [VECTOR_1, VECTOR_2])
+    def test_rfc7748_section_5_2(self, scalar, u, expected):
+        out = x25519(bytes.fromhex(scalar), bytes.fromhex(u))
+        assert out.hex() == expected
+
+    def test_rfc7748_iterated_1000(self):
+        k = u = X25519_BASE
+        for i in range(1000):
+            k, u = x25519(k, u), k
+            if i == 0:
+                assert k.hex() == ITERATED_1
+        assert k.hex() == ITERATED_1000
+
+    def test_clamping(self):
+        k = clamp_scalar(bytes(range(32)))
+        assert k % 8 == 0
+        assert k.bit_length() == 255
+
+
+class TestEdwardsArithmetic:
+    def test_base_point_is_on_curve(self):
+        assert BASE_POINT.is_on_curve()
+        assert not BASE_POINT.is_small_order()
+
+    def test_base_point_has_order_l(self):
+        assert scalar_mul(BASE_POINT, L).is_identity()
+        assert not scalar_mul(BASE_POINT, L - 1).is_identity()
+
+    def test_add_double_negate_consistency(self):
+        p2 = BASE_POINT.add(BASE_POINT)
+        assert p2 == BASE_POINT.double()
+        assert p2.add(BASE_POINT.negate()) == BASE_POINT
+        assert BASE_POINT.add(BASE_POINT.negate()).is_identity()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_window_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int.from_bytes(bytes(rng.integers(0, 256, 32, dtype=np.uint8)),
+                           "little")
+        assert scalar_mul(BASE_POINT, n) == scalar_mul_naive(BASE_POINT, n)
+
+    def test_comb_matches_variable_base(self):
+        comb = EdwardsComb(BASE_POINT)
+        for e in (1, 7, L - 1, 0x1234567890ABCDEF, (1 << 252) + 3):
+            assert comb.power(e) == scalar_mul_naive(BASE_POINT, e)
+
+    def test_ladder_matches_edwards_through_the_map(self):
+        """X25519 on u=9 equals the Edwards scalar multiple mapped to
+        Montgomery u — the two formulations implement one function."""
+        rng = np.random.default_rng(5)
+        for _ in range(3):
+            raw = bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+            k = clamp_scalar(raw)
+            via_ladder = int.from_bytes(x25519(raw, X25519_BASE), "little")
+            via_edwards = scalar_mul(BASE_POINT, k).montgomery_u()
+            assert via_ladder == via_edwards
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(11)
+        for _ in range(4):
+            e = CURVE25519_GROUP.random_exponent(rng)
+            point = CURVE25519_GROUP.power(e)
+            data = CURVE25519_GROUP.encode_element(point)
+            assert len(data) == 32
+            assert CURVE25519_GROUP.decode_element(data) == point
+
+    def test_sign_bit_distinguishes_negation(self):
+        encoded = BASE_POINT.encode()
+        negated = BASE_POINT.negate().encode()
+        assert encoded != negated
+        assert decode_point(negated) == BASE_POINT.negate()
+
+    def test_rejects_wrong_length(self):
+        for n in (0, 31, 33):
+            with pytest.raises(ProtocolError):
+                decode_point(bytes(n))
+
+    def test_rejects_non_canonical_y(self):
+        # y >= p is a non-canonical encoding even when y mod p is a
+        # perfectly good coordinate.
+        for y in (P, P + 1, (1 << 255) - 1):
+            with pytest.raises(ProtocolError):
+                decode_point(y.to_bytes(32, "little"))
+
+    def test_rejects_off_curve(self):
+        # y = 2 gives x^2 = 3/(4d+1), which is not a square mod p.
+        with pytest.raises(ProtocolError):
+            decode_point((2).to_bytes(32, "little"))
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            EdwardsPoint(0, 1, 1, 0),        # identity (order 1)
+            EdwardsPoint(0, P - 1, 1, 0),    # order 2
+            EdwardsPoint(SQRT_M1, 0, 1, 0),  # order 4
+        ],
+        ids=["identity", "order2", "order4"],
+    )
+    def test_decode_element_rejects_small_order(self, point):
+        assert point.is_on_curve()
+        assert point.is_small_order()
+        with pytest.raises(ProtocolError):
+            CURVE25519_GROUP.decode_element(point.encode())
+
+    def test_d_and_sqrt_m1_constants(self):
+        assert (SQRT_M1 * SQRT_M1) % P == P - 1
+        assert (D * 121666 + 121665) % P == 0
+
+
+class TestGroupInterface:
+    def test_power_matches_power_naive(self):
+        rng = np.random.default_rng(3)
+        for _ in range(3):
+            e = CURVE25519_GROUP.random_exponent(rng)
+            assert CURVE25519_GROUP.power(e) == CURVE25519_GROUP.power_naive(e)
+
+    def test_ot_key_algebra(self):
+        """The sender's one-multiplication k1 fast path holds on the
+        curve: exp(M_b, a) * g^{-a^2} == exp(M_b / M_a, a)."""
+        G = CURVE25519_GROUP
+        rng = np.random.default_rng(8)
+        a, b = G.random_exponent(rng), G.random_exponent(rng)
+        m_a = G.power(a)
+        m_b = G.mul(m_a, G.power(b))  # receiver's choice-1 response
+        fast = G.mul(G.exp(m_b, a), G.power((-a * a) % L))
+        reference = G.exp(G.div(m_b, m_a), a)
+        assert fast == reference
+        assert reference == G.exp(m_a, b)
+
+    def test_contains(self):
+        assert CURVE25519_GROUP.contains(BASE_POINT)
+        assert not CURVE25519_GROUP.contains(EdwardsPoint(0, 1, 1, 0))
+        assert not CURVE25519_GROUP.contains(9)

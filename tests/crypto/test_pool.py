@@ -49,8 +49,9 @@ class TestStocks:
         taken = pool.take_senders(group, 3)
         assert len(taken) == 1
         counters = pool.metrics.snapshot()["counters"]
-        assert counters['crypto.pool.hit{kind="sender"}'] == 4
-        assert counters['crypto.pool.miss{kind="sender"}'] == 2
+        key = 'crypto.pool.{}{{group="random-96",kind="sender"}}'
+        assert counters[key.format("hit")] == 4
+        assert counters[key.format("miss")] == 2
 
     def test_empty_pool_take_is_graceful(self, group):
         pool = make_pool(depth=4)
@@ -145,5 +146,6 @@ class TestCorrectness:
         out = run_batch_ot(group, pairs, choices, 3, 4, pool=pool)
         assert out == [pairs[i][c] for i, c in enumerate(choices)]
         counters = pool.metrics.snapshot()["counters"]
-        assert counters['crypto.pool.miss{kind="sender"}'] == 4
-        assert counters['crypto.pool.miss{kind="receiver"}'] == 4
+        key = 'crypto.pool.miss{{group="random-96",kind="{}"}}'
+        assert counters[key.format("sender")] == 4
+        assert counters[key.format("receiver")] == 4

@@ -152,8 +152,12 @@ def test_hello_carries_version():
 
 @pytest.mark.parametrize("value", EXTREME_INTS)
 def test_uint_extremes_roundtrip(value):
+    # Integers coerce to their minimal big-endian encoding on message
+    # construction; the wire must carry those bytes unchanged.
     message = OTAnnounce(sender="a", elements=(value,))
-    assert roundtrip(message).elements == (value,)
+    expected = value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")
+    assert message.elements == (expected,)
+    assert roundtrip(message).elements == (expected,)
 
 
 def test_encoded_size_matches_wire_model():
@@ -402,6 +406,67 @@ def test_truncated_trace_context_raises_decode_error():
                      len(frame.payload) - 8, -1):
         with pytest.raises(DecodeError):
             decode_payload(Frame(frame.type, frame.payload[:cut]))
+
+
+# -- group-id block: OT group negotiation in Hello ----------------------------
+
+
+def test_hello_group_id_roundtrips():
+    decoded = roundtrip(
+        Hello(sender="mobile", rng_seed=3, group_id="curve25519")
+    )
+    assert decoded.group_id == "curve25519"
+
+
+def test_hello_group_id_roundtrips_alongside_trace_context():
+    message = Hello(
+        sender="mobile", rng_seed=3,
+        trace_context=SAMPLE_CONTEXT, group_id="curve25519",
+    )
+    decoded = roundtrip(message)
+    assert decoded.group_id == "curve25519"
+    assert decoded.trace_context == SAMPLE_CONTEXT
+
+
+def test_default_group_hello_is_byte_identical():
+    """A client on the default MODP group sends no group block at all —
+    the frame is byte-identical to the pre-negotiation wire format."""
+    bare = encode_message(Hello(sender="mobile", rng_seed=17)).payload
+    grouped = encode_message(
+        Hello(sender="mobile", rng_seed=17, group_id="curve25519")
+    ).payload
+    assert grouped.startswith(bare), "group block must be strictly appended"
+    assert len(grouped) > len(bare)
+    assert decode_payload(encode_message(
+        Hello(sender="mobile", rng_seed=17)
+    )).group_id == ""
+
+
+def test_hello_group_id_wire_size_reconciles():
+    for group_id in ("", "curve25519"):
+        message = Hello(sender="mobile", rng_seed=17, group_id=group_id)
+        assert (
+            len(encode_message(message).payload)
+            == message.wire_size_bytes()
+        )
+
+
+def test_duplicate_group_block_raises():
+    frame = encode_message(
+        Hello(sender="m", rng_seed=1, group_id="curve25519")
+    )
+    block = b"\x02" + len(b"curve25519").to_bytes(2, "big") + b"curve25519"
+    assert frame.payload.endswith(block)
+    with pytest.raises(DecodeError, match="duplicate group-id"):
+        decode_payload(Frame(frame.type, frame.payload + block))
+
+
+def test_empty_group_block_raises():
+    frame = encode_message(Hello(sender="m", rng_seed=1))
+    with pytest.raises(DecodeError, match="empty group-id"):
+        decode_payload(
+            Frame(frame.type, frame.payload + b"\x02\x00\x00")
+        )
 
 
 @pytest.mark.parametrize(

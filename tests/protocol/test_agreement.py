@@ -110,8 +110,8 @@ class TestPooledAgreement:
         outcome = run_key_agreement(s_m, s_r, config, rng=12, pool=pool)
         assert outcome.success and outcome.keys_match
         counters = pool.metrics.snapshot()["counters"]
-        assert counters['crypto.pool.hit{kind="sender"}'] > 0
-        assert counters['crypto.pool.hit{kind="receiver"}'] > 0
+        assert counters['crypto.pool.hit{group="random-96",kind="sender"}'] > 0
+        assert counters['crypto.pool.hit{group="random-96",kind="receiver"}'] > 0
 
     def test_exhausted_pool_still_succeeds(self):
         """Pool exhaustion must degrade to inline compute, never fail
@@ -126,7 +126,7 @@ class TestPooledAgreement:
         outcome = run_key_agreement(s_m, s_r, config, rng=14, pool=pool)
         assert outcome.success and outcome.keys_match
         counters = pool.metrics.snapshot()["counters"]
-        assert counters['crypto.pool.miss{kind="sender"}'] > 0
+        assert counters['crypto.pool.miss{group="random-96",kind="sender"}'] > 0
 
 
 class TestFailureModes:
